@@ -1,0 +1,56 @@
+// CPU thread scaling (paper §4.4 footnote 5: "the performance of both
+// FZ-OMP and SZ-OMP increases as the number of threads increases to 32
+// (with up to 21.2x speedup), but it does not increase much with more than
+// 32 threads").  Measures FZ-OMP compression wall clock at 1..N threads on
+// this machine.
+#include <cstdio>
+#include <vector>
+
+#if defined(FZ_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+#include "baselines/szomp.hpp"
+#include "common/parallel.hpp"
+#include "datasets/generators.hpp"
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace fz;
+  using namespace fz::bench;
+
+  const auto fields = evaluation_fields(0.12);
+  const Field& f = fields[2];  // Hurricane
+  const int hw_threads = max_threads();
+
+  std::printf("FZ-OMP thread scaling, field %s %s (%.1f MB), rel eb 1e-3\n",
+              f.dataset.c_str(), f.dims.to_string().c_str(),
+              static_cast<double>(f.bytes()) / 1e6);
+  std::printf("hardware threads available: %d\n\n", hw_threads);
+  std::printf("%8s %14s %14s %9s\n", "threads", "compress GB/s",
+              "decompress GB/s", "scaling");
+
+  double base = 0;
+  for (int threads = 1; threads <= hw_threads; threads *= 2) {
+#if defined(FZ_HAVE_OPENMP)
+    omp_set_num_threads(threads);
+#endif
+    const RunResult r = run_fz_omp(f, 1e-3, 2);
+    const double comp =
+        static_cast<double>(f.bytes()) / 1e9 / r.native_compress_seconds;
+    const double decomp =
+        static_cast<double>(f.bytes()) / 1e9 / r.native_decompress_seconds;
+    if (threads == 1) base = comp;
+    std::printf("%8d %14.3f %14.3f %8.2fx\n", threads, comp, decomp,
+                comp / base);
+  }
+#if defined(FZ_HAVE_OPENMP)
+  omp_set_num_threads(hw_threads);  // restore
+#endif
+  std::printf(
+      "\nExpected shape (paper, 32-core Xeon): near-linear scaling up to\n"
+      "the physical core count, then flat (\"does not increase much with\n"
+      "more than 32 threads ... due to the limited workload per core\").\n"
+      "On a single-core machine this prints one row.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Decompression throughput (paper §4.4): "the decompression pipeline is
+// highly symmetrical to the compression pipeline, exhibiting throughput
+// nearly identical to that of compression."  This bench makes that claim
+// checkable: modeled compression vs decompression throughput per dataset
+// for FZ-GPU and the baselines, A100 model.
+#include <iostream>
+
+#include "baselines/compressor.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+int main() {
+  using namespace fz;
+  using namespace fz::bench;
+
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const auto fields = evaluation_fields();
+  const double rel_eb = 1e-3;
+
+  std::cout << "Decompression vs compression throughput (GB/s), A100 model, "
+               "rel eb 1e-3\n\n";
+
+  const auto compressors = make_all_compressors();
+  Table t({"dataset", "FZ compr", "FZ decomp", "FZ ratio", "cuSZ compr",
+           "cuSZ decomp", "cuSZx compr", "cuSZx decomp"});
+  for (const Field& f : fields) {
+    Field flat = f;
+    if (f.dataset == "QMCPACK") flat.dims = Dims{f.count()};
+    const Measurement fz_ = measure(*compressors[0], f, rel_eb, a100);
+    const Measurement sz = measure(*compressors[1], flat, rel_eb, a100);
+    const Measurement szx = measure(*compressors[4], f, rel_eb, a100);
+    auto decomp = [&](const Measurement& m) {
+      return m.decompress_seconds > 0
+                 ? static_cast<double>(m.input_bytes) / 1e9 / m.decompress_seconds
+                 : 0.0;
+    };
+    t.add_row({f.dataset, fmt_gbps(fz_.throughput_gbps), fmt_gbps(decomp(fz_)),
+               fmt(decomp(fz_) / fz_.throughput_gbps, 2),
+               fmt_gbps(sz.throughput_gbps), fmt_gbps(decomp(sz)),
+               fmt_gbps(szx.throughput_gbps), fmt_gbps(decomp(szx))});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape (paper): FZ decompression ~= compression\n"
+               "(symmetric pipeline); cuSZ decompression skips the codebook\n"
+               "build so it runs well above its compression.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 10 reproduction: per-kernel throughput of the proposed
+// optimizations (paper §4.5), A100 model, rel eb 1e-4:
+//   pred-quant-v1        original dual-quantization (shift + outliers)
+//   pred-quant-v2        optimized (sign-magnitude, no outliers)
+//   bitshuffle-mark-v1   two separate kernels
+//   bitshuffle-mark-v2   fused kernel
+//   prefix-sum-encode-v1 encode fed by v1 quantization codes
+//   prefix-sum-encode-v2 encode fed by v2 codes (fewer nonzero blocks)
+#include <iostream>
+#include <map>
+
+#include "core/pipeline.hpp"
+#include "cudasim/device_model.hpp"
+#include "datasets/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+int main() {
+  using namespace fz;
+  using namespace fz::bench;
+
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const double rel_eb = 1e-4;
+  const auto fields = evaluation_fields();
+
+  std::cout << "Figure 10: optimization ablation, per-kernel throughput "
+               "(GB/s), A100 model, rel eb 1e-4\n\n";
+
+  Table t({"dataset", "pred-quant v1", "pred-quant v2", "bitshuf-mark v1",
+           "bitshuf-mark v2", "psum-encode v1", "psum-encode v2"});
+
+  for (const Field& f : fields) {
+    FzParams v1_split, v2_split, v2_fused;
+    v1_split.eb = v2_split.eb = v2_fused.eb = ErrorBound::relative(rel_eb);
+    v1_split.quant = QuantVersion::V1Original;
+    v1_split.fused_bitshuffle_mark = false;
+    v2_split.fused_bitshuffle_mark = false;
+
+    const FzCompressed cv1 = fz_compress(f.values(), f.dims, v1_split);
+    const FzCompressed cv2s = fz_compress(f.values(), f.dims, v2_split);
+    const FzCompressed cv2f = fz_compress(f.values(), f.dims, v2_fused);
+
+    // Fixed costs scaled to the dataset's full size (size emulation).
+    double full_bytes = static_cast<double>(f.bytes());
+    for (const Dataset ds : all_datasets())
+      if (f.dataset == dataset_name(ds))
+        full_bytes =
+            static_cast<double>(dataset_info(ds).full_dims.count()) * 4;
+    const double fixed_scale = static_cast<double>(f.bytes()) / full_bytes;
+
+    auto tp = [&](const std::vector<cudasim::CostSheet>& costs,
+                  const std::string& prefix) {
+      double s = 0;
+      for (const auto& c : costs)
+        if (c.name.rfind(prefix, 0) == 0) s += a100.seconds(c, fixed_scale);
+      return static_cast<double>(f.bytes()) / 1e9 / s;
+    };
+    // Split bitshuffle+mark = sum of the two kernels.
+    auto tp_split_shuffle = [&](const FzCompressed& c) {
+      double s = 0;
+      for (const auto& k : c.stage_costs)
+        if (k.name == "bitshuffle" || k.name == "mark")
+          s += a100.seconds(k, fixed_scale);
+      return static_cast<double>(f.bytes()) / 1e9 / s;
+    };
+
+    t.add_row({f.dataset, fmt_gbps(tp(cv1.stage_costs, "pred-quant-v1")),
+               fmt_gbps(tp(cv2f.stage_costs, "pred-quant-v2")),
+               fmt_gbps(tp_split_shuffle(cv2s)),
+               fmt_gbps(tp(cv2f.stage_costs, "bitshuffle-mark-fused")),
+               fmt_gbps(tp(cv1.stage_costs, "prefix-sum-encode")),
+               fmt_gbps(tp(cv2f.stage_costs, "prefix-sum-encode"))});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nExpected shape (paper): v2 pred-quant up to ~1.7x faster (no\n"
+         "branches/outliers); fused bitshuffle-mark ~1.1x; v2 encode up to\n"
+         "~1.9x (fewer nonzero blocks), except HACC where v1's outlier\n"
+         "handling would have absorbed the irregular integers.\n";
+  return 0;
+}

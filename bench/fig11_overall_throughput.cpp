@@ -1,0 +1,65 @@
+// Figure 11 reproduction: overall CPU-GPU data-transfer throughput
+// T_overall = ((BW*CR)^-1 + T_compr^-1)^-1 with BW = 11.4 GB/s (the
+// paper's measured per-GPU PCIe bandwidth with 4 GPUs active), A100 model.
+#include <iostream>
+
+#include "baselines/compressor.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+int main() {
+  using namespace fz;
+  using namespace fz::bench;
+
+  const auto fields = evaluation_fields();
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const double bw = a100.spec().pcie_bw_gbps;
+  const auto compressors = make_all_compressors();
+
+  std::cout << "Figure 11: overall CPU-GPU data-transfer throughput (GB/s), "
+               "BW = "
+            << fmt(bw, 1) << " GB/s, A100 model\n\n";
+
+  int fz_wins = 0, cells = 0;
+  for (const Field& f : fields) {
+    std::cout << "== " << f.dataset << " " << f.dims.to_string() << " ==\n";
+    Table t({"rel eb", "cuSZ", "cuZFP", "cuSZx", "MGARD-GPU", "FZ-GPU"});
+    for (const double eb : paper_error_bounds()) {
+      Field flat = f;
+      if (f.dataset == "QMCPACK") flat.dims = Dims{f.count()};
+
+      const Measurement m_fz = measure(*compressors[0], f, eb, a100);
+      const Measurement m_sz = measure(*compressors[1], flat, eb, a100);
+      const auto m_zfp =
+          match_cuzfp_psnr(*compressors[3], f, m_fz.psnr_db, a100);
+      const Measurement m_szx = measure(*compressors[4], f, eb, a100);
+      const Measurement m_mg = measure(*compressors[5], f, eb, a100);
+
+      auto overall = [&](const Measurement& m) -> double {
+        if (!m.ok || m.ratio <= 0 || m.throughput_gbps <= 0) return -1;
+        return overall_throughput_gbps(bw, m.ratio, m.throughput_gbps);
+      };
+      auto cell = [&](const Measurement& m) {
+        const double v = overall(m);
+        return v < 0 ? std::string("-") : fmt_gbps(v);
+      };
+      const double o_fz = overall(m_fz);
+      double best_other = -1;
+      for (const Measurement* m : {&m_sz, &m_szx, &m_mg})
+        best_other = std::max(best_other, overall(*m));
+      if (m_zfp) best_other = std::max(best_other, overall(*m_zfp));
+      fz_wins += o_fz >= best_other;
+      ++cells;
+
+      t.add_row({fmt(eb, 4), cell(m_sz),
+                 m_zfp ? cell(*m_zfp) : std::string("-"), cell(m_szx),
+                 cell(m_mg), cell(m_fz)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "FZ-GPU has the best overall throughput in " << fz_wins << "/"
+            << cells
+            << " cells (paper: best on almost all datasets at all bounds).\n";
+  return 0;
+}

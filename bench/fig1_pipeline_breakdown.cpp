@@ -1,0 +1,52 @@
+// Figure 1 reproduction: per-kernel relative time and throughput of the
+// FZ-GPU pipeline versus the cuSZ pipeline, on one Hurricane field at
+// relative error bound 1e-4 (the paper's annotation setting), A100 model.
+#include <iostream>
+
+#include "baselines/compressor.hpp"
+#include "cudasim/device_model.hpp"
+#include "datasets/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+int main() {
+  using namespace fz;
+  using namespace fz::bench;
+
+  const Field f =
+      generate_field(Dataset::Hurricane, scaled_dims(Dataset::Hurricane, 0.22));
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const double rel_eb = 1e-4;
+
+  std::cout << "Figure 1: compression pipeline kernel breakdown\n"
+            << "field: Hurricane " << f.dims.to_string() << " ("
+            << fmt(static_cast<double>(f.bytes()) / 1e6, 1)
+            << " MB), rel eb = 1e-4, device model: A100\n\n";
+
+  // Fixed costs are scaled to the full Hurricane field size (size
+  // emulation, DESIGN.md §1).
+  const double fixed_scale =
+      static_cast<double>(f.bytes()) /
+      (static_cast<double>(dataset_info(Dataset::Hurricane).full_dims.count()) * 4);
+
+  const auto report = [&](const char* title, const RunResult& r) {
+    double total = 0;
+    for (const auto& c : r.compression_costs)
+      total += a100.seconds(c, fixed_scale);
+    Table t({"kernel", "time %", "throughput GB/s"});
+    for (const auto& c : r.compression_costs) {
+      const double s = a100.seconds(c, fixed_scale);
+      t.add_row({c.name, fmt(100.0 * s / total, 1),
+                 fmt_gbps(static_cast<double>(f.bytes()) / 1e9 / s)});
+    }
+    t.add_row({"TOTAL", "100.0",
+               fmt_gbps(static_cast<double>(f.bytes()) / 1e9 / total)});
+    std::cout << title << "\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  };
+
+  report("FZ-GPU pipeline:", make_fzgpu()->run(f, rel_eb));
+  report("cuSZ pipeline:", make_cusz()->run(f, rel_eb));
+  return 0;
+}

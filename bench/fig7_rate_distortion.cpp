@@ -1,0 +1,63 @@
+// Figure 7 reproduction: rate-distortion (PSNR vs bitrate) of the five GPU
+// lossy compressors on the six datasets.  Error-bounded compressors sweep
+// the paper's five relative error bounds; cuZFP sweeps bitrates and is
+// PSNR-matched per point, exactly as in §4.3.
+#include <iostream>
+
+#include "baselines/compressor.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+int main() {
+  using namespace fz;
+  using namespace fz::bench;
+
+  const auto fields = evaluation_fields();
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const auto fzgpu = make_fzgpu();
+  const auto cusz = make_cusz();
+  const auto cuszx = make_cuszx();
+  const auto mgard = make_mgard();
+  const auto cuzfp = make_cuzfp();
+
+  std::cout << "Figure 7: rate-distortion (bitrate in bits/value, PSNR in dB)\n\n";
+
+  for (const Field& f : fields) {
+    std::cout << "== " << f.dataset << " " << f.dims.to_string() << " ==\n";
+    Table t({"rel eb", "FZ-GPU br", "FZ-GPU dB", "cuSZ br", "cuSZ dB",
+             "cuSZx br", "cuSZx dB", "MGARD br", "MGARD dB", "cuZFP br",
+             "cuZFP dB"});
+    for (const double eb : paper_error_bounds()) {
+      // cuSZ runs on flattened QMCPACK, mirroring the paper's workaround.
+      Field flat = f;
+      if (f.dataset == "QMCPACK") flat.dims = Dims{f.count()};
+
+      const Measurement m_fz = measure(*fzgpu, f, eb, a100);
+      const Measurement m_sz = measure(*cusz, flat, eb, a100);
+      const Measurement m_szx = measure(*cuszx, f, eb, a100);
+      const Measurement m_mg = measure(*mgard, f, eb, a100);
+      const auto m_zfp = match_cuzfp_psnr(*cuzfp, f, m_fz.psnr_db, a100);
+
+      auto cell_br = [](const Measurement& m) {
+        return m.ok ? fmt(m.bitrate, 2) : std::string("-");
+      };
+      auto cell_db = [](const Measurement& m) {
+        return m.ok ? fmt_db(m.psnr_db) : std::string("-");
+      };
+      t.add_row({fmt(eb, 4), cell_br(m_fz), cell_db(m_fz), cell_br(m_sz),
+                 cell_db(m_sz), cell_br(m_szx), cell_db(m_szx), cell_br(m_mg),
+                 cell_db(m_mg),
+                 m_zfp ? fmt(m_zfp->bitrate, 2) : std::string("-"),
+                 m_zfp ? fmt_db(m_zfp->psnr_db) : std::string("-")});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Expected shape (paper): FZ-GPU ~= cuSZ bitrate; FZ-GPU beats\n"
+               "cuSZ on RTM at high eb; cuZFP needs ~2x the bitrate of FZ-GPU\n"
+               "for equal PSNR except smooth high-eb corners (Nyx/RTM); cuSZx\n"
+               "bitrate is the largest; MGARD over-preserves (higher PSNR at\n"
+               "the same nominal eb).\n";
+  return 0;
+}

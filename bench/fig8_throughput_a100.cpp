@@ -1,0 +1,8 @@
+// Figure 8 reproduction: compression throughput of all six compressor
+// configurations on the A100 device model, six datasets x five bounds.
+#include "throughput_common.hpp"
+
+int main() {
+  return fz::bench::run_throughput_figure(fz::cudasim::DeviceSpec::a100(),
+                                          "Figure 8");
+}

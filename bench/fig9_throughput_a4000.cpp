@@ -1,0 +1,8 @@
+// Figure 9 reproduction: compression throughput on the RTX A4000 device
+// model (same protocol as Figure 8).
+#include "throughput_common.hpp"
+
+int main() {
+  return fz::bench::run_throughput_figure(fz::cudasim::DeviceSpec::a4000(),
+                                          "Figure 9");
+}

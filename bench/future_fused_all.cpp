@@ -1,0 +1,65 @@
+// Future-work projection (paper §6, item 1): "exploit fusing all GPU
+// kernels into one to improve the performance further."
+//
+// Compares the shipped three-kernel pipeline against the single-persistent-
+// kernel cost model (core/costs.hpp: fz_fully_fused_cost) on the A100: the
+// fused design eliminates the intermediate code/shuffled-word DRAM round
+// trips and two kernel launches, at the price of a decoupled-lookback scan
+// inside the kernel.
+#include <iostream>
+
+#include "core/costs.hpp"
+#include "core/pipeline.hpp"
+#include "cudasim/device_model.hpp"
+#include "datasets/generators.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+int main() {
+  using namespace fz;
+  using namespace fz::bench;
+
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const auto fields = evaluation_fields();
+  const double rel_eb = 1e-3;
+
+  std::cout << "Future work (paper 6.1): fully-fused single-kernel pipeline\n"
+            << "projection vs the shipped 3-kernel pipeline, A100 model, "
+               "rel eb 1e-3\n\n";
+
+  Table t({"dataset", "3-kernel GB/s", "fused-all GB/s", "projected speedup",
+           "DRAM bytes saved"});
+  for (const Field& f : fields) {
+    FzParams params;
+    params.eb = ErrorBound::relative(rel_eb);
+    const FzCompressed c = fz_compress(f.values(), f.dims, params);
+
+    double full_bytes = static_cast<double>(f.bytes());
+    for (const Dataset ds : all_datasets())
+      if (f.dataset == dataset_name(ds))
+        full_bytes = static_cast<double>(dataset_info(ds).full_dims.count()) * 4;
+    const double fixed_scale = static_cast<double>(f.bytes()) / full_bytes;
+
+    double pipeline_s = 0;
+    u64 pipeline_bytes = 0;
+    for (const auto& k : c.stage_costs) {
+      pipeline_s += a100.seconds(k, fixed_scale);
+      pipeline_bytes += k.global_bytes();
+    }
+    const cudasim::CostSheet fused = fz_fully_fused_cost(c.stats);
+    const double fused_s = a100.seconds(fused, fixed_scale);
+
+    t.add_row({f.dataset,
+               fmt_gbps(static_cast<double>(f.bytes()) / 1e9 / pipeline_s),
+               fmt_gbps(static_cast<double>(f.bytes()) / 1e9 / fused_s),
+               fmt(pipeline_s / fused_s, 2) + "x",
+               fmt(static_cast<double>(pipeline_bytes - fused.global_bytes()) /
+                       1e6,
+                   1) + " MB"});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe projection bounds the gain at roughly the ratio of\n"
+               "eliminated DRAM traffic; it assumes the in-kernel lookback\n"
+               "scan costs ~1 ns per tile of serialization.\n";
+  return 0;
+}

@@ -1,0 +1,207 @@
+// google-benchmark microbenchmarks of the native kernels: wall-clock
+// throughput of each pipeline stage and substrate codec on this machine.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/bitshuffle.hpp"
+#include "core/encoder.hpp"
+#include "core/lorenzo.hpp"
+#include "core/pipeline.hpp"
+#include "core/quantizer.hpp"
+#include "datasets/generators.hpp"
+#include <algorithm>
+#include <cmath>
+
+#include "substrate/huffman.hpp"
+#include "substrate/lz77.hpp"
+#include "substrate/scan.hpp"
+
+namespace {
+
+using namespace fz;
+
+std::vector<u32> random_words(size_t n, u64 seed = 1) {
+  Rng rng(seed);
+  std::vector<u32> v(n);
+  for (auto& w : v) w = rng.next_u32();
+  return v;
+}
+
+void BM_Prequantize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Field f = generate_field(Dataset::Hurricane, Dims{n});
+  std::vector<i64> out(n);
+  for (auto _ : state) {
+    prequantize(f.values(), 1e-3, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * n * 4));
+}
+BENCHMARK(BM_Prequantize)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LorenzoForward3D(benchmark::State& state) {
+  const size_t e = static_cast<size_t>(state.range(0));
+  const Dims dims{e, e, e};
+  std::vector<i64> p(dims.count(), 7), d(dims.count());
+  for (auto _ : state) {
+    lorenzo_forward(p, dims, d);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<i64>(state.iterations() * dims.count() * 4));
+}
+BENCHMARK(BM_LorenzoForward3D)->Arg(32)->Arg(64);
+
+void BM_BitshuffleTiles(benchmark::State& state) {
+  const size_t words = static_cast<size_t>(state.range(0));
+  const auto in = random_words(words);
+  std::vector<u32> out(words);
+  for (auto _ : state) {
+    bitshuffle_tiles(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * words * 4));
+}
+BENCHMARK(BM_BitshuffleTiles)->Arg(kTileWords * 16)->Arg(kTileWords * 256);
+
+void BM_EncodeBlocks(benchmark::State& state) {
+  // Realistic post-shuffle sparsity (~20% nonzero blocks).
+  Rng rng(3);
+  std::vector<u32> words(static_cast<size_t>(state.range(0)), 0);
+  for (size_t b = 0; b < words.size() / kBlockWords; ++b)
+    if (rng.uniform() < 0.2) words[b * kBlockWords] = rng.next_u32() | 1;
+  for (auto _ : state) {
+    const EncodeResult enc = encode_blocks(words);
+    benchmark::DoNotOptimize(enc.blocks.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<i64>(state.iterations() * words.size() * 4));
+}
+BENCHMARK(BM_EncodeBlocks)->Arg(kTileWords * 64);
+
+void BM_PrefixSum(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<u32> in(n, 1), out(n);
+  for (auto _ : state) {
+    scan_exclusive_parallel(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * n * 4));
+}
+BENCHMARK(BM_PrefixSum)->Arg(1 << 20);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<u16> syms(static_cast<size_t>(state.range(0)));
+  for (auto& s : syms)
+    s = static_cast<u16>(
+        std::clamp<i64>(512 + std::llround(rng.normal(0.0, 4.0)), 0, 1023));
+  for (auto _ : state) {
+    const auto stream = huffman_compress(syms, 1024);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<i64>(state.iterations() * syms.size() * 2));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(1 << 18);
+
+void BM_LzCompress(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<u8> data(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < data.size(); ++i)
+    data[i] = i % 4 == 0 ? static_cast<u8>(rng.next_u32()) : 0;
+  for (auto _ : state) {
+    const auto c = lz_compress(data);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_LzCompress)->Arg(1 << 18);
+
+void BM_BitunshuffleTiles(benchmark::State& state) {
+  const size_t words = static_cast<size_t>(state.range(0));
+  const auto in = random_words(words, 7);
+  std::vector<u32> out(words);
+  for (auto _ : state) {
+    bitunshuffle_tiles(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * words * 4));
+}
+BENCHMARK(BM_BitunshuffleTiles)->Arg(kTileWords * 64);
+
+void BM_DecodeBlocks(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<u32> words(static_cast<size_t>(state.range(0)), 0);
+  for (size_t b = 0; b < words.size() / kBlockWords; ++b)
+    if (rng.uniform() < 0.2) words[b * kBlockWords] = rng.next_u32() | 1;
+  const EncodeResult enc = encode_blocks(words);
+  std::vector<u32> out(words.size());
+  for (auto _ : state) {
+    decode_blocks(enc.bit_flags, enc.blocks, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<i64>(state.iterations() * words.size() * 4));
+}
+BENCHMARK(BM_DecodeBlocks)->Arg(kTileWords * 64);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<u16> syms(static_cast<size_t>(state.range(0)));
+  for (auto& s : syms)
+    s = static_cast<u16>(
+        std::clamp<i64>(512 + std::llround(rng.normal(0.0, 4.0)), 0, 1023));
+  const auto stream = huffman_compress(syms, 1024);
+  for (auto _ : state) {
+    const auto back = huffman_decompress(stream);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<i64>(state.iterations() * syms.size() * 2));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(1 << 18);
+
+void BM_LorenzoInverse3D(benchmark::State& state) {
+  const size_t e = static_cast<size_t>(state.range(0));
+  const Dims dims{e, e, e};
+  std::vector<i64> d(dims.count(), 1), p(dims.count());
+  for (auto _ : state) {
+    lorenzo_inverse(d, dims, p);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<i64>(state.iterations() * dims.count() * 4));
+}
+BENCHMARK(BM_LorenzoInverse3D)->Arg(64);
+
+void BM_FzCompressEndToEnd(benchmark::State& state) {
+  const Field f =
+      generate_field(Dataset::Hurricane, scaled_dims(Dataset::Hurricane, 0.12));
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  for (auto _ : state) {
+    const FzCompressed c = fz_compress(f.values(), f.dims, params);
+    benchmark::DoNotOptimize(c.bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * f.bytes()));
+}
+BENCHMARK(BM_FzCompressEndToEnd);
+
+void BM_FzDecompressEndToEnd(benchmark::State& state) {
+  const Field f =
+      generate_field(Dataset::Hurricane, scaled_dims(Dataset::Hurricane, 0.12));
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  for (auto _ : state) {
+    const FzDecompressed d = fz_decompress(c.bytes);
+    benchmark::DoNotOptimize(d.data.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * f.bytes()));
+}
+BENCHMARK(BM_FzDecompressEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

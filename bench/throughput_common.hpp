@@ -1,0 +1,89 @@
+// Shared driver for the Figure 8 / Figure 9 compression-throughput
+// reproductions (they differ only in the device model).
+#pragma once
+
+#include <iostream>
+
+#include "baselines/compressor.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+namespace fz::bench {
+
+inline int run_throughput_figure(const cudasim::DeviceSpec& spec,
+                                 const char* figure_name) {
+  const auto fields = evaluation_fields();
+  const cudasim::DeviceModel dev(spec);
+  const auto compressors = make_all_compressors();
+  const auto& fzgpu = *compressors[0];
+  const auto& cuzfp = *compressors[3];
+
+  std::cout << figure_name
+            << ": compression throughput (GB/s), device model: "
+            << spec.name << "\n"
+            << "cuZFP is PSNR-matched to FZ-GPU per cell (paper protocol);\n"
+               "'-' marks unsupported or unmatchable cases.\n\n";
+
+  double fz_sum = 0, cusz_sum = 0, zfp_sum = 0, szx_sum = 0, mgard_sum = 0;
+  int fz_n = 0, cusz_n = 0, zfp_n = 0, szx_n = 0, mgard_n = 0;
+
+  for (const Field& f : fields) {
+    std::cout << "== " << f.dataset << " " << f.dims.to_string() << " ==\n";
+    Table t({"rel eb", "cuSZ", "cuSZ-ncb", "cuZFP", "cuSZx", "MGARD-GPU",
+             "FZ-GPU"});
+    for (const double eb : paper_error_bounds()) {
+      Field flat = f;
+      if (f.dataset == "QMCPACK") flat.dims = Dims{f.count()};
+
+      const Measurement m_fz = measure(fzgpu, f, eb, dev);
+      const Measurement m_sz = measure(*compressors[1], flat, eb, dev);
+      const Measurement m_ncb = measure(*compressors[2], flat, eb, dev);
+      const auto m_zfp = match_cuzfp_psnr(cuzfp, f, m_fz.psnr_db, dev);
+      const Measurement m_szx = measure(*compressors[4], f, eb, dev);
+      const Measurement m_mg = measure(*compressors[5], f, eb, dev);
+
+      auto cell = [](const Measurement& m) {
+        return m.ok ? fmt_gbps(m.throughput_gbps) : std::string("-");
+      };
+      t.add_row({fmt(eb, 4), cell(m_sz), cell(m_ncb),
+                 m_zfp ? fmt_gbps(m_zfp->throughput_gbps) : std::string("-"),
+                 cell(m_szx), cell(m_mg), cell(m_fz)});
+
+      fz_sum += m_fz.throughput_gbps;
+      ++fz_n;
+      if (m_sz.ok) {
+        cusz_sum += m_sz.throughput_gbps;
+        ++cusz_n;
+      }
+      if (m_zfp) {
+        zfp_sum += m_zfp->throughput_gbps;
+        ++zfp_n;
+      }
+      if (m_szx.ok) {
+        szx_sum += m_szx.throughput_gbps;
+        ++szx_n;
+      }
+      if (m_mg.ok) {
+        mgard_sum += m_mg.throughput_gbps;
+        ++mgard_n;
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  const double fz_avg = fz_sum / fz_n;
+  std::cout << "Average throughput (GB/s): FZ-GPU " << fmt_gbps(fz_avg)
+            << ", cuSZ " << fmt_gbps(cusz_sum / cusz_n) << ", cuZFP "
+            << fmt_gbps(zfp_sum / std::max(zfp_n, 1)) << ", cuSZx "
+            << fmt_gbps(szx_sum / szx_n) << ", MGARD-GPU "
+            << fmt_gbps(mgard_sum / std::max(mgard_n, 1)) << "\n";
+  std::cout << "Average speedups: FZ-GPU/cuSZ = "
+            << fmt(fz_avg / (cusz_sum / cusz_n), 1) << "x, FZ-GPU/cuZFP = "
+            << fmt(fz_avg / (zfp_sum / std::max(zfp_n, 1)), 1)
+            << "x, cuSZx/FZ-GPU = " << fmt((szx_sum / szx_n) / fz_avg, 1)
+            << "x\n";
+  return 0;
+}
+
+}  // namespace fz::bench

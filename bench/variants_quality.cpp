@@ -1,0 +1,53 @@
+// Multi-field evaluation: the paper's datasets have many fields per dataset
+// (Table 1: HACC 6, CESM 70, Hurricane 13, ...), and the evaluation names
+// two examples each.  This bench runs FZ-GPU and cuSZ on the named second
+// fields — HACC vx (velocities), CESM CLDICE (sparse cloud ice), Hurricane
+// QRAIN (sparse rain bands) — to show behaviour beyond the representative
+// field used in the figure benches.
+#include <iostream>
+
+#include "baselines/compressor.hpp"
+#include "datasets/transforms.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+int main() {
+  using namespace fz;
+  using namespace fz::bench;
+
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const auto fzgpu = make_fzgpu();
+  const auto cusz = make_cusz();
+
+  struct Variant {
+    Dataset ds;
+    const char* field;
+  };
+  const Variant variants[] = {
+      {Dataset::HACC, "vx"},
+      {Dataset::CESM, "CLDICE"},
+      {Dataset::Hurricane, "QRAIN"},
+  };
+
+  std::cout << "Second-field evaluation (Table 1 example fields), A100 model\n\n";
+  Table t({"dataset", "field", "rel eb", "FZ ratio", "FZ PSNR", "FZ GB/s",
+           "cuSZ ratio", "cuSZ PSNR", "cuSZ GB/s"});
+  for (const auto& [ds, field] : variants) {
+    Field f = generate_field_variant(ds, field, scaled_dims(ds, 0.22), 42);
+    for (const double eb : {1e-2, 1e-4}) {
+      const Measurement m_fz = measure(*fzgpu, f, eb, a100);
+      const Measurement m_sz = measure(*cusz, f, eb, a100);
+      t.add_row({f.dataset, f.name, fmt(eb, 4), fmt_ratio(m_fz.ratio),
+                 fmt_db(m_fz.psnr_db), fmt_gbps(m_fz.throughput_gbps),
+                 fmt_ratio(m_sz.ratio), fmt_db(m_sz.psnr_db),
+                 fmt_gbps(m_sz.throughput_gbps)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: identical PSNR per row (shared error\n"
+               "control); the sparse fields (CLDICE/QRAIN) reach much higher\n"
+               "ratios than their datasets' dense fields; FZ throughput stays\n"
+               "stable across fields while cuSZ's moves with entropy and the\n"
+               "codebook overhead.\n";
+  return 0;
+}

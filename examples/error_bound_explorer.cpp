@@ -1,0 +1,61 @@
+// Error-bound explorer: sweep error bounds on any of the six datasets and
+// print the resulting rate-distortion table plus modeled device throughput
+// — a small interactive-style tool for picking a bound.
+//
+// Usage: error_bound_explorer [dataset] [scale]
+//   dataset in {hacc, cesm, hurricane, nyx, qmcpack, rtm} (default cesm)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fz;
+  using namespace fz::bench;
+
+  Dataset ds = Dataset::CESM;
+  if (argc > 1) {
+    const std::string want = argv[1];
+    bool found = false;
+    for (const Dataset d : all_datasets()) {
+      std::string name = dataset_name(d);
+      for (auto& ch : name) ch = static_cast<char>(std::tolower(ch));
+      if (name == want) {
+        ds = d;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "unknown dataset '%s' (try hacc/cesm/hurricane/nyx/"
+                   "qmcpack/rtm)\n",
+                   argv[1]);
+      return 1;
+    }
+  }
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.2;
+
+  const Field f = generate_field(ds, scaled_dims(ds, scale));
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const auto fz = make_fzgpu();
+
+  std::printf("FZ error-bound explorer: %s %s (%.1f MB)\n\n",
+              f.dataset.c_str(), f.dims.to_string().c_str(),
+              static_cast<double>(f.bytes()) / 1e6);
+
+  Table t({"rel eb", "ratio", "bits/val", "PSNR dB", "max err",
+           "A100 GB/s (model)"});
+  for (const double eb : {5e-2, 1e-2, 5e-3, 1e-3, 5e-4, 1e-4, 5e-5}) {
+    const Measurement m = measure(*fz, f, eb, a100);
+    t.add_row({fmt(eb, 5), fmt_ratio(m.ratio), fmt(m.bitrate, 2),
+               fmt_db(m.psnr_db),
+               fmt(m.max_abs_error, 6), fmt_gbps(m.throughput_gbps)});
+  }
+  t.print(std::cout);
+  std::printf("\nPick the loosest bound whose PSNR meets your analysis "
+              "needs; ratio falls roughly linearly in log(eb).\n");
+  return 0;
+}

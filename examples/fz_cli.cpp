@@ -1,0 +1,242 @@
+// fz_cli: command-line compressor for headerless f32 files (the SDRBench
+// format the real FZ-GPU CLI consumes).
+//
+//   fz_cli compress   <in.f32> <out.fz> -d NX [NY [NZ]] [-e REL_EB] [-a ABS_EB]
+//                     [-c CHUNKS]
+//   fz_cli decompress <in.fz>  <out.f32>
+//   fz_cli info       <in.fz>
+//   fz_cli verify     <orig.f32> <in.fz>        # check the error bound
+//
+// Examples:
+//   fz_cli compress CLDHGH_1_1800_3600.f32 cldhgh.fz -d 3600 1800 -e 1e-3
+//   fz_cli decompress cldhgh.fz restored.f32
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/chunked.hpp"
+#include "core/pipeline.hpp"
+#include "datasets/generators.hpp"
+#include "datasets/loader.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace fz;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fz_cli compress   <in.f32> <out.fz> -d NX [NY [NZ]] [-e REL_EB]\n"
+      "                    [-a ABS_EB] [-c CHUNKS]\n"
+      "  fz_cli decompress <in.fz> <out.f32>\n"
+      "  fz_cli info       <in.fz>\n"
+      "  fz_cli verify     <orig.f32> <in.fz>\n"
+      "  fz_cli selftest\n");
+  return 2;
+}
+
+bool is_container(ByteSpan bytes) {
+  return bytes.size() >= 4 && bytes[0] == 'F' && bytes[1] == 'Z' &&
+         bytes[2] == 'C' && bytes[3] == 'K';
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  Dims dims;
+  ErrorBound eb = ErrorBound::relative(1e-3);
+  size_t chunks = 1;
+  bool f64_input = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-d") == 0) {
+      std::vector<size_t> d;
+      while (i + 1 < argc && argv[i + 1][0] != '-')
+        d.push_back(static_cast<size_t>(std::atoll(argv[++i])));
+      if (d.empty() || d.size() > 3) return usage();
+      dims = d.size() == 1 ? Dims{d[0]}
+             : d.size() == 2 ? Dims{d[0], d[1]}
+                             : Dims{d[0], d[1], d[2]};
+    } else if (std::strcmp(argv[i], "-e") == 0 && i + 1 < argc) {
+      eb = ErrorBound::relative(std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "-a") == 0 && i + 1 < argc) {
+      eb = ErrorBound::absolute(std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "-p") == 0 && i + 1 < argc) {
+      eb = ErrorBound::pointwise_relative(std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "-c") == 0 && i + 1 < argc) {
+      chunks = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "-t") == 0 && i + 1 < argc) {
+      const std::string t = argv[++i];
+      if (t == "f64") {
+        f64_input = true;
+      } else if (t != "f32") {
+        return usage();
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (dims.count() == 0) return usage();
+
+  if (f64_input) {
+    // Double-precision path (single stream; chunked containers are f32-only
+    // for now).
+    const std::vector<f64> data = load_f64_file(in_path, dims);
+    FzParams params;
+    params.eb = eb;
+    const FzCompressed c = fz_compress_f64(data, dims, params);
+    save_bytes(out_path, c.bytes);
+    std::printf("%s: %zu -> %zu bytes (%.2fx, %.2f bits/value, f64)\n",
+                out_path.c_str(), data.size() * sizeof(f64), c.bytes.size(),
+                c.stats.ratio(), 64.0 / c.stats.ratio());
+    return 0;
+  }
+
+  const Field f = load_f32_file(in_path, dims);
+  if (chunks > 1) {
+    ChunkedParams params;
+    params.base.eb = eb;
+    params.num_chunks = chunks;
+    const ChunkedCompressed c = fz_compress_chunked(f.values(), f.dims, params);
+    save_bytes(out_path, c.bytes);
+    std::printf("%s: %zu -> %zu bytes (%.2fx, %.2f bits/value, %zu chunks)\n",
+                out_path.c_str(), f.bytes(), c.bytes.size(), c.stats.ratio(),
+                c.stats.bitrate(), c.num_chunks);
+  } else {
+    FzParams params;
+    params.eb = eb;
+    const FzCompressed c = fz_compress(f.values(), f.dims, params);
+    save_bytes(out_path, c.bytes);
+    std::printf("%s: %zu -> %zu bytes (%.2fx, %.2f bits/value)\n",
+                out_path.c_str(), f.bytes(), c.bytes.size(), c.stats.ratio(),
+                c.stats.bitrate());
+  }
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const std::vector<u8> bytes = load_bytes(argv[2]);
+  if (!is_container(bytes) && fz_inspect(bytes).dtype_bytes == 8) {
+    const FzDecompressed64 d = fz_decompress_f64(bytes);
+    save_f64_file(argv[3], d.data);
+    std::printf("%s: %s, %zu values (f64)\n", argv[3],
+                d.dims.to_string().c_str(), d.data.size());
+    return 0;
+  }
+  const FzDecompressed d =
+      is_container(bytes) ? fz_decompress_chunked(bytes) : fz_decompress(bytes);
+  save_f32_file(argv[3], d.data);
+  std::printf("%s: %s, %zu values\n", argv[3], d.dims.to_string().c_str(),
+              d.data.size());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::vector<u8> bytes = load_bytes(argv[2]);
+  if (is_container(bytes)) {
+    std::printf("FZ container, %zu chunks, %zu bytes\n", fz_chunk_count(bytes),
+                bytes.size());
+    return 0;
+  }
+  const FzHeaderInfo info = fz_inspect(bytes);
+  std::printf("FZ stream: dims %s, %zu values (f%u), abs eb %.6g, quant v%d, "
+              "%zu bytes (ratio %.2fx)\n",
+              info.dims.to_string().c_str(), info.count, info.dtype_bytes * 8,
+              info.abs_eb, static_cast<int>(info.quant), bytes.size(),
+              static_cast<double>(info.count * info.dtype_bytes) /
+                  static_cast<double>(bytes.size()));
+  return 0;
+}
+
+int cmd_selftest() {
+  // End-to-end self check without external data: generate a field, round
+  // trip it through temp files in every mode, verify the bounds.
+  const Dims dims{60, 50};
+  const Field f = generate_field(Dataset::CESM, dims, 7);
+  const std::string f32_path = "/tmp/fz_cli_selftest.f32";
+  const std::string fz_path = "/tmp/fz_cli_selftest.fz";
+  save_f32_file(f32_path, f.values());
+
+  struct Mode {
+    const char* name;
+    ErrorBound eb;
+    size_t chunks;
+  };
+  const Mode modes[] = {
+      {"relative", ErrorBound::relative(1e-3), 1},
+      {"absolute", ErrorBound::absolute(1e-2), 1},
+      {"chunked", ErrorBound::relative(1e-3), 3},
+  };
+  bool all_ok = true;
+  for (const Mode& m : modes) {
+    if (m.chunks > 1) {
+      ChunkedParams params;
+      params.base.eb = m.eb;
+      params.num_chunks = m.chunks;
+      const ChunkedCompressed c =
+          fz_compress_chunked(f.values(), f.dims, params);
+      save_bytes(fz_path, c.bytes);
+      const FzDecompressed d = fz_decompress_chunked(load_bytes(fz_path));
+      const bool ok = error_bounded(f.values(), d.data, c.stats.abs_eb);
+      std::printf("selftest %-8s: ratio %.2fx, bound %s\n", m.name,
+                  c.stats.ratio(), ok ? "HELD" : "VIOLATED");
+      all_ok &= ok;
+    } else {
+      FzParams params;
+      params.eb = m.eb;
+      const FzCompressed c = fz_compress(f.values(), f.dims, params);
+      save_bytes(fz_path, c.bytes);
+      const FzDecompressed d = fz_decompress(load_bytes(fz_path));
+      const bool ok = error_bounded(f.values(), d.data, c.stats.abs_eb);
+      std::printf("selftest %-8s: ratio %.2fx, bound %s\n", m.name,
+                  c.stats.ratio(), ok ? "HELD" : "VIOLATED");
+      all_ok &= ok;
+    }
+  }
+  std::remove(f32_path.c_str());
+  std::remove(fz_path.c_str());
+  std::printf("selftest: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const std::vector<u8> bytes = load_bytes(argv[3]);
+  const FzDecompressed d =
+      is_container(bytes) ? fz_decompress_chunked(bytes) : fz_decompress(bytes);
+  const Field orig = load_f32_file(argv[2], d.dims);
+  const double abs_eb =
+      is_container(bytes) ? 0.0 : fz_inspect(bytes).abs_eb;
+  const DistortionStats stats = distortion(orig.values(), d.data);
+  std::printf("max abs error %.6g  PSNR %.2f dB\n", stats.max_abs_error,
+              stats.psnr_db);
+  if (abs_eb > 0) {
+    const bool ok = error_bounded(orig.values(), d.data, abs_eb);
+    std::printf("bound %.6g: %s\n", abs_eb, ok ? "HELD" : "VIOLATED");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "compress") return cmd_compress(argc, argv);
+    if (cmd == "decompress") return cmd_decompress(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "selftest") return cmd_selftest();
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,80 @@
+// MPI-style message compression — the use case from §2.4 / [34] (Zhou et
+// al., IPDPS'21: "Designing high-performance MPI libraries with on-the-fly
+// compression for modern GPU clusters").
+//
+// A 3-D domain-decomposed solver exchanges halo slabs every step.  Whether
+// compressing a message pays off depends on its size: kernel-launch latency
+// dominates tiny messages, while large messages approach the compressor's
+// streaming throughput and the paper's overall-throughput formula takes
+// over.  This example sweeps the halo thickness and prints the crossover
+// on a 100 GbE-class link.
+#include <cstdio>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "cudasim/device_model.hpp"
+#include "datasets/generators.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace fz;
+
+/// Extract a `depth`-plane halo slab starting at z = 0.
+std::vector<f32> halo_slab(const Field& f, size_t depth) {
+  std::vector<f32> msg(f.dims.x * f.dims.y * depth);
+  for (size_t iz = 0; iz < depth; ++iz)
+    for (size_t iy = 0; iy < f.dims.y; ++iy)
+      for (size_t ix = 0; ix < f.dims.x; ++ix)
+        msg[(iz * f.dims.y + iy) * f.dims.x + ix] =
+            f.data[f.dims.linear(ix, iy, iz)];
+  return msg;
+}
+
+}  // namespace
+
+int main() {
+  const Dims dims = scaled_dims(Dataset::Hurricane, 0.5);
+  const Field f = generate_field(Dataset::Hurricane, dims, 7);
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const double rel_eb = 1e-3;
+  const double link_bw = 12.5;  // GB/s, 100 GbE
+
+  std::printf("halo-exchange message compression (paper 2.4 use case)\n");
+  std::printf("subdomain %s, rel eb 1e-3, link: 100 GbE (12.5 GB/s)\n\n",
+              dims.to_string().c_str());
+  std::printf("%10s %8s %14s %14s %14s %9s\n", "message", "ratio",
+              "compress us", "wire plain us", "wire compr us", "speedup");
+
+  for (const size_t depth : {size_t{1}, size_t{4}, size_t{16}, dims.z}) {
+    const std::vector<f32> msg = halo_slab(f, depth);
+    FzParams params;
+    params.eb = ErrorBound::relative(rel_eb);
+    const FzCompressed c =
+        fz_compress(msg, Dims{dims.x, dims.y, depth}, params);
+    const FzDecompressed d = fz_decompress(c.bytes);
+
+    double compress_s = 0;
+    for (const auto& k : c.stage_costs) compress_s += a100.seconds(k);
+    // Receiver decompresses too; its time mirrors compression (§4.4).
+    const double raw_mb = static_cast<double>(msg.size()) * 4;
+    const double wire_plain_s = raw_mb / (link_bw * 1e9);
+    const double wire_compr_s =
+        static_cast<double>(c.bytes.size()) / (link_bw * 1e9) +
+        2 * compress_s;  // compress + symmetric decompress
+
+    std::printf("%7.2f MB %7.1fx %14.1f %14.1f %14.1f %8.2fx\n", raw_mb / 1e6,
+                c.stats.ratio(), compress_s * 1e6, wire_plain_s * 1e6,
+                wire_compr_s * 1e6, wire_plain_s / wire_compr_s);
+    (void)d;
+  }
+
+  std::printf(
+      "\nSmall messages lose to kernel-launch latency; once the message\n"
+      "amortizes the launches, effective bandwidth approaches CR x link\n"
+      "speed — the regime [34] exploits and the paper's overall-throughput\n"
+      "metric (4.6) captures.  FZ-GPU's high compression throughput moves\n"
+      "the crossover to smaller messages than Huffman-based cuSZ would.\n");
+  return 0;
+}

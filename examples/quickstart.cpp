@@ -1,0 +1,39 @@
+// Quickstart: compress a 3-D field with an error bound, decompress it,
+// and verify the bound — the five-line workflow from the README.
+#include <cstdio>
+
+#include "datasets/generators.hpp"
+#include "fz.hpp"
+
+int main() {
+  using namespace fz;
+
+  // 1. Get some data (here: a synthetic Hurricane-like 3-D field).
+  const Field field =
+      generate_field(Dataset::Hurricane, scaled_dims(Dataset::Hurricane, 0.2));
+  std::printf("field: %s %s, %.1f MB\n", field.dataset.c_str(),
+              field.dims.to_string().c_str(),
+              static_cast<double>(field.bytes()) / 1e6);
+
+  // 2. Compress with a range-relative error bound of 1e-3.
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed compressed =
+      fz_compress(field.values(), field.dims, params);
+  std::printf("compressed: %.1f MB -> %.2f MB  (ratio %.1fx, %.2f bits/value)\n",
+              static_cast<double>(field.bytes()) / 1e6,
+              static_cast<double>(compressed.bytes.size()) / 1e6,
+              compressed.stats.ratio(), compressed.stats.bitrate());
+
+  // 3. Decompress (the stream is self-describing).
+  const FzDecompressed restored = fz_decompress(compressed.bytes);
+
+  // 4. Verify the error bound and inspect quality.
+  const DistortionStats d = distortion(field.values(), restored.data);
+  const bool ok =
+      error_bounded(field.values(), restored.data, compressed.stats.abs_eb);
+  std::printf("max error: %.3g (bound %.3g) -> %s\n", d.max_abs_error,
+              compressed.stats.abs_eb, ok ? "BOUND HELD" : "BOUND VIOLATED");
+  std::printf("PSNR: %.1f dB\n", d.psnr_db);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+#include "baselines/compressor.hpp"
+
+#include "baselines/cusz.hpp"
+#include "baselines/cuszx.hpp"
+#include "baselines/cuzfp.hpp"
+#include "baselines/mgard.hpp"
+#include "core/pipeline.hpp"
+
+namespace fz::bench {
+
+namespace {
+
+/// FZ-GPU: the library's own pipeline behind the common interface.
+class FzGpuCompressor final : public GpuCompressor {
+ public:
+  std::string name() const override { return "FZ-GPU"; }
+
+  RunResult run(const Field& field, double rel_eb) const override {
+    RunResult r;
+    r.compressor = name();
+    r.input_bytes = field.bytes();
+    FzParams params;
+    params.eb = ErrorBound::relative(rel_eb);
+    FzCompressed c = fz_compress(field.values(), field.dims, params);
+    r.compressed_bytes = c.bytes.size();
+    r.compression_costs = c.stage_costs;
+    FzDecompressed d = fz_decompress(c.bytes);
+    r.reconstructed = std::move(d.data);
+    r.decompression_costs = d.stage_costs;
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GpuCompressor> make_fzgpu() {
+  return std::make_unique<FzGpuCompressor>();
+}
+
+std::unique_ptr<GpuCompressor> make_cusz(bool include_codebook_build) {
+  return std::make_unique<CuszCompressor>(include_codebook_build);
+}
+
+std::unique_ptr<GpuCompressor> make_cuszx() {
+  return std::make_unique<CuszxCompressor>();
+}
+
+std::unique_ptr<GpuCompressor> make_cuzfp() {
+  return std::make_unique<CuzfpCompressor>();
+}
+
+std::unique_ptr<GpuCompressor> make_mgard() {
+  return std::make_unique<MgardCompressor>();
+}
+
+std::unique_ptr<GpuCompressor> make_cusz_rle() {
+  return std::make_unique<CuszCompressor>(false, CuszCompressor::Encoding::Rle);
+}
+
+std::vector<std::unique_ptr<GpuCompressor>> make_all_compressors() {
+  std::vector<std::unique_ptr<GpuCompressor>> v;
+  v.push_back(make_fzgpu());
+  v.push_back(make_cusz(true));
+  v.push_back(make_cusz(false));
+  v.push_back(make_cuzfp());
+  v.push_back(make_cuszx());
+  v.push_back(make_mgard());
+  return v;
+}
+
+}  // namespace fz::bench

@@ -1,0 +1,42 @@
+// cuSZ baseline (Tian et al., PACT'20): dual-quantization with radius
+// shift + outlier separation, followed by coarse-grained GPU Huffman
+// encoding of the quantization codes.
+//
+// Variants:
+//  * "cuSZ"      — full pipeline including the Huffman codebook build.
+//  * "cuSZ-ncb"  — codebook-build time excluded from the device model (the
+//    paper's comparison point: that phase can run on the CPU).
+//  * "cuSZ-RLE"  — run-length encoding in place of Huffman, the high-error-
+//    bound optimization of Tian et al. (CLUSTER'21, paper reference [32]).
+#pragma once
+
+#include "baselines/compressor.hpp"
+
+namespace fz::bench {
+
+class CuszCompressor final : public GpuCompressor {
+ public:
+  enum class Encoding { Huffman, Rle };
+
+  explicit CuszCompressor(bool include_codebook_build,
+                          Encoding encoding = Encoding::Huffman)
+      : include_codebook_build_(include_codebook_build), encoding_(encoding) {}
+
+  std::string name() const override {
+    if (encoding_ == Encoding::Rle) return "cuSZ-RLE";
+    return include_codebook_build_ ? "cuSZ" : "cuSZ-ncb";
+  }
+  RunResult run(const Field& field, double rel_eb) const override;
+  bool supports(const Field& field) const override;
+
+  static constexpr u32 kRadius = 512;
+  static constexpr size_t kNumBins = 2 * kRadius;  // codes in [0, 1024)
+
+ private:
+  bool include_codebook_build_;
+  Encoding encoding_;
+};
+
+std::unique_ptr<GpuCompressor> make_cusz_rle();
+
+}  // namespace fz::bench

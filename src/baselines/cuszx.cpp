@@ -1,0 +1,170 @@
+#include "baselines/cuszx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "substrate/bitio.hpp"
+
+namespace fz::bench {
+
+namespace {
+
+using cudasim::CostSheet;
+
+constexpr u32 kSzxMagic = 0x785a5343u;  // "CSZx"
+
+#pragma pack(push, 1)
+struct SzxHeader {
+  u32 magic;
+  u8 rank;
+  u8 pad[3];
+  u64 nx, ny, nz;
+  u64 count;
+  f64 abs_eb;
+  u64 payload_bytes;
+};
+#pragma pack(pop)
+
+CostSheet stats_kernel_cost(size_t n) {
+  CostSheet c;
+  c.name = "block-stats";
+  c.kernel_launches = 1;
+  c.global_bytes_read = n * sizeof(f32);
+  c.global_bytes_written = n / CuszxCompressor::kBlockSize * 8;
+  c.thread_ops = n * 3;  // min/max reduction
+  return c;
+}
+
+CostSheet pack_kernel_cost(size_t n, size_t out_bytes) {
+  CostSheet c;
+  c.name = "block-pack";
+  c.kernel_launches = 1;
+  c.global_bytes_read = n * sizeof(f32);
+  c.global_bytes_written = out_bytes;
+  c.thread_ops = n * 6;  // quantize + shift/or pack
+  return c;
+}
+
+}  // namespace
+
+std::vector<u8> szx_encode_payload(FloatSpan d, double abs_eb) {
+  FZ_REQUIRE(abs_eb > 0, "bad error bound");
+  const double two_eb = 2.0 * abs_eb;
+  const size_t n = d.size();
+  const size_t nblocks = div_ceil(n, CuszxCompressor::kBlockSize);
+
+  // Per block: [u8 tag] tag=0 -> constant: [f32 mid]
+  //            tag=b  -> non-constant: [f32 mid][packed b-bit zigzag codes]
+  std::vector<u8> payload;
+  ByteWriter pw(payload);
+  for (size_t blk = 0; blk < nblocks; ++blk) {
+    const size_t b = blk * CuszxCompressor::kBlockSize;
+    const size_t e = std::min(b + CuszxCompressor::kBlockSize, n);
+    f32 lo = d[b], hi = d[b];
+    for (size_t i = b; i < e; ++i) {
+      lo = std::min(lo, d[i]);
+      hi = std::max(hi, d[i]);
+    }
+    const f32 mid = (lo + hi) * 0.5f;
+    if (static_cast<double>(hi) - lo <= two_eb) {
+      pw.put<u8>(0);
+      pw.put<f32>(mid);
+      continue;
+    }
+    // Quantize offsets from mid; width = bits of the largest zigzag code.
+    u32 codes[CuszxCompressor::kBlockSize];
+    int width = 1;
+    for (size_t i = b; i < e; ++i) {
+      const i64 q = std::llround((static_cast<double>(d[i]) - mid) / two_eb);
+      // Range check: |d - mid| <= range/2 so q fits easily in 32 bits at
+      // the evaluated bounds; clamp defensively.
+      const i64 clamped = std::clamp<i64>(q, INT32_MIN / 2, INT32_MAX / 2);
+      codes[i - b] = zigzag_encode(static_cast<i32>(clamped));
+      width = std::max(width, bit_width_u32(codes[i - b]));
+    }
+    pw.put<u8>(static_cast<u8>(width));
+    pw.put<f32>(mid);
+    BitWriterMsb bw;
+    for (size_t i = b; i < e; ++i) bw.put_bits(codes[i - b], width);
+    const std::vector<u8> bits = bw.take();
+    pw.put_bytes(bits);
+  }
+  return payload;
+}
+
+std::vector<f32> szx_decode_payload(ByteSpan payload, size_t count,
+                                    double abs_eb) {
+  FZ_REQUIRE(abs_eb > 0, "bad error bound");
+  const size_t nblocks = div_ceil(count, CuszxCompressor::kBlockSize);
+  std::vector<f32> out(count);
+  ByteReader pr(payload);
+  for (size_t blk = 0; blk < nblocks; ++blk) {
+    const size_t b = blk * CuszxCompressor::kBlockSize;
+    const size_t e = std::min(b + CuszxCompressor::kBlockSize, count);
+    const u8 tag = pr.get<u8>();
+    const f32 mid = pr.get<f32>();
+    if (tag == 0) {
+      for (size_t i = b; i < e; ++i) out[i] = mid;
+      continue;
+    }
+    FZ_FORMAT_REQUIRE(tag <= 32, "bad cuSZx block width");
+    const size_t nbits = static_cast<size_t>(tag) * (e - b);
+    const ByteSpan bits = pr.get_bytes(div_ceil(nbits, 8));
+    BitReaderMsb br(bits);
+    for (size_t i = b; i < e; ++i) {
+      const u32 code = static_cast<u32>(br.get_bits(tag));
+      const i32 q = zigzag_decode(code);
+      out[i] = static_cast<f32>(static_cast<double>(mid) +
+                                static_cast<double>(q) * 2.0 * abs_eb);
+    }
+  }
+  return out;
+}
+
+RunResult CuszxCompressor::run(const Field& field, double rel_eb) const {
+  RunResult r;
+  r.compressor = name();
+  r.input_bytes = field.bytes();
+  const double abs_eb = field.resolve_eb(ErrorBound::relative(rel_eb));
+  FZ_REQUIRE(abs_eb > 0, "bad error bound");
+
+  const size_t n = field.count();
+
+  // --- compression ---------------------------------------------------------
+  const std::vector<u8> payload = szx_encode_payload(field.values(), abs_eb);
+
+  std::vector<u8> stream;
+  SzxHeader h{};
+  h.magic = kSzxMagic;
+  h.rank = static_cast<u8>(field.dims.rank());
+  h.nx = field.dims.x;
+  h.ny = field.dims.y;
+  h.nz = field.dims.z;
+  h.count = n;
+  h.abs_eb = abs_eb;
+  h.payload_bytes = payload.size();
+  ByteWriter w(stream);
+  w.put(h);
+  w.put_bytes(payload);
+  r.compressed_bytes = stream.size();
+
+  r.compression_costs.push_back(stats_kernel_cost(n));
+  r.compression_costs.push_back(pack_kernel_cost(n, payload.size()));
+
+  // --- decompression -------------------------------------------------------
+  ByteReader rd(stream);
+  const SzxHeader h2 = rd.get<SzxHeader>();
+  FZ_FORMAT_REQUIRE(h2.magic == kSzxMagic, "not a cuSZx stream");
+  const ByteSpan pl = rd.get_bytes(h2.payload_bytes);
+  r.reconstructed = szx_decode_payload(pl, h2.count, h2.abs_eb);
+
+  CostSheet unpack = pack_kernel_cost(n, payload.size());
+  unpack.name = "block-unpack";
+  std::swap(unpack.global_bytes_read, unpack.global_bytes_written);
+  r.decompression_costs.push_back(unpack);
+  return r;
+}
+
+}  // namespace fz::bench

@@ -1,0 +1,30 @@
+// cuSZx baseline (Yu et al., HPDC'22): an ultrafast error-bounded
+// compressor that splits the input into fixed-size blocks and handles
+// *constant* blocks (whole block reproducible by one value within the
+// bound) with a single float, and non-constant blocks with lightweight
+// per-block fixed-width bit packing of quantized offsets.  Block-wise
+// redundancy only — hence very high throughput but modest ratios
+// (paper §4.3/§4.4).
+#pragma once
+
+#include "baselines/compressor.hpp"
+
+namespace fz::bench {
+
+class CuszxCompressor final : public GpuCompressor {
+ public:
+  std::string name() const override { return "cuSZx"; }
+  RunResult run(const Field& field, double rel_eb) const override;
+
+  static constexpr size_t kBlockSize = 128;
+};
+
+/// Standalone codec entry points (used by tests and the simulated kernels).
+/// Payload layout per 128-value block:
+///   [u8 tag][f32 mid]              tag = 0: constant block
+///   [u8 tag][f32 mid][packed bits] tag = b: b-bit zigzag codes, MSB-first
+std::vector<u8> szx_encode_payload(FloatSpan data, double abs_eb);
+std::vector<f32> szx_decode_payload(ByteSpan payload, size_t count,
+                                    double abs_eb);
+
+}  // namespace fz::bench

@@ -1,0 +1,35 @@
+// cuZFP baseline (Lindstrom, TVCG'14; LLNL cuZFP): transform-based
+// fixed-rate compression.  Implemented from scratch for 1/2/3-D f32 data:
+//
+//   * the field is split into 4^d blocks (edges padded by replication),
+//   * each block is converted to block-floating-point integers using the
+//     block's maximum exponent,
+//   * the non-orthogonal lifting transform decorrelates along each axis,
+//   * coefficients are reordered by total sequency and mapped to
+//     negabinary,
+//   * bit planes are coded MSB-first with ZFP's group-testing scheme,
+//     truncated at the fixed per-block bit budget (rate · 4^d bits).
+//
+// Like the real cuZFP, only the fixed-rate mode exists (paper §2.1: "cuZFP
+// ... supports only the fixed-rate mode"); the harness PSNR-matches it
+// against the error-bounded compressors.
+#pragma once
+
+#include "baselines/compressor.hpp"
+
+namespace fz::bench {
+
+class CuzfpCompressor final : public GpuCompressor {
+ public:
+  std::string name() const override { return "cuZFP"; }
+  Mode mode() const override { return Mode::FixedRate; }
+
+  /// `param` is the bitrate in bits/value (e.g. 8 => ratio 4 for f32).
+  RunResult run(const Field& field, double param) const override;
+};
+
+/// Standalone codec entry points (used by tests).
+std::vector<u8> zfp_compress(FloatSpan data, Dims dims, double rate);
+std::vector<f32> zfp_decompress(ByteSpan stream, Dims* dims_out = nullptr);
+
+}  // namespace fz::bench

@@ -1,0 +1,32 @@
+// MGARD-GPU baseline (Chen et al., IPDPS'21): multigrid-based hierarchical
+// data refactoring.  This implementation decomposes the field over a dyadic
+// node hierarchy: the coarsest grid is quantized directly, then each finer
+// level's "detail" nodes are predicted by multilinear interpolation from
+// the already-reconstructed coarser grid and their residuals quantized.
+// Predicting from *reconstructed* values keeps the per-node error exactly
+// bounded; the quantizer uses eb/2, reproducing MGARD's characteristic
+// over-preservation (paper §4.3: "MGARD-GPU has higher PSNR on all datasets
+// because [it] over-preserves the data distortion").  The refactored
+// coefficients are entropy-coded with a DEFLATE-like LZ77+Huffman back end
+// executed on the host — the serial phase that caps MGARD-GPU's throughput
+// (paper §1: "MGARD-GPU uses DEFLATE ... on the CPU, causing low
+// throughput").
+#pragma once
+
+#include "baselines/compressor.hpp"
+
+namespace fz::bench {
+
+class MgardCompressor final : public GpuCompressor {
+ public:
+  std::string name() const override { return "MGARD-GPU"; }
+  RunResult run(const Field& field, double rel_eb) const override;
+
+  /// The paper: "due to memory issues, MGARD-GPU cannot work correctly on
+  /// 1D datasets" — reproduced as an explicit capability limit.
+  bool supports(const Field& field) const override {
+    return field.dims.rank() >= 2;
+  }
+};
+
+}  // namespace fz::bench

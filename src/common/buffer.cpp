@@ -1,0 +1,39 @@
+#include "common/buffer.hpp"
+
+#include <algorithm>
+
+namespace fz {
+
+namespace {
+fz::u8* allocate(size_t bytes) {
+  return static_cast<fz::u8*>(
+      ::operator new[](bytes, std::align_val_t{AlignedBuffer::kAlignment}));
+}
+}  // namespace
+
+void AlignedBuffer::resize(size_t bytes) {
+  if (bytes == 0) {
+    data_.reset();
+    size_ = 0;
+    return;
+  }
+  data_.reset(allocate(bytes));
+  std::memset(data_.get(), 0, bytes);
+  size_ = bytes;
+}
+
+void AlignedBuffer::resize_preserving(size_t bytes) {
+  if (bytes == size_) return;
+  if (bytes == 0) {
+    resize(0);
+    return;
+  }
+  std::unique_ptr<u8[], Free> next(allocate(bytes));
+  const size_t keep = std::min(size_, bytes);
+  if (keep != 0) std::memcpy(next.get(), data_.get(), keep);
+  if (bytes > keep) std::memset(next.get() + keep, 0, bytes - keep);
+  data_ = std::move(next);
+  size_ = bytes;
+}
+
+}  // namespace fz

@@ -1,0 +1,24 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace fz {
+namespace {
+
+std::string format(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (" << file << ":" << line << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  throw Error(format(file, line, msg));
+}
+
+void throw_format_error(const char* file, int line, const std::string& msg) {
+  throw FormatError(format(file, line, msg));
+}
+
+}  // namespace fz

@@ -1,0 +1,38 @@
+// Error handling: a single exception type plus check macros.
+//
+// Following the Core Guidelines (E.2, E.14) we throw a dedicated exception
+// type for recoverable failures (corrupt streams, bad arguments) and use
+// assertions only for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fz {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a compressed stream fails validation during decode.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void throw_format_error(const char* file, int line,
+                                     const std::string& msg);
+
+}  // namespace fz
+
+#define FZ_REQUIRE(cond, msg)                              \
+  do {                                                     \
+    if (!(cond)) ::fz::throw_error(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define FZ_FORMAT_REQUIRE(cond, msg)                              \
+  do {                                                            \
+    if (!(cond)) ::fz::throw_format_error(__FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,62 @@
+// OpenMP helpers.  All parallel loops in the native backends go through
+// these wrappers so the library builds (serially) without OpenMP too.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+
+#if defined(FZ_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+#include "common/types.hpp"
+
+namespace fz {
+
+inline int max_threads() {
+#if defined(FZ_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel for over [begin, end) with a static schedule.
+/// `fn(i)` must be independent across iterations.
+///
+/// Exceptions must not unwind out of an OpenMP region (that calls
+/// std::terminate), so the first exception thrown by any iteration is
+/// captured and rethrown on the calling thread after the region ends —
+/// decoders rely on this to reject corrupt streams from parallel loops.
+template <typename Fn>
+void parallel_for(size_t begin, size_t end, Fn&& fn) {
+#if defined(FZ_HAVE_OPENMP)
+  std::exception_ptr error;
+#pragma omp parallel for schedule(static) shared(error)
+  for (i64 i = static_cast<i64>(begin); i < static_cast<i64>(end); ++i) {
+    try {
+      fn(static_cast<size_t>(i));
+    } catch (...) {
+#pragma omp critical(fz_parallel_for_error)
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+#else
+  for (size_t i = begin; i < end; ++i) fn(i);
+#endif
+}
+
+/// Parallel for over chunks: fn(chunk_begin, chunk_end).  Used when per-
+/// iteration work is tiny and the body wants sequential inner loops.
+template <typename Fn>
+void parallel_chunks(size_t count, size_t chunk, Fn&& fn) {
+  const size_t nchunks = count == 0 ? 0 : (count + chunk - 1) / chunk;
+  parallel_for(0, nchunks, [&](size_t c) {
+    const size_t b = c * chunk;
+    const size_t e = b + chunk < count ? b + chunk : count;
+    fn(b, e);
+  });
+}
+
+}  // namespace fz

@@ -1,0 +1,26 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fz {
+
+double time_best_of(int iters, const std::function<void()>& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < std::max(iters, 1); ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+std::string Dims::to_string() const {
+  std::ostringstream os;
+  os << x;
+  if (rank() >= 2) os << "x" << y;
+  if (rank() >= 3) os << "x" << z;
+  return os.str();
+}
+
+}  // namespace fz

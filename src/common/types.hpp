@@ -1,0 +1,91 @@
+// Core value types shared by every fz subsystem.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fz {
+
+using std::size_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/// Logical extent of a scalar field, up to three dimensions.
+///
+/// Dimensions are stored fastest-varying first (x, y, z), matching the
+/// row-major flattening `idx = x + nx*(y + ny*z)` used throughout.
+/// Unused trailing dimensions are 1.
+struct Dims {
+  size_t x = 1;
+  size_t y = 1;
+  size_t z = 1;
+
+  constexpr Dims() = default;
+  constexpr Dims(size_t nx) : x(nx) {}
+  constexpr Dims(size_t nx, size_t ny) : x(nx), y(ny) {}
+  constexpr Dims(size_t nx, size_t ny, size_t nz) : x(nx), y(ny), z(nz) {}
+
+  /// Number of meaningful dimensions (trailing 1s do not count).
+  constexpr int rank() const {
+    if (z > 1) return 3;
+    if (y > 1) return 2;
+    return 1;
+  }
+  constexpr size_t count() const { return x * y * z; }
+  constexpr size_t linear(size_t ix, size_t iy = 0, size_t iz = 0) const {
+    return ix + x * (iy + y * iz);
+  }
+  constexpr bool operator==(const Dims&) const = default;
+
+  std::string to_string() const;
+};
+
+/// User-facing error-bound specification.
+///
+/// `Relative` bounds are relative to the value *range* of the field
+/// (max - min), the convention used by SDRBench and the FZ-GPU paper
+/// ("range-based relative error bounds").  They are resolved to an
+/// absolute bound before compression.
+///
+/// `PointwiseRelative` bounds each value's error relative to its own
+/// magnitude: |d̂_i/d_i − 1| ≤ value.  Implemented with the logarithmic
+/// transform of Liang et al. (CLUSTER'18), the scheme the paper applies to
+/// HACC (§4.1); requires strictly positive data.
+enum class ErrorBoundMode { Absolute, Relative, PointwiseRelative };
+
+struct ErrorBound {
+  ErrorBoundMode mode = ErrorBoundMode::Relative;
+  double value = 1e-3;
+
+  static constexpr ErrorBound absolute(double v) {
+    return {ErrorBoundMode::Absolute, v};
+  }
+  static constexpr ErrorBound relative(double v) {
+    return {ErrorBoundMode::Relative, v};
+  }
+  static constexpr ErrorBound pointwise_relative(double v) {
+    return {ErrorBoundMode::PointwiseRelative, v};
+  }
+  /// Resolve to an absolute bound given the field's value range.
+  double resolve(double value_range) const {
+    return mode == ErrorBoundMode::Absolute ? value : value * value_range;
+  }
+};
+
+using ByteSpan = std::span<const u8>;
+using MutByteSpan = std::span<u8>;
+using FloatSpan = std::span<const f32>;
+using MutFloatSpan = std::span<f32>;
+
+}  // namespace fz

@@ -1,0 +1,46 @@
+// Bitshuffle at 32-bit granularity (paper §3.3).
+//
+// Terminology:
+//   word  = u32 (two 16-bit quantization codes)
+//   unit  = 32 consecutive words (1024 bits; what one warp ballots over)
+//   tile  = 32 units = 1024 words = 4096 bytes (one thread block's share)
+//   block = 4 consecutive output words = 16 bytes (the encoder flag unit)
+//
+// Within a unit, the shuffle is a 32×32 bit-matrix transpose: plane j of
+// unit u collects bit j of each of the unit's 32 words (what 32 rounds of
+// __ballot_sync compute).  Within a tile the output is stored PLANE-MAJOR:
+//
+//   out_tile[j*32 + u] = plane j of unit u
+//
+// matching the paper's fused kernel, which writes back through the shared
+// tile transposed (Fig. 5).  The layout matters for ratio: a 16-byte block
+// then covers the same bit plane j across four adjacent units, and plane
+// sparsity is spatially correlated, so zero blocks cluster.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+constexpr size_t kUnitWords = 32;                            // 128 B
+constexpr size_t kUnitsPerTile = 32;
+constexpr size_t kTileWords = kUnitWords * kUnitsPerTile;    // 1024
+constexpr size_t kTileBytes = kTileWords * sizeof(u32);      // 4096 B
+constexpr size_t kBlockWords = 4;                            // 16 B
+constexpr size_t kBlocksPerTile = kTileWords / kBlockWords;  // 256
+
+/// Tile-level bitshuffle.  `in.size()` must be a multiple of kTileWords;
+/// `out` must have the same size and must not alias `in`.
+void bitshuffle_tiles(std::span<const u32> in, std::span<u32> out);
+
+/// Exact inverse of bitshuffle_tiles.
+void bitunshuffle_tiles(std::span<const u32> in, std::span<u32> out);
+
+/// In-place 32×32 bit-matrix transpose of one unit (Hacker's Delight
+/// block-swap network; 5 stages).  Exposed for tests and the simulated
+/// kernel cross-check.  Postcondition: new a[j] bit i == old a[i] bit j.
+void transpose_bit_matrix_32(u32* words);
+
+}  // namespace fz

@@ -1,0 +1,199 @@
+#include "core/chunked.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "substrate/bitio.hpp"
+
+namespace fz {
+
+namespace {
+
+constexpr u32 kChunkMagic = 0x4b435a46u;  // "FZCK"
+
+#pragma pack(push, 1)
+struct ContainerHeader {
+  u32 magic;
+  u32 num_chunks;
+  u8 rank;
+  u8 pad[7];
+  u64 nx, ny, nz;
+};
+#pragma pack(pop)
+
+/// Split the slowest-varying axis into `want` roughly equal slabs.
+std::vector<std::pair<size_t, size_t>> plan_slabs(size_t extent, size_t want) {
+  const size_t chunks = std::max<size_t>(1, std::min(want, extent));
+  std::vector<std::pair<size_t, size_t>> slabs;
+  const size_t base = extent / chunks;
+  const size_t extra = extent % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    slabs.emplace_back(begin, len);
+    begin += len;
+  }
+  return slabs;
+}
+
+size_t slowest_extent(Dims dims) {
+  switch (dims.rank()) {
+    case 1: return dims.x;
+    case 2: return dims.y;
+    default: return dims.z;
+  }
+}
+
+Dims slab_dims(Dims dims, size_t len) {
+  switch (dims.rank()) {
+    case 1: return Dims{len};
+    case 2: return Dims{dims.x, len};
+    default: return Dims{dims.x, dims.y, len};
+  }
+}
+
+}  // namespace
+
+ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
+                                      const ChunkedParams& params) {
+  FZ_REQUIRE(data.size() == dims.count() && !data.empty(),
+             "chunked: bad input");
+  // Resolve the error bound once over the WHOLE field so every chunk uses
+  // the same absolute bound (a per-chunk range would change the semantics).
+  FzParams base = params.base;
+  if (base.eb.mode == ErrorBoundMode::Relative) {
+    const auto [lo, hi] = std::minmax_element(data.begin(), data.end());
+    double range = static_cast<double>(*hi) - static_cast<double>(*lo);
+    if (range <= 0) range = std::max(std::fabs(static_cast<double>(*hi)), 1.0);
+    base.eb = ErrorBound::absolute(base.eb.value * range);
+  }
+
+  const size_t plane = dims.count() / slowest_extent(dims);
+  const auto slabs = plan_slabs(slowest_extent(dims), params.num_chunks);
+
+  ChunkedCompressed out;
+  out.num_chunks = slabs.size();
+  std::vector<FzCompressed> parts(slabs.size());
+  // Chunks are independent — this loop is the multi-GPU axis (each
+  // iteration would run on its own device).
+  for (size_t c = 0; c < slabs.size(); ++c) {
+    const auto [begin, len] = slabs[c];
+    parts[c] = fz_compress(data.subspan(begin * plane, len * plane),
+                           slab_dims(dims, len), base);
+  }
+
+  ContainerHeader h{};
+  h.magic = kChunkMagic;
+  h.num_chunks = static_cast<u32>(slabs.size());
+  h.rank = static_cast<u8>(dims.rank());
+  h.nx = dims.x;
+  h.ny = dims.y;
+  h.nz = dims.z;
+  ByteWriter w(out.bytes);
+  w.put(h);
+  for (const auto& p : parts) w.put<u64>(p.bytes.size());
+  for (const auto& p : parts) w.put_bytes(p.bytes);
+
+  out.stats.count = data.size();
+  out.stats.input_bytes = data.size() * sizeof(f32);
+  out.stats.compressed_bytes = out.bytes.size();
+  out.stats.abs_eb = parts.front().stats.abs_eb;
+  for (const auto& p : parts) {
+    out.stats.saturated += p.stats.saturated;
+    out.stats.outliers += p.stats.outliers;
+    out.stats.total_blocks += p.stats.total_blocks;
+    out.stats.nonzero_blocks += p.stats.nonzero_blocks;
+    out.chunk_costs.push_back(p.stage_costs);
+  }
+  return out;
+}
+
+namespace {
+
+struct ContainerIndex {
+  ContainerHeader header;
+  std::vector<u64> sizes;
+  std::vector<size_t> offsets;  // into the chunk payload area
+  size_t payload_pos;           // absolute position of the first chunk
+};
+
+ContainerIndex read_index(ByteSpan stream) {
+  ByteReader r(stream);
+  ContainerIndex idx;
+  idx.header = r.get<ContainerHeader>();
+  FZ_FORMAT_REQUIRE(idx.header.magic == kChunkMagic, "not an FZ container");
+  FZ_FORMAT_REQUIRE(idx.header.num_chunks > 0 && idx.header.num_chunks < (1u << 24),
+                    "bad chunk count");
+  // Reject corrupt dims before anything allocates on them; each extent is
+  // checked separately so the product cannot overflow first.
+  const u64 max_count = static_cast<u64>(stream.size()) * 512;
+  FZ_FORMAT_REQUIRE(idx.header.nx >= 1 && idx.header.ny >= 1 &&
+                        idx.header.nz >= 1 && idx.header.nx <= max_count &&
+                        idx.header.ny <= max_count && idx.header.nz <= max_count,
+                    "bad container dims");
+  FZ_FORMAT_REQUIRE(idx.header.nx * idx.header.ny <= max_count &&
+                        idx.header.nx * idx.header.ny * idx.header.nz <= max_count,
+                    "container dims exceed stream");
+  idx.sizes.resize(idx.header.num_chunks);
+  for (auto& s : idx.sizes) {
+    s = r.get<u64>();
+    // Bound each size so the offset accumulation below cannot overflow.
+    FZ_FORMAT_REQUIRE(s <= stream.size(), "chunk size exceeds container");
+  }
+  idx.offsets.resize(idx.header.num_chunks + 1, 0);
+  for (size_t c = 0; c < idx.sizes.size(); ++c)
+    idx.offsets[c + 1] = idx.offsets[c] + idx.sizes[c];
+  idx.payload_pos = r.pos();
+  FZ_FORMAT_REQUIRE(idx.payload_pos + idx.offsets.back() <= stream.size(),
+                    "container truncated");
+  return idx;
+}
+
+}  // namespace
+
+size_t fz_chunk_count(ByteSpan stream) {
+  return read_index(stream).header.num_chunks;
+}
+
+FzDecompressed fz_decompress_chunk(ByteSpan stream, size_t index,
+                                   size_t* offset_out) {
+  const ContainerIndex idx = read_index(stream);
+  FZ_FORMAT_REQUIRE(index < idx.header.num_chunks, "chunk index out of range");
+  const ByteSpan chunk = stream.subspan(idx.payload_pos + idx.offsets[index],
+                                        idx.sizes[index]);
+  FzDecompressed d = fz_decompress(chunk);
+  if (offset_out != nullptr) {
+    // Recompute the slab plan to find this chunk's offset.
+    const Dims dims{idx.header.nx, idx.header.ny, idx.header.nz};
+    const size_t plane = dims.count() / slowest_extent(dims);
+    const auto slabs = plan_slabs(slowest_extent(dims), idx.header.num_chunks);
+    *offset_out = slabs[index].first * plane;
+  }
+  return d;
+}
+
+FzDecompressed fz_decompress_chunked(ByteSpan stream) {
+  const ContainerIndex idx = read_index(stream);
+  const Dims dims{idx.header.nx, idx.header.ny, idx.header.nz};
+
+  FzDecompressed out;
+  out.dims = dims;
+  out.data.resize(dims.count());
+  size_t cursor = 0;
+  for (size_t c = 0; c < idx.header.num_chunks; ++c) {
+    const ByteSpan chunk =
+        stream.subspan(idx.payload_pos + idx.offsets[c], idx.sizes[c]);
+    FzDecompressed d = fz_decompress(chunk);
+    FZ_FORMAT_REQUIRE(cursor + d.data.size() <= out.data.size(),
+                      "container chunks exceed field size");
+    std::copy(d.data.begin(), d.data.end(), out.data.begin() + cursor);
+    cursor += d.data.size();
+    for (auto& costs : d.stage_costs) out.stage_costs.push_back(costs);
+  }
+  FZ_FORMAT_REQUIRE(cursor == out.data.size(), "container incomplete");
+  return out;
+}
+
+}  // namespace fz

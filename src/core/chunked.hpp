@@ -1,0 +1,56 @@
+// Chunked (multi-GPU / streaming) compression.
+//
+// The paper treats multi-GPU operation as embarrassingly parallel (§4.1):
+// "we partition data in a coarse-grained manner to fit into a single GPU,
+// with a data chunk independent from another."  This module implements that
+// partitioning: the field is split along its slowest-varying axis into
+// independent chunks, each compressed with the single-device pipeline, and
+// the chunk streams are framed into one self-describing container.
+//
+// The same mechanism serves three purposes:
+//   * multi-GPU scaling (one chunk per device, no cross-device traffic),
+//   * out-of-core/streaming compression of fields larger than device memory,
+//   * random access: any chunk can be decompressed without the others.
+//
+// Note the ratio/chunking trade-off: Lorenzo prediction restarts at every
+// chunk boundary, so very small chunks cost compression ratio; tests pin
+// the expected overhead.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace fz {
+
+struct ChunkedParams {
+  FzParams base;
+  /// Target number of chunks ("devices"); the actual count may be lower
+  /// for small fields (at least one slowest-axis slab per chunk).
+  size_t num_chunks = 4;
+};
+
+struct ChunkedCompressed {
+  std::vector<u8> bytes;
+  FzStats stats;  ///< aggregated over chunks
+  size_t num_chunks = 0;
+  /// Per-chunk modeled device costs (each chunk = one device's work).
+  std::vector<std::vector<cudasim::CostSheet>> chunk_costs;
+};
+
+ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
+                                      const ChunkedParams& params);
+
+/// Decompress the whole container.
+FzDecompressed fz_decompress_chunked(ByteSpan stream);
+
+/// Decompress only chunk `index` (random access).  Returns the chunk's data
+/// and its dims; `offset_out` receives the chunk's starting index in the
+/// flattened full field.
+FzDecompressed fz_decompress_chunk(ByteSpan stream, size_t index,
+                                   size_t* offset_out = nullptr);
+
+/// Number of chunks in a container stream.
+size_t fz_chunk_count(ByteSpan stream);
+
+}  // namespace fz

@@ -1,0 +1,171 @@
+#include "core/costs.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "core/bitshuffle.hpp"
+
+namespace fz {
+
+namespace {
+
+using cudasim::CostSheet;
+
+// Per-element resource counts, derived from the kernel structure:
+//
+// pred-quant v2 (§3.2): one fused kernel; each thread loads its f32, rounds,
+// computes the Lorenzo stencil from neighbours (re-loaded through cache /
+// shared tiles — charged as ops, not extra DRAM), sign-magnitude packs and
+// stores a u16.  No branches.
+constexpr double kPredQuantV2Ops = 14.0;
+// pred-quant v1 adds the radius range check (warp-divergent on real data),
+// the +radius shift, and the atomic outlier compaction; cuSZ also emits
+// 4-byte quantization codes instead of u16.
+constexpr double kPredQuantV1Ops = 24.0;
+constexpr double kAtomicOutlierNs = 0.05;  // amortized atomicAdd slot grab
+
+// bitshuffle (§3.3): per 32-word unit a warp does one coalesced load, 32
+// ballot rounds (each: mask test + ballot + one shared write), and one
+// coalesced store.  The stage stays memory-bound on both devices — the
+// paper's FZ throughput tracks DRAM bandwidth across A100/A4000.
+constexpr double kBitshuffleOpsPerWord = 45.0;
+constexpr double kBitshuffleSmemTxPerWord = 1.35;
+
+// mark (encode phase 1): iterate each 16-byte block, OR the words, ballot
+// the byte flags into bit flags.
+constexpr double kMarkOpsPerBlock = 10.0;
+
+// encode phase 2: CUB ExclusiveSum over the byte flags (two sub-kernels)
+// plus the compaction kernel.
+constexpr double kScanOpsPerBlock = 6.0;
+constexpr double kCompactOpsPerBlock = 8.0;
+
+}  // namespace
+
+std::vector<CostSheet> fz_compression_costs(const FzStats& st,
+                                            const FzParams& params) {
+  const double n = static_cast<double>(st.count);
+  const size_t words = round_up(st.count, kTileBytes / sizeof(u16)) / 2;
+  const double w = static_cast<double>(words);
+  const double blocks = static_cast<double>(st.total_blocks);
+  const double nz = static_cast<double>(st.nonzero_blocks);
+
+  std::vector<CostSheet> costs;
+
+  // ---- stage 1: pred-quant ------------------------------------------------
+  CostSheet pq;
+  pq.kernel_launches = 1;
+  pq.global_bytes_read = static_cast<u64>(n) * 4;
+  if (params.quant == QuantVersion::V2Optimized) {
+    pq.name = "pred-quant-v2";
+    pq.global_bytes_written = static_cast<u64>(n) * 2;
+    pq.thread_ops = static_cast<u64>(n * kPredQuantV2Ops);
+  } else {
+    pq.name = "pred-quant-v1";
+    // cuSZ's original kernel writes the u16 codes AND a dense full-length
+    // outlier value array (compacted later) — the "amount of memory
+    // transaction [that] hinders the performance" (§3.1); this is the bulk
+    // of v2's up-to-1.7x advantage.
+    pq.global_bytes_written =
+        static_cast<u64>(n) * (2 + 4) + static_cast<u64>(st.outliers) * 12;
+    pq.thread_ops = static_cast<u64>(n * kPredQuantV1Ops);
+    // Warps containing at least one out-of-radius residual replay both
+    // branch sides; bound by the warp count.
+    pq.divergent_branches = std::min<u64>(static_cast<u64>(st.outliers),
+                                          static_cast<u64>(n) / 32);
+    pq.serial_ns = kAtomicOutlierNs * static_cast<double>(st.outliers);
+  }
+  costs.push_back(pq);
+
+  // ---- stage 2: bitshuffle + mark ----------------------------------------
+  const u64 flag_bytes = static_cast<u64>(blocks) + static_cast<u64>(blocks) / 8;
+  if (params.fused_bitshuffle_mark) {
+    CostSheet bs;
+    bs.name = "bitshuffle-mark-fused";
+    bs.kernel_launches = 1;
+    bs.global_bytes_read = words * sizeof(u32);
+    bs.global_bytes_written = words * sizeof(u32) + flag_bytes;
+    bs.thread_ops =
+        static_cast<u64>(w * kBitshuffleOpsPerWord + blocks * kMarkOpsPerBlock);
+    bs.shared_transactions = static_cast<u64>(w * kBitshuffleSmemTxPerWord);
+    costs.push_back(bs);
+  } else {
+    CostSheet bs;
+    bs.name = "bitshuffle";
+    bs.kernel_launches = 1;
+    bs.global_bytes_read = words * sizeof(u32);
+    bs.global_bytes_written = words * sizeof(u32);
+    bs.thread_ops = static_cast<u64>(w * kBitshuffleOpsPerWord);
+    bs.shared_transactions = static_cast<u64>(w * kBitshuffleSmemTxPerWord);
+    costs.push_back(bs);
+    CostSheet mark;
+    mark.name = "mark";
+    mark.kernel_launches = 1;
+    // The split kernel must re-read the shuffled words from global memory —
+    // the traffic the fusion eliminates (§3.4).
+    mark.global_bytes_read = words * sizeof(u32);
+    mark.global_bytes_written = flag_bytes;
+    mark.thread_ops = static_cast<u64>(blocks * kMarkOpsPerBlock);
+    costs.push_back(mark);
+  }
+
+  // ---- stage 3: prefix-sum + encode ---------------------------------------
+  CostSheet enc;
+  enc.name = "prefix-sum-encode";
+  enc.kernel_launches = 3;  // scan upsweep, scan downsweep, compaction
+  // The compact kernel's data loads are predicated on the block flag, so
+  // only nonzero blocks move — this is why the v2 quantization (fewer
+  // nonzero blocks) speeds the encode up by up to ~1.9x (paper §4.5).
+  enc.global_bytes_read = static_cast<u64>(blocks) * 3  // flags (scan x2 + enc)
+                          + static_cast<u64>(blocks) * sizeof(u32) * 2  // offsets
+                          + static_cast<u64>(nz) * kBlockWords * sizeof(u32);
+  enc.global_bytes_written = static_cast<u64>(blocks) * sizeof(u32)  // offsets
+                             + static_cast<u64>(nz) * kBlockWords * sizeof(u32);
+  enc.thread_ops =
+      static_cast<u64>(blocks * (kScanOpsPerBlock + kCompactOpsPerBlock));
+  costs.push_back(enc);
+
+  return costs;
+}
+
+CostSheet fz_fully_fused_cost(const FzStats& st) {
+  const double n = static_cast<double>(st.count);
+  const size_t words = round_up(st.count, kTileBytes / sizeof(u16)) / 2;
+  const double w = static_cast<double>(words);
+  const double blocks = static_cast<double>(st.total_blocks);
+  const double nz = static_cast<double>(st.nonzero_blocks);
+
+  CostSheet c;
+  c.name = "fz-fused-all";
+  c.kernel_launches = 1;
+  // Input once; output = flags + compacted blocks only.  The intermediate
+  // code and shuffled-word arrays never touch DRAM.
+  c.global_bytes_read = static_cast<u64>(n) * 4;
+  c.global_bytes_written = static_cast<u64>(blocks) + static_cast<u64>(blocks) / 8 +
+                           static_cast<u64>(nz) * kBlockWords * sizeof(u32);
+  // All three stages' arithmetic still runs, plus the decoupled-lookback
+  // scan bookkeeping per tile.
+  c.thread_ops = static_cast<u64>(n * kPredQuantV2Ops + w * kBitshuffleOpsPerWord +
+                                  blocks * (kMarkOpsPerBlock + kScanOpsPerBlock +
+                                            kCompactOpsPerBlock));
+  c.shared_transactions = static_cast<u64>(w * kBitshuffleSmemTxPerWord * 1.5);
+  // Lookback chains serialize on tile-prefix availability.
+  c.serial_ns = blocks / kBlocksPerTile * 1.0;
+  return c;
+}
+
+std::vector<CostSheet> fz_decompression_costs(const FzStats& st,
+                                              const FzParams& params) {
+  // The decompression pipeline mirrors compression (paper §4.4: "highly
+  // symmetrical ... throughput nearly identical"): scatter blocks, inverse
+  // bitshuffle, inverse Lorenzo + dequantization.
+  std::vector<CostSheet> costs = fz_compression_costs(st, params);
+  std::reverse(costs.begin(), costs.end());
+  for (auto& c : costs) {
+    std::swap(c.global_bytes_read, c.global_bytes_written);
+    c.name = "inv-" + c.name;
+  }
+  return costs;
+}
+
+}  // namespace fz

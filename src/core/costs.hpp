@@ -1,0 +1,32 @@
+// Analytical device cost sheets for the FZ pipeline stages.
+//
+// Each stage's CostSheet is assembled from the *measured* data-dependent
+// statistics of a real compression run (outlier count, nonzero-block count,
+// saturation) plus per-element resource counts derived from the kernel
+// structure (§3.2–3.4).  The DeviceModel turns these into modeled kernel
+// times for the throughput figures; see DESIGN.md §1 for why this
+// reproduces the paper's relative results.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "cudasim/cost_sheet.hpp"
+
+namespace fz {
+
+std::vector<cudasim::CostSheet> fz_compression_costs(const FzStats& st,
+                                                     const FzParams& params);
+std::vector<cudasim::CostSheet> fz_decompression_costs(const FzStats& st,
+                                                       const FzParams& params);
+
+/// Projected cost of the paper's future work (§6, item 1): "fusing all GPU
+/// kernels into one".  A single persistent kernel keeps the quantization
+/// codes and the shuffled tile in shared memory and resolves the block
+/// offsets with a decoupled-lookback scan, so the only DRAM traffic is the
+/// input read and the compressed output write, with one launch.  The
+/// bench/future_fused_all binary compares this projection against the
+/// shipped three-kernel pipeline.
+cudasim::CostSheet fz_fully_fused_cost(const FzStats& st);
+
+}  // namespace fz

@@ -1,0 +1,95 @@
+#include "core/encoder.hpp"
+
+#include <atomic>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/bitshuffle.hpp"
+#include "substrate/scan.hpp"
+
+namespace fz {
+
+void mark_blocks(std::span<const u32> words, std::vector<u8>& byte_flags,
+                 std::vector<u8>& bit_flags) {
+  FZ_REQUIRE(words.size() % kBlockWords == 0,
+             "encoder: word count must be a multiple of the block size");
+  const size_t nblocks = words.size() / kBlockWords;
+  byte_flags.assign(nblocks, 0);
+  bit_flags.assign(div_ceil(nblocks, 8), 0);
+  parallel_chunks(nblocks, 4096, [&](size_t b, size_t e) {
+    for (size_t blk = b; blk < e; ++blk) {
+      const u32* w = words.data() + blk * kBlockWords;
+      const u32 nz = w[0] | w[1] | w[2] | w[3];
+      if (nz != 0) {
+        byte_flags[blk] = 1;
+        bit_flags[blk / 8] |= static_cast<u8>(1u << (blk % 8));
+      }
+    }
+  });
+}
+
+cudasim::CostSheet compact_blocks(std::span<const u32> words,
+                                  std::span<const u8> byte_flags,
+                                  std::vector<u32>& blocks_out) {
+  const size_t nblocks = byte_flags.size();
+  FZ_REQUIRE(words.size() == nblocks * kBlockWords, "encoder: size mismatch");
+
+  // Exclusive prefix sum of the byte flags gives each block's output slot
+  // (the paper's phase-2 CUB ExclusiveSum).
+  std::vector<u32> flags32(nblocks);
+  parallel_for(0, nblocks, [&](size_t i) { flags32[i] = byte_flags[i]; });
+  std::vector<u32> offsets(nblocks);
+  cudasim::CostSheet scan_cost =
+      scan_exclusive_device_model(flags32, offsets);
+
+  const size_t nonzero =
+      nblocks == 0 ? 0 : offsets.back() + flags32.back();
+  blocks_out.resize(nonzero * kBlockWords);
+  parallel_for(0, nblocks, [&](size_t blk) {
+    if (byte_flags[blk] == 0) return;
+    const u32 slot = offsets[blk];
+    for (size_t k = 0; k < kBlockWords; ++k)
+      blocks_out[slot * kBlockWords + k] = words[blk * kBlockWords + k];
+  });
+  return scan_cost;
+}
+
+EncodeResult encode_blocks(std::span<const u32> words) {
+  EncodeResult r;
+  mark_blocks(words, r.byte_flags, r.bit_flags);
+  compact_blocks(words, r.byte_flags, r.blocks);
+  r.total_blocks = r.byte_flags.size();
+  r.nonzero_blocks = r.blocks.size() / kBlockWords;
+  return r;
+}
+
+void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
+                   std::span<u32> out) {
+  FZ_REQUIRE(out.size() % kBlockWords == 0, "decoder: bad output size");
+  const size_t nblocks = out.size() / kBlockWords;
+  FZ_FORMAT_REQUIRE(bit_flags.size() >= div_ceil(nblocks, 8),
+                    "decoder: flag array too small");
+  // Offsets are recovered with the same prefix sum the encoder used.
+  std::vector<u32> flags32(nblocks);
+  parallel_for(0, nblocks, [&](size_t i) {
+    flags32[i] = (bit_flags[i / 8] >> (i % 8)) & 1u;
+  });
+  std::vector<u32> offsets(nblocks);
+  scan_exclusive_parallel(flags32, offsets);
+  const size_t nonzero = nblocks == 0 ? 0 : offsets.back() + flags32.back();
+  FZ_FORMAT_REQUIRE(blocks.size() == nonzero * kBlockWords,
+                    "decoder: block payload size mismatch");
+  parallel_for(0, nblocks, [&](size_t blk) {
+    u32* dst = out.data() + blk * kBlockWords;
+    if (flags32[blk] == 0) {
+      for (size_t k = 0; k < kBlockWords; ++k) dst[k] = 0;
+      return;
+    }
+    const u32 slot = offsets[blk];
+    for (size_t k = 0; k < kBlockWords; ++k)
+      dst[k] = blocks[slot * kBlockWords + k];
+  });
+}
+
+}  // namespace fz

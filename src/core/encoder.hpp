@@ -1,0 +1,51 @@
+// The fast sparsification-style lossless encoder (paper §3.4).
+//
+// Phase 1 partitions the bitshuffled words into 16-byte blocks and records
+// one flag per block ("is any word nonzero?").  The flags live twice in the
+// pipeline: as a byte-flag array (input of the offset prefix sum) and packed
+// into a bit-flag array (part of the compressed output, 1 bit per block —
+// hence the ratio ceiling of 128x over the code stream that the paper
+// contrasts with Huffman's 32x).  Phase 2 exclusive-prefix-sums the byte
+// flags into block offsets and compacts the nonzero blocks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cudasim/cost_sheet.hpp"
+
+namespace fz {
+
+struct EncodeResult {
+  std::vector<u8> bit_flags;   ///< 1 bit per block, LSB-first within bytes
+  std::vector<u8> byte_flags;  ///< 1 byte per block (phase-2 scan input)
+  std::vector<u32> blocks;     ///< compacted nonzero blocks, 4 words each
+  size_t total_blocks = 0;
+  size_t nonzero_blocks = 0;
+
+  size_t payload_bytes() const {
+    return bit_flags.size() + blocks.size() * sizeof(u32);
+  }
+};
+
+/// Phase 1: flag computation.  `words.size()` must be a multiple of 4.
+void mark_blocks(std::span<const u32> words, std::vector<u8>& byte_flags,
+                 std::vector<u8>& bit_flags);
+
+/// Phase 2: offsets via exclusive prefix sum + block compaction.
+/// Returns the modeled device cost of the scan (the encode kernel cost is
+/// assembled by core/costs.cpp).
+cudasim::CostSheet compact_blocks(std::span<const u32> words,
+                                  std::span<const u8> byte_flags,
+                                  std::vector<u32>& blocks_out);
+
+/// Convenience: run both phases.
+EncodeResult encode_blocks(std::span<const u32> words);
+
+/// Inverse: scatter nonzero blocks back into `out` (pre-sized, multiple of
+/// 4 words); zero blocks are zero-filled.
+void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
+                   std::span<u32> out);
+
+}  // namespace fz

@@ -1,0 +1,477 @@
+#include "core/kernels_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "core/bitshuffle.hpp"
+#include "cudasim/launch.hpp"
+#include "substrate/bitio.hpp"
+#include "substrate/scan.hpp"
+
+namespace fz {
+
+using cudasim::CostSheet;
+using cudasim::Dim3;
+using cudasim::LaunchConfig;
+using cudasim::ThreadCtx;
+
+CostSheet sim_pred_quant_v2(FloatSpan data, Dims dims, double abs_eb,
+                            std::span<u16> codes_out) {
+  FZ_REQUIRE(data.size() == dims.count(), "sim: dims mismatch");
+  FZ_REQUIRE(codes_out.size() >= data.size(), "sim: output too small");
+  FZ_REQUIRE(abs_eb > 0, "sim: bad error bound");
+  const double inv = 1.0 / (2.0 * abs_eb);
+
+  LaunchConfig cfg;
+  cfg.name = "pred-quant-v2";
+  cfg.block = Dim3{256};
+  cfg.grid = Dim3{static_cast<u32>(div_ceil(data.size(), 256))};
+
+  return cudasim::launch(cfg, [&, inv](ThreadCtx& t) {
+    const size_t i = static_cast<size_t>(t.block_idx.x) * 256 + t.thread_idx.x;
+    if (i >= data.size()) return;
+
+    // Pointwise pre-quantization; neighbours are recomputed, not shared.
+    const auto prequant = [&](size_t ix, size_t iy, size_t iz) -> i64 {
+      const f32 v = t.gload(&data[dims.linear(ix, iy, iz)]);
+      t.count_ops(2);
+      return static_cast<i64>(std::llround(static_cast<double>(v) * inv));
+    };
+
+    const size_t ix = i % dims.x;
+    const size_t iy = (i / dims.x) % dims.y;
+    const size_t iz = i / (dims.x * dims.y);
+
+    i64 delta = prequant(ix, iy, iz);
+    if (ix > 0) delta -= prequant(ix - 1, iy, iz);
+    if (iy > 0) delta -= prequant(ix, iy - 1, iz);
+    if (iz > 0) delta -= prequant(ix, iy, iz - 1);
+    if (ix > 0 && iy > 0) delta += prequant(ix - 1, iy - 1, iz);
+    if (ix > 0 && iz > 0) delta += prequant(ix - 1, iy, iz - 1);
+    if (iy > 0 && iz > 0) delta += prequant(ix, iy - 1, iz - 1);
+    if (ix > 0 && iy > 0 && iz > 0) delta -= prequant(ix - 1, iy - 1, iz - 1);
+
+    const i64 clipped = std::clamp<i64>(delta, -kMaxMagnitude16, kMaxMagnitude16);
+    t.gstore(&codes_out[i], sign_magnitude_encode(static_cast<i32>(clipped)));
+    t.count_ops(6);
+  });
+}
+
+CostSheet sim_bitshuffle_mark_fused(std::span<const u32> in, std::span<u32> out,
+                                    std::vector<u8>& byte_flags,
+                                    std::vector<u8>& bit_flags,
+                                    bool padded_shared) {
+  FZ_REQUIRE(in.size() % kTileWords == 0, "sim: input must be whole tiles");
+  FZ_REQUIRE(in.size() == out.size(), "sim: size mismatch");
+  const size_t tiles = in.size() / kTileWords;
+  byte_flags.assign(tiles * kBlocksPerTile, 0);
+  bit_flags.assign(tiles * kBlocksPerTile / 8, 0);
+
+  // The padded row stride (33 words) staggers column-wise accesses across
+  // banks; the unpadded 32-word stride lands a whole column in one bank.
+  const size_t stride = padded_shared ? 33 : 32;
+
+  LaunchConfig cfg;
+  cfg.name = "bitshuffle-mark-fused";
+  cfg.grid = Dim3{static_cast<u32>(tiles)};
+  cfg.block = Dim3{32, 32};
+
+  return cudasim::launch(cfg, [&, stride](ThreadCtx& t) {
+    u32* buf = t.shared<u32>("buf", 32 * stride);
+    u8* byte_flag_arr = t.shared<u8>("ByteFlagArr", kBlocksPerTile);
+    u32* bit_flag_arr = t.shared<u32>("BitFlagArr", 8);
+
+    const u32 x = t.thread_idx.x;
+    const u32 y = t.thread_idx.y;
+    const size_t tile = t.block_idx.x;
+    const size_t g = tile * kTileWords + y * 32 + x;
+
+    // Load the tile into shared memory (row-wise, coalesced, conflict-free).
+    buf[y * stride + x] = t.gload(&in[g]);
+    t.shared_access(y * stride + x);
+    t.sync_threads();
+
+    // 32 ballot rounds: plane i of this warp's unit (= row y) is the vote
+    // of bit i across the 32 lanes.  Lane i keeps round i's result.
+    u32 cur = buf[y * stride + x];
+    t.shared_access(y * stride + x);
+    for (u32 i = 0; i < 32; ++i) {
+      const u32 plane = t.ballot((cur >> i) & 1u);
+      if (x == i) {
+        buf[y * stride + i] = plane;
+        t.shared_access(y * stride + i);
+      }
+      t.count_ops(3);
+    }
+    t.sync_threads();
+
+    // Transposed write-back: out word (x, y) = plane y of unit x.  The
+    // column-wise shared read is the access the 32x33 padding protects.
+    const u32 shuffled = buf[x * stride + y];
+    t.shared_access(x * stride + y);
+    t.gstore(&out[g], shuffled);
+    t.sync_threads();
+
+    // Fused mark: 256 threads each own one 16-byte block (4 consecutive
+    // output words in plane-major order).
+    const u32 ltid = t.linear_tid();
+    if (ltid < kBlocksPerTile) {
+      u32 nz = 0;
+      for (u32 i = 0; i < 4; ++i) {
+        const u32 p = ltid * 4 + i;  // linear output position in the tile
+        const u32 py = p / 32, px = p % 32;
+        nz |= buf[px * stride + py];
+        t.shared_access(px * stride + py);
+      }
+      byte_flag_arr[ltid] = nz != 0 ? 1 : 0;
+      t.count_ops(6);
+    }
+    t.sync_threads();
+
+    // Byte flags -> bit flags via ballot (8 warps cover 256 blocks).
+    if (ltid < kBlocksPerTile) {
+      const u32 flag_word = t.ballot(byte_flag_arr[ltid] != 0);
+      if (t.lane() == 0) bit_flag_arr[t.warp_id()] = flag_word;
+    }
+    t.sync_threads();
+
+    // Write both flag arrays back to global memory.
+    if (ltid < kBlocksPerTile) {
+      t.gstore(&byte_flags[tile * kBlocksPerTile + ltid], byte_flag_arr[ltid]);
+    }
+    if (ltid < 8) {
+      const u32 word = bit_flag_arr[ltid];
+      for (u32 b = 0; b < 4; ++b) {
+        t.gstore(&bit_flags[tile * (kBlocksPerTile / 8) + ltid * 4 + b],
+                 static_cast<u8>(word >> (8 * b)));
+      }
+    }
+  });
+}
+
+CostSheet sim_compact_blocks(std::span<const u32> shuffled,
+                             std::span<const u8> byte_flags,
+                             std::vector<u32>& blocks_out) {
+  const size_t nblocks = byte_flags.size();
+  FZ_REQUIRE(shuffled.size() == nblocks * kBlockWords, "sim: size mismatch");
+
+  // Prefix sum (the paper calls CUB's ExclusiveSum between the kernels).
+  std::vector<u32> flags32(nblocks);
+  for (size_t i = 0; i < nblocks; ++i) flags32[i] = byte_flags[i];
+  std::vector<u32> presum(nblocks);
+  CostSheet total = scan_exclusive_device_model(flags32, presum);
+  total.name = "prefix-sum-encode";
+
+  const size_t nonzero = nblocks == 0 ? 0 : presum.back() + flags32.back();
+  blocks_out.assign(nonzero * kBlockWords, 0);
+
+  LaunchConfig cfg;
+  cfg.name = "encode-compact";
+  cfg.grid = Dim3{static_cast<u32>(div_ceil(nblocks, 256))};
+  cfg.block = Dim3{256};
+
+  CostSheet compact = cudasim::launch(cfg, [&](ThreadCtx& t) {
+    const size_t blk =
+        static_cast<size_t>(t.block_idx.x) * 256 + t.thread_idx.x;
+    if (blk >= nblocks) return;
+    const u32 offset = t.gload(&presum[blk]);
+    // "The offset is valid if it is different from its previous offset" —
+    // equivalently the block's own flag is set.
+    const bool valid = blk + 1 < nblocks
+                           ? t.gload(&presum[blk + 1]) != offset
+                           : flags32[blk] != 0;
+    if (!valid) return;
+    for (size_t k = 0; k < kBlockWords; ++k) {
+      const u32 v = t.gload(&shuffled[blk * kBlockWords + k]);
+      t.gstore(&blocks_out[static_cast<size_t>(offset) * kBlockWords + k], v);
+    }
+    t.count_ops(8);
+  });
+  total += compact;
+  return total;
+}
+
+CostSheet sim_huffman_encode(std::span<const u16> symbols,
+                             const HuffmanCodebook& book, size_t chunk_size,
+                             std::vector<u8>& encoded_out) {
+  FZ_REQUIRE(chunk_size > 0, "sim: chunk size must be positive");
+  const size_t num_chunks = div_ceil(symbols.size(), chunk_size);
+
+  // Kernel 1: each thread encodes one chunk into its private (worst-case
+  // sized) buffer and records the produced byte count.
+  std::vector<std::vector<u8>> payloads(num_chunks);
+  std::vector<u32> sizes(num_chunks, 0);
+  LaunchConfig cfg;
+  cfg.name = "huffman-encode-coarse";
+  cfg.grid = Dim3{static_cast<u32>(div_ceil(num_chunks, 64))};
+  cfg.block = Dim3{64};
+  CostSheet total = cudasim::launch(cfg, [&](ThreadCtx& t) {
+    const size_t c = static_cast<size_t>(t.block_idx.x) * 64 + t.thread_idx.x;
+    if (c >= num_chunks) return;
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(begin + chunk_size, symbols.size());
+    // Serial bit packing within the chunk — the irregular, data-dependent
+    // loop that caps this kernel's throughput (paper 3.1).
+    u64 acc = 0;
+    int nbits = 0;
+    std::vector<u8>& buf = payloads[c];
+    for (size_t i = begin; i < end; ++i) {
+      const u16 s = t.gload(&symbols[i]);
+      const int len = book.lengths[s];
+      const u64 code = book.codes[s];
+      t.count_ops(static_cast<size_t>(4 + len / 8));
+      for (int b = len - 1; b >= 0; --b) {
+        acc = (acc << 1) | ((code >> b) & 1u);
+        if (++nbits == 8) {
+          buf.push_back(static_cast<u8>(acc));
+          acc = 0;
+          nbits = 0;
+        }
+      }
+    }
+    if (nbits != 0) buf.push_back(static_cast<u8>(acc << (8 - nbits)));
+    sizes[c] = static_cast<u32>(buf.size());
+    t.count_global_write(buf.size());
+  });
+
+  // Prefix sum of chunk sizes gives the compaction offsets (same global-
+  // sync-by-kernel-exit pattern as the fz encoder).
+  std::vector<u32> offsets(num_chunks);
+  total += scan_exclusive_device_model(sizes, offsets);
+
+  // Assemble the exact huffman_encode stream layout.
+  encoded_out.clear();
+  ByteWriter w(encoded_out);
+  w.put<u32>(static_cast<u32>(num_chunks));
+  w.put<u32>(static_cast<u32>(chunk_size));
+  w.put<u64>(symbols.size());
+  for (const u32 sz : sizes) w.put<u32>(sz);
+  for (const auto& p : payloads) w.put_bytes(p);
+  total.name = "huffman-encode-coarse";
+  return total;
+}
+
+CostSheet sim_huffman_decode(ByteSpan encoded, const HuffmanCodebook& book,
+                             std::vector<u16>& symbols_out) {
+  // Parse the chunked layout host-side (it is part of the stream format).
+  ByteReader r(encoded);
+  const u32 num_chunks = r.get<u32>();
+  const u32 chunk_size = r.get<u32>();
+  const u64 count = r.get<u64>();
+  FZ_FORMAT_REQUIRE(chunk_size > 0 &&
+                        num_chunks == div_ceil(count, chunk_size),
+                    "sim: bad huffman chunk layout");
+  std::vector<u32> sizes(num_chunks);
+  for (auto& s : sizes) s = r.get<u32>();
+  std::vector<size_t> offsets(num_chunks + 1, 0);
+  for (size_t c = 0; c < num_chunks; ++c)
+    offsets[c + 1] = offsets[c] + sizes[c];
+  const ByteSpan payload = r.get_bytes(offsets.back());
+  FZ_FORMAT_REQUIRE(count <= payload.size() * 8, "sim: count exceeds payload");
+
+  // Canonical decode tables, as on device constant memory.
+  const int maxlen = book.max_length();
+  std::vector<u32> sorted_syms;
+  for (size_t s = 0; s < book.num_symbols(); ++s)
+    if (book.lengths[s] != 0) sorted_syms.push_back(static_cast<u32>(s));
+  std::sort(sorted_syms.begin(), sorted_syms.end(), [&](u32 a, u32 b) {
+    return book.lengths[a] != book.lengths[b] ? book.lengths[a] < book.lengths[b]
+                                              : a < b;
+  });
+  std::vector<u32> count_per_len(static_cast<size_t>(maxlen) + 1, 0);
+  for (const u32 s : sorted_syms) ++count_per_len[book.lengths[s]];
+  std::vector<u64> first_code(static_cast<size_t>(maxlen) + 1, 0);
+  std::vector<u32> first_index(static_cast<size_t>(maxlen) + 1, 0);
+  {
+    u64 code = 0;
+    u32 index = 0;
+    for (int len = 1; len <= maxlen; ++len) {
+      first_code[static_cast<size_t>(len)] = code;
+      first_index[static_cast<size_t>(len)] = index;
+      code = (code + count_per_len[static_cast<size_t>(len)]) << 1;
+      index += count_per_len[static_cast<size_t>(len)];
+    }
+  }
+
+  symbols_out.assign(count, 0);
+  LaunchConfig cfg;
+  cfg.name = "huffman-decode-chunked";
+  cfg.grid = Dim3{static_cast<u32>(div_ceil(num_chunks, 64))};
+  cfg.block = Dim3{64};
+  CostSheet cost = cudasim::launch(cfg, [&](ThreadCtx& t) {
+    const size_t c = static_cast<size_t>(t.block_idx.x) * 64 + t.thread_idx.x;
+    if (c >= num_chunks) return;
+    const u8* bytes = payload.data() + offsets[c];
+    size_t bitpos = 0;
+    const size_t begin = static_cast<size_t>(c) * chunk_size;
+    const size_t end = std::min<size_t>(begin + chunk_size, count);
+    for (size_t i = begin; i < end; ++i) {
+      u64 code = 0;
+      int len = 0;
+      for (;;) {
+        const u8 byte = t.gload(&bytes[bitpos / 8]);
+        code = (code << 1) | ((byte >> (7 - bitpos % 8)) & 1u);
+        ++bitpos;
+        ++len;
+        FZ_FORMAT_REQUIRE(len <= maxlen, "sim: invalid Huffman code");
+        const u64 base = first_code[static_cast<size_t>(len)];
+        const u32 n_at_len = count_per_len[static_cast<size_t>(len)];
+        if (n_at_len != 0 && code >= base && code < base + n_at_len) {
+          const u32 idx = first_index[static_cast<size_t>(len)] +
+                          static_cast<u32>(code - base);
+          t.gstore(&symbols_out[i], static_cast<u16>(sorted_syms[idx]));
+          break;
+        }
+        t.count_ops(3);
+      }
+    }
+  });
+  return cost;
+}
+
+CostSheet sim_szx_block_stats(FloatSpan data, std::span<f32> mins,
+                              std::span<f32> maxs) {
+  constexpr size_t kBlock = 128;
+  const size_t nblocks = div_ceil(data.size(), kBlock);
+  FZ_REQUIRE(mins.size() >= nblocks && maxs.size() >= nblocks,
+             "sim: stats output too small");
+
+  LaunchConfig cfg;
+  cfg.name = "szx-block-stats";
+  cfg.grid = Dim3{static_cast<u32>(nblocks)};
+  cfg.block = Dim3{static_cast<u32>(kBlock)};
+
+  return cudasim::launch(cfg, [&](ThreadCtx& t) {
+    const size_t blk = t.block_idx.x;
+    const size_t i = blk * kBlock + t.thread_idx.x;
+    // Out-of-range lanes contribute reduction identities so partial tail
+    // blocks reduce correctly without divergent collectives.
+    f32 lo = std::numeric_limits<f32>::infinity();
+    f32 hi = -std::numeric_limits<f32>::infinity();
+    if (i < data.size()) lo = hi = t.gload(&data[i]);
+
+    // Warp butterfly: after log2(32) rounds every lane holds the warp
+    // min/max (__shfl_xor_sync pattern).
+    for (u32 offset = 16; offset > 0; offset >>= 1) {
+      const f32 olo = bits_float(t.shfl(float_bits(lo), t.lane() ^ offset));
+      const f32 ohi = bits_float(t.shfl(float_bits(hi), t.lane() ^ offset));
+      lo = std::min(lo, olo);
+      hi = std::max(hi, ohi);
+      t.count_ops(4);
+    }
+
+    // Cross-warp combine through shared memory (4 warps per block).
+    f32* warp_lo = t.shared<f32>("warp_lo", 4);
+    f32* warp_hi = t.shared<f32>("warp_hi", 4);
+    if (t.lane() == 0) {
+      warp_lo[t.warp_id()] = lo;
+      warp_hi[t.warp_id()] = hi;
+      t.shared_access(t.warp_id());
+    }
+    t.sync_threads();
+    if (t.linear_tid() == 0) {
+      f32 block_lo = warp_lo[0], block_hi = warp_hi[0];
+      for (int w = 1; w < 4; ++w) {
+        block_lo = std::min(block_lo, warp_lo[w]);
+        block_hi = std::max(block_hi, warp_hi[w]);
+      }
+      t.gstore(&mins[blk], block_lo);
+      t.gstore(&maxs[blk], block_hi);
+      t.count_ops(8);
+    }
+  });
+}
+
+CostSheet sim_scatter_blocks(std::span<const u8> bit_flags,
+                             std::span<const u32> blocks,
+                             std::span<u32> shuffled_out) {
+  FZ_REQUIRE(shuffled_out.size() % kBlockWords == 0, "sim: bad output size");
+  const size_t nblocks = shuffled_out.size() / kBlockWords;
+  FZ_REQUIRE(bit_flags.size() >= div_ceil(nblocks, 8), "sim: flags too small");
+
+  // Prefix sum over the unpacked flags gives each nonzero block's slot in
+  // the compacted payload (the exact mirror of the encode offsets).
+  std::vector<u32> flags32(nblocks);
+  for (size_t i = 0; i < nblocks; ++i)
+    flags32[i] = (bit_flags[i / 8] >> (i % 8)) & 1u;
+  std::vector<u32> presum(nblocks);
+  CostSheet total = scan_exclusive_device_model(flags32, presum);
+  total.name = "prefix-sum-scatter";
+
+  LaunchConfig cfg;
+  cfg.name = "decode-scatter";
+  cfg.grid = Dim3{static_cast<u32>(div_ceil(nblocks, 256))};
+  cfg.block = Dim3{256};
+  CostSheet scatter = cudasim::launch(cfg, [&](ThreadCtx& t) {
+    const size_t blk =
+        static_cast<size_t>(t.block_idx.x) * 256 + t.thread_idx.x;
+    if (blk >= nblocks) return;
+    if (flags32[blk] == 0) {
+      for (size_t k = 0; k < kBlockWords; ++k)
+        t.gstore(&shuffled_out[blk * kBlockWords + k], 0u);
+      return;
+    }
+    const u32 slot = t.gload(&presum[blk]);
+    for (size_t k = 0; k < kBlockWords; ++k) {
+      const u32 v = t.gload(&blocks[static_cast<size_t>(slot) * kBlockWords + k]);
+      t.gstore(&shuffled_out[blk * kBlockWords + k], v);
+    }
+    t.count_ops(8);
+  });
+  total += scatter;
+  return total;
+}
+
+CostSheet sim_bitunshuffle(std::span<const u32> in, std::span<u32> out,
+                           bool padded_shared) {
+  FZ_REQUIRE(in.size() % kTileWords == 0, "sim: input must be whole tiles");
+  FZ_REQUIRE(in.size() == out.size(), "sim: size mismatch");
+  const size_t tiles = in.size() / kTileWords;
+  const size_t stride = padded_shared ? 33 : 32;
+
+  LaunchConfig cfg;
+  cfg.name = "bitunshuffle";
+  cfg.grid = Dim3{static_cast<u32>(tiles)};
+  cfg.block = Dim3{32, 32};
+
+  return cudasim::launch(cfg, [&, stride](ThreadCtx& t) {
+    u32* buf = t.shared<u32>("buf", 32 * stride);
+    const u32 x = t.thread_idx.x;
+    const u32 y = t.thread_idx.y;
+    const size_t tile = t.block_idx.x;
+
+    // Coalesced load of the plane-major tile into shared memory.
+    buf[y * stride + x] = t.gload(&in[tile * kTileWords + y * 32 + x]);
+    t.shared_access(y * stride + x);
+    t.sync_threads();
+
+    // Lane x of warp y needs plane x of unit y, which sits at tile
+    // position x*32 + y -> buf[x][y]: the COLUMN-wise shared read the
+    // 32x33 padding protects (mirror of the forward kernel's write-back).
+    const u32 cur = buf[x * stride + y];
+    t.shared_access(x * stride + y);
+    t.sync_threads();
+
+    // Same 32-round ballot transpose: round i reassembles original word i
+    // of the unit (bit l = bit i of plane l).
+    for (u32 i = 0; i < 32; ++i) {
+      const u32 word = t.ballot((cur >> i) & 1u);
+      if (x == i) {
+        buf[y * stride + i] = word;
+        t.shared_access(y * stride + i);
+      }
+      t.count_ops(3);
+    }
+    t.sync_threads();
+
+    // Unit y's words are contiguous in the code stream: coalesced store.
+    const u32 v = buf[y * stride + x];
+    t.shared_access(y * stride + x);
+    t.gstore(&out[tile * kTileWords + y * 32 + x], v);
+  });
+}
+
+}  // namespace fz

@@ -1,0 +1,87 @@
+// The paper's GPU kernels, written against the cudasim execution model.
+//
+// These follow the pseudocode of §3.4 line-for-line: a 32×32 thread block
+// per 4096-byte tile, a padded 32×33 shared tile, 32 rounds of
+// __ballot_sync per warp for the bit transpose, fused zero-block marking
+// into ByteFlagArr/BitFlagArr, and a separate compaction kernel driven by
+// the prefix-summed byte flags.  Tests assert bit-identical output against
+// the native pipeline (core/bitshuffle.cpp, core/encoder.cpp) and use the
+// simulator's bank-conflict counters to verify the padding claim (§3.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cudasim/cost_sheet.hpp"
+#include "substrate/huffman.hpp"
+
+namespace fz {
+
+/// Dual-quantization kernel (pred-quant v2, §3.2).  The key property that
+/// makes this embarrassingly parallel is dual-quantization itself: the
+/// Lorenzo prediction runs on *pre-quantized* values, and pre-quantization
+/// is pointwise, so each thread recomputes its neighbours' quantized values
+/// instead of waiting for them — no dependency, no halo exchange.  Each
+/// thread emits one 16-bit sign-magnitude residual code.
+cudasim::CostSheet sim_pred_quant_v2(FloatSpan data, Dims dims, double abs_eb,
+                                     std::span<u16> codes_out);
+
+/// Fused bitshuffle + mark kernel (encode phase 1).  `in.size()` must be a
+/// multiple of one tile (1024 words).  `padded_shared=false` switches the
+/// shared tile from 32×33 to 32×32 — functionally identical but with the
+/// bank conflicts the padding exists to avoid (ablation knob).
+cudasim::CostSheet sim_bitshuffle_mark_fused(std::span<const u32> in,
+                                             std::span<u32> out,
+                                             std::vector<u8>& byte_flags,
+                                             std::vector<u8>& bit_flags,
+                                             bool padded_shared = true);
+
+/// Encode phase 2: prefix-sum the byte flags (host-side CUB stand-in) and
+/// run the compaction kernel.  Returns the combined cost.
+cudasim::CostSheet sim_compact_blocks(std::span<const u32> shuffled,
+                                      std::span<const u8> byte_flags,
+                                      std::vector<u32>& blocks_out);
+
+/// cuSZ-style coarse-grained GPU Huffman encoding (Tian et al., IPDPS'21,
+/// paper reference [47]): ONE THREAD serially encodes one whole chunk of
+/// symbols into its private buffer (the "coarse-grained" design the paper
+/// contrasts with fine-grained alternatives), then the chunk payloads are
+/// compacted by a prefix sum over their byte sizes.  Produces byte-
+/// identical output to fz::huffman_encode for the same codebook and chunk
+/// size, which the tests assert.
+cudasim::CostSheet sim_huffman_encode(std::span<const u16> symbols,
+                                      const HuffmanCodebook& book,
+                                      size_t chunk_size,
+                                      std::vector<u8>& encoded_out);
+
+/// Chunk-parallel GPU Huffman decoding (Rivera et al., IPDPS'22, paper
+/// reference [48]): the chunked stream layout makes every chunk's bit
+/// offset known up front, so one thread decodes each chunk independently.
+/// Byte-identical output to fz::huffman_decode.
+cudasim::CostSheet sim_huffman_decode(ByteSpan encoded,
+                                      const HuffmanCodebook& book,
+                                      std::vector<u16>& symbols_out);
+
+/// cuSZx block-statistics kernel (Yu et al., HPDC'22): per 128-value block,
+/// min and max are computed with warp-shuffle butterfly reductions (the
+/// lightweight bitwise operations the paper credits for cuSZx's speed),
+/// combined across the block's four warps through shared memory.  These
+/// stats drive the constant/non-constant block split of the cuSZx
+/// baseline; tests check them against a scalar reference.
+cudasim::CostSheet sim_szx_block_stats(FloatSpan data, std::span<f32> mins,
+                                       std::span<f32> maxs);
+
+/// Decompression phase 1: scatter the compacted nonzero blocks back to
+/// their tile positions (zero blocks zero-filled), driven by the bit-flag
+/// array — the mirror of sim_compact_blocks.
+cudasim::CostSheet sim_scatter_blocks(std::span<const u8> bit_flags,
+                                      std::span<const u32> blocks,
+                                      std::span<u32> shuffled_out);
+
+/// Decompression phase 2: inverse bitshuffle (same 32-round ballot
+/// transpose, transposed addressing on the way in).
+cudasim::CostSheet sim_bitunshuffle(std::span<const u32> in, std::span<u32> out,
+                                    bool padded_shared = true);
+
+}  // namespace fz

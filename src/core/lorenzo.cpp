@@ -1,0 +1,114 @@
+#include "core/lorenzo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace fz {
+
+namespace {
+
+// Forward residuals are the mixed differences:
+//   1-D: d[x]     = p[x] - p[x-1]
+//   2-D: d[x,y]   = p[x,y] - p[x-1,y] - p[x,y-1] + p[x-1,y-1]
+//   3-D: d[x,y,z] = Σ over the 2^3 corner offsets with alternating signs.
+// Out-of-range neighbours are 0 (the standard Lorenzo boundary handling).
+
+void forward_1d(std::span<const i64> p, size_t nx, std::span<i64> d) {
+  // Process backwards so the in-place case (d == p) stays correct.
+  for (size_t x = nx; x-- > 1;) d[x] = p[x] - p[x - 1];
+  d[0] = p[0];
+}
+
+void forward_2d(std::span<const i64> p, size_t nx, size_t ny, std::span<i64> d) {
+  auto at = [&](size_t x, size_t y) -> i64 {
+    return (x < nx && y < ny) ? p[x + nx * y] : 0;  // x,y wrap when "negative"
+  };
+  for (size_t y = ny; y-- > 0;) {
+    for (size_t x = nx; x-- > 0;) {
+      const i64 w = x > 0 ? at(x - 1, y) : 0;
+      const i64 n = y > 0 ? at(x, y - 1) : 0;
+      const i64 nw = (x > 0 && y > 0) ? at(x - 1, y - 1) : 0;
+      d[x + nx * y] = p[x + nx * y] - w - n + nw;
+    }
+  }
+}
+
+void forward_3d(std::span<const i64> p, size_t nx, size_t ny, size_t nz,
+                std::span<i64> d) {
+  auto at = [&](size_t x, size_t y, size_t z) -> i64 {
+    return p[x + nx * (y + ny * z)];
+  };
+  for (size_t z = nz; z-- > 0;) {
+    for (size_t y = ny; y-- > 0;) {
+      for (size_t x = nx; x-- > 0;) {
+        i64 v = at(x, y, z);
+        if (x > 0) v -= at(x - 1, y, z);
+        if (y > 0) v -= at(x, y - 1, z);
+        if (z > 0) v -= at(x, y, z - 1);
+        if (x > 0 && y > 0) v += at(x - 1, y - 1, z);
+        if (x > 0 && z > 0) v += at(x - 1, y, z - 1);
+        if (y > 0 && z > 0) v += at(x, y - 1, z - 1);
+        if (x > 0 && y > 0 && z > 0) v -= at(x - 1, y - 1, z - 1);
+        d[x + nx * (y + ny * z)] = v;
+      }
+    }
+  }
+}
+
+/// Inclusive prefix sum along x for every (y, z) line.
+void scan_x(std::span<i64> a, Dims dims) {
+  parallel_for(0, dims.y * dims.z, [&](size_t line) {
+    i64* row = a.data() + line * dims.x;
+    for (size_t x = 1; x < dims.x; ++x) row[x] += row[x - 1];
+  });
+}
+
+void scan_y(std::span<i64> a, Dims dims) {
+  parallel_for(0, dims.z, [&](size_t z) {
+    i64* plane = a.data() + z * dims.x * dims.y;
+    for (size_t y = 1; y < dims.y; ++y)
+      for (size_t x = 0; x < dims.x; ++x)
+        plane[x + dims.x * y] += plane[x + dims.x * (y - 1)];
+  });
+}
+
+void scan_z(std::span<i64> a, Dims dims) {
+  const size_t plane = dims.x * dims.y;
+  parallel_for(0, dims.y, [&](size_t y) {
+    for (size_t z = 1; z < dims.z; ++z)
+      for (size_t x = 0; x < dims.x; ++x)
+        a[x + dims.x * y + plane * z] += a[x + dims.x * y + plane * (z - 1)];
+  });
+}
+
+}  // namespace
+
+void lorenzo_forward(std::span<const i64> p, Dims dims, std::span<i64> delta) {
+  FZ_REQUIRE(p.size() == dims.count() && delta.size() == p.size(),
+             "lorenzo: size mismatch");
+  switch (dims.rank()) {
+    case 1:
+      forward_1d(p, dims.x, delta);
+      break;
+    case 2:
+      forward_2d(p, dims.x, dims.y, delta);
+      break;
+    default:
+      forward_3d(p, dims.x, dims.y, dims.z, delta);
+      break;
+  }
+}
+
+void lorenzo_inverse(std::span<const i64> delta, Dims dims, std::span<i64> p) {
+  FZ_REQUIRE(delta.size() == dims.count() && p.size() == delta.size(),
+             "lorenzo: size mismatch");
+  if (p.data() != delta.data())
+    std::copy(delta.begin(), delta.end(), p.begin());
+  scan_x(p, dims);
+  if (dims.rank() >= 2) scan_y(p, dims);
+  if (dims.rank() >= 3) scan_z(p, dims);
+}
+
+}  // namespace fz

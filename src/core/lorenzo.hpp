@@ -1,0 +1,27 @@
+// Lorenzo predictor over pre-quantized integer data (the prediction half of
+// cuSZ's dual-quantization, §2.3 of the paper).
+//
+// The forward transform replaces every value with its prediction residual,
+// where the prediction is the order-1 Lorenzo stencil over *already
+// quantized* neighbours (this is what makes dual-quantization exactly
+// invertible).  The residual of the d-dimensional Lorenzo predictor is the
+// mixed finite difference, so the inverse transform is a separable
+// inclusive prefix sum along each axis — O(n), fully parallelizable per
+// line, matching the paper's observation that the predictor is O(n) and
+// fine-grained parallel.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+/// delta[i] = p[i] - lorenzo_prediction(p, i); in-place overload provided
+/// because the pipeline transforms large buffers.
+void lorenzo_forward(std::span<const i64> p, Dims dims, std::span<i64> delta);
+
+/// Reconstruct p from delta (exact inverse of lorenzo_forward).
+void lorenzo_inverse(std::span<const i64> delta, Dims dims, std::span<i64> p);
+
+}  // namespace fz

@@ -1,0 +1,106 @@
+// The FZ compressor: optimized dual-quantization → bitshuffle → fast
+// sparsification encoding (paper §3, Fig. 1).  This is the library's
+// primary public API.
+//
+// Usage:
+//   fz::FzParams params;
+//   params.eb = fz::ErrorBound::relative(1e-3);
+//   auto compressed = fz::fz_compress(field.values(), field.dims, params);
+//   auto restored   = fz::fz_decompress(compressed.bytes);
+//
+// The compressed stream is self-describing (dims, error bound, and quant
+// version travel in the header).  Every compression also returns the
+// data-dependent statistics (saturation count, nonzero-block count, ...)
+// and the per-stage device cost sheets consumed by the benchmark figures.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/quantizer.hpp"
+#include "cudasim/cost_sheet.hpp"
+
+namespace fz {
+
+enum class QuantVersion : u8 {
+  V1Original = 1,   ///< cuSZ-style: radius shift + outlier list (ablation)
+  V2Optimized = 2,  ///< FZ: sign-magnitude, no outliers (the default)
+};
+
+struct FzParams {
+  ErrorBound eb = ErrorBound::relative(1e-3);
+  QuantVersion quant = QuantVersion::V2Optimized;
+  /// Fuse bitshuffle with encode phase 1 (paper §3.4).  The output is
+  /// identical either way; the flag selects which cost sheet the device
+  /// model sees (fused saves one global-memory round trip).
+  bool fused_bitshuffle_mark = true;
+  /// V1-only: quantization radius.
+  u32 radius = 512;
+};
+
+struct FzStats {
+  size_t count = 0;            ///< number of f32 values
+  size_t input_bytes = 0;
+  size_t compressed_bytes = 0;
+  double abs_eb = 0;           ///< resolved absolute error bound
+  size_t saturated = 0;        ///< V2: clipped residuals
+  size_t outliers = 0;         ///< V1: out-of-radius residuals
+  size_t total_blocks = 0;
+  size_t nonzero_blocks = 0;
+  double ratio() const {
+    return compressed_bytes == 0
+               ? 0
+               : static_cast<double>(input_bytes) / compressed_bytes;
+  }
+  double bitrate() const { return ratio() == 0 ? 0 : 32.0 / ratio(); }
+};
+
+struct FzCompressed {
+  std::vector<u8> bytes;
+  FzStats stats;
+  /// Stage cost sheets, in pipeline order: "pred-quant",
+  /// "bitshuffle-mark" (fused) or "bitshuffle"+"mark" (split),
+  /// "prefix-sum-encode".
+  std::vector<cudasim::CostSheet> stage_costs;
+};
+
+FzCompressed fz_compress(FloatSpan data, Dims dims, const FzParams& params);
+
+/// Double-precision input: the pipeline is identical (pre-quantization is
+/// the only dtype-dependent stage), the stream records the dtype, and the
+/// u16 residual codes impose the same saturation behaviour.  Note that a
+/// very tight bound relative to f64 precision will saturate residuals the
+/// way it never could for f32 — check FzStats::saturated.
+FzCompressed fz_compress_f64(std::span<const f64> data, Dims dims,
+                             const FzParams& params);
+
+struct FzDecompressed {
+  std::vector<f32> data;
+  Dims dims;
+  std::vector<cudasim::CostSheet> stage_costs;
+};
+
+struct FzDecompressed64 {
+  std::vector<f64> data;
+  Dims dims;
+  std::vector<cudasim::CostSheet> stage_costs;
+};
+
+/// Decompress an f32 stream (throws FormatError on an f64 stream).
+FzDecompressed fz_decompress(ByteSpan stream);
+/// Decompress an f64 stream (throws FormatError on an f32 stream).
+FzDecompressed64 fz_decompress_f64(ByteSpan stream);
+
+/// Peek at a stream's header without decompressing.
+struct FzHeaderInfo {
+  Dims dims;
+  double abs_eb;
+  QuantVersion quant;
+  size_t count;
+  unsigned dtype_bytes = 4;  ///< 4 = f32 stream, 8 = f64 stream
+};
+FzHeaderInfo fz_inspect(ByteSpan stream);
+
+}  // namespace fz

@@ -1,0 +1,116 @@
+#include "core/quantizer.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace fz {
+
+namespace {
+
+template <typename T>
+void prequantize_impl(std::span<const T> data, double eb, std::span<i64> out) {
+  FZ_REQUIRE(eb > 0, "error bound must be positive");
+  FZ_REQUIRE(data.size() == out.size(), "prequantize: size mismatch");
+  const double inv = 1.0 / (2.0 * eb);
+  parallel_for(0, data.size(), [&](size_t i) {
+    out[i] = static_cast<i64>(std::llround(static_cast<double>(data[i]) * inv));
+  });
+}
+
+template <typename T>
+void dequantize_impl(std::span<const i64> p, double eb, std::span<T> out) {
+  FZ_REQUIRE(p.size() == out.size(), "dequantize: size mismatch");
+  const double scale = 2.0 * eb;
+  parallel_for(0, p.size(), [&](size_t i) {
+    out[i] = static_cast<T>(static_cast<double>(p[i]) * scale);
+  });
+}
+
+}  // namespace
+
+void prequantize(FloatSpan data, double eb, std::span<i64> out) {
+  prequantize_impl(data, eb, out);
+}
+void prequantize(std::span<const f64> data, double eb, std::span<i64> out) {
+  prequantize_impl(data, eb, out);
+}
+
+void dequantize(std::span<const i64> p, double eb, std::span<f32> out) {
+  dequantize_impl(p, eb, out);
+}
+void dequantize(std::span<const i64> p, double eb, std::span<f64> out) {
+  dequantize_impl(p, eb, out);
+}
+
+QuantV2Result quant_encode_v2(std::span<const i64> deltas) {
+  QuantV2Result r;
+  r.codes.resize(deltas.size());
+  std::atomic<size_t> saturated{0};
+  parallel_chunks(deltas.size(), 1 << 16, [&](size_t b, size_t e) {
+    size_t local_sat = 0;
+    for (size_t i = b; i < e; ++i) {
+      const i64 d = deltas[i];
+      if (sign_magnitude_saturates(d)) ++local_sat;
+      // Narrowing to i32 after saturation check keeps the helper simple.
+      const i64 clipped =
+          d > kMaxMagnitude16 ? kMaxMagnitude16
+                              : (d < -kMaxMagnitude16 ? -kMaxMagnitude16 : d);
+      r.codes[i] = sign_magnitude_encode(static_cast<i32>(clipped));
+    }
+    if (local_sat != 0) saturated.fetch_add(local_sat, std::memory_order_relaxed);
+  });
+  r.saturated = saturated.load();
+  return r;
+}
+
+void quant_decode_v2(std::span<const u16> codes, std::span<i64> deltas) {
+  FZ_REQUIRE(codes.size() == deltas.size(), "quant: size mismatch");
+  parallel_for(0, codes.size(), [&](size_t i) {
+    deltas[i] = sign_magnitude_decode(codes[i]);
+  });
+}
+
+QuantV1Result quant_encode_v1(std::span<const i64> deltas, u32 radius) {
+  FZ_REQUIRE(radius >= 2 && radius <= 0x4000, "bad radius");
+  QuantV1Result r;
+  r.radius = radius;
+  r.codes.resize(deltas.size());
+  // Outlier collection is order-dependent; run sequentially per chunk and
+  // merge (outliers are rare so the merge is cheap).
+  std::vector<std::vector<Outlier>> partial(
+      static_cast<size_t>(max_threads()) + 1);
+  const size_t chunk = div_ceil(deltas.size(), partial.size());
+  parallel_for(0, partial.size(), [&](size_t c) {
+    const size_t b = c * chunk;
+    const size_t e = std::min(b + chunk, deltas.size());
+    for (size_t i = b; i < e; ++i) {
+      const i64 d = deltas[i];
+      if (d > -static_cast<i64>(radius) && d < static_cast<i64>(radius)) {
+        r.codes[i] = static_cast<u16>(d + radius);
+      } else {
+        r.codes[i] = 0;
+        partial[c].push_back({i, d});
+      }
+    }
+  });
+  for (const auto& p : partial)
+    r.outliers.insert(r.outliers.end(), p.begin(), p.end());
+  return r;
+}
+
+void quant_decode_v1(const QuantV1Result& q, std::span<i64> deltas) {
+  FZ_REQUIRE(q.codes.size() == deltas.size(), "quant: size mismatch");
+  const i64 radius = q.radius;
+  parallel_for(0, q.codes.size(), [&](size_t i) {
+    deltas[i] = static_cast<i64>(q.codes[i]) - radius;  // code 0 fixed up below
+  });
+  for (const Outlier& o : q.outliers) deltas[o.index] = o.delta;
+  // Non-outlier zeros cannot occur: code 0 is reserved for outliers.
+  return;
+}
+
+}  // namespace fz

@@ -1,0 +1,25 @@
+#include "cudasim/cost_sheet.hpp"
+
+namespace fz::cudasim {
+
+CostSheet& CostSheet::operator+=(const CostSheet& o) {
+  kernel_launches += o.kernel_launches;
+  global_bytes_read += o.global_bytes_read;
+  global_bytes_written += o.global_bytes_written;
+  shared_accesses += o.shared_accesses;
+  shared_transactions += o.shared_transactions;
+  thread_ops += o.thread_ops;
+  divergent_branches += o.divergent_branches;
+  serial_ns += o.serial_ns;
+  fixed_ns += o.fixed_ns;
+  return *this;
+}
+
+CostSheet sum(const std::vector<CostSheet>& parts, const std::string& name) {
+  CostSheet total;
+  total.name = name;
+  for (const auto& p : parts) total += p;
+  return total;
+}
+
+}  // namespace fz::cudasim

@@ -1,0 +1,36 @@
+// CostSheet: the per-kernel resource accounting that feeds the analytical
+// device timing model (see DESIGN.md §1).  Costs are gathered either by the
+// fiber simulator (small inputs, exact) or computed analytically from data
+// statistics by the pipeline stages (full-size benchmark inputs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fz::cudasim {
+
+struct CostSheet {
+  std::string name;          ///< kernel or stage label
+  u64 kernel_launches = 0;   ///< number of device kernel launches
+  u64 global_bytes_read = 0;
+  u64 global_bytes_written = 0;
+  u64 shared_accesses = 0;     ///< per-lane shared-memory accesses
+  u64 shared_transactions = 0; ///< bank-conflict-adjusted transactions
+  u64 thread_ops = 0;          ///< per-lane arithmetic/logic operations
+  u64 divergent_branches = 0;  ///< warp-divergence events
+  double serial_ns = 0;        ///< inherently serial, size-proportional time
+                               ///  (e.g. host DEFLATE, atomic contention)
+  double fixed_ns = 0;         ///< inherently serial, size-INDEPENDENT time
+                               ///  (e.g. Huffman codebook build).  Scaled by
+                               ///  the size-emulation factor alongside the
+                               ///  launch latency (DeviceModel::seconds).
+
+  CostSheet& operator+=(const CostSheet& o);
+  u64 global_bytes() const { return global_bytes_read + global_bytes_written; }
+};
+
+CostSheet sum(const std::vector<CostSheet>& parts, const std::string& name);
+
+}  // namespace fz::cudasim

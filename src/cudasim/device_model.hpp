@@ -1,0 +1,59 @@
+// Analytical GPU timing model.
+//
+// FZ-GPU and its competitors are dominated by global-memory traffic, fixed
+// kernel-launch latency, and (for cuSZ/MGARD) long serial phases.  A roofline
+// model over the CostSheet therefore reproduces the *relative* throughput
+// structure of the paper's Figures 1 and 8-11 — which compressor wins, by
+// roughly what factor, and where the crossovers are — without a cycle-level
+// simulator.  See DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <string>
+
+#include "cudasim/cost_sheet.hpp"
+
+namespace fz::cudasim {
+
+struct DeviceSpec {
+  std::string name;
+  double mem_bw_gbps;        ///< DRAM bandwidth (GB/s)
+  double smem_tx_per_ns;     ///< shared-memory transactions retired per ns
+  double ops_per_ns;         ///< per-lane integer/logic ops retired per ns
+  double launch_overhead_us; ///< per-kernel launch latency (µs)
+  double pcie_bw_gbps;       ///< effective host link bandwidth per GPU (GB/s)
+  int sm_count;
+
+  /// NVIDIA A100 (108 SMs, 40 GB HBM2): ~1555 GB/s DRAM, ~2 TB/s effective
+  /// shared-memory, launch latency ~5 µs on a busy queue, 16-lane PCIe 4.0
+  /// shared 4-ways => 11.4 GB/s measured by the paper (§4.6).
+  static DeviceSpec a100();
+  /// NVIDIA RTX A4000 (40 SMs, 16 GB GDDR6): ~448 GB/s DRAM.
+  static DeviceSpec a4000();
+};
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Modeled execution time (seconds) of one kernel/stage cost sheet:
+  /// launch latency + roofline over {DRAM, shared memory, compute} + the
+  /// inherently serial components.
+  ///
+  /// `fixed_cost_scale` implements size emulation: size-proportional costs
+  /// are scale-invariant in throughput, but fixed costs (kernel launches,
+  /// codebook builds) are not — when a benchmark runs on a field scaled to
+  /// fraction F of the paper's full size, passing F charges the fixed
+  /// costs at the same *relative* weight they would have at full scale, so
+  /// the reported GB/s matches a full-size run.
+  double seconds(const CostSheet& cost, double fixed_cost_scale = 1.0) const;
+
+  /// Modeled throughput (GB/s) for compressing `input_bytes` at this cost.
+  double throughput_gbps(const CostSheet& cost, u64 input_bytes) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace fz::cudasim

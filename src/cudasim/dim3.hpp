@@ -1,0 +1,24 @@
+// CUDA-like launch geometry types for the execution-model simulator.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fz::cudasim {
+
+struct Dim3 {
+  u32 x = 1;
+  u32 y = 1;
+  u32 z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(u32 nx) : x(nx) {}
+  constexpr Dim3(u32 nx, u32 ny) : x(nx), y(ny) {}
+  constexpr Dim3(u32 nx, u32 ny, u32 nz) : x(nx), y(ny), z(nz) {}
+
+  constexpr u32 count() const { return x * y * z; }
+  constexpr bool operator==(const Dim3&) const = default;
+};
+
+constexpr u32 kWarpSize = 32;
+
+}  // namespace fz::cudasim

@@ -1,0 +1,369 @@
+#include "cudasim/launch.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace fz::cudasim {
+
+namespace {
+
+enum class FiberState { Ready, WaitBarrier, WaitWarp, Done };
+
+struct Fiber {
+  ucontext_t ctx{};
+  std::vector<u8> stack;
+  FiberState state = FiberState::Ready;
+  u32 ltid = 0;
+};
+
+/// One in-flight warp collective: lanes deposit values and park until the
+/// whole (live part of the) warp has arrived.
+struct WarpOp {
+  enum class Kind { None, Ballot, Any, Shfl };
+  Kind kind = Kind::None;
+  u32 arrived = 0;  // lane mask
+  std::array<u32, kWarpSize> values{};
+  std::array<u32, kWarpSize> srcs{};  // shfl source lanes
+  // Results are delivered through per-lane mailboxes so the op can be
+  // reset (and reused for the next collective) the moment it completes,
+  // even before slower lanes have been rescheduled to consume theirs.
+  std::array<u32, kWarpSize> mailbox{};
+  u32 mailbox_valid = 0;
+};
+
+/// Shared-memory access trace of one warp, slot-paired across lanes: the
+/// k-th shared access performed by each lane is assumed to belong to the
+/// same (lockstep) instruction, which holds for the divergence-free access
+/// patterns of the fz kernels.
+struct WarpSmemTrace {
+  std::array<u32, kWarpSize> seq{};  // per-lane access counter
+  // slot -> lane -> (valid, word index)
+  std::vector<std::array<std::pair<bool, u32>, kWarpSize>> slots;
+};
+
+}  // namespace
+
+class BlockRunner {
+ public:
+  BlockRunner(const LaunchConfig& cfg, const KernelFn& fn, CostSheet& cost)
+      : cfg_(cfg), fn_(fn), cost_(cost) {}
+
+  void run_block(Dim3 block_idx);
+
+  // -- called from fibers via ThreadCtx -----------------------------------
+  void sync_threads();
+  u32 ballot(bool pred);
+  bool any(bool pred);
+  u32 shfl(u32 v, u32 src_lane);
+  void* shared_raw(const char* key, size_t bytes);
+  void shared_access(size_t word_index);
+  void count_global_read(size_t b) { cost_.global_bytes_read += b; }
+  void count_global_write(size_t b) { cost_.global_bytes_written += b; }
+  void count_ops(size_t n) { cost_.thread_ops += n; }
+  void count_divergence() { cost_.divergent_branches += 1; }
+
+  ThreadCtx& current_ctx() { return ctxs_[current_]; }
+
+ private:
+  void fiber_body();
+  static void fiber_entry();
+  void yield_to_scheduler();
+  u32 live_count() const;
+  u32 live_warp_mask(u32 warp) const;
+  void release_barrier_if_complete();
+  u32 warp_collective(WarpOp::Kind kind, u32 value, u32 src = 0);
+  void complete_warp_op(u32 warp);
+  void flush_smem_traces();
+
+  const LaunchConfig& cfg_;
+  const KernelFn& fn_;
+  CostSheet& cost_;
+
+  std::vector<Fiber> fibers_;
+  std::vector<ThreadCtx> ctxs_;
+  ucontext_t sched_ctx_{};
+  u32 current_ = 0;
+  u32 nthreads_ = 0;
+
+  u32 barrier_waiting_ = 0;
+  std::exception_ptr pending_exception_;
+  std::vector<WarpOp> warp_ops_;
+  std::vector<WarpSmemTrace> smem_traces_;
+  std::map<std::string, AlignedBuffer> shared_arenas_;
+};
+
+namespace {
+thread_local BlockRunner* g_runner = nullptr;
+}
+
+void BlockRunner::fiber_entry() {
+  BlockRunner* r = g_runner;
+  r->fiber_body();
+}
+
+void BlockRunner::fiber_body() {
+  // Exceptions cannot unwind across swapcontext; capture and rethrow from
+  // the scheduler.  (Kernel bodies hold no owning resources, so abandoning
+  // the sibling fibers' stacks on error is safe.)
+  try {
+    fn_(ctxs_[current_]);
+  } catch (...) {
+    pending_exception_ = std::current_exception();
+  }
+  fibers_[current_].state = FiberState::Done;
+  // A completed thread may unblock a barrier held by the remaining threads.
+  release_barrier_if_complete();
+  swapcontext(&fibers_[current_].ctx, &sched_ctx_);
+  FZ_REQUIRE(false, "resumed a finished simulated thread");
+}
+
+void BlockRunner::run_block(Dim3 block_idx) {
+  nthreads_ = cfg_.block.count();
+  FZ_REQUIRE(nthreads_ > 0, "empty block");
+  const u32 nwarps = (nthreads_ + kWarpSize - 1) / kWarpSize;
+
+  fibers_.assign(nthreads_, Fiber{});
+  ctxs_.clear();
+  ctxs_.reserve(nthreads_);
+  warp_ops_.assign(nwarps, WarpOp{});
+  smem_traces_.assign(nwarps, WarpSmemTrace{});
+  shared_arenas_.clear();
+  barrier_waiting_ = 0;
+
+  for (u32 t = 0; t < nthreads_; ++t) {
+    ThreadCtx ctx(*this);
+    ctx.block_idx = block_idx;
+    ctx.block_dim = cfg_.block;
+    ctx.grid_dim = cfg_.grid;
+    ctx.thread_idx = Dim3{t % cfg_.block.x, (t / cfg_.block.x) % cfg_.block.y,
+                          t / (cfg_.block.x * cfg_.block.y)};
+    ctxs_.push_back(ctx);
+
+    Fiber& f = fibers_[t];
+    f.ltid = t;
+    f.stack.resize(cfg_.stack_bytes);
+    getcontext(&f.ctx);
+    f.ctx.uc_stack.ss_sp = f.stack.data();
+    f.ctx.uc_stack.ss_size = f.stack.size();
+    f.ctx.uc_link = &sched_ctx_;
+    makecontext(&f.ctx, reinterpret_cast<void (*)()>(&BlockRunner::fiber_entry), 0);
+  }
+
+  g_runner = this;
+  // Round-robin scheduler: run every Ready fiber until all are Done.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    bool all_done = true;
+    for (u32 t = 0; t < nthreads_; ++t) {
+      if (fibers_[t].state == FiberState::Done) continue;
+      all_done = false;
+      if (fibers_[t].state != FiberState::Ready) continue;
+      current_ = t;
+      progress = true;
+      swapcontext(&sched_ctx_, &fibers_[t].ctx);
+      if (pending_exception_) {
+        g_runner = nullptr;
+        std::rethrow_exception(std::exchange(pending_exception_, nullptr));
+      }
+    }
+    if (all_done) break;
+    if (!progress) {
+      FZ_REQUIRE(false, "simulated block deadlocked in kernel '" + cfg_.name +
+                            "' (divergent collective or missing barrier "
+                            "participant)");
+    }
+  }
+  g_runner = nullptr;
+  flush_smem_traces();
+}
+
+void BlockRunner::yield_to_scheduler() {
+  swapcontext(&fibers_[current_].ctx, &sched_ctx_);
+}
+
+u32 BlockRunner::live_count() const {
+  u32 n = 0;
+  for (const auto& f : fibers_)
+    if (f.state != FiberState::Done) ++n;
+  return n;
+}
+
+u32 BlockRunner::live_warp_mask(u32 warp) const {
+  u32 mask = 0;
+  const u32 base = warp * kWarpSize;
+  for (u32 l = 0; l < kWarpSize; ++l) {
+    const u32 t = base + l;
+    if (t < nthreads_ && fibers_[t].state != FiberState::Done) mask |= 1u << l;
+  }
+  return mask;
+}
+
+void BlockRunner::release_barrier_if_complete() {
+  if (barrier_waiting_ == 0) return;
+  if (barrier_waiting_ < live_count()) return;
+  barrier_waiting_ = 0;
+  for (auto& f : fibers_)
+    if (f.state == FiberState::WaitBarrier) f.state = FiberState::Ready;
+}
+
+void BlockRunner::sync_threads() {
+  fibers_[current_].state = FiberState::WaitBarrier;
+  ++barrier_waiting_;
+  release_barrier_if_complete();
+  yield_to_scheduler();
+}
+
+void BlockRunner::complete_warp_op(u32 warp) {
+  WarpOp& op = warp_ops_[warp];
+  const u32 arrived = op.arrived;
+  switch (op.kind) {
+    case WarpOp::Kind::Ballot:
+    case WarpOp::Kind::Any: {
+      u32 bits = 0;
+      for (u32 l = 0; l < kWarpSize; ++l)
+        if ((arrived >> l & 1u) && op.values[l]) bits |= 1u << l;
+      const u32 result = op.kind == WarpOp::Kind::Any ? (bits != 0 ? 1 : 0) : bits;
+      for (u32 l = 0; l < kWarpSize; ++l)
+        if (arrived >> l & 1u) op.mailbox[l] = result;
+      break;
+    }
+    case WarpOp::Kind::Shfl: {
+      for (u32 l = 0; l < kWarpSize; ++l) {
+        if (!(arrived >> l & 1u)) continue;
+        op.mailbox[l] = op.values[op.srcs[l] % kWarpSize];
+      }
+      break;
+    }
+    case WarpOp::Kind::None:
+      FZ_REQUIRE(false, "completing empty warp op");
+  }
+  op.mailbox_valid |= arrived;
+  // Reset the op immediately: results live in the mailboxes now, so a fast
+  // lane may begin the next collective before slow lanes consume theirs.
+  op.arrived = 0;
+  op.kind = WarpOp::Kind::None;
+  // Wake every parked lane of the warp.
+  const u32 base = warp * kWarpSize;
+  for (u32 l = 0; l < kWarpSize; ++l) {
+    const u32 t = base + l;
+    if (t < nthreads_ && fibers_[t].state == FiberState::WaitWarp)
+      fibers_[t].state = FiberState::Ready;
+  }
+}
+
+u32 BlockRunner::warp_collective(WarpOp::Kind kind, u32 value, u32 src) {
+  const u32 warp = current_ / kWarpSize;
+  const u32 lane = current_ % kWarpSize;
+  WarpOp& op = warp_ops_[warp];
+  FZ_REQUIRE((op.mailbox_valid >> lane & 1u) == 0,
+             "lane re-entered collective with unconsumed result");
+  if (op.arrived == 0) {
+    op.kind = kind;
+  } else {
+    FZ_REQUIRE(op.kind == kind,
+               "divergent warp collective in kernel '" + cfg_.name + "'");
+  }
+  op.values[lane] = value;
+  op.srcs[lane] = src;
+  op.arrived |= 1u << lane;
+
+  const u32 live = live_warp_mask(warp);
+  if ((op.arrived & live) == live) {
+    complete_warp_op(warp);
+  } else {
+    fibers_[current_].state = FiberState::WaitWarp;
+    yield_to_scheduler();
+  }
+  FZ_REQUIRE(op.mailbox_valid >> lane & 1u, "warp collective lost its result");
+  op.mailbox_valid &= ~(1u << lane);
+  return op.mailbox[lane];
+}
+
+u32 BlockRunner::ballot(bool pred) {
+  return warp_collective(WarpOp::Kind::Ballot, pred ? 1 : 0);
+}
+
+bool BlockRunner::any(bool pred) {
+  return warp_collective(WarpOp::Kind::Any, pred ? 1 : 0) != 0;
+}
+
+u32 BlockRunner::shfl(u32 v, u32 src_lane) {
+  return warp_collective(WarpOp::Kind::Shfl, v, src_lane);
+}
+
+void* BlockRunner::shared_raw(const char* key, size_t bytes) {
+  auto [it, inserted] = shared_arenas_.try_emplace(key);
+  if (inserted) it->second.resize(bytes);
+  FZ_REQUIRE(it->second.size() >= bytes, "shared array size mismatch");
+  return it->second.data();
+}
+
+void BlockRunner::shared_access(size_t word_index) {
+  const u32 warp = current_ / kWarpSize;
+  const u32 lane = current_ % kWarpSize;
+  WarpSmemTrace& tr = smem_traces_[warp];
+  const u32 slot = tr.seq[lane]++;
+  if (slot >= tr.slots.size()) tr.slots.resize(slot + 1);
+  tr.slots[slot][lane] = {true, static_cast<u32>(word_index)};
+  cost_.shared_accesses += 1;
+}
+
+void BlockRunner::flush_smem_traces() {
+  // Transactions per slot = max over banks of the number of *distinct*
+  // 4-byte words the warp touches in that bank (broadcast of one word is a
+  // single transaction).
+  for (auto& tr : smem_traces_) {
+    for (const auto& slot : tr.slots) {
+      std::array<std::vector<u32>, kWarpSize> words_per_bank;
+      for (const auto& [valid, word] : slot) {
+        if (!valid) continue;
+        words_per_bank[word % kWarpSize].push_back(word);
+      }
+      u32 tx = 0;
+      for (auto& words : words_per_bank) {
+        std::sort(words.begin(), words.end());
+        words.erase(std::unique(words.begin(), words.end()), words.end());
+        tx = std::max<u32>(tx, static_cast<u32>(words.size()));
+      }
+      cost_.shared_transactions += tx;
+    }
+    tr.slots.clear();
+    tr.seq.fill(0);
+  }
+}
+
+// ---- ThreadCtx forwarding --------------------------------------------------
+
+void ThreadCtx::sync_threads() { runner_.sync_threads(); }
+u32 ThreadCtx::ballot(bool pred) { return runner_.ballot(pred); }
+bool ThreadCtx::any(bool pred) { return runner_.any(pred); }
+u32 ThreadCtx::shfl(u32 v, u32 src_lane) { return runner_.shfl(v, src_lane); }
+void* ThreadCtx::shared_raw(const char* key, size_t bytes) {
+  return runner_.shared_raw(key, bytes);
+}
+void ThreadCtx::shared_access(size_t word_index) { runner_.shared_access(word_index); }
+void ThreadCtx::count_global_read(size_t bytes) { runner_.count_global_read(bytes); }
+void ThreadCtx::count_global_write(size_t bytes) { runner_.count_global_write(bytes); }
+void ThreadCtx::count_ops(size_t n) { runner_.count_ops(n); }
+void ThreadCtx::count_divergence() { runner_.count_divergence(); }
+
+CostSheet launch(const LaunchConfig& cfg, const KernelFn& fn) {
+  CostSheet cost;
+  cost.name = cfg.name;
+  cost.kernel_launches = 1;
+  BlockRunner runner(cfg, fn, cost);
+  for (u32 bz = 0; bz < cfg.grid.z; ++bz)
+    for (u32 by = 0; by < cfg.grid.y; ++by)
+      for (u32 bx = 0; bx < cfg.grid.x; ++bx) runner.run_block(Dim3{bx, by, bz});
+  return cost;
+}
+
+}  // namespace fz::cudasim

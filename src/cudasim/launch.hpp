@@ -1,0 +1,112 @@
+// Warp-accurate CUDA execution-model simulator.
+//
+// Kernels are ordinary C++ callables written in CUDA's per-thread style,
+// receiving a ThreadCtx that exposes the launch geometry, __syncthreads,
+// warp collectives (__ballot_sync / __any_sync / __shfl_sync), and
+// block-shared memory.  Each simulated thread runs on a cooperative fiber
+// (ucontext); a block's fibers are scheduled round-robin and park at
+// synchronization points, so the collective semantics match hardware:
+//   * a warp collective completes only when every live lane of the warp
+//     has arrived (divergent collectives throw, as they would deadlock),
+//   * __syncthreads releases only when every live thread of the block
+//     has arrived.
+// The simulator also keeps a CostSheet: global traffic (via the gload/
+// gstore helpers), shared-memory transactions with bank-conflict
+// accounting (via shared_access), per-lane op counts, and divergence
+// events.  This is the apparatus used to validate the paper's kernels
+// (bit-identical to the native reference) and its shared-memory padding
+// claim (§3.3).  Full-size benchmark costs come from analytical sheets
+// instead (see core/costs.hpp).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+#include "cudasim/cost_sheet.hpp"
+#include "cudasim/dim3.hpp"
+
+namespace fz::cudasim {
+
+class BlockRunner;
+
+/// Per-thread view handed to the kernel body.
+class ThreadCtx {
+ public:
+  Dim3 thread_idx;
+  Dim3 block_idx;
+  Dim3 block_dim;
+  Dim3 grid_dim;
+
+  /// Linear thread id within the block (x fastest).
+  u32 linear_tid() const {
+    return thread_idx.x + block_dim.x * (thread_idx.y + block_dim.y * thread_idx.z);
+  }
+  u32 lane() const { return linear_tid() % kWarpSize; }
+  u32 warp_id() const { return linear_tid() / kWarpSize; }
+
+  /// __syncthreads().
+  void sync_threads();
+
+  /// __ballot_sync(full mask, pred): bit i of the result is lane i's pred.
+  u32 ballot(bool pred);
+  /// __any_sync(full mask, pred).
+  bool any(bool pred);
+  /// __shfl_sync(full mask, v, src_lane).
+  u32 shfl(u32 v, u32 src_lane);
+
+  /// Block-shared zero-initialized array, keyed by name; every thread that
+  /// calls this with the same key receives the same storage.
+  template <typename T>
+  T* shared(const char* key, size_t count) {
+    return static_cast<T*>(shared_raw(key, count * sizeof(T)));
+  }
+
+  /// Counted global-memory access helpers.
+  template <typename T>
+  T gload(const T* p) {
+    count_global_read(sizeof(T));
+    return *p;
+  }
+  template <typename T>
+  void gstore(T* p, T v) {
+    count_global_write(sizeof(T));
+    *p = v;
+  }
+
+  /// Record one shared-memory access by this lane to 4-byte word
+  /// `word_index`; the runner derives bank conflicts from the per-warp
+  /// access pattern (lockstep slot pairing).
+  void shared_access(size_t word_index);
+
+  void count_global_read(size_t bytes);
+  void count_global_write(size_t bytes);
+  void count_ops(size_t n);
+  /// Record a warp-divergent branch event.
+  void count_divergence();
+
+ private:
+  friend class BlockRunner;
+  explicit ThreadCtx(BlockRunner& runner) : runner_(runner) {}
+  void* shared_raw(const char* key, size_t bytes);
+  BlockRunner& runner_;
+};
+
+using KernelFn = std::function<void(ThreadCtx&)>;
+
+struct LaunchConfig {
+  std::string name = "kernel";
+  Dim3 grid;
+  Dim3 block;
+  /// Fiber stack size per simulated thread.
+  size_t stack_bytes = 64 * 1024;
+};
+
+/// Execute the kernel over the whole grid (blocks sequentially, threads of a
+/// block as cooperating fibers) and return the accumulated cost sheet.
+CostSheet launch(const LaunchConfig& cfg, const KernelFn& fn);
+
+}  // namespace fz::cudasim

@@ -1,0 +1,44 @@
+#include "datasets/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fz {
+
+void Field::compute_stats() const {
+  FZ_REQUIRE(!data.empty(), "empty field");
+  auto [lo, hi] = std::minmax_element(data.begin(), data.end());
+  min_ = *lo;
+  max_ = *hi;
+  stats_valid_ = true;
+}
+
+double Field::min_value() const {
+  if (!stats_valid_) compute_stats();
+  return min_;
+}
+
+double Field::max_value() const {
+  if (!stats_valid_) compute_stats();
+  return max_;
+}
+
+double Field::value_range() const {
+  if (!stats_valid_) compute_stats();
+  return max_ - min_;
+}
+
+double Field::resolve_eb(const ErrorBound& eb) const {
+  if (eb.mode == ErrorBoundMode::Absolute) return eb.value;
+  double range = value_range();
+  if (range <= 0) {
+    // Constant field: scale by the value magnitude instead (any positive
+    // bound reproduces a constant exactly).
+    range = std::max(std::fabs(max_value()), 1.0);
+  }
+  return eb.resolve(range);
+}
+
+}  // namespace fz

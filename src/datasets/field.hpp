@@ -1,0 +1,48 @@
+// Field: a named single-precision scalar field with logical dimensions.
+// The unit of compression throughout the library and the benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+struct Field {
+  std::string dataset;  ///< owning dataset, e.g. "RTM"
+  std::string name;     ///< field name, e.g. "snapshot_1200"
+  Dims dims;
+  std::vector<f32> data;
+
+  size_t count() const { return data.size(); }
+  size_t bytes() const { return data.size() * sizeof(f32); }
+  FloatSpan values() const { return data; }
+
+  /// Min/max/range of the data (computed on demand, cached).
+  double min_value() const;
+  double max_value() const;
+  double value_range() const;
+
+  /// Resolve a (possibly range-relative) error bound for this field.
+  /// Constant fields (range 0) fall back to the value magnitude.
+  double resolve_eb(const ErrorBound& eb) const;
+
+ private:
+  mutable bool stats_valid_ = false;
+  mutable double min_ = 0, max_ = 0;
+  void compute_stats() const;
+};
+
+/// Static description of a full-scale SDRBench dataset (Table 1 of the
+/// paper); the generators produce scaled-down instances of these.
+struct DatasetInfo {
+  std::string name;
+  std::string domain;
+  Dims full_dims;
+  int num_fields;
+  std::string example_fields;
+  double full_field_mb;
+};
+
+}  // namespace fz

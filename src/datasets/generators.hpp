@@ -1,0 +1,45 @@
+// Synthetic SDRBench-like field generators (Table 1 of the paper).
+//
+// Real SDRBench data is not redistributable inside this repository, so each
+// dataset is replaced by a generator that reproduces the *statistical
+// character* that drives compressor behaviour (see DESIGN.md §1):
+//   HACC      1-D particle coordinates/velocities — unordered, Lorenzo-hostile
+//   CESM      2-D climate fields — large-scale smooth structure + banding
+//   Hurricane 3-D weather — vortex flow; QRAIN-like fields are sparse
+//   Nyx       3-D cosmology — log-normal density, huge dynamic range
+//   QMCPACK   3-D orbitals — oscillatory, locally rough
+//   RTM       3-D seismic wavefield — expanding wavefronts, many exact zeros
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datasets/field.hpp"
+
+namespace fz {
+
+enum class Dataset { HACC, CESM, Hurricane, Nyx, QMCPACK, RTM };
+
+const char* dataset_name(Dataset ds);
+const DatasetInfo& dataset_info(Dataset ds);
+std::vector<Dataset> all_datasets();
+
+/// Scaled dims for a dataset: `scale` ~ linear shrink factor relative to the
+/// full-scale dims in Table 1 (scale = 1.0 reproduces the paper's sizes).
+Dims scaled_dims(Dataset ds, double scale);
+
+/// Generate the representative field of `ds` at the given dims.
+/// Deterministic in (ds, dims, seed).
+Field generate_field(Dataset ds, Dims dims, u64 seed = 42);
+
+/// Generate a named variant (e.g. a second field of the dataset with a
+/// different character: "vx" for HACC velocities, "qrain" for Hurricane).
+Field generate_field_variant(Dataset ds, const std::string& variant, Dims dims,
+                             u64 seed = 42);
+
+/// The benchmark suite: one representative field per dataset at benchmark
+/// scale (scale ~0.22 of full size => a few MB per field; the throughput
+/// model is size-aware so relative results match the paper's).
+std::vector<Field> benchmark_suite(double scale = 0.22, u64 seed = 42);
+
+}  // namespace fz

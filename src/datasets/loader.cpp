@@ -1,0 +1,87 @@
+#include "datasets/loader.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace fz {
+
+namespace {
+
+std::ifstream open_for_read(const std::string& path, size_t* size_out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  FZ_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+  *size_out = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  return in;
+}
+
+}  // namespace
+
+Field load_f32_file(const std::string& path, Dims dims,
+                    const std::string& name) {
+  size_t bytes = 0;
+  std::ifstream in = open_for_read(path, &bytes);
+  FZ_REQUIRE(bytes == dims.count() * sizeof(f32),
+             "'" + path + "' holds " + std::to_string(bytes / sizeof(f32)) +
+                 " f32 values but dims " + dims.to_string() + " need " +
+                 std::to_string(dims.count()));
+  Field f;
+  f.dataset = "file";
+  f.name = name.empty() ? path : name;
+  f.dims = dims;
+  f.data.resize(dims.count());
+  in.read(reinterpret_cast<char*>(f.data.data()),
+          static_cast<std::streamsize>(bytes));
+  FZ_REQUIRE(in.good(), "short read from '" + path + "'");
+  return f;
+}
+
+void save_f32_file(const std::string& path, FloatSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FZ_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(f32)));
+  FZ_REQUIRE(out.good(), "short write to '" + path + "'");
+}
+
+std::vector<f64> load_f64_file(const std::string& path, Dims dims) {
+  size_t bytes = 0;
+  std::ifstream in = open_for_read(path, &bytes);
+  FZ_REQUIRE(bytes == dims.count() * sizeof(f64),
+             "'" + path + "' holds " + std::to_string(bytes / sizeof(f64)) +
+                 " f64 values but dims " + dims.to_string() + " need " +
+                 std::to_string(dims.count()));
+  std::vector<f64> data(dims.count());
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(bytes));
+  FZ_REQUIRE(in.good(), "short read from '" + path + "'");
+  return data;
+}
+
+void save_f64_file(const std::string& path, std::span<const f64> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FZ_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(f64)));
+  FZ_REQUIRE(out.good(), "short write to '" + path + "'");
+}
+
+std::vector<u8> load_bytes(const std::string& path) {
+  size_t bytes = 0;
+  std::ifstream in = open_for_read(path, &bytes);
+  std::vector<u8> v(bytes);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(bytes));
+  FZ_REQUIRE(in.good(), "short read from '" + path + "'");
+  return v;
+}
+
+void save_bytes(const std::string& path, ByteSpan bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FZ_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  FZ_REQUIRE(out.good(), "short write to '" + path + "'");
+}
+
+}  // namespace fz

@@ -1,0 +1,28 @@
+// Raw binary field I/O: SDRBench distributes its datasets as headerless
+// little-endian f32 arrays (.f32/.dat), which is also the format the real
+// FZ-GPU CLI consumes.  These helpers let the library and the fz_cli tool
+// operate on real data in place of the synthetic generators.
+#pragma once
+
+#include <string>
+
+#include "datasets/field.hpp"
+
+namespace fz {
+
+/// Load a headerless f32 file; the file size must equal dims.count()*4.
+Field load_f32_file(const std::string& path, Dims dims,
+                    const std::string& name = "");
+
+/// Write a field's samples as a headerless f32 file.
+void save_f32_file(const std::string& path, FloatSpan data);
+
+/// Double-precision variants (SDRBench also ships f64 datasets).
+std::vector<f64> load_f64_file(const std::string& path, Dims dims);
+void save_f64_file(const std::string& path, std::span<const f64> data);
+
+/// Read/write arbitrary binary blobs (compressed streams).
+std::vector<u8> load_bytes(const std::string& path);
+void save_bytes(const std::string& path, ByteSpan bytes);
+
+}  // namespace fz

@@ -1,0 +1,26 @@
+// Field-level pre-transforms.
+//
+// The paper evaluates HACC after a logarithmic transform so that an absolute
+// error bound on the transformed data realizes a point-wise *relative* bound
+// on the original (Liang et al., CLUSTER'18) — log_transform/exp_transform
+// implement that scheme.
+#pragma once
+
+#include "datasets/field.hpp"
+
+namespace fz {
+
+/// In-place natural-log transform; requires strictly positive data.
+void log_transform(Field& f);
+
+/// Inverse of log_transform (applied to decompressed data).
+void exp_transform(std::span<f32> values);
+
+/// Convert a point-wise relative bound into the absolute bound to use on
+/// log-transformed data: |log x' - log x| <= log(1 + rel) ~ rel.
+double log_abs_bound_for_relative(double pointwise_rel);
+
+/// Extract a 2-D z-slice from a 3-D field (Fig. 12 visual-quality protocol).
+Field slice_z(const Field& f, size_t iz);
+
+}  // namespace fz

@@ -1,0 +1,21 @@
+// Umbrella header: the public API of the FZ library.
+//
+//   #include "fz.hpp"
+//
+//   fz::FzParams params;
+//   params.eb = fz::ErrorBound::relative(1e-3);
+//   auto compressed = fz::fz_compress(data, fz::Dims{nx, ny, nz}, params);
+//   auto restored   = fz::fz_decompress(compressed.bytes);
+//
+// Individual subsystem headers remain includable on their own; this header
+// pulls in everything a typical application needs: the compressor (f32 +
+// f64 + chunked), error-bound types, metrics for verification, and file
+// I/O for SDRBench-format data.
+#pragma once
+
+#include "common/types.hpp"        // Dims, ErrorBound, scalar aliases
+#include "core/chunked.hpp"        // multi-GPU / streaming containers
+#include "core/pipeline.hpp"       // fz_compress / fz_decompress (+_f64)
+#include "datasets/field.hpp"      // Field
+#include "datasets/loader.hpp"     // .f32/.f64 file I/O
+#include "metrics/metrics.hpp"     // distortion, error_bounded

@@ -1,0 +1,124 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "datasets/transforms.hpp"
+#include "metrics/ssim.hpp"
+
+namespace fz::bench {
+
+const std::vector<double>& paper_error_bounds() {
+  static const std::vector<double> ebs{1e-2, 5e-3, 1e-3, 5e-4, 1e-4};
+  return ebs;
+}
+
+namespace {
+
+/// Size-emulation factor: ratio of this field's size to the paper's
+/// full-scale field of the same dataset.  Fixed costs (kernel launches,
+/// codebook builds) are charged at this relative weight so scaled proxy
+/// fields report full-scale throughput (see DeviceModel::seconds).
+double size_emulation_scale(const Field& field) {
+  for (const Dataset ds : all_datasets()) {
+    if (field.dataset == dataset_name(ds)) {
+      const double full_bytes =
+          static_cast<double>(dataset_info(ds).full_dims.count()) * sizeof(f32);
+      return std::min(1.0, static_cast<double>(field.bytes()) / full_bytes);
+    }
+  }
+  return 1.0;  // unknown dataset: charge fixed costs in full
+}
+
+}  // namespace
+
+Measurement measure(const GpuCompressor& comp, const Field& field, double param,
+                    const cudasim::DeviceModel& dev, bool compute_ssim) {
+  Measurement m;
+  m.compressor = comp.name();
+  m.dataset = field.dataset;
+  m.input_bytes = field.bytes();
+  if (comp.mode() == GpuCompressor::Mode::ErrorBounded) {
+    m.rel_eb = param;
+  } else {
+    m.bitrate_in = param;
+  }
+  if (!comp.supports(field)) {
+    m.ok = false;
+    m.note = "unsupported input";
+    return m;
+  }
+
+  const RunResult r = comp.run(field, param);
+  m.compressed_bytes = r.compressed_bytes;
+  m.ratio = r.ratio();
+  m.bitrate = r.bitrate();
+
+  const DistortionStats d = distortion(field.values(), r.reconstructed);
+  m.psnr_db = d.psnr_db;
+  m.max_abs_error = d.max_abs_error;
+  if (compute_ssim) m.ssim = ssim_field(field.values(), r.reconstructed, field.dims);
+
+  const double fixed_scale = size_emulation_scale(field);
+  for (const auto& c : r.compression_costs)
+    m.compress_seconds += dev.seconds(c, fixed_scale);
+  for (const auto& c : r.decompression_costs)
+    m.decompress_seconds += dev.seconds(c, fixed_scale);
+  if (r.native_compress_seconds > 0) {
+    m.compress_seconds = r.native_compress_seconds;
+    m.decompress_seconds = r.native_decompress_seconds;
+  }
+  m.throughput_gbps =
+      m.compress_seconds > 0
+          ? static_cast<double>(m.input_bytes) / 1e9 / m.compress_seconds
+          : 0;
+  return m;
+}
+
+std::optional<Measurement> match_cuzfp_psnr(const GpuCompressor& cuzfp,
+                                            const Field& field,
+                                            double target_psnr_db,
+                                            const cudasim::DeviceModel& dev,
+                                            double tolerance_db,
+                                            bool compute_ssim) {
+  FZ_REQUIRE(cuzfp.mode() == GpuCompressor::Mode::FixedRate,
+             "psnr matching expects a fixed-rate compressor");
+  // The paper "investigate[s] a series of bitrates and select[s] the
+  // bitrates with the same average PSNR as ours".
+  static const double rates[] = {0.5, 1,  1.5, 2,  2.5, 3,  3.5, 4,  5,  6,
+                                 7,   8,  9,   10, 11,  12, 13,  14, 16, 18,
+                                 20,  22, 24,  26, 28};
+  std::optional<Measurement> best;
+  double best_gap = tolerance_db;
+  for (const double rate : rates) {
+    Measurement m = measure(cuzfp, field, rate, dev, compute_ssim);
+    const double gap = std::fabs(m.psnr_db - target_psnr_db);
+    if (gap <= best_gap) {
+      best_gap = gap;
+      best = std::move(m);
+    }
+    // Rates are ascending, PSNR is monotone: once we overshoot well past
+    // the target there is nothing better ahead.
+    if (m.psnr_db > target_psnr_db + 2 * tolerance_db) break;
+  }
+  return best;
+}
+
+double overall_throughput_gbps(double link_bw_gbps, double ratio,
+                               double compress_throughput_gbps) {
+  FZ_REQUIRE(link_bw_gbps > 0 && ratio > 0 && compress_throughput_gbps > 0,
+             "overall throughput: bad inputs");
+  return 1.0 / (1.0 / (link_bw_gbps * ratio) + 1.0 / compress_throughput_gbps);
+}
+
+std::vector<Field> evaluation_fields(double scale, u64 seed) {
+  std::vector<Field> fields = benchmark_suite(scale, seed);
+  for (Field& f : fields) {
+    // The paper evaluates the log-transformed HACC dataset (§4.1).
+    if (f.dataset == "HACC") log_transform(f);
+  }
+  return fields;
+}
+
+}  // namespace fz::bench

@@ -1,0 +1,66 @@
+// Experiment drivers shared by the benchmark binaries (bench/).
+//
+// These encode the paper's evaluation protocol (§4.1–4.2): range-relative
+// error bounds {1e-2, 5e-3, 1e-3, 5e-4, 1e-4}, PSNR-matching of the
+// fixed-rate cuZFP against FZ-GPU, kernel-time throughput from the device
+// model, and the overall data-transfer throughput formula of §4.6.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/compressor.hpp"
+#include "cudasim/device_model.hpp"
+#include "datasets/generators.hpp"
+#include "metrics/metrics.hpp"
+
+namespace fz::bench {
+
+/// The paper's five range-relative error bounds, largest first.
+const std::vector<double>& paper_error_bounds();
+
+struct Measurement {
+  std::string compressor;
+  std::string dataset;
+  double rel_eb = 0;      ///< 0 for fixed-rate runs
+  double bitrate_in = 0;  ///< requested rate (fixed-rate runs)
+  double ratio = 0;
+  double bitrate = 0;
+  double psnr_db = 0;
+  double max_abs_error = 0;
+  double ssim = 0;
+  double compress_seconds = 0;    ///< modeled device time
+  double decompress_seconds = 0;  ///< modeled device time
+  double throughput_gbps = 0;     ///< input_bytes / compress_seconds
+  size_t input_bytes = 0;
+  size_t compressed_bytes = 0;
+  bool ok = true;                 ///< false when the compressor bailed
+  std::string note;
+};
+
+/// Run one compressor on one field at one parameter and collect metrics.
+/// `compute_ssim` is optional because SSIM is expensive on large 3-D data.
+Measurement measure(const GpuCompressor& comp, const Field& field, double param,
+                    const cudasim::DeviceModel& dev, bool compute_ssim = false);
+
+/// The paper's cuZFP protocol: sweep bitrates and return the measurement
+/// whose PSNR is closest to `target_psnr_db` (nullopt when no swept rate
+/// gets within `tolerance_db`, mirroring the paper's missing bars).
+std::optional<Measurement> match_cuzfp_psnr(const GpuCompressor& cuzfp,
+                                            const Field& field,
+                                            double target_psnr_db,
+                                            const cudasim::DeviceModel& dev,
+                                            double tolerance_db = 3.0,
+                                            bool compute_ssim = false);
+
+/// Overall CPU-GPU data-transfer throughput (paper §4.6):
+///   T_overall = ((BW·CR)^-1 + T_compr^-1)^-1
+double overall_throughput_gbps(double link_bw_gbps, double ratio,
+                               double compress_throughput_gbps);
+
+/// The evaluation fields at benchmark scale, with the paper's HACC
+/// log-transform pre-applied.
+std::vector<Field> evaluation_fields(double scale = 0.22, u64 seed = 42);
+
+}  // namespace fz::bench

@@ -1,0 +1,75 @@
+#include "harness/tables.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fz::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  FZ_REQUIRE(cells.size() == headers_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  // Plot-friendly output: FZ_BENCH_CSV=1 appends a CSV copy of each table.
+  const bool also_csv = std::getenv("FZ_BENCH_CSV") != nullptr;
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto line = [&] {
+    os << '+';
+    for (const size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << row[c]
+         << " |";
+    os << '\n';
+  };
+  line();
+  emit(headers_);
+  line();
+  for (const auto& row : rows_) emit(row);
+  line();
+  if (also_csv) {
+    os << "# csv\n";
+    print_csv(os);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string fmt_ratio(double v) { return fmt(v, 1) + "x"; }
+std::string fmt_gbps(double v) { return fmt(v, v >= 10 ? 1 : 2); }
+std::string fmt_db(double v) { return fmt(v, 1); }
+
+}  // namespace fz::bench

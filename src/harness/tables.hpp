@@ -1,0 +1,34 @@
+// Fixed-width table and CSV emitters for the benchmark binaries, so every
+// figure/table reproduction prints the same rows the paper reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fz::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (for downstream plotting).
+  void print_csv(std::ostream& os) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers shared by the bench binaries.
+std::string fmt(double v, int precision = 2);
+std::string fmt_ratio(double v);
+std::string fmt_gbps(double v);
+std::string fmt_db(double v);
+
+}  // namespace fz::bench

@@ -1,0 +1,59 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fz {
+
+DistortionStats distortion(FloatSpan original, FloatSpan reconstructed) {
+  FZ_REQUIRE(original.size() == reconstructed.size() && !original.empty(),
+             "distortion: size mismatch");
+  DistortionStats s;
+  double vmin = original[0], vmax = original[0];
+  double sum_sq = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    const double d = static_cast<double>(original[i]) - reconstructed[i];
+    s.max_abs_error = std::max(s.max_abs_error, std::fabs(d));
+    sum_sq += d * d;
+    vmin = std::min(vmin, static_cast<double>(original[i]));
+    vmax = std::max(vmax, static_cast<double>(original[i]));
+  }
+  s.mse = sum_sq / static_cast<double>(original.size());
+  s.value_range = vmax - vmin;
+  if (s.mse <= 0) {
+    s.psnr_db = 999.0;  // lossless reconstruction sentinel
+    s.nrmse = 0;
+  } else {
+    s.psnr_db = 20.0 * std::log10(s.value_range) - 10.0 * std::log10(s.mse);
+    s.nrmse = std::sqrt(s.mse) / s.value_range;
+  }
+  return s;
+}
+
+bool error_bounded(FloatSpan original, FloatSpan reconstructed, double bound) {
+  FZ_REQUIRE(original.size() == reconstructed.size(), "size mismatch");
+  // The reconstruction is stored as f32, so the achievable bound is the
+  // requested one plus half an ulp at the value's magnitude (f32 epsilon
+  // 2^-23) — the standard caveat of every f32-output error-bounded
+  // compressor.
+  for (size_t i = 0; i < original.size(); ++i) {
+    const double d = std::fabs(static_cast<double>(original[i]) - reconstructed[i]);
+    const double slack = bound * 1e-6 +
+                         std::fabs(static_cast<double>(original[i])) * 6e-8 +
+                         1e-30;
+    if (d > bound + slack) return false;
+  }
+  return true;
+}
+
+RatioStats ratio_stats(size_t original_bytes, size_t compressed_bytes) {
+  RatioStats r;
+  if (compressed_bytes == 0) return r;
+  r.ratio = static_cast<double>(original_bytes) / static_cast<double>(compressed_bytes);
+  r.bitrate = 32.0 / r.ratio;
+  return r;
+}
+
+}  // namespace fz

@@ -1,0 +1,31 @@
+// Distortion and ratio metrics used by the evaluation (paper §4.2).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+struct DistortionStats {
+  double max_abs_error = 0;
+  double mse = 0;
+  double psnr_db = 0;       ///< 20 log10(range) - 10 log10(mse)
+  double value_range = 0;   ///< of the original data
+  double nrmse = 0;         ///< sqrt(mse) / range
+};
+
+/// Compare reconstructed data against the original.
+DistortionStats distortion(FloatSpan original, FloatSpan reconstructed);
+
+/// True iff every |orig - recon| <= bound (+ tiny float slack).
+bool error_bounded(FloatSpan original, FloatSpan reconstructed, double bound);
+
+/// Compression ratio and bitrate (bits per value, 32 / ratio for f32).
+struct RatioStats {
+  double ratio = 0;
+  double bitrate = 0;
+};
+RatioStats ratio_stats(size_t original_bytes, size_t compressed_bytes);
+
+}  // namespace fz

@@ -1,0 +1,28 @@
+// Structural Similarity Index (SSIM) for reconstructed-quality evaluation
+// (paper §4.7, Fig. 12).  The standard windowed formulation (Wang et al.;
+// see also "Understanding SSIM", arXiv:2006.13846) applied to 2-D data;
+// 3-D fields are scored as the mean SSIM over their z-slices.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fz {
+
+struct SsimParams {
+  int window = 8;       ///< square window edge (non-overlapping mean if stride==window)
+  int stride = 1;       ///< sliding-window stride
+  double k1 = 0.01;
+  double k2 = 0.03;
+};
+
+/// Mean SSIM between two 2-D fields of extent (nx, ny).
+/// `dynamic_range` defaults to the original data's value range.
+double ssim_2d(FloatSpan a, FloatSpan b, size_t nx, size_t ny,
+               const SsimParams& params = {});
+
+/// Mean SSIM over z-slices of a 3-D field; falls back to 1-D windows for
+/// rank-1 data.
+double ssim_field(FloatSpan a, FloatSpan b, Dims dims,
+                  const SsimParams& params = {});
+
+}  // namespace fz

@@ -1,0 +1,9 @@
+// bitio is header-only; this TU exists so the substrate library always has
+// at least one object file and to hold the out-of-line stream validators.
+#include "substrate/bitio.hpp"
+
+namespace fz {
+
+// (intentionally empty)
+
+}  // namespace fz

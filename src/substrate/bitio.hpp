@@ -1,0 +1,176 @@
+// Bit-granular readers and writers over byte buffers.
+//
+// Two orders are provided because the codecs disagree: the Huffman coder
+// emits codes MSB-first (canonical-code convention), while the ZFP-style
+// bit-plane coder consumes bits LSB-first within 64-bit words.
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fz {
+
+/// MSB-first bit writer: the first bit written becomes the top bit of the
+/// first byte.
+class BitWriterMsb {
+ public:
+  void put_bit(bool b) {
+    acc_ = (acc_ << 1) | u64{b};
+    if (++nbits_ == 8) flush_byte();
+  }
+  /// Write the low `n` bits of `v`, most significant of those first.
+  void put_bits(u64 v, int n) {
+    FZ_REQUIRE(n >= 0 && n <= 64, "bad bit count");
+    for (int i = n - 1; i >= 0; --i) put_bit((v >> i) & 1);
+  }
+  /// Pad to a byte boundary with zero bits.
+  void align_byte() {
+    while (nbits_ != 0) put_bit(false);
+  }
+  size_t bit_count() const { return bytes_.size() * 8 + nbits_; }
+  std::vector<u8> take() {
+    align_byte();
+    return std::move(bytes_);
+  }
+
+ private:
+  void flush_byte() {
+    bytes_.push_back(static_cast<u8>(acc_));
+    acc_ = 0;
+    nbits_ = 0;
+  }
+  std::vector<u8> bytes_;
+  u64 acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReaderMsb {
+ public:
+  explicit BitReaderMsb(ByteSpan data) : data_(data) {}
+  bool get_bit() {
+    FZ_FORMAT_REQUIRE(bit_pos_ < data_.size() * 8, "bit stream exhausted");
+    const u8 byte = data_[bit_pos_ / 8];
+    const bool b = (byte >> (7 - bit_pos_ % 8)) & 1;
+    ++bit_pos_;
+    return b;
+  }
+  u64 get_bits(int n) {
+    u64 v = 0;
+    for (int i = 0; i < n; ++i) v = (v << 1) | u64{get_bit()};
+    return v;
+  }
+  size_t bit_pos() const { return bit_pos_; }
+  size_t bits_remaining() const { return data_.size() * 8 - bit_pos_; }
+
+ private:
+  ByteSpan data_;
+  size_t bit_pos_ = 0;
+};
+
+/// LSB-first bit writer over 64-bit words (ZFP-style stream).
+class BitWriterLsb {
+ public:
+  void put_bit(bool b) {
+    if (b) acc_ |= u64{1} << nbits_;
+    if (++nbits_ == 64) flush_word();
+  }
+  /// put_bit that returns the bit written — lets the ZFP group-testing
+  /// loops keep their original (compact) control flow.
+  bool put_bit_r(bool b) {
+    put_bit(b);
+    return b;
+  }
+  /// Write the low `n` bits of `v`, least significant first.
+  void put_bits(u64 v, int n) {
+    FZ_REQUIRE(n >= 0 && n <= 64, "bad bit count");
+    for (int i = 0; i < n; ++i) put_bit((v >> i) & 1);
+  }
+  size_t bit_count() const { return words_.size() * 64 + nbits_; }
+  /// Finish the stream; returns the packed words plus the total bit count.
+  std::vector<u64> take() {
+    if (nbits_ != 0) flush_word();
+    return std::move(words_);
+  }
+
+ private:
+  void flush_word() {
+    words_.push_back(acc_);
+    acc_ = 0;
+    nbits_ = 0;
+  }
+  std::vector<u64> words_;
+  u64 acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReaderLsb {
+ public:
+  explicit BitReaderLsb(std::span<const u64> words, size_t bit_count)
+      : words_(words), bit_count_(bit_count) {}
+  bool get_bit() {
+    FZ_FORMAT_REQUIRE(pos_ < bit_count_, "bit stream exhausted");
+    const bool b = (words_[pos_ / 64] >> (pos_ % 64)) & 1;
+    ++pos_;
+    return b;
+  }
+  u64 get_bits(int n) {
+    u64 v = 0;
+    for (int i = 0; i < n; ++i) v |= u64{get_bit()} << i;
+    return v;
+  }
+  size_t bit_pos() const { return pos_; }
+
+ private:
+  std::span<const u64> words_;
+  size_t bit_count_;
+  size_t pos_ = 0;
+};
+
+/// Append/read trivially-copyable scalars to a byte vector (stream headers).
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<u8>& out) : out_(out) {}
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t off = out_.size();
+    out_.resize(off + sizeof(T));
+    std::memcpy(out_.data() + off, &v, sizeof(T));
+  }
+  void put_bytes(ByteSpan b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
+ private:
+  std::vector<u8>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    FZ_FORMAT_REQUIRE(pos_ + sizeof(T) <= data_.size(), "byte stream exhausted");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  ByteSpan get_bytes(size_t n) {
+    FZ_FORMAT_REQUIRE(pos_ + n <= data_.size(), "byte stream exhausted");
+    ByteSpan s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fz

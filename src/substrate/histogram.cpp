@@ -1,0 +1,20 @@
+#include "substrate/histogram.hpp"
+
+#include <cmath>
+
+namespace fz {
+
+double shannon_entropy(std::span<const u64> hist) {
+  u64 total = 0;
+  for (const u64 c : hist) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const u64 c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace fz

@@ -1,0 +1,30 @@
+// Symbol histograms and entropy, shared by the Huffman coder and the
+// metrics/ablation reporting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+/// Count occurrences of each symbol value in [0, num_bins).
+/// Symbols >= num_bins are clamped into the last bin (callers that need
+/// exact semantics must pre-clamp; the SZ-style coders guarantee range).
+template <typename Sym>
+std::vector<u64> histogram(std::span<const Sym> symbols, size_t num_bins) {
+  std::vector<u64> h(num_bins, 0);
+  for (const Sym s : symbols) {
+    const size_t b = static_cast<size_t>(s) < num_bins
+                         ? static_cast<size_t>(s)
+                         : num_bins - 1;
+    ++h[b];
+  }
+  return h;
+}
+
+/// Shannon entropy (bits/symbol) of a histogram.
+double shannon_entropy(std::span<const u64> hist);
+
+}  // namespace fz

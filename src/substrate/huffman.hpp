@@ -1,0 +1,55 @@
+// Canonical Huffman codec.
+//
+// This is the entropy back end of the cuSZ/SZ-OMP baselines.  Encoding is
+// chunked ("coarse-grained" in cuSZ terminology): symbols are split into
+// fixed-size chunks, each encoded independently and byte-aligned, so chunks
+// can be decoded in parallel.  The codebook build is the inherently serial
+// phase the FZ-GPU paper identifies as cuSZ's bottleneck; its modeled device
+// cost is exposed via codebook_build_serial_ns().
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+struct HuffmanCodebook {
+  /// Per-symbol code length in bits; 0 = symbol unused.
+  std::vector<u8> lengths;
+  /// Canonical codes (value right-aligned; written MSB-first).
+  std::vector<u64> codes;
+
+  size_t num_symbols() const { return lengths.size(); }
+  int max_length() const;
+
+  /// Build a canonical codebook from symbol frequencies.
+  static HuffmanCodebook build(std::span<const u64> histogram);
+};
+
+/// Chunked encode. Output layout:
+///   [u32 num_chunks][u32 chunk_size][u64 symbol_count]
+///   [u32 byte_size per chunk...][chunk payloads, each byte aligned]
+std::vector<u8> huffman_encode(std::span<const u16> symbols,
+                               const HuffmanCodebook& book,
+                               size_t chunk_size = 4096);
+
+/// Decode `huffman_encode` output. Chunks are decoded independently
+/// (parallelized across threads when OpenMP is enabled).
+std::vector<u16> huffman_decode(ByteSpan encoded, const HuffmanCodebook& book);
+
+/// Self-contained stream: serializes the codebook (as the length table)
+/// ahead of the chunked payload.
+std::vector<u8> huffman_compress(std::span<const u16> symbols, size_t num_bins,
+                                 size_t chunk_size = 4096);
+std::vector<u16> huffman_decompress(ByteSpan stream);
+
+/// Modeled serial device time (ns) to build a codebook of `num_bins`
+/// symbols on a GPU, cuSZ-style (histogram + serial tree + canonization).
+/// Calibrated so that a 1024-bin build costs ~0.7 ms, matching the order of
+/// magnitude implied by cuSZ's throughput collapse on small fields (paper
+/// §4.4: the codebook time is roughly constant across datasets).
+double codebook_build_serial_ns(size_t num_bins);
+
+}  // namespace fz

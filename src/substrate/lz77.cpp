@@ -1,0 +1,136 @@
+#include "substrate/lz77.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace fz {
+
+namespace {
+
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+u32 hash4(const u8* p) {
+  u32 v = load_le<u32>(p);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+class TokenWriter {
+ public:
+  explicit TokenWriter(std::vector<u8>& out) : out_(out) {}
+
+  void literal(u8 byte) {
+    begin_token(false);
+    out_.push_back(byte);
+  }
+  void match(size_t distance, size_t length, size_t min_match) {
+    begin_token(true);
+    out_.push_back(static_cast<u8>(distance & 0xff));
+    out_.push_back(static_cast<u8>(distance >> 8));
+    out_.push_back(static_cast<u8>(length - min_match));
+  }
+
+ private:
+  void begin_token(bool is_match) {
+    if (flag_count_ == 0) {
+      flag_pos_ = out_.size();
+      out_.push_back(0);
+      flag_count_ = 8;
+    }
+    if (is_match) out_[flag_pos_] |= static_cast<u8>(1u << (8 - flag_count_));
+    --flag_count_;
+  }
+  std::vector<u8>& out_;
+  size_t flag_pos_ = 0;
+  int flag_count_ = 0;
+};
+
+}  // namespace
+
+std::vector<u8> lz_compress(ByteSpan input, const LzParams& params) {
+  std::vector<u8> out;
+  out.reserve(input.size() / 2 + 16);
+  TokenWriter tokens(out);
+
+  std::vector<u32> head(kHashSize, 0xffffffffu);
+  std::vector<u32> chain(input.size(), 0xffffffffu);
+
+  size_t pos = 0;
+  while (pos < input.size()) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (pos + params.min_match <= input.size() && pos + 4 <= input.size()) {
+      const u32 h = hash4(&input[pos]);
+      u32 cand = head[h];
+      size_t probes = 0;
+      while (cand != 0xffffffffu && probes < params.max_chain) {
+        const size_t dist = pos - cand;
+        if (dist > params.window) break;
+        const size_t limit = std::min(params.max_match, input.size() - pos);
+        size_t len = 0;
+        while (len < limit && input[cand + len] == input[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == limit) break;
+        }
+        cand = chain[cand];
+        ++probes;
+      }
+      chain[pos] = head[h];
+      head[h] = static_cast<u32>(pos);
+    }
+    if (best_len >= params.min_match) {
+      tokens.match(best_dist, best_len, params.min_match);
+      // Insert skipped positions into the hash chains so later matches can
+      // reference them (cheap, improves ratio on periodic data).
+      for (size_t k = 1; k < best_len && pos + k + 4 <= input.size(); ++k) {
+        const u32 h = hash4(&input[pos + k]);
+        chain[pos + k] = head[h];
+        head[h] = static_cast<u32>(pos + k);
+      }
+      pos += best_len;
+    } else {
+      tokens.literal(input[pos]);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::vector<u8> lz_decompress(ByteSpan stream, size_t expected_size) {
+  std::vector<u8> out;
+  out.reserve(expected_size);
+  size_t pos = 0;
+  const LzParams params{};
+  while (out.size() < expected_size) {
+    FZ_FORMAT_REQUIRE(pos < stream.size(), "LZ stream truncated (flags)");
+    const u8 flags = stream[pos++];
+    for (int bit = 0; bit < 8 && out.size() < expected_size; ++bit) {
+      if (flags & (1u << bit)) {
+        FZ_FORMAT_REQUIRE(pos + 3 <= stream.size(), "LZ stream truncated (match)");
+        const size_t dist = stream[pos] | (size_t{stream[pos + 1]} << 8);
+        const size_t len = size_t{stream[pos + 2]} + params.min_match;
+        pos += 3;
+        FZ_FORMAT_REQUIRE(dist != 0 && dist <= out.size(), "bad LZ distance");
+        for (size_t k = 0; k < len; ++k)
+          out.push_back(out[out.size() - dist]);  // overlapping copies ok
+      } else {
+        FZ_FORMAT_REQUIRE(pos < stream.size(), "LZ stream truncated (literal)");
+        out.push_back(stream[pos++]);
+      }
+    }
+  }
+  FZ_FORMAT_REQUIRE(out.size() == expected_size, "LZ output size mismatch");
+  return out;
+}
+
+double lz_match_serial_ns(size_t input_bytes) {
+  // ~6.3 GB/s effective (nvCOMP LZ4 figure quoted in the paper, §3.4 fn 3).
+  return static_cast<double>(input_bytes) / 6.3;
+}
+
+}  // namespace fz

@@ -1,0 +1,34 @@
+// LZ77/LZSS dictionary coder.
+//
+// Used as the dictionary stage of the MGARD baseline's DEFLATE-like back end
+// and to demonstrate why LZ-family coders are a poor fit for massively
+// parallel hardware (the paper §3.4): the repeated-string search is a serial
+// dependency chain, which the cost model charges as serial time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+struct LzParams {
+  size_t window = 1 << 15;     ///< max match distance
+  size_t min_match = 4;        ///< shortest emitted match
+  size_t max_match = 255 + 4;  ///< longest emitted match
+  size_t max_chain = 32;       ///< hash-chain probe limit (greedy matcher)
+};
+
+/// Token stream format (byte-oriented, LZSS-style):
+///   flag byte: 8 flags, LSB first; 0 = literal byte, 1 = match
+///   literal:   1 raw byte
+///   match:     u16 distance (little endian), u8 length - min_match
+std::vector<u8> lz_compress(ByteSpan input, const LzParams& params = {});
+std::vector<u8> lz_decompress(ByteSpan stream, size_t expected_size);
+
+/// Modeled serial device time (ns) for LZ matching over `input_bytes`
+/// (the paper measures nvCOMP LZ4 at ~6.3 GB/s on its datasets).
+double lz_match_serial_ns(size_t input_bytes);
+
+}  // namespace fz

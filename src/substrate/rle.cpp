@@ -1,0 +1,54 @@
+#include "substrate/rle.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace fz {
+
+std::vector<u8> rle_encode(std::span<const u16> symbols) {
+  std::vector<u8> out;
+  out.reserve(symbols.size() / 4 + 16);
+  size_t i = 0;
+  while (i < symbols.size()) {
+    const u16 sym = symbols[i];
+    size_t run = 1;
+    while (i + run < symbols.size() && symbols[i + run] == sym && run < 256)
+      ++run;
+    out.push_back(static_cast<u8>(sym & 0xff));
+    out.push_back(static_cast<u8>(sym >> 8));
+    out.push_back(static_cast<u8>(run - 1));
+    i += run;
+  }
+  return out;
+}
+
+std::vector<u16> rle_decode(ByteSpan stream, size_t expected_count) {
+  FZ_FORMAT_REQUIRE(stream.size() % 3 == 0, "RLE stream size not a multiple of 3");
+  std::vector<u16> out;
+  out.reserve(expected_count);
+  for (size_t pos = 0; pos + 3 <= stream.size(); pos += 3) {
+    const u16 sym = static_cast<u16>(stream[pos] | (u16{stream[pos + 1]} << 8));
+    const size_t run = size_t{stream[pos + 2]} + 1;
+    FZ_FORMAT_REQUIRE(out.size() + run <= expected_count,
+                      "RLE stream overruns expected count");
+    out.insert(out.end(), run, sym);
+  }
+  FZ_FORMAT_REQUIRE(out.size() == expected_count, "RLE stream incomplete");
+  return out;
+}
+
+size_t rle_encoded_bytes(std::span<const u16> symbols) {
+  size_t records = 0;
+  size_t i = 0;
+  while (i < symbols.size()) {
+    size_t run = 1;
+    while (i + run < symbols.size() && symbols[i + run] == symbols[i] &&
+           run < 256)
+      ++run;
+    ++records;
+    i += run;
+  }
+  return records * 3;
+}
+
+}  // namespace fz

@@ -1,0 +1,26 @@
+// Run-length encoding of 16-bit symbols.
+//
+// Tian et al. (CLUSTER'21, reference [32] of the FZ-GPU paper) replace
+// cuSZ's Huffman stage with run-length encoding for high-error-bound
+// scenarios, where the quantization codes are dominated by long runs of
+// the zero-residual symbol.  This codec backs the cuSZ-RLE baseline
+// variant: (symbol, run-length) pairs with a u8 run field and escape
+// continuation for longer runs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+/// Encode as a sequence of [u16 symbol][u8 run-1] records; runs longer
+/// than 256 repeat the record.
+std::vector<u8> rle_encode(std::span<const u16> symbols);
+std::vector<u16> rle_decode(ByteSpan stream, size_t expected_count);
+
+/// Exact encoded size without materializing the stream (for cost models).
+size_t rle_encoded_bytes(std::span<const u16> symbols);
+
+}  // namespace fz

@@ -1,0 +1,184 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "baselines/compressor.hpp"
+
+#include "cudasim/device_model.hpp"
+#include "baselines/cusz.hpp"
+#include "baselines/cuszx.hpp"
+#include "baselines/mgard.hpp"
+#include "baselines/szomp.hpp"
+#include "datasets/generators.hpp"
+#include "metrics/metrics.hpp"
+
+namespace fz::bench {
+namespace {
+
+Field test_field(Dataset ds = Dataset::Hurricane) {
+  return generate_field(ds, scaled_dims(ds, 0.08), 11);
+}
+
+// ---- error-bound invariant for every error-bounded baseline ------------------
+
+struct BoundCase {
+  const char* which;
+  double rel_eb;
+};
+
+class BaselineBound : public ::testing::TestWithParam<BoundCase> {};
+
+std::unique_ptr<GpuCompressor> make_by_name(const std::string& which) {
+  if (which == "cusz") return make_cusz();
+  if (which == "cuszx") return make_cuszx();
+  if (which == "mgard") return make_mgard();
+  if (which == "fzgpu") return make_fzgpu();
+  return nullptr;
+}
+
+TEST_P(BaselineBound, ReconstructionWithinBound) {
+  const auto [which, rel_eb] = GetParam();
+  const auto comp = make_by_name(which);
+  ASSERT_NE(comp, nullptr);
+  const Field f = test_field();
+  const double abs_eb = rel_eb * f.value_range();
+  const RunResult r = comp->run(f, rel_eb);
+  ASSERT_EQ(r.reconstructed.size(), f.count());
+  EXPECT_TRUE(error_bounded(f.values(), r.reconstructed, abs_eb))
+      << which << " eb=" << rel_eb;
+  EXPECT_GT(r.ratio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, BaselineBound,
+    ::testing::Values(BoundCase{"fzgpu", 1e-2}, BoundCase{"fzgpu", 1e-4},
+                      BoundCase{"cusz", 1e-2}, BoundCase{"cusz", 1e-4},
+                      BoundCase{"cuszx", 1e-2}, BoundCase{"cuszx", 1e-4},
+                      BoundCase{"mgard", 1e-2}, BoundCase{"mgard", 1e-4}),
+    [](const auto& info) {
+      return std::string(info.param.which) + "_" +
+             (info.param.rel_eb == 1e-2 ? "eb1e2" : "eb1e4");
+    });
+
+// ---- algorithm-specific characteristics ---------------------------------------
+
+TEST(Cusz, SamePsnrAsFzGpuAtSameBound) {
+  // Both share the dual-quantization error control (paper §4.3: "their
+  // PSNR is the same when we use the same error bound").
+  const Field f = test_field();
+  const auto fzgpu = make_fzgpu();
+  const auto cusz = make_cusz();
+  const double eb = 1e-3;
+  const auto a = distortion(f.values(), fzgpu->run(f, eb).reconstructed);
+  const auto b = distortion(f.values(), cusz->run(f, eb).reconstructed);
+  EXPECT_NEAR(a.psnr_db, b.psnr_db, 0.2);
+}
+
+TEST(Cusz, NcbVariantOnlyChangesCost) {
+  const Field f = test_field();
+  const auto full = make_cusz(true)->run(f, 1e-3);
+  const auto ncb = make_cusz(false)->run(f, 1e-3);
+  EXPECT_EQ(full.compressed_bytes, ncb.compressed_bytes);
+  double full_fixed = 0, ncb_fixed = 0;
+  for (const auto& c : full.compression_costs) full_fixed += c.fixed_ns;
+  for (const auto& c : ncb.compression_costs) ncb_fixed += c.fixed_ns;
+  EXPECT_GT(full_fixed, ncb_fixed);
+}
+
+TEST(Cuszx, ConstantBlocksCollapse) {
+  Field f;
+  f.dataset = "synthetic";
+  f.name = "const";
+  f.dims = Dims{128 * 256};
+  f.data.assign(f.dims.count(), 7.25f);
+  const auto r = make_cuszx()->run(f, 1e-3);
+  // One float + tag per 128-value block.
+  EXPECT_GT(r.ratio(), 80.0);
+  for (const f32 v : r.reconstructed) EXPECT_EQ(v, 7.25f);
+}
+
+TEST(Cuszx, LowerRatioThanFzOnSmoothData) {
+  // Paper §4.3: FZ-GPU ~2.4x higher ratio than cuSZx on average — cuSZx
+  // only removes block-wise redundancy.
+  const Field f = test_field(Dataset::CESM);
+  const double eb = 1e-3;
+  const auto fz = make_fzgpu()->run(f, eb);
+  const auto szx = make_cuszx()->run(f, eb);
+  EXPECT_GT(fz.ratio(), szx.ratio());
+}
+
+TEST(Cuszx, FasterThanFzInModel) {
+  // Paper §4.4: cuSZx compression throughput ~1.5x FZ-GPU.
+  const Field f = test_field(Dataset::CESM);
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const auto fz = make_fzgpu()->run(f, 1e-3);
+  const auto szx = make_cuszx()->run(f, 1e-3);
+  double t_fz = 0, t_szx = 0;
+  for (const auto& c : fz.compression_costs) t_fz += a100.seconds(c);
+  for (const auto& c : szx.compression_costs) t_szx += a100.seconds(c);
+  EXPECT_LT(t_szx, t_fz);
+}
+
+TEST(Mgard, RefusesOneDimensionalData) {
+  const auto mgard = make_mgard();
+  Field f;
+  f.dims = Dims{1000};
+  f.data.assign(1000, 1.0f);
+  EXPECT_FALSE(mgard->supports(f));
+  EXPECT_THROW(mgard->run(f, 1e-3), Error);
+}
+
+TEST(Mgard, OverPreservesDistortion) {
+  // Paper §4.3: MGARD has higher PSNR than others at the same nominal eb.
+  const Field f = test_field();
+  const double eb = 1e-3;
+  const auto mg = distortion(f.values(), make_mgard()->run(f, eb).reconstructed);
+  const auto fz = distortion(f.values(), make_fzgpu()->run(f, eb).reconstructed);
+  EXPECT_GT(mg.psnr_db, fz.psnr_db);
+  EXPECT_LE(mg.max_abs_error, eb * f.value_range() * (1 + 1e-6));
+}
+
+TEST(Mgard, SerialDeflatePhaseDominatesModelTime) {
+  // Large enough that the host DEFLATE outweighs the kernel launches.
+  const Field f = generate_field(Dataset::Hurricane,
+                                 scaled_dims(Dataset::Hurricane, 0.25), 11);
+  const auto r = make_mgard()->run(f, 1e-3);
+  double serial = 0, total = 0;
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  for (const auto& c : r.compression_costs) {
+    serial += c.serial_ns * 1e-9;
+    total += a100.seconds(c);
+  }
+  EXPECT_GT(serial / total, 0.5);
+}
+
+TEST(AllCompressors, FactoryProducesPaperLineup) {
+  const auto all = make_all_compressors();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0]->name(), "FZ-GPU");
+  EXPECT_EQ(all[1]->name(), "cuSZ");
+  EXPECT_EQ(all[2]->name(), "cuSZ-ncb");
+  EXPECT_EQ(all[3]->name(), "cuZFP");
+  EXPECT_EQ(all[4]->name(), "cuSZx");
+  EXPECT_EQ(all[5]->name(), "MGARD-GPU");
+}
+
+// ---- CPU baselines -------------------------------------------------------------
+
+TEST(CpuBaselines, FzOmpRoundTripsWithTiming) {
+  const Field f = test_field(Dataset::CESM);
+  const RunResult r = run_fz_omp(f, 1e-3, 1);
+  EXPECT_TRUE(error_bounded(f.values(), r.reconstructed, 1e-3 * f.value_range()));
+  EXPECT_GT(r.native_compress_seconds, 0.0);
+  EXPECT_GT(r.native_decompress_seconds, 0.0);
+}
+
+TEST(CpuBaselines, SzOmpRoundTripsWithTiming) {
+  const Field f = test_field(Dataset::CESM);
+  const RunResult r = run_sz_omp(f, 1e-3, 1);
+  EXPECT_TRUE(error_bounded(f.values(), r.reconstructed, 1e-3 * f.value_range()));
+  EXPECT_GT(r.native_compress_seconds, 0.0);
+  EXPECT_GT(r.ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace fz::bench

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "substrate/bitio.hpp"
+
+namespace fz {
+namespace {
+
+TEST(BitWriterMsb, FirstBitIsTopOfFirstByte) {
+  BitWriterMsb w;
+  w.put_bit(true);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x80);
+}
+
+TEST(BitWriterMsb, PutBitsMsbFirst) {
+  BitWriterMsb w;
+  w.put_bits(0b1011, 4);
+  w.put_bits(0b0010, 4);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110010);
+}
+
+TEST(BitIoMsb, RandomRoundTrip) {
+  Rng rng(1);
+  std::vector<std::pair<u64, int>> items;
+  BitWriterMsb w;
+  for (int i = 0; i < 2000; ++i) {
+    const int n = 1 + static_cast<int>(rng.below(57));
+    const u64 v = rng.next_u64() & ((u64{1} << n) - 1);
+    items.emplace_back(v, n);
+    w.put_bits(v, n);
+  }
+  const auto bytes = w.take();
+  BitReaderMsb r(bytes);
+  for (const auto& [v, n] : items) EXPECT_EQ(r.get_bits(n), v);
+}
+
+TEST(BitReaderMsb, ThrowsPastEnd) {
+  const std::vector<u8> one{0xff};
+  BitReaderMsb r(one);
+  r.get_bits(8);
+  EXPECT_THROW(r.get_bit(), FormatError);
+}
+
+TEST(BitIoLsb, FirstBitIsLowBitOfFirstWord) {
+  BitWriterLsb w;
+  w.put_bit(true);
+  w.put_bit(false);
+  w.put_bit(true);
+  const size_t bits = w.bit_count();
+  const auto words = w.take();
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], 0b101u);
+  BitReaderLsb r(words, bits);
+  EXPECT_TRUE(r.get_bit());
+  EXPECT_FALSE(r.get_bit());
+  EXPECT_TRUE(r.get_bit());
+}
+
+TEST(BitIoLsb, RandomRoundTripAcrossWordBoundaries) {
+  Rng rng(2);
+  std::vector<std::pair<u64, int>> items;
+  BitWriterLsb w;
+  for (int i = 0; i < 3000; ++i) {
+    const int n = 1 + static_cast<int>(rng.below(63));
+    const u64 v = rng.next_u64() & ((u64{1} << n) - 1);
+    items.emplace_back(v, n);
+    w.put_bits(v, n);
+  }
+  const size_t bits = w.bit_count();
+  const auto words = w.take();
+  BitReaderLsb r(words, bits);
+  for (const auto& [v, n] : items) EXPECT_EQ(r.get_bits(n), v);
+  EXPECT_THROW(r.get_bit(), FormatError);
+}
+
+TEST(BitWriterLsb, PutBitRReturnsBit) {
+  BitWriterLsb w;
+  EXPECT_TRUE(w.put_bit_r(true));
+  EXPECT_FALSE(w.put_bit_r(false));
+}
+
+TEST(ByteIo, ScalarsAndSpans) {
+  std::vector<u8> out;
+  ByteWriter w(out);
+  w.put<u32>(0x11223344);
+  w.put<f64>(3.5);
+  const std::vector<u8> extra{9, 8, 7};
+  w.put_bytes(extra);
+  ByteReader r(out);
+  EXPECT_EQ(r.get<u32>(), 0x11223344u);
+  EXPECT_DOUBLE_EQ(r.get<f64>(), 3.5);
+  const ByteSpan tail = r.get_bytes(3);
+  EXPECT_EQ(tail[0], 9);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.get<u8>(), FormatError);
+}
+
+}  // namespace
+}  // namespace fz

@@ -1,0 +1,114 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/bitshuffle.hpp"
+
+namespace fz {
+namespace {
+
+std::vector<u32> random_words(size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u32> v(n);
+  for (auto& w : v) w = rng.next_u32();
+  return v;
+}
+
+TEST(TransposeBit32, MatchesNaiveGather) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    u32 a[32], naive[32] = {};
+    for (auto& w : a) w = rng.next_u32();
+    for (int j = 0; j < 32; ++j)
+      for (int i = 0; i < 32; ++i) naive[j] |= ((a[i] >> j) & 1u) << i;
+    transpose_bit_matrix_32(a);
+    for (int j = 0; j < 32; ++j) EXPECT_EQ(a[j], naive[j]) << "plane " << j;
+  }
+}
+
+TEST(TransposeBit32, IsInvolution) {
+  u32 a[32], orig[32];
+  Rng rng(2);
+  for (int i = 0; i < 32; ++i) orig[i] = a[i] = rng.next_u32();
+  transpose_bit_matrix_32(a);
+  transpose_bit_matrix_32(a);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a[i], orig[i]);
+}
+
+class BitshuffleTiles : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitshuffleTiles, RoundTrip) {
+  const size_t tiles = GetParam();
+  const auto in = random_words(tiles * kTileWords, 3 + tiles);
+  std::vector<u32> shuffled(in.size()), back(in.size());
+  bitshuffle_tiles(in, shuffled);
+  bitunshuffle_tiles(shuffled, back);
+  EXPECT_EQ(back, in);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileCounts, BitshuffleTiles,
+                         ::testing::Values(1, 2, 3, 7, 64));
+
+TEST(Bitshuffle, PlaneMajorLayout) {
+  // Word with only bit 5 set in input word 3 of unit 2 must land in output
+  // position plane-5 * 32 + unit-2, as bit 3.
+  std::vector<u32> in(kTileWords, 0);
+  in[2 * kUnitWords + 3] = 1u << 5;
+  std::vector<u32> out(kTileWords);
+  bitshuffle_tiles(in, out);
+  for (size_t w = 0; w < kTileWords; ++w) {
+    if (w == 5 * kUnitsPerTile + 2) {
+      EXPECT_EQ(out[w], 1u << 3);
+    } else {
+      EXPECT_EQ(out[w], 0u) << w;
+    }
+  }
+}
+
+TEST(Bitshuffle, SmallCodesConcentrateZeros) {
+  // 16-bit codes with magnitudes < 2^4: after the shuffle, at most planes
+  // {0..3, 15} of the low half and {16..19, 31} of the high half can be
+  // nonzero -> >= 22 of 32 planes are all-zero.  This is the property the
+  // flag encoder exploits.
+  Rng rng(4);
+  std::vector<u32> in(kTileWords);
+  for (auto& w : in) {
+    const u16 lo = static_cast<u16>(rng.below(16)) |
+                   (rng.below(2) ? u16{0x8000} : u16{0});
+    const u16 hi = static_cast<u16>(rng.below(16)) |
+                   (rng.below(2) ? u16{0x8000} : u16{0});
+    w = static_cast<u32>(lo) | (static_cast<u32>(hi) << 16);
+  }
+  std::vector<u32> out(kTileWords);
+  bitshuffle_tiles(in, out);
+  size_t zero_planes = 0;
+  for (size_t plane = 0; plane < 32; ++plane) {
+    bool all_zero = true;
+    for (size_t u = 0; u < kUnitsPerTile; ++u)
+      all_zero &= out[plane * kUnitsPerTile + u] == 0;
+    zero_planes += all_zero;
+  }
+  EXPECT_GE(zero_planes, 22u);
+}
+
+TEST(Bitshuffle, AllZeroInputStaysZero) {
+  const std::vector<u32> in(kTileWords, 0);
+  std::vector<u32> out(kTileWords, 1);
+  bitshuffle_tiles(in, out);
+  for (const u32 w : out) EXPECT_EQ(w, 0u);
+}
+
+TEST(Bitshuffle, RejectsBadSizes) {
+  std::vector<u32> a(100), b(100);
+  EXPECT_THROW(bitshuffle_tiles(a, b), Error);
+  std::vector<u32> c(kTileWords), d(kTileWords - 1);
+  EXPECT_THROW(bitshuffle_tiles(c, d), Error);
+}
+
+TEST(Bitshuffle, RejectsAliasing) {
+  std::vector<u32> a(kTileWords);
+  EXPECT_THROW(bitshuffle_tiles(a, a), Error);
+}
+
+}  // namespace
+}  // namespace fz

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/buffer.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fz {
+namespace {
+
+TEST(Dims, RankAndCount) {
+  EXPECT_EQ(Dims{100}.rank(), 1);
+  EXPECT_EQ((Dims{4, 5}.rank()), 2);
+  EXPECT_EQ((Dims{4, 5, 6}.rank()), 3);
+  EXPECT_EQ((Dims{4, 1, 1}.rank()), 1);
+  EXPECT_EQ((Dims{4, 5, 6}.count()), 120u);
+  EXPECT_EQ(Dims{7}.count(), 7u);
+}
+
+TEST(Dims, LinearIndexIsRowMajorXFastest) {
+  const Dims d{4, 3, 2};
+  EXPECT_EQ(d.linear(0, 0, 0), 0u);
+  EXPECT_EQ(d.linear(1, 0, 0), 1u);
+  EXPECT_EQ(d.linear(0, 1, 0), 4u);
+  EXPECT_EQ(d.linear(0, 0, 1), 12u);
+  EXPECT_EQ(d.linear(3, 2, 1), 23u);
+}
+
+TEST(Dims, ToString) {
+  EXPECT_EQ(Dims{8}.to_string(), "8");
+  EXPECT_EQ((Dims{8, 9}.to_string()), "8x9");
+  EXPECT_EQ((Dims{8, 9, 10}.to_string()), "8x9x10");
+}
+
+TEST(ErrorBound, ResolveModes) {
+  EXPECT_DOUBLE_EQ(ErrorBound::absolute(0.5).resolve(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(ErrorBound::relative(1e-3).resolve(100.0), 0.1);
+}
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer b(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % AlignedBuffer::kAlignment, 0u);
+  for (const u8 v : b.bytes()) EXPECT_EQ(v, 0);
+}
+
+TEST(AlignedBuffer, ResizePreservingKeepsPrefix) {
+  AlignedBuffer b(16);
+  for (size_t i = 0; i < 16; ++i) b.data()[i] = static_cast<u8>(i + 1);
+  b.resize_preserving(32);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(b.data()[i], i + 1);
+  for (size_t i = 16; i < 32; ++i) EXPECT_EQ(b.data()[i], 0);
+  b.resize_preserving(8);
+  EXPECT_EQ(b.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(b.data()[i], i + 1);
+}
+
+TEST(AlignedBuffer, CopyAndMove) {
+  AlignedBuffer a(8);
+  a.data()[3] = 42;
+  AlignedBuffer b = a;
+  EXPECT_EQ(b.data()[3], 42);
+  b.data()[3] = 1;
+  EXPECT_EQ(a.data()[3], 42);  // deep copy
+  AlignedBuffer c = std::move(a);
+  EXPECT_EQ(c.data()[3], 42);
+}
+
+TEST(AlignedBuffer, TypedViews) {
+  AlignedBuffer b(16);
+  auto u32s = b.as<u32>();
+  ASSERT_EQ(u32s.size(), 4u);
+  u32s[2] = 0xdeadbeef;
+  EXPECT_EQ(b.as<u16>()[4], 0xbeef);
+}
+
+TEST(Bits, SignMagnitudeRoundTrip) {
+  for (const i32 v : {0, 1, -1, 5000, -5000, 32766, -32766, 32767, -32767}) {
+    EXPECT_EQ(sign_magnitude_decode(sign_magnitude_encode(v)), v) << v;
+  }
+}
+
+TEST(Bits, SignMagnitudeSaturates) {
+  EXPECT_EQ(sign_magnitude_decode(sign_magnitude_encode(40000)), 32767);
+  EXPECT_EQ(sign_magnitude_decode(sign_magnitude_encode(-40000)), -32767);
+  EXPECT_TRUE(sign_magnitude_saturates(32768));
+  EXPECT_TRUE(sign_magnitude_saturates(-32768));
+  EXPECT_FALSE(sign_magnitude_saturates(32767));
+  EXPECT_FALSE(sign_magnitude_saturates(-32767));
+}
+
+TEST(Bits, SignMagnitudeSmallValuesHaveFewSetBits) {
+  // The design rationale (§3.2): small negatives must not light up the
+  // high bit planes the way two's complement does.
+  EXPECT_EQ(popcount_u32(sign_magnitude_encode(-1)), 2);  // sign + 1 bit
+  EXPECT_EQ(popcount_u32(static_cast<u32>(static_cast<u16>(i16{-1}))), 16);
+}
+
+TEST(Bits, ZigZag) {
+  for (const i32 v : {0, 1, -1, 123456, -123456, INT32_MAX, INT32_MIN + 1}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+TEST(Bits, RoundUpDivCeil) {
+  EXPECT_EQ(round_up(0, 8), 0u);
+  EXPECT_EQ(round_up(1, 8), 8u);
+  EXPECT_EQ(round_up(8, 8), 8u);
+  EXPECT_EQ(div_ceil(9, 8), 2u);
+  EXPECT_EQ(div_ceil(16, 8), 2u);
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+
+  Rng r(123);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(99);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Parallel, ForCoversRangeOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(0, hits.size(), [&](size_t i) { hits[i]++; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, ExceptionsPropagateToCaller) {
+  // Exceptions thrown inside OpenMP regions would call std::terminate
+  // without the capture-and-rethrow in parallel_for; decoders depend on it.
+  EXPECT_THROW(parallel_for(0, 1000,
+                            [&](size_t i) {
+                              if (i == 517) throw Error("boom");
+                            }),
+               Error);
+}
+
+TEST(Parallel, ChunksCoverRangeOnce) {
+  std::vector<int> hits(1003, 0);
+  parallel_chunks(hits.size(), 64, [&](size_t b, size_t e) {
+    ASSERT_LE(e, hits.size());
+    for (size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace fz

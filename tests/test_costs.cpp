@@ -1,0 +1,130 @@
+// Invariants of the analytical device cost model — the part of the
+// reproduction that stands in for GPU wall clocks (DESIGN.md §1), so its
+// structure is tested like any other component.
+#include <gtest/gtest.h>
+
+#include "core/costs.hpp"
+#include "core/pipeline.hpp"
+#include "cudasim/device_model.hpp"
+#include "datasets/generators.hpp"
+
+namespace fz {
+namespace {
+
+FzStats stats_for(size_t count, double nz_fraction, size_t outliers = 0) {
+  FzStats st;
+  st.count = count;
+  st.input_bytes = count * 4;
+  st.total_blocks = count * 2 / 16;  // u16 codes, 16-byte blocks
+  st.nonzero_blocks =
+      static_cast<size_t>(static_cast<double>(st.total_blocks) * nz_fraction);
+  st.outliers = outliers;
+  return st;
+}
+
+TEST(CostModel, PipelineHasThreeStagesFusedFourSplit) {
+  const FzStats st = stats_for(1 << 20, 0.3);
+  FzParams fused, split;
+  split.fused_bitshuffle_mark = false;
+  EXPECT_EQ(fz_compression_costs(st, fused).size(), 3u);
+  EXPECT_EQ(fz_compression_costs(st, split).size(), 4u);
+}
+
+TEST(CostModel, CostsScaleLinearlyWithSize) {
+  FzParams params;
+  const auto small = fz_compression_costs(stats_for(1 << 18, 0.3), params);
+  const auto big = fz_compression_costs(stats_for(1 << 22, 0.3), params);
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(big[i].global_bytes()) /
+                    static_cast<double>(small[i].global_bytes()),
+                16.0, 0.5)
+        << small[i].name;
+    EXPECT_EQ(big[i].kernel_launches, small[i].kernel_launches);
+  }
+}
+
+TEST(CostModel, V1WritesMoreThanV2) {
+  // The dense outlier array + shift writes are the 1.7x story (§4.5).
+  const FzStats st = stats_for(1 << 20, 0.3, /*outliers=*/1000);
+  FzParams v1, v2;
+  v1.quant = QuantVersion::V1Original;
+  EXPECT_GT(fz_compression_costs(st, v1)[0].global_bytes(),
+            fz_compression_costs(st, v2)[0].global_bytes());
+}
+
+TEST(CostModel, FusionSavesOneGlobalRoundTrip) {
+  const FzStats st = stats_for(1 << 20, 0.3);
+  FzParams fused, split;
+  split.fused_bitshuffle_mark = false;
+  u64 fused_bytes = 0, split_bytes = 0, fused_launches = 0, split_launches = 0;
+  for (const auto& c : fz_compression_costs(st, fused)) {
+    fused_bytes += c.global_bytes();
+    fused_launches += c.kernel_launches;
+  }
+  for (const auto& c : fz_compression_costs(st, split)) {
+    split_bytes += c.global_bytes();
+    split_launches += c.kernel_launches;
+  }
+  // The split mark kernel re-reads the whole shuffled array.
+  EXPECT_EQ(split_bytes - fused_bytes, (st.count / 2) * 4);
+  EXPECT_EQ(split_launches, fused_launches + 1);
+}
+
+TEST(CostModel, EncodeCostTracksNonzeroBlocks) {
+  FzParams params;
+  const auto sparse = fz_compression_costs(stats_for(1 << 20, 0.05), params);
+  const auto dense = fz_compression_costs(stats_for(1 << 20, 0.95), params);
+  EXPECT_GT(dense.back().global_bytes(), sparse.back().global_bytes());
+}
+
+TEST(CostModel, DecompressionMirrorsCompression) {
+  const FzStats st = stats_for(1 << 20, 0.3);
+  FzParams params;
+  const auto comp = fz_compression_costs(st, params);
+  const auto decomp = fz_decompression_costs(st, params);
+  ASSERT_EQ(comp.size(), decomp.size());
+  u64 cb = 0, db = 0;
+  for (const auto& c : comp) cb += c.global_bytes();
+  for (const auto& c : decomp) db += c.global_bytes();
+  EXPECT_EQ(cb, db);  // symmetric traffic => symmetric throughput (§4.4)
+  EXPECT_EQ(decomp.front().name.rfind("inv-", 0), 0u);
+}
+
+TEST(CostModel, FullyFusedBeatsPipelineOnTrafficAndLaunches) {
+  const FzStats st = stats_for(1 << 22, 0.3);
+  FzParams params;
+  u64 pipeline_bytes = 0, pipeline_launches = 0;
+  for (const auto& c : fz_compression_costs(st, params)) {
+    pipeline_bytes += c.global_bytes();
+    pipeline_launches += c.kernel_launches;
+  }
+  const auto fused = fz_fully_fused_cost(st);
+  EXPECT_LT(fused.global_bytes(), pipeline_bytes / 2);
+  EXPECT_EQ(fused.kernel_launches, 1u);
+  EXPECT_LT(fused.kernel_launches, pipeline_launches);
+
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  double pipeline_s = 0;
+  for (const auto& c : fz_compression_costs(st, params))
+    pipeline_s += a100.seconds(c);
+  EXPECT_LT(a100.seconds(fused), pipeline_s);
+}
+
+TEST(CostModel, RealRunStatsFeedTheModelConsistently) {
+  // End-to-end: stats from a real compression produce stage costs whose
+  // DRAM traffic is within sane physical bounds.
+  const Field f = generate_field(Dataset::Hurricane,
+                                 scaled_dims(Dataset::Hurricane, 0.1), 5);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  u64 total = 0;
+  for (const auto& k : c.stage_costs) total += k.global_bytes();
+  // Must at least read the input once and write the codes once...
+  EXPECT_GE(total, f.bytes() + f.count() * 2);
+  // ...and cannot exceed a handful of full-array round trips.
+  EXPECT_LE(total, 10 * f.bytes());
+}
+
+}  // namespace
+}  // namespace fz

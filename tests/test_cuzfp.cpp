@@ -1,0 +1,208 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cuzfp.hpp"
+#include "common/rng.hpp"
+#include "datasets/generators.hpp"
+#include "metrics/metrics.hpp"
+
+namespace fz::bench {
+namespace {
+
+Field smooth_field(Dims dims, u64 seed) {
+  Field f;
+  f.dataset = "synthetic";
+  f.name = "smooth";
+  f.dims = dims;
+  f.data.resize(dims.count());
+  Rng rng(seed);
+  const double fx = rng.uniform(0.05, 0.3);
+  for (size_t z = 0; z < dims.z; ++z)
+    for (size_t y = 0; y < dims.y; ++y)
+      for (size_t x = 0; x < dims.x; ++x)
+        f.data[dims.linear(x, y, z)] = static_cast<f32>(
+            std::sin(fx * static_cast<double>(x + y)) +
+            0.5 * std::cos(0.11 * static_cast<double>(z + 2 * x)));
+  return f;
+}
+
+class ZfpDims : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(ZfpDims, HighRateIsNearLossless) {
+  const Dims dims = GetParam();
+  const Field f = smooth_field(dims, 1 + dims.count());
+  const auto stream = zfp_compress(f.values(), f.dims, 28.0);
+  Dims out_dims;
+  const auto back = zfp_decompress(stream, &out_dims);
+  EXPECT_EQ(out_dims, f.dims);
+  const DistortionStats d = distortion(f.values(), back);
+  EXPECT_GT(d.psnr_db, 90.0) << dims.to_string();
+}
+
+TEST_P(ZfpDims, ModerateRateBoundsError) {
+  const Dims dims = GetParam();
+  const Field f = smooth_field(dims, 5 + dims.count());
+  const auto stream = zfp_compress(f.values(), f.dims, 8.0);
+  const auto back = zfp_decompress(stream);
+  const DistortionStats d = distortion(f.values(), back);
+  // A lone 4-value 1-D block only gets 22 payload bits at rate 8, so its
+  // achievable PSNR is genuinely lower.
+  EXPECT_GT(d.psnr_db, dims.count() <= 4 ? 15.0 : 30.0) << dims.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ZfpDims,
+                         ::testing::Values(Dims{64}, Dims{65}, Dims{4},
+                                           Dims{16, 16}, Dims{17, 19},
+                                           Dims{16, 16, 16}, Dims{9, 10, 11}));
+
+TEST(Zfp, RateControlsSize) {
+  const Field f = smooth_field(Dims{32, 32, 32}, 2);
+  size_t prev = 0;
+  for (const double rate : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const auto stream = zfp_compress(f.values(), f.dims, rate);
+    EXPECT_GT(stream.size(), prev);
+    prev = stream.size();
+    // Fixed-rate: size ~ rate * n / 8 + header.
+    const double expected = rate * static_cast<double>(f.count()) / 8.0;
+    EXPECT_NEAR(static_cast<double>(stream.size()), expected,
+                expected * 0.15 + 256);
+  }
+}
+
+TEST(Zfp, PsnrImprovesMonotonicallyWithRate) {
+  const Field f = smooth_field(Dims{32, 32, 32}, 3);
+  double prev_psnr = -1;
+  for (const double rate : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0}) {
+    const auto back = zfp_decompress(zfp_compress(f.values(), f.dims, rate));
+    const double psnr = distortion(f.values(), back).psnr_db;
+    EXPECT_GT(psnr, prev_psnr) << "rate=" << rate;
+    prev_psnr = psnr;
+  }
+}
+
+TEST(Zfp, AllZeroBlocksAreCheapAndExact) {
+  Field f;
+  f.dims = Dims{64, 64};
+  f.data.assign(f.dims.count(), 0.0f);
+  const auto stream = zfp_compress(f.values(), f.dims, 8.0);
+  const auto back = zfp_decompress(stream);
+  for (const f32 v : back) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Zfp, HandlesLargeDynamicRange) {
+  Field f;
+  f.dims = Dims{16, 16, 16};
+  f.data.resize(f.dims.count());
+  Rng rng(4);
+  for (auto& v : f.data)
+    v = static_cast<f32>(std::exp(rng.uniform(-20.0, 20.0)) *
+                         (rng.below(2) ? 1 : -1));
+  const auto back = zfp_decompress(zfp_compress(f.values(), f.dims, 24.0));
+  // Block floating point: error is relative to each block's max magnitude.
+  for (size_t i = 0; i < f.data.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(back[i]));
+  }
+  EXPECT_GT(distortion(f.values(), back).psnr_db, 40.0);
+}
+
+TEST(Zfp, SmoothDataBeatsRoughDataAtSameRate) {
+  // The transform decorrelates smooth blocks: PSNR gap should be large.
+  const Field smooth = smooth_field(Dims{32, 32, 32}, 5);
+  Field rough;
+  rough.dims = Dims{32, 32, 32};
+  rough.data.resize(rough.dims.count());
+  Rng rng(6);
+  for (auto& v : rough.data) v = static_cast<f32>(rng.normal());
+  const auto ps = distortion(smooth.values(),
+                             zfp_decompress(zfp_compress(smooth.values(),
+                                                         smooth.dims, 6.0)))
+                      .psnr_db;
+  const auto pr = distortion(rough.values(),
+                             zfp_decompress(zfp_compress(rough.values(),
+                                                         rough.dims, 6.0)))
+                      .psnr_db;
+  EXPECT_GT(ps, pr + 10.0);
+}
+
+TEST(Zfp, FixedRateEnablesRandomBlockAccess) {
+  // Fixed rate means every block occupies the same bit budget — the
+  // property zfp advertises for random access.  Verify by checking the
+  // stream size is exactly header + blocks * budget (within word padding).
+  const Field f = smooth_field(Dims{64, 64}, 20);
+  const double rate = 6.0;
+  const auto stream = zfp_compress(f.values(), f.dims, rate);
+  const size_t blocks = 16 * 16;
+  const size_t budget_bits = static_cast<size_t>(rate * 16);
+  const size_t payload_words = (blocks * budget_bits + 63) / 64;
+  // header = 4+4(rank/pad)+24(dims)+8(rate)+16(sizes)
+  EXPECT_EQ(stream.size(), 56 + payload_words * 8);
+}
+
+TEST(Zfp, EdgeReplicationPadsPartialBlocks) {
+  // A 5x5 field needs 2x2 blocks with replicated edges; the replicated
+  // values must not corrupt the in-range reconstruction.
+  Field f;
+  f.dims = Dims{5, 5};
+  f.data.resize(25);
+  for (size_t i = 0; i < 25; ++i) f.data[i] = static_cast<f32>(i);
+  const auto back = zfp_decompress(zfp_compress(f.values(), f.dims, 24.0));
+  ASSERT_EQ(back.size(), 25u);
+  for (size_t i = 0; i < 25; ++i)
+    EXPECT_NEAR(back[i], f.data[i], 0.01) << i;
+}
+
+TEST(Zfp, ConstantBlocksCostHeaderOnlyDistortion) {
+  // A constant field transforms to a single DC coefficient; even a low
+  // rate reproduces it nearly exactly.
+  Field f;
+  f.dims = Dims{32, 32};
+  f.data.assign(f.dims.count(), 3.14159f);
+  const auto back = zfp_decompress(zfp_compress(f.values(), f.dims, 4.0));
+  for (const f32 v : back) EXPECT_NEAR(v, 3.14159f, 1e-3);
+}
+
+TEST(Zfp, SequencyOrderIsAPermutation) {
+  // Any fixed permutation round-trips, but it must actually BE one.
+  for (int rank = 1; rank <= 3; ++rank) {
+    const int size = 1 << (2 * rank);
+    std::vector<bool> seen(static_cast<size_t>(size), false);
+    // Probe through the public API: a delta in coefficient k must survive.
+    // (The order table is internal; a full-rate round trip exercises it.)
+    Field f;
+    f.dims = rank == 1 ? Dims{4} : rank == 2 ? Dims{4, 4} : Dims{4, 4, 4};
+    f.data.assign(f.dims.count(), 0.0f);
+    for (size_t k = 0; k < f.dims.count(); ++k) {
+      std::fill(f.data.begin(), f.data.end(), 0.0f);
+      f.data[k] = 1.0f;
+      const auto back = zfp_decompress(zfp_compress(f.values(), f.dims, 30.0));
+      EXPECT_NEAR(back[k], 1.0f, 0.01) << "rank " << rank << " k " << k;
+      seen[k] = true;
+    }
+    for (const bool b : seen) EXPECT_TRUE(b);
+  }
+}
+
+TEST(Zfp, RejectsCorruptStream) {
+  const Field f = smooth_field(Dims{16, 16}, 7);
+  auto stream = zfp_compress(f.values(), f.dims, 8.0);
+  stream[0] ^= 0xff;
+  EXPECT_THROW(zfp_decompress(stream), FormatError);
+  auto truncated = zfp_compress(f.values(), f.dims, 8.0);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(zfp_decompress(truncated), FormatError);
+}
+
+TEST(Zfp, CompressorInterfaceReportsFixedRateMode) {
+  const auto zfp = make_cuzfp();
+  EXPECT_EQ(zfp->mode(), GpuCompressor::Mode::FixedRate);
+  const Field f = smooth_field(Dims{32, 32}, 8);
+  const RunResult r = zfp->run(f, 8.0);
+  EXPECT_NEAR(r.bitrate(), 8.0, 1.5);
+  EXPECT_EQ(r.reconstructed.size(), f.count());
+  EXPECT_FALSE(r.compression_costs.empty());
+}
+
+}  // namespace
+}  // namespace fz::bench

@@ -1,0 +1,159 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datasets/generators.hpp"
+#include "datasets/transforms.hpp"
+
+namespace fz {
+namespace {
+
+class DatasetGen : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(DatasetGen, ProducesFiniteDataOfRequestedShape) {
+  const Dataset ds = GetParam();
+  const Dims dims = scaled_dims(ds, 0.06);
+  const Field f = generate_field(ds, dims, 1);
+  EXPECT_EQ(f.dims, dims);
+  EXPECT_EQ(f.data.size(), dims.count());
+  EXPECT_EQ(f.dataset, dataset_name(ds));
+  for (const f32 v : f.data) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_GT(f.value_range(), 0.0);
+}
+
+TEST_P(DatasetGen, DeterministicInSeed) {
+  const Dataset ds = GetParam();
+  const Dims dims = scaled_dims(ds, 0.05);
+  const Field a = generate_field(ds, dims, 9);
+  const Field b = generate_field(ds, dims, 9);
+  const Field c = generate_field(ds, dims, 10);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_NE(a.data, c.data);
+}
+
+TEST_P(DatasetGen, RankMatchesTable1) {
+  const Dataset ds = GetParam();
+  const DatasetInfo& info = dataset_info(ds);
+  EXPECT_EQ(scaled_dims(ds, 0.1).rank(), info.full_dims.rank());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DatasetGen, ::testing::ValuesIn(all_datasets()),
+                         [](const auto& info) {
+                           return std::string(dataset_name(info.param));
+                         });
+
+TEST(DatasetCharacter, RtmHasManyExactZeros) {
+  // Paper §4.3: "the RTM dataset contains many zero values".
+  const Field f = generate_field(Dataset::RTM, scaled_dims(Dataset::RTM, 0.1), 2);
+  size_t zeros = 0;
+  for (const f32 v : f.data) zeros += v == 0.0f;
+  EXPECT_GT(static_cast<double>(zeros) / f.count(), 0.3);
+}
+
+TEST(DatasetCharacter, HaccIsUnsmooth) {
+  // Neighbouring particles are unrelated: first differences are comparable
+  // to the full value range (Lorenzo-hostile, §4.5).
+  const Field f = generate_field(Dataset::HACC, Dims{40000}, 3);
+  double mean_abs_diff = 0;
+  for (size_t i = 1; i < f.count(); ++i)
+    mean_abs_diff += std::fabs(static_cast<double>(f.data[i]) - f.data[i - 1]);
+  mean_abs_diff /= static_cast<double>(f.count() - 1);
+  EXPECT_GT(mean_abs_diff, 0.05 * f.value_range());
+}
+
+TEST(DatasetCharacter, CesmIsSmooth) {
+  const Field f = generate_field(Dataset::CESM, scaled_dims(Dataset::CESM, 0.1), 4);
+  double mean_abs_diff = 0;
+  for (size_t i = 1; i < f.count(); ++i)
+    mean_abs_diff += std::fabs(static_cast<double>(f.data[i]) - f.data[i - 1]);
+  mean_abs_diff /= static_cast<double>(f.count() - 1);
+  EXPECT_LT(mean_abs_diff, 0.02 * f.value_range());
+}
+
+TEST(DatasetCharacter, NyxHasHighDynamicRange) {
+  const Field f = generate_field(Dataset::Nyx, scaled_dims(Dataset::Nyx, 0.08), 5);
+  EXPECT_GT(f.max_value() / std::max(f.min_value(), 1e-30), 100.0);
+  EXPECT_GT(f.min_value(), 0.0);  // densities are positive
+}
+
+TEST(DatasetInfoTable, MatchesPaperTable1) {
+  EXPECT_EQ(dataset_info(Dataset::HACC).full_dims, Dims{280953867});
+  EXPECT_EQ(dataset_info(Dataset::CESM).full_dims, (Dims{3600, 1800}));
+  EXPECT_EQ(dataset_info(Dataset::Hurricane).full_dims, (Dims{500, 500, 100}));
+  EXPECT_EQ(dataset_info(Dataset::Nyx).full_dims, (Dims{512, 512, 512}));
+  EXPECT_EQ(dataset_info(Dataset::RTM).full_dims, (Dims{449, 449, 235}));
+  EXPECT_EQ(all_datasets().size(), 6u);
+}
+
+TEST(DatasetVariants, DistinctFieldsDiffer) {
+  const Dims d = scaled_dims(Dataset::CESM, 0.05);
+  const Field a = generate_field_variant(Dataset::CESM, "RELHUM", d, 1);
+  const Field b = generate_field_variant(Dataset::CESM, "CLDICE", d, 1);
+  EXPECT_NE(a.data, b.data);
+  EXPECT_EQ(b.name, "CLDICE");
+  // CLDICE-like cloud field is sparse and non-negative.
+  size_t zeros = 0;
+  for (const f32 v : b.data) {
+    EXPECT_GE(v, 0.0f);
+    zeros += v == 0.0f;
+  }
+  EXPECT_GT(zeros, b.count() / 10);
+}
+
+TEST(DatasetVariants, UnknownVariantThrows) {
+  EXPECT_THROW(generate_field_variant(Dataset::Nyx, "nope", Dims{8, 8, 8}, 1),
+               Error);
+}
+
+TEST(Transforms, LogTransformRoundTrip) {
+  Field f = generate_field(Dataset::HACC, Dims{10000}, 6);
+  const std::vector<f32> orig = f.data;
+  log_transform(f);
+  for (const f32 v : f.data) ASSERT_TRUE(std::isfinite(v));
+  std::vector<f32> back = f.data;
+  exp_transform(back);
+  for (size_t i = 0; i < back.size(); ++i)
+    EXPECT_NEAR(back[i], orig[i], std::fabs(orig[i]) * 1e-5 + 1e-6);
+}
+
+TEST(Transforms, LogAbsBoundRealizesPointwiseRelativeBound) {
+  // |log x' - log x| <= log(1+r) implies x'/x within [1/(1+r), 1+r].
+  const double rel = 1e-2;
+  const double abs_eb = log_abs_bound_for_relative(rel);
+  Field f = generate_field(Dataset::HACC, Dims{5000}, 7);
+  const std::vector<f32> orig = f.data;
+  log_transform(f);
+  // Worst-case quantization at the bound:
+  std::vector<f32> recon = f.data;
+  for (size_t i = 0; i < recon.size(); ++i)
+    recon[i] += static_cast<f32>((i % 2 ? 1 : -1) * abs_eb);
+  exp_transform(recon);
+  for (size_t i = 0; i < recon.size(); ++i) {
+    const double ratio = static_cast<double>(recon[i]) / orig[i];
+    EXPECT_LE(ratio, (1 + rel) * (1 + 1e-5));
+    EXPECT_GE(ratio, 1.0 / (1 + rel) * (1 - 1e-5));
+  }
+}
+
+TEST(Transforms, SliceZExtractsPlane) {
+  const Field f = generate_field(Dataset::Hurricane, Dims{16, 12, 5}, 8);
+  const Field s = slice_z(f, 3);
+  EXPECT_EQ(s.dims, (Dims{16, 12}));
+  for (size_t y = 0; y < 12; ++y)
+    for (size_t x = 0; x < 16; ++x)
+      EXPECT_EQ(s.data[s.dims.linear(x, y)], f.data[f.dims.linear(x, y, 3)]);
+  EXPECT_THROW(slice_z(f, 5), Error);
+}
+
+TEST(BenchmarkSuite, OneFieldPerDataset) {
+  const auto suite = benchmark_suite(0.05);
+  ASSERT_EQ(suite.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& f : suite) names.insert(f.dataset);
+  EXPECT_EQ(names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace fz

@@ -1,0 +1,119 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/bitshuffle.hpp"
+#include "core/encoder.hpp"
+
+namespace fz {
+namespace {
+
+/// Sparse word stream: most 16-byte blocks all zero.
+std::vector<u32> sparse_words(size_t nwords, double nonzero_frac, u64 seed) {
+  Rng rng(seed);
+  std::vector<u32> v(nwords, 0);
+  const size_t nblocks = nwords / kBlockWords;
+  for (size_t blk = 0; blk < nblocks; ++blk) {
+    if (rng.uniform() < nonzero_frac) {
+      // Light up one or more words of the block.
+      v[blk * kBlockWords + rng.below(kBlockWords)] = rng.next_u32() | 1;
+    }
+  }
+  return v;
+}
+
+class EncoderRoundTrip
+    : public ::testing::TestWithParam<std::pair<size_t, double>> {};
+
+TEST_P(EncoderRoundTrip, DecodeRestoresExactWords) {
+  const auto [nwords, frac] = GetParam();
+  const auto words = sparse_words(nwords, frac, 5 + nwords);
+  const EncodeResult enc = encode_blocks(words);
+  std::vector<u32> back(words.size(), 0xffffffffu);
+  decode_blocks(enc.bit_flags, enc.blocks, back);
+  EXPECT_EQ(back, words);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EncoderRoundTrip,
+    ::testing::Values(std::pair<size_t, double>{1024, 0.0},
+                      std::pair<size_t, double>{1024, 0.05},
+                      std::pair<size_t, double>{1024, 0.5},
+                      std::pair<size_t, double>{1024, 1.0},
+                      std::pair<size_t, double>{4096, 0.1},
+                      std::pair<size_t, double>{1 << 16, 0.3},
+                      std::pair<size_t, double>{4, 1.0}));
+
+TEST(Encoder, FlagsMatchBlockContents) {
+  std::vector<u32> words(16 * kBlockWords, 0);
+  words[0 * kBlockWords + 0] = 1;   // block 0 nonzero
+  words[7 * kBlockWords + 3] = 2;   // block 7 nonzero
+  words[15 * kBlockWords + 1] = 3;  // block 15 nonzero
+  std::vector<u8> byte_flags, bit_flags;
+  mark_blocks(words, byte_flags, bit_flags);
+  ASSERT_EQ(byte_flags.size(), 16u);
+  for (size_t b = 0; b < 16; ++b)
+    EXPECT_EQ(byte_flags[b], (b == 0 || b == 7 || b == 15) ? 1 : 0) << b;
+  ASSERT_EQ(bit_flags.size(), 2u);
+  EXPECT_EQ(bit_flags[0], 0x81);  // blocks 0 and 7
+  EXPECT_EQ(bit_flags[1], 0x80);  // block 15
+}
+
+TEST(Encoder, CompactionKeepsBlockOrder) {
+  std::vector<u32> words(8 * kBlockWords, 0);
+  for (size_t blk : {1u, 4u, 6u})
+    for (size_t k = 0; k < kBlockWords; ++k)
+      words[blk * kBlockWords + k] = static_cast<u32>(blk * 100 + k);
+  const EncodeResult enc = encode_blocks(words);
+  ASSERT_EQ(enc.nonzero_blocks, 3u);
+  // Blocks must appear in ascending original order.
+  EXPECT_EQ(enc.blocks[0], 100u);
+  EXPECT_EQ(enc.blocks[kBlockWords], 400u);
+  EXPECT_EQ(enc.blocks[2 * kBlockWords], 600u);
+}
+
+TEST(Encoder, AllZeroCompressesToFlagsOnly) {
+  const std::vector<u32> words(1 << 14, 0);
+  const EncodeResult enc = encode_blocks(words);
+  EXPECT_EQ(enc.nonzero_blocks, 0u);
+  EXPECT_EQ(enc.blocks.size(), 0u);
+  // 1 bit per 16-byte block = 128x reduction, the paper's ratio ceiling.
+  EXPECT_EQ(enc.payload_bytes(), (words.size() * 4) / 128);
+}
+
+TEST(Encoder, PayloadAccountsFlagsPlusBlocks) {
+  const auto words = sparse_words(1 << 12, 0.25, 9);
+  const EncodeResult enc = encode_blocks(words);
+  EXPECT_EQ(enc.payload_bytes(),
+            enc.bit_flags.size() + enc.blocks.size() * sizeof(u32));
+  EXPECT_EQ(enc.total_blocks, words.size() / kBlockWords);
+}
+
+TEST(Encoder, DecodeRejectsWrongPayloadSize) {
+  const auto words = sparse_words(1024, 0.5, 10);
+  EncodeResult enc = encode_blocks(words);
+  enc.blocks.resize(enc.blocks.size() - kBlockWords);  // drop one block
+  std::vector<u32> back(words.size());
+  EXPECT_THROW(decode_blocks(enc.bit_flags, enc.blocks, back), FormatError);
+}
+
+TEST(Encoder, DecodeRejectsShortFlagArray) {
+  const auto words = sparse_words(1024, 0.5, 11);
+  const EncodeResult enc = encode_blocks(words);
+  const std::vector<u8> short_flags(enc.bit_flags.begin(),
+                                    enc.bit_flags.end() - 1);
+  std::vector<u32> back(words.size());
+  EXPECT_THROW(decode_blocks(short_flags, enc.blocks, back), FormatError);
+}
+
+TEST(Encoder, CompactBlocksReportsScanCost) {
+  const auto words = sparse_words(1 << 12, 0.5, 12);
+  std::vector<u8> byte_flags, bit_flags;
+  mark_blocks(words, byte_flags, bit_flags);
+  std::vector<u32> blocks;
+  const auto cost = compact_blocks(words, byte_flags, blocks);
+  EXPECT_EQ(cost.kernel_launches, 2u);  // two-kernel scan split (§3.4)
+}
+
+}  // namespace
+}  // namespace fz

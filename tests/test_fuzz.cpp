@@ -1,0 +1,148 @@
+// Decoder robustness fuzzing: every decoder in the library must reject
+// malformed input with FormatError (or Error) — never crash, hang, or
+// allocate unboundedly.  Three families of hostile input per decoder:
+// random bytes, truncations of valid streams, and single-byte corruptions
+// of valid streams.
+#include <gtest/gtest.h>
+
+#include "baselines/cuzfp.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/chunked.hpp"
+#include "core/pipeline.hpp"
+#include "datasets/generators.hpp"
+#include "metrics/metrics.hpp"
+#include "substrate/huffman.hpp"
+#include "substrate/lz77.hpp"
+#include "substrate/rle.hpp"
+
+namespace fz {
+namespace {
+
+std::vector<u8> random_bytes(size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u8> v(n);
+  for (auto& b : v) b = static_cast<u8>(rng.next_u32());
+  return v;
+}
+
+/// Run `decode` on hostile input; pass iff it returns normally or throws
+/// fz::Error (any subclass).  Anything else (other exception types,
+/// crashes) fails the test.
+template <typename Fn>
+void expect_graceful(Fn&& decode, const std::string& what) {
+  try {
+    decode();
+  } catch (const Error&) {
+    return;  // rejected cleanly
+  } catch (const std::exception& e) {
+    FAIL() << what << " threw a non-fz exception: " << e.what();
+  }
+  // Returning without throwing is acceptable only when the decoder could
+  // legitimately interpret the bytes; reaching here is fine.
+}
+
+TEST(Fuzz, FzDecompressRandomBytes) {
+  for (u64 seed = 0; seed < 50; ++seed) {
+    const auto junk = random_bytes(16 + seed * 13, seed);
+    expect_graceful([&] { fz_decompress(junk); }, "fz_decompress");
+  }
+}
+
+TEST(Fuzz, FzDecompressTruncations) {
+  const Field f = generate_field(Dataset::CESM, Dims{50, 40}, 1);
+  FzParams params;
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  for (size_t keep = 0; keep < c.bytes.size(); keep += 97) {
+    std::vector<u8> cut(c.bytes.begin(),
+                        c.bytes.begin() + static_cast<long>(keep));
+    expect_graceful([&] { fz_decompress(cut); }, "fz_decompress truncation");
+  }
+}
+
+TEST(Fuzz, FzDecompressBitflips) {
+  const Field f = generate_field(Dataset::CESM, Dims{50, 40}, 2);
+  FzParams params;
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<u8> bad = c.bytes;
+    bad[rng.below(bad.size())] ^= static_cast<u8>(1u << rng.below(8));
+    expect_graceful([&] { fz_decompress(bad); }, "fz_decompress bitflip");
+  }
+}
+
+TEST(Fuzz, ChunkedContainerHostileInputs) {
+  const Field f = generate_field(Dataset::Hurricane, Dims{16, 16, 8}, 4);
+  ChunkedParams params;
+  params.num_chunks = 3;
+  const ChunkedCompressed c = fz_compress_chunked(f.values(), f.dims, params);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<u8> bad = c.bytes;
+    bad[rng.below(bad.size())] ^= static_cast<u8>(1u << rng.below(8));
+    expect_graceful([&] { fz_decompress_chunked(bad); }, "chunked bitflip");
+  }
+  for (u64 seed = 0; seed < 30; ++seed) {
+    const auto junk = random_bytes(32 + seed * 7, 100 + seed);
+    expect_graceful([&] { fz_decompress_chunked(junk); }, "chunked junk");
+  }
+}
+
+TEST(Fuzz, HuffmanHostileInputs) {
+  for (u64 seed = 0; seed < 50; ++seed) {
+    const auto junk = random_bytes(8 + seed * 11, 200 + seed);
+    expect_graceful([&] { huffman_decompress(junk); }, "huffman junk");
+  }
+  // Bitflips on a valid stream.
+  Rng rng(6);
+  std::vector<u16> syms(3000);
+  for (auto& s : syms) s = static_cast<u16>(rng.below(300));
+  const auto stream = huffman_compress(syms, 512);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<u8> bad = stream;
+    bad[rng.below(bad.size())] ^= static_cast<u8>(1u << rng.below(8));
+    expect_graceful([&] { huffman_decompress(bad); }, "huffman bitflip");
+  }
+}
+
+TEST(Fuzz, LzHostileInputs) {
+  for (u64 seed = 0; seed < 50; ++seed) {
+    const auto junk = random_bytes(4 + seed * 9, 300 + seed);
+    expect_graceful([&] { lz_decompress(junk, 1000); }, "lz junk");
+  }
+}
+
+TEST(Fuzz, RleHostileInputs) {
+  for (u64 seed = 0; seed < 50; ++seed) {
+    auto junk = random_bytes(3 * (1 + seed), 400 + seed);
+    expect_graceful([&] { rle_decode(junk, 64); }, "rle junk");
+  }
+}
+
+TEST(Fuzz, ZfpHostileInputs) {
+  using bench::zfp_decompress;
+  for (u64 seed = 0; seed < 50; ++seed) {
+    const auto junk = random_bytes(16 + seed * 17, 500 + seed);
+    expect_graceful([&] { zfp_decompress(junk); }, "zfp junk");
+  }
+  const Field f = generate_field(Dataset::Nyx, Dims{16, 16, 16}, 7);
+  const auto stream = bench::zfp_compress(f.values(), f.dims, 8.0);
+  Rng rng(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<u8> bad = stream;
+    bad[rng.below(bad.size())] ^= static_cast<u8>(1u << rng.below(8));
+    expect_graceful([&] { zfp_decompress(bad); }, "zfp bitflip");
+  }
+}
+
+TEST(Fuzz, CompressRejectsNonFiniteData) {
+  std::vector<f32> data{1.0f, std::numeric_limits<f32>::quiet_NaN(), 3.0f};
+  FzParams params;
+  EXPECT_THROW(fz_compress(data, Dims{3}, params), Error);
+  data[1] = std::numeric_limits<f32>::infinity();
+  EXPECT_THROW(fz_compress(data, Dims{3}, params), Error);
+}
+
+}  // namespace
+}  // namespace fz

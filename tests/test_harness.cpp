@@ -1,0 +1,114 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+
+namespace fz::bench {
+namespace {
+
+TEST(Harness, PaperErrorBounds) {
+  const auto& ebs = paper_error_bounds();
+  ASSERT_EQ(ebs.size(), 5u);
+  EXPECT_DOUBLE_EQ(ebs.front(), 1e-2);
+  EXPECT_DOUBLE_EQ(ebs.back(), 1e-4);
+  for (size_t i = 1; i < ebs.size(); ++i) EXPECT_LT(ebs[i], ebs[i - 1]);
+}
+
+TEST(Harness, MeasureFillsAllMetrics) {
+  // Big enough that kernel-launch latency does not dominate the model.
+  const auto fields = evaluation_fields(0.15);
+  const auto fz = make_fzgpu();
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const Measurement m = measure(*fz, fields[1], 1e-3, a100, /*ssim=*/true);
+  EXPECT_TRUE(m.ok);
+  EXPECT_EQ(m.compressor, "FZ-GPU");
+  EXPECT_EQ(m.dataset, "CESM");
+  EXPECT_GT(m.ratio, 1.0);
+  EXPECT_GT(m.psnr_db, 40.0);
+  EXPECT_GT(m.ssim, 0.5);
+  EXPECT_GT(m.compress_seconds, 0.0);
+  EXPECT_GT(m.decompress_seconds, 0.0);
+  EXPECT_GT(m.throughput_gbps, 1.0);
+  EXPECT_NEAR(m.bitrate, 32.0 / m.ratio, 1e-9);
+}
+
+TEST(Harness, MeasureFlagsUnsupportedCombos) {
+  const auto mgard = make_mgard();
+  const auto fields = evaluation_fields(0.05);
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  // fields[0] is 1-D HACC: MGARD must bail out gracefully.
+  const Measurement m = measure(*mgard, fields[0], 1e-3, a100);
+  EXPECT_FALSE(m.ok);
+  EXPECT_FALSE(m.note.empty());
+}
+
+TEST(Harness, CuzfpPsnrMatchingConverges) {
+  const auto fields = evaluation_fields(0.05);
+  const auto fz = make_fzgpu();
+  const auto zfp = make_cuzfp();
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  const Measurement target = measure(*fz, fields[1], 1e-3, a100);
+  const auto matched = match_cuzfp_psnr(*zfp, fields[1], target.psnr_db, a100);
+  ASSERT_TRUE(matched.has_value());
+  EXPECT_NEAR(matched->psnr_db, target.psnr_db, 3.0);
+  EXPECT_EQ(matched->compressor, "cuZFP");
+}
+
+TEST(Harness, CuzfpMatchingReportsFailureForAbsurdTargets) {
+  const auto fields = evaluation_fields(0.05);
+  const auto zfp = make_cuzfp();
+  const cudasim::DeviceModel a100(cudasim::DeviceSpec::a100());
+  // No swept bitrate reaches 10000 dB (mirrors the paper's missing bars on
+  // Nyx/RTM at 1e-2 / 5e-3).
+  EXPECT_FALSE(match_cuzfp_psnr(*zfp, fields[1], 10000.0, a100).has_value());
+}
+
+TEST(Harness, OverallThroughputFormula) {
+  // T = ((BW*CR)^-1 + T_c^-1)^-1 — paper §4.6.
+  EXPECT_NEAR(overall_throughput_gbps(11.4, 10.0, 114.0), 57.0, 1e-9);
+  // High ratio pushes the limit toward the compression throughput.
+  EXPECT_NEAR(overall_throughput_gbps(11.4, 1e9, 100.0), 100.0, 0.01);
+  // Ratio 1 degenerates toward the link bandwidth.
+  EXPECT_LT(overall_throughput_gbps(11.4, 1.0, 1e9), 11.4 + 1e-6);
+  EXPECT_THROW(overall_throughput_gbps(0, 1, 1), Error);
+}
+
+TEST(Harness, EvaluationFieldsApplyHaccLogTransform) {
+  const auto fields = evaluation_fields(0.05);
+  ASSERT_EQ(fields.size(), 6u);
+  EXPECT_EQ(fields[0].dataset, "HACC");
+  EXPECT_NE(fields[0].name.find("(log)"), std::string::npos);
+}
+
+TEST(Tables, AlignedOutputAndCsv) {
+  Table t({"a", "bb", "ccc"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"hello", "x", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| hello |"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(), "a,bb,ccc\n1,2,3\nhello,x,y\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Tables, RowArityIsChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Tables, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(21.33), "21.3x");
+  EXPECT_EQ(fmt_db(86.127), "86.1");
+}
+
+}  // namespace
+}  // namespace fz::bench

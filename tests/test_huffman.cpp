@@ -1,0 +1,143 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "substrate/histogram.hpp"
+#include "substrate/huffman.hpp"
+
+namespace fz {
+namespace {
+
+std::vector<u16> geometric_symbols(size_t n, u64 seed, u16 num_bins) {
+  // Geometric-ish distribution centred at num_bins/2 — resembles shifted
+  // quantization codes.
+  Rng rng(seed);
+  std::vector<u16> s(n);
+  for (auto& v : s) {
+    const double g = rng.normal(0.0, 3.0);
+    i32 code = static_cast<i32>(num_bins / 2) + static_cast<i32>(std::lround(g));
+    code = std::clamp<i32>(code, 0, num_bins - 1);
+    v = static_cast<u16>(code);
+  }
+  return s;
+}
+
+TEST(HuffmanCodebook, KraftInequalityHolds) {
+  const auto syms = geometric_symbols(20000, 3, 1024);
+  const auto hist = histogram<u16>(syms, 1024);
+  const auto book = HuffmanCodebook::build(hist);
+  double kraft = 0;
+  for (const u8 l : book.lengths)
+    if (l != 0) kraft += std::ldexp(1.0, -l);
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(HuffmanCodebook, CanonicalCodesArePrefixFree) {
+  const auto syms = geometric_symbols(5000, 4, 256);
+  const auto hist = histogram<u16>(syms, 256);
+  const auto book = HuffmanCodebook::build(hist);
+  for (size_t a = 0; a < book.num_symbols(); ++a) {
+    if (book.lengths[a] == 0) continue;
+    for (size_t b = 0; b < book.num_symbols(); ++b) {
+      if (a == b || book.lengths[b] == 0) continue;
+      if (book.lengths[a] > book.lengths[b]) continue;
+      // code(a) must not be a prefix of code(b).
+      const u64 prefix = book.codes[b] >> (book.lengths[b] - book.lengths[a]);
+      EXPECT_FALSE(prefix == book.codes[a] && book.lengths[a] < book.lengths[b])
+          << "symbol " << a << " prefixes " << b;
+    }
+  }
+}
+
+TEST(HuffmanCodebook, SingleSymbolGetsOneBit) {
+  std::vector<u64> hist(16, 0);
+  hist[7] = 100;
+  const auto book = HuffmanCodebook::build(hist);
+  EXPECT_EQ(book.lengths[7], 1);
+  for (size_t s = 0; s < 16; ++s)
+    if (s != 7) {
+      EXPECT_EQ(book.lengths[s], 0);
+    }
+}
+
+TEST(HuffmanCodebook, EmptyHistogram) {
+  std::vector<u64> hist(16, 0);
+  const auto book = HuffmanCodebook::build(hist);
+  EXPECT_EQ(book.max_length(), 0);
+}
+
+TEST(Huffman, RoundTripGeometric) {
+  const auto syms = geometric_symbols(100000, 5, 1024);
+  const auto stream = huffman_compress(syms, 1024);
+  const auto back = huffman_decompress(stream);
+  EXPECT_EQ(back, syms);
+}
+
+TEST(Huffman, RoundTripUniform) {
+  Rng rng(6);
+  std::vector<u16> syms(50000);
+  for (auto& s : syms) s = static_cast<u16>(rng.below(700));
+  const auto stream = huffman_compress(syms, 1024);
+  EXPECT_EQ(huffman_decompress(stream), syms);
+}
+
+TEST(Huffman, RoundTripSingleDistinctSymbol) {
+  std::vector<u16> syms(5000, 321);
+  const auto stream = huffman_compress(syms, 1024);
+  EXPECT_EQ(huffman_decompress(stream), syms);
+  // Degenerate stream should be tiny: ~1 bit/symbol plus the table.
+  EXPECT_LT(stream.size(), 5000 / 8 + 1200 + 64);
+}
+
+TEST(Huffman, RoundTripShortInputs) {
+  for (const size_t n : {1u, 2u, 3u, 7u, 4095u, 4096u, 4097u}) {
+    auto syms = geometric_symbols(n, 100 + n, 64);
+    const auto stream = huffman_compress(syms, 64);
+    EXPECT_EQ(huffman_decompress(stream), syms) << "n=" << n;
+  }
+}
+
+TEST(Huffman, SkewedDataCompressesNearEntropy) {
+  const auto syms = geometric_symbols(200000, 8, 1024);
+  const auto hist = histogram<u16>(syms, 1024);
+  const double h = shannon_entropy(hist);
+  const auto stream = huffman_compress(syms, 1024);
+  const double bits_per_sym =
+      static_cast<double>(stream.size() - 1024 - 16) * 8 / syms.size();
+  EXPECT_LT(bits_per_sym, h + 1.0);  // within 1 bit of entropy
+  EXPECT_GE(bits_per_sym, h - 0.01);
+}
+
+TEST(Huffman, ChunkSizeDoesNotChangeContent) {
+  const auto syms = geometric_symbols(30000, 9, 512);
+  std::vector<u64> hist = histogram<u16>(syms, 512);
+  const auto book = HuffmanCodebook::build(hist);
+  for (const size_t chunk : {256u, 1024u, 65536u}) {
+    const auto enc = huffman_encode(syms, book, chunk);
+    EXPECT_EQ(huffman_decode(enc, book), syms) << "chunk=" << chunk;
+  }
+}
+
+TEST(Huffman, RejectsCorruptStream) {
+  auto syms = geometric_symbols(1000, 10, 64);
+  auto stream = huffman_compress(syms, 64);
+  stream.resize(stream.size() / 2);  // truncate payload
+  EXPECT_THROW(huffman_decompress(stream), FormatError);
+}
+
+TEST(Huffman, CodebookBuildCostGrowsWithBins) {
+  EXPECT_GT(codebook_build_serial_ns(1024), codebook_build_serial_ns(256));
+  EXPECT_GT(codebook_build_serial_ns(1024), 1e5);  // non-trivial serial phase
+}
+
+TEST(Entropy, KnownValues) {
+  const std::vector<u64> uniform4{10, 10, 10, 10};
+  EXPECT_NEAR(shannon_entropy(uniform4), 2.0, 1e-12);
+  const std::vector<u64> one{42};
+  EXPECT_NEAR(shannon_entropy(one), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fz

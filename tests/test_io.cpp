@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "datasets/generators.hpp"
+#include "datasets/loader.hpp"
+
+namespace fz {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return std::string("/tmp/fz_io_test_") + name;
+  }
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string tracked(const char* name) {
+    cleanup_.push_back(path(name));
+    return cleanup_.back();
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(IoTest, F32RoundTrip) {
+  const Field f = generate_field(Dataset::CESM, Dims{40, 30}, 1);
+  const std::string p = tracked("a.f32");
+  save_f32_file(p, f.values());
+  const Field back = load_f32_file(p, f.dims, "restored");
+  EXPECT_EQ(back.data, f.data);
+  EXPECT_EQ(back.dims, f.dims);
+  EXPECT_EQ(back.name, "restored");
+}
+
+TEST_F(IoTest, RejectsWrongSize) {
+  const Field f = generate_field(Dataset::CESM, Dims{40, 30}, 2);
+  const std::string p = tracked("b.f32");
+  save_f32_file(p, f.values());
+  EXPECT_THROW(load_f32_file(p, Dims{41, 30}), Error);
+}
+
+TEST_F(IoTest, RejectsMissingFile) {
+  EXPECT_THROW(load_f32_file("/nonexistent/nope.f32", Dims{4}), Error);
+  EXPECT_THROW(load_bytes("/nonexistent/nope.bin"), Error);
+}
+
+TEST_F(IoTest, BytesRoundTrip) {
+  const std::vector<u8> payload{1, 2, 3, 250, 0, 7};
+  const std::string p = tracked("c.bin");
+  save_bytes(p, payload);
+  EXPECT_EQ(load_bytes(p), payload);
+}
+
+TEST_F(IoTest, CompressedStreamSurvivesDisk) {
+  // The end-to-end file workflow the CLI uses.
+  const Field f = generate_field(Dataset::Nyx, Dims{24, 24, 24}, 3);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  const std::string p = tracked("d.fz");
+  save_bytes(p, c.bytes);
+  const FzDecompressed d = fz_decompress(load_bytes(p));
+  EXPECT_EQ(d.dims, f.dims);
+  const FzDecompressed direct = fz_decompress(c.bytes);
+  EXPECT_EQ(d.data, direct.data);
+}
+
+}  // namespace
+}  // namespace fz

@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/bitshuffle.hpp"
+#include "core/encoder.hpp"
+#include "core/kernels_sim.hpp"
+#include "core/lorenzo.hpp"
+#include "core/pipeline.hpp"
+#include "core/quantizer.hpp"
+#include "baselines/cuszx.hpp"
+#include "substrate/huffman.hpp"
+#include "datasets/field.hpp"
+#include "metrics/metrics.hpp"
+
+namespace fz {
+namespace {
+
+std::vector<u32> random_words(size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u32> v(n);
+  for (auto& w : v) w = rng.next_u32();
+  return v;
+}
+
+std::vector<u32> sparse_code_words(size_t n, u64 seed) {
+  // Small sign-magnitude codes, like real post-quantization data.
+  Rng rng(seed);
+  std::vector<u32> v(n);
+  for (auto& w : v) {
+    const u16 lo = static_cast<u16>(rng.below(32));
+    const u16 hi = static_cast<u16>(rng.below(32)) |
+                   (rng.below(4) == 0 ? u16{0x8000} : u16{0});
+    w = static_cast<u32>(lo) | (static_cast<u32>(hi) << 16);
+  }
+  return v;
+}
+
+TEST(SimFusedKernel, MatchesNativeBitshuffleExactly) {
+  const auto in = random_words(2 * kTileWords, 1);
+  std::vector<u32> native(in.size()), simulated(in.size());
+  bitshuffle_tiles(in, native);
+
+  std::vector<u8> sim_byte_flags, sim_bit_flags;
+  sim_bitshuffle_mark_fused(in, simulated, sim_byte_flags, sim_bit_flags);
+  EXPECT_EQ(simulated, native);
+}
+
+TEST(SimFusedKernel, FlagsMatchNativeMark) {
+  const auto in = sparse_code_words(3 * kTileWords, 2);
+  std::vector<u32> native(in.size()), simulated(in.size());
+  bitshuffle_tiles(in, native);
+  std::vector<u8> native_byte_flags, native_bit_flags;
+  mark_blocks(native, native_byte_flags, native_bit_flags);
+
+  std::vector<u8> sim_byte_flags, sim_bit_flags;
+  sim_bitshuffle_mark_fused(in, simulated, sim_byte_flags, sim_bit_flags);
+  EXPECT_EQ(sim_byte_flags, native_byte_flags);
+  EXPECT_EQ(sim_bit_flags, native_bit_flags);
+}
+
+TEST(SimFusedKernel, PaddingEliminatesBankConflicts) {
+  // The §3.3 claim, measured on the real kernel: with the 32x33 padded
+  // shared tile the column-wise accesses are conflict-free; dropping the
+  // padding multiplies shared-memory transactions.
+  const auto in = random_words(kTileWords, 3);
+  std::vector<u32> out_p(in.size()), out_u(in.size());
+  std::vector<u8> bf, ff;
+  const auto padded = sim_bitshuffle_mark_fused(in, out_p, bf, ff, true);
+  const auto unpadded = sim_bitshuffle_mark_fused(in, out_u, bf, ff, false);
+  EXPECT_EQ(out_p, out_u);  // functionally identical
+  EXPECT_GT(unpadded.shared_transactions, 4 * padded.shared_transactions);
+}
+
+TEST(SimFusedKernel, CountsGlobalTraffic) {
+  const auto in = random_words(kTileWords, 4);
+  std::vector<u32> out(in.size());
+  std::vector<u8> bf, ff;
+  const auto cost = sim_bitshuffle_mark_fused(in, out, bf, ff);
+  EXPECT_EQ(cost.kernel_launches, 1u);
+  // Reads the tile once, writes tile + byte flags + bit flags.
+  EXPECT_EQ(cost.global_bytes_read, kTileBytes);
+  EXPECT_EQ(cost.global_bytes_written, kTileBytes + kBlocksPerTile + kBlocksPerTile / 8);
+}
+
+TEST(SimCompact, MatchesNativeCompaction) {
+  const auto in = sparse_code_words(2 * kTileWords, 5);
+  std::vector<u32> shuffled(in.size());
+  bitshuffle_tiles(in, shuffled);
+  std::vector<u8> byte_flags, bit_flags;
+  mark_blocks(shuffled, byte_flags, bit_flags);
+
+  std::vector<u32> native_blocks;
+  compact_blocks(shuffled, byte_flags, native_blocks);
+  std::vector<u32> sim_blocks;
+  sim_compact_blocks(shuffled, byte_flags, sim_blocks);
+  EXPECT_EQ(sim_blocks, native_blocks);
+}
+
+TEST(SimCompact, EndToEndSimulatedEncodeDecodes) {
+  // Full simulated phase-1 + phase-2, decoded by the native decoder.
+  const auto in = sparse_code_words(kTileWords, 6);
+  std::vector<u32> shuffled(in.size());
+  std::vector<u8> byte_flags, bit_flags;
+  sim_bitshuffle_mark_fused(in, shuffled, byte_flags, bit_flags);
+  std::vector<u32> blocks;
+  sim_compact_blocks(shuffled, byte_flags, blocks);
+
+  std::vector<u32> restored_shuffled(in.size());
+  decode_blocks(bit_flags, blocks, restored_shuffled);
+  std::vector<u32> back(in.size());
+  bitunshuffle_tiles(restored_shuffled, back);
+  EXPECT_EQ(back, in);
+}
+
+TEST(SimPredQuant, MatchesNativeDualQuantization) {
+  // The simulated kernel recomputes neighbour prequants per thread; the
+  // native path prequantizes once then runs Lorenzo.  Identical results
+  // prove dual-quantization's independence claim (2.3).
+  for (const Dims dims : {Dims{777}, Dims{33, 21}, Dims{9, 10, 11}}) {
+    Field f;
+    f.dims = dims;
+    f.data.resize(dims.count());
+    Rng rng(dims.count());
+    for (auto& v : f.data) v = static_cast<f32>(rng.uniform(-50.0, 50.0));
+    const double abs_eb = 0.01;
+
+    std::vector<i64> pq(f.count());
+    prequantize(f.values(), abs_eb, pq);
+    lorenzo_forward(pq, dims, pq);
+    const QuantV2Result native = quant_encode_v2(pq);
+
+    std::vector<u16> simulated(f.count());
+    const auto cost = sim_pred_quant_v2(f.values(), dims, abs_eb, simulated);
+    EXPECT_EQ(simulated, native.codes) << dims.to_string();
+    EXPECT_EQ(cost.kernel_launches, 1u);
+    EXPECT_GE(cost.global_bytes_read, f.bytes());
+    EXPECT_EQ(cost.global_bytes_written, f.count() * sizeof(u16));
+  }
+}
+
+TEST(SimPredQuant, FeedsTheFullSimulatedPipeline) {
+  // All three paper kernels, simulated end to end: pred-quant -> fused
+  // bitshuffle+mark -> compact; decoded by the NATIVE decompressor.
+  Field f;
+  f.dims = Dims{64, 32};  // 2048 values = exactly one tile of codes
+  f.data.resize(f.dims.count());
+  Rng rng(99);
+  f32 acc = 0;
+  for (auto& v : f.data) {
+    acc += static_cast<f32>(rng.normal(0.0, 0.05));
+    v = acc;
+  }
+  const double abs_eb = 1e-3;
+
+  std::vector<u16> codes(f.count());
+  sim_pred_quant_v2(f.values(), f.dims, abs_eb, codes);
+
+  // Native path for comparison: full pipeline compress.
+  FzParams params;
+  params.eb = ErrorBound::absolute(abs_eb);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  const FzDecompressed d = fz_decompress(c.bytes);
+  EXPECT_TRUE(error_bounded(f.values(), d.data, abs_eb));
+
+  // The simulated codes must round-trip through the simulated encoder.
+  std::span<const u32> words{reinterpret_cast<const u32*>(codes.data()),
+                             codes.size() / 2};
+  std::vector<u32> shuffled(words.size());
+  std::vector<u8> byte_flags, bit_flags;
+  sim_bitshuffle_mark_fused(words, shuffled, byte_flags, bit_flags);
+  std::vector<u32> blocks;
+  sim_compact_blocks(shuffled, byte_flags, blocks);
+  std::vector<u32> restored(words.size());
+  sim_scatter_blocks(bit_flags, blocks, restored);
+  std::vector<u32> back(words.size());
+  sim_bitunshuffle(restored, back);
+  EXPECT_TRUE(std::equal(words.begin(), words.end(), back.begin()));
+}
+
+TEST(SimHuffman, CoarseGrainedEncodeMatchesNativeByteForByte) {
+  Rng rng(42);
+  std::vector<u16> syms(20000);
+  for (auto& v : syms)
+    v = static_cast<u16>(
+        std::clamp<i64>(512 + std::llround(rng.normal(0.0, 5.0)), 0, 1023));
+  std::vector<u64> hist(1024, 0);
+  for (const u16 v : syms) ++hist[v];
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+
+  const std::vector<u8> native = huffman_encode(syms, book, 4096);
+  std::vector<u8> simulated;
+  const auto cost = sim_huffman_encode(syms, book, 4096, simulated);
+  EXPECT_EQ(simulated, native);
+  EXPECT_EQ(huffman_decode(simulated, book), syms);
+  EXPECT_GE(cost.kernel_launches, 3u);  // encode + 2-kernel scan
+}
+
+TEST(SimHuffman, RaggedFinalChunk) {
+  Rng rng(43);
+  std::vector<u16> syms(10001);  // not a chunk multiple
+  for (auto& v : syms) v = static_cast<u16>(rng.below(64));
+  std::vector<u64> hist(64, 0);
+  for (const u16 v : syms) ++hist[v];
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+  std::vector<u8> simulated;
+  sim_huffman_encode(syms, book, 1000, simulated);
+  EXPECT_EQ(simulated, huffman_encode(syms, book, 1000));
+}
+
+TEST(SimHuffman, ChunkParallelDecodeMatchesNative) {
+  Rng rng(44);
+  std::vector<u16> syms(15000);
+  for (auto& v : syms)
+    v = static_cast<u16>(
+        std::clamp<i64>(512 + std::llround(rng.normal(0.0, 8.0)), 0, 1023));
+  std::vector<u64> hist(1024, 0);
+  for (const u16 v : syms) ++hist[v];
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+  const std::vector<u8> stream = huffman_encode(syms, book, 2000);
+
+  std::vector<u16> decoded;
+  const auto cost = sim_huffman_decode(stream, book, decoded);
+  EXPECT_EQ(decoded, syms);
+  EXPECT_EQ(decoded, huffman_decode(stream, book));
+  EXPECT_EQ(cost.kernel_launches, 1u);
+}
+
+TEST(SimHuffman, EncodeDecodeComposeOnSimulatorOnly) {
+  // Encode on the simulated coarse-grained kernel, decode on the simulated
+  // chunk-parallel kernel — no native codec in the loop.
+  Rng rng(45);
+  std::vector<u16> syms(8192);
+  for (auto& v : syms) v = static_cast<u16>(rng.below(300));
+  std::vector<u64> hist(512, 0);
+  for (const u16 v : syms) ++hist[v];
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+  std::vector<u8> stream;
+  sim_huffman_encode(syms, book, 1024, stream);
+  std::vector<u16> decoded;
+  sim_huffman_decode(stream, book, decoded);
+  EXPECT_EQ(decoded, syms);
+}
+
+TEST(SimSzx, BlockStatsMatchScalarReference) {
+  Rng rng(46);
+  std::vector<f32> data(1000);  // 7 full blocks + 1 partial (104 values)
+  for (auto& v : data) v = static_cast<f32>(rng.uniform(-100.0, 100.0));
+  const size_t nblocks = (data.size() + 127) / 128;
+  std::vector<f32> mins(nblocks), maxs(nblocks);
+  const auto cost = sim_szx_block_stats(data, mins, maxs);
+  EXPECT_EQ(cost.kernel_launches, 1u);
+  for (size_t blk = 0; blk < nblocks; ++blk) {
+    const size_t b = blk * 128;
+    const size_t e = std::min(b + 128, data.size());
+    f32 lo = data[b], hi = data[b];
+    for (size_t i = b; i < e; ++i) {
+      lo = std::min(lo, data[i]);
+      hi = std::max(hi, data[i]);
+    }
+    EXPECT_EQ(mins[blk], lo) << blk;
+    EXPECT_EQ(maxs[blk], hi) << blk;
+  }
+}
+
+TEST(SimSzx, StatsDriveTheSameConstantBlockDecisions) {
+  // The stats kernel's min/max must reproduce the native encoder's
+  // constant/non-constant split exactly (tag byte 0 vs width).
+  Rng rng(47);
+  std::vector<f32> data(128 * 16);
+  for (size_t blk = 0; blk < 16; ++blk) {
+    const f32 base = static_cast<f32>(rng.uniform(-10.0, 10.0));
+    const bool constant = blk % 3 == 0;
+    for (size_t k = 0; k < 128; ++k)
+      data[blk * 128 + k] =
+          base + (constant ? 0.0f : static_cast<f32>(rng.uniform(0.0, 1.0)));
+  }
+  const double abs_eb = 1e-3;
+  std::vector<f32> mins(16), maxs(16);
+  sim_szx_block_stats(data, mins, maxs);
+
+  const std::vector<u8> payload = bench::szx_encode_payload(data, abs_eb);
+  // Walk the payload and compare each tag with the kernel's decision.
+  size_t pos = 0;
+  for (size_t blk = 0; blk < 16; ++blk) {
+    const u8 tag = payload[pos];
+    const bool kernel_constant =
+        static_cast<double>(maxs[blk]) - mins[blk] <= 2 * abs_eb;
+    EXPECT_EQ(tag == 0, kernel_constant) << blk;
+    pos += 1 + 4;  // tag + mid
+    if (tag != 0) pos += (static_cast<size_t>(tag) * 128 + 7) / 8;
+  }
+  EXPECT_EQ(pos, payload.size());
+}
+
+TEST(SimSzx, CodecRoundTripsThroughStandaloneFunctions) {
+  Rng rng(48);
+  std::vector<f32> data(5000);
+  f32 acc = 0;
+  for (auto& v : data) {
+    acc += static_cast<f32>(rng.normal(0.0, 0.1));
+    v = acc;
+  }
+  const double abs_eb = 1e-2;
+  const auto payload = bench::szx_encode_payload(data, abs_eb);
+  const auto back = bench::szx_decode_payload(payload, data.size(), abs_eb);
+  ASSERT_EQ(back.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i)
+    ASSERT_LE(std::fabs(static_cast<double>(data[i]) - back[i]),
+              abs_eb * (1 + 1e-6))
+        << i;
+}
+
+TEST(SimDecode, ScatterMirrorsNativeDecode) {
+  const auto in = sparse_code_words(2 * kTileWords, 7);
+  std::vector<u32> shuffled(in.size());
+  bitshuffle_tiles(in, shuffled);
+  std::vector<u8> byte_flags, bit_flags;
+  mark_blocks(shuffled, byte_flags, bit_flags);
+  std::vector<u32> blocks;
+  compact_blocks(shuffled, byte_flags, blocks);
+
+  std::vector<u32> native(shuffled.size());
+  decode_blocks(bit_flags, blocks, native);
+  std::vector<u32> simulated(shuffled.size(), 0xffffffffu);
+  const auto cost = sim_scatter_blocks(bit_flags, blocks, simulated);
+  EXPECT_EQ(simulated, native);
+  EXPECT_EQ(simulated, shuffled);
+  EXPECT_GE(cost.kernel_launches, 3u);  // scan (2) + scatter (1)
+}
+
+TEST(SimDecode, UnshuffleInvertsSimulatedShuffle) {
+  const auto in = random_words(2 * kTileWords, 8);
+  std::vector<u32> shuffled(in.size()), back(in.size());
+  std::vector<u8> bf, ff;
+  sim_bitshuffle_mark_fused(in, shuffled, bf, ff);
+  sim_bitunshuffle(shuffled, back);
+  EXPECT_EQ(back, in);
+}
+
+TEST(SimDecode, UnshuffleMatchesNativeInverse) {
+  const auto shuffled = random_words(kTileWords, 9);
+  std::vector<u32> native(shuffled.size()), simulated(shuffled.size());
+  bitunshuffle_tiles(shuffled, native);
+  sim_bitunshuffle(shuffled, simulated);
+  EXPECT_EQ(simulated, native);
+}
+
+TEST(SimDecode, UnshufflePaddingRemovesConflictsToo) {
+  const auto in = random_words(kTileWords, 10);
+  std::vector<u32> out_p(in.size()), out_u(in.size());
+  const auto padded = sim_bitunshuffle(in, out_p, true);
+  const auto unpadded = sim_bitunshuffle(in, out_u, false);
+  EXPECT_EQ(out_p, out_u);
+  EXPECT_GT(unpadded.shared_transactions, 4 * padded.shared_transactions);
+}
+
+TEST(SimDecode, FullSimulatedPipelineRoundTrip) {
+  // Simulated encode (fused shuffle+mark, compact) then simulated decode
+  // (scatter, unshuffle): end-to-end on the device model's own kernels.
+  const auto in = sparse_code_words(3 * kTileWords, 11);
+  std::vector<u32> shuffled(in.size());
+  std::vector<u8> byte_flags, bit_flags;
+  sim_bitshuffle_mark_fused(in, shuffled, byte_flags, bit_flags);
+  std::vector<u32> blocks;
+  sim_compact_blocks(shuffled, byte_flags, blocks);
+
+  std::vector<u32> restored(in.size());
+  sim_scatter_blocks(bit_flags, blocks, restored);
+  std::vector<u32> codes(in.size());
+  sim_bitunshuffle(restored, codes);
+  EXPECT_EQ(codes, in);
+}
+
+}  // namespace
+}  // namespace fz

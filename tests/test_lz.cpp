@@ -1,0 +1,90 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "substrate/lz77.hpp"
+
+namespace fz {
+namespace {
+
+std::vector<u8> random_bytes(size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u8> v(n);
+  for (auto& b : v) b = static_cast<u8>(rng.next_u32());
+  return v;
+}
+
+TEST(Lz77, RoundTripRandom) {
+  const auto data = random_bytes(50000, 1);
+  const auto comp = lz_compress(data);
+  EXPECT_EQ(lz_decompress(comp, data.size()), data);
+}
+
+TEST(Lz77, RoundTripEmptyAndTiny) {
+  for (const size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 8u}) {
+    const auto data = random_bytes(n, 10 + n);
+    const auto comp = lz_compress(data);
+    EXPECT_EQ(lz_decompress(comp, n), data) << n;
+  }
+}
+
+TEST(Lz77, CompressesRepeatedData) {
+  std::vector<u8> data;
+  for (int i = 0; i < 5000; ++i) data.push_back(static_cast<u8>(i % 17));
+  const auto comp = lz_compress(data);
+  EXPECT_LT(comp.size(), data.size() / 10);
+  EXPECT_EQ(lz_decompress(comp, data.size()), data);
+}
+
+TEST(Lz77, CompressesAllZeros) {
+  const std::vector<u8> zeros(100000, 0);
+  const auto comp = lz_compress(zeros);
+  EXPECT_LT(comp.size(), 2000u);
+  EXPECT_EQ(lz_decompress(comp, zeros.size()), zeros);
+}
+
+TEST(Lz77, OverlappingMatchesDecodeCorrectly) {
+  // "abcabcabc..." forces distance < length copies.
+  std::vector<u8> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<u8>("abc"[i % 3]));
+  const auto comp = lz_compress(data);
+  EXPECT_EQ(lz_decompress(comp, data.size()), data);
+}
+
+TEST(Lz77, MixedStructuredPayload) {
+  // Alternating random and repeated sections, like real code streams.
+  std::vector<u8> data;
+  Rng rng(3);
+  for (int section = 0; section < 20; ++section) {
+    if (section % 2 == 0) {
+      const auto r = random_bytes(997, 100 + section);
+      data.insert(data.end(), r.begin(), r.end());
+    } else {
+      data.insert(data.end(), 2048, static_cast<u8>(section));
+    }
+  }
+  const auto comp = lz_compress(data);
+  EXPECT_LT(comp.size(), data.size());
+  EXPECT_EQ(lz_decompress(comp, data.size()), data);
+}
+
+TEST(Lz77, RejectsTruncatedStream) {
+  const auto data = random_bytes(10000, 4);
+  auto comp = lz_compress(data);
+  comp.resize(comp.size() / 2);
+  EXPECT_THROW(lz_decompress(comp, data.size()), FormatError);
+}
+
+TEST(Lz77, RejectsBadDistance) {
+  // A match token pointing before the start of output.
+  // flags=0x01 (first token is a match), distance=5, length code=0.
+  const std::vector<u8> bogus{0x01, 0x05, 0x00, 0x00};
+  EXPECT_THROW(lz_decompress(bogus, 10), FormatError);
+}
+
+TEST(Lz77, SerialCostModelIsLinear) {
+  EXPECT_DOUBLE_EQ(lz_match_serial_ns(6300), 1000.0);  // 6.3 GB/s
+}
+
+}  // namespace
+}  // namespace fz

@@ -1,0 +1,113 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/ssim.hpp"
+
+namespace fz {
+namespace {
+
+TEST(Distortion, PerfectReconstruction) {
+  const std::vector<f32> a{1, 2, 3, 4};
+  const DistortionStats d = distortion(a, a);
+  EXPECT_EQ(d.max_abs_error, 0);
+  EXPECT_EQ(d.mse, 0);
+  EXPECT_EQ(d.psnr_db, 999.0);
+}
+
+TEST(Distortion, KnownPsnr) {
+  // Range 10, uniform error 0.1 -> PSNR = 20 log10(10/0.1) = 40 dB.
+  std::vector<f32> a(1000), b(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    a[i] = static_cast<f32>(10.0 * (i % 2));
+    b[i] = a[i] + 0.1f;
+  }
+  const DistortionStats d = distortion(a, b);
+  EXPECT_NEAR(d.psnr_db, 40.0, 0.05);
+  EXPECT_NEAR(d.max_abs_error, 0.1, 1e-6);
+  EXPECT_NEAR(d.nrmse, 0.01, 1e-4);
+}
+
+TEST(Distortion, MaxErrorPicksWorstPoint) {
+  std::vector<f32> a(100, 0.0f), b(100, 0.0f);
+  b[57] = 0.5f;
+  EXPECT_NEAR(distortion(a, b).max_abs_error, 0.5, 1e-9);
+}
+
+TEST(ErrorBounded, DetectsViolations) {
+  std::vector<f32> a(10, 0.0f), b(10, 0.0f);
+  EXPECT_TRUE(error_bounded(a, b, 1e-6));
+  b[3] = 0.002f;
+  EXPECT_TRUE(error_bounded(a, b, 0.002));   // exactly at the bound
+  EXPECT_FALSE(error_bounded(a, b, 0.001));  // beyond
+}
+
+TEST(RatioStats, BitrateIdentity) {
+  const RatioStats r = ratio_stats(4000, 1000);
+  EXPECT_DOUBLE_EQ(r.ratio, 4.0);
+  EXPECT_DOUBLE_EQ(r.bitrate, 8.0);
+  EXPECT_EQ(ratio_stats(100, 0).ratio, 0.0);
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  Rng rng(1);
+  std::vector<f32> img(64 * 48);
+  for (auto& v : img) v = static_cast<f32>(rng.uniform());
+  EXPECT_NEAR(ssim_2d(img, img, 64, 48), 1.0, 1e-9);
+}
+
+TEST(Ssim, NoiseLowersScoreMonotonically) {
+  Rng rng(2);
+  const size_t nx = 64, ny = 64;
+  std::vector<f32> img(nx * ny);
+  for (size_t y = 0; y < ny; ++y)
+    for (size_t x = 0; x < nx; ++x)
+      img[y * nx + x] = static_cast<f32>(std::sin(0.2 * static_cast<double>(x)) +
+                                         std::cos(0.15 * static_cast<double>(y)));
+  double prev = 1.0;
+  for (const double noise : {0.01, 0.05, 0.2, 0.8}) {
+    Rng n(3);
+    std::vector<f32> noisy = img;
+    for (auto& v : noisy) v += static_cast<f32>(n.normal(0.0, noise));
+    const double s = ssim_2d(img, noisy, nx, ny);
+    EXPECT_LT(s, prev) << noise;
+    prev = s;
+  }
+  EXPECT_LT(prev, 0.5);  // heavy noise destroys structure
+}
+
+TEST(Ssim, MeanShiftHurtsLessThanStructureLoss) {
+  const size_t nx = 64, ny = 64;
+  std::vector<f32> img(nx * ny);
+  for (size_t y = 0; y < ny; ++y)
+    for (size_t x = 0; x < nx; ++x)
+      img[y * nx + x] =
+          static_cast<f32>(std::sin(0.2 * static_cast<double>(x + y)));
+  std::vector<f32> shifted = img;
+  for (auto& v : shifted) v += 0.05f;
+  std::vector<f32> flattened(img.size(), 0.0f);
+  EXPECT_GT(ssim_2d(img, shifted, nx, ny), ssim_2d(img, flattened, nx, ny));
+}
+
+TEST(Ssim, FieldDispatchesByRank) {
+  Rng rng(4);
+  std::vector<f32> v(4096);
+  for (auto& x : v) x = static_cast<f32>(rng.uniform());
+  EXPECT_NEAR(ssim_field(v, v, Dims{4096}), 1.0, 1e-9);
+  EXPECT_NEAR(ssim_field(v, v, Dims{64, 64}), 1.0, 1e-9);
+  EXPECT_NEAR(ssim_field(v, v, Dims{16, 16, 16}), 1.0, 1e-9);
+}
+
+TEST(Ssim, RejectsBadShapes) {
+  std::vector<f32> v(16);
+  EXPECT_THROW(ssim_2d(v, v, 4, 3), Error);
+  SsimParams p;
+  p.window = 8;
+  EXPECT_THROW(ssim_2d(v, v, 4, 4, p), Error);  // window > field
+}
+
+}  // namespace
+}  // namespace fz

@@ -1,0 +1,410 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "core/chunked.hpp"
+#include "core/pipeline.hpp"
+#include "datasets/generators.hpp"
+#include "metrics/metrics.hpp"
+
+namespace fz {
+namespace {
+
+Field smooth_field(Dims dims, u64 seed) {
+  Field f;
+  f.dataset = "synthetic";
+  f.name = "smooth";
+  f.dims = dims;
+  f.data.resize(dims.count());
+  Rng rng(seed);
+  const double fx = rng.uniform(0.02, 0.2);
+  const double fy = rng.uniform(0.02, 0.2);
+  const double fz_ = rng.uniform(0.02, 0.2);
+  for (size_t z = 0; z < dims.z; ++z)
+    for (size_t y = 0; y < dims.y; ++y)
+      for (size_t x = 0; x < dims.x; ++x)
+        f.data[dims.linear(x, y, z)] = static_cast<f32>(
+            100.0 * std::sin(fx * static_cast<double>(x)) *
+                std::cos(fy * static_cast<double>(y)) +
+            10.0 * std::sin(fz_ * static_cast<double>(z)));
+  return f;
+}
+
+// ---- error-bound invariant across dims x bounds -----------------------------
+
+struct PipelineCase {
+  Dims dims;
+  double rel_eb;
+};
+
+class PipelineProperty : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineProperty, ErrorBoundHolds) {
+  const auto [dims, rel_eb] = GetParam();
+  const Field f = smooth_field(dims, 17 + dims.count());
+  FzParams params;
+  params.eb = ErrorBound::relative(rel_eb);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  EXPECT_EQ(c.stats.saturated, 0u);
+  const FzDecompressed d = fz_decompress(c.bytes);
+  ASSERT_EQ(d.data.size(), f.data.size());
+  EXPECT_EQ(d.dims, f.dims);
+  EXPECT_TRUE(error_bounded(f.values(), d.data, c.stats.abs_eb))
+      << "dims=" << dims.to_string() << " eb=" << rel_eb;
+}
+
+TEST_P(PipelineProperty, V1QuantAlsoRoundTrips) {
+  const auto [dims, rel_eb] = GetParam();
+  const Field f = smooth_field(dims, 31 + dims.count());
+  FzParams params;
+  params.eb = ErrorBound::relative(rel_eb);
+  params.quant = QuantVersion::V1Original;
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  const FzDecompressed d = fz_decompress(c.bytes);
+  EXPECT_TRUE(error_bounded(f.values(), d.data, c.stats.abs_eb));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineProperty,
+    ::testing::Values(PipelineCase{Dims{100}, 1e-2},
+                      PipelineCase{Dims{2048}, 1e-3},
+                      PipelineCase{Dims{2049}, 1e-3},  // non-tile-multiple
+                      PipelineCase{Dims{10000}, 1e-4},
+                      PipelineCase{Dims{37, 23}, 1e-3},
+                      PipelineCase{Dims{128, 128}, 1e-4},
+                      PipelineCase{Dims{24, 25, 26}, 1e-2},
+                      PipelineCase{Dims{64, 64, 64}, 1e-3},
+                      PipelineCase{Dims{64, 64, 64}, 1e-4},
+                      PipelineCase{Dims{1}, 1e-3},
+                      PipelineCase{Dims{3, 3, 3}, 5e-3}));
+
+// ---- behaviour on the synthetic evaluation datasets --------------------------
+
+class PipelineDatasets : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(PipelineDatasets, BoundHoldsAndNoSaturationAtPaperBounds) {
+  const Dataset ds = GetParam();
+  Field f = generate_field(ds, scaled_dims(ds, 0.08), 7);
+  for (const double rel_eb : {1e-2, 1e-4}) {
+    FzParams params;
+    params.eb = ErrorBound::relative(rel_eb);
+    const FzCompressed c = fz_compress(f.values(), f.dims, params);
+    // The paper's u16 choice relies on residuals fitting 15 bits at these
+    // bounds; verify that holds on every dataset.
+    EXPECT_EQ(c.stats.saturated, 0u) << dataset_name(ds) << " eb=" << rel_eb;
+    const FzDecompressed d = fz_decompress(c.bytes);
+    EXPECT_TRUE(error_bounded(f.values(), d.data, c.stats.abs_eb))
+        << dataset_name(ds) << " eb=" << rel_eb;
+    EXPECT_GT(c.stats.ratio(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PipelineDatasets,
+                         ::testing::ValuesIn(all_datasets()),
+                         [](const auto& info) {
+                           return std::string(dataset_name(info.param));
+                         });
+
+// ---- ratio behaviour ---------------------------------------------------------
+
+TEST(Pipeline, LooserBoundNeverCompressesWorse) {
+  const Field f = smooth_field(Dims{64, 64, 32}, 3);
+  double prev_ratio = 0;
+  for (const double eb : {1e-4, 5e-4, 1e-3, 5e-3, 1e-2}) {
+    FzParams params;
+    params.eb = ErrorBound::relative(eb);
+    const FzCompressed c = fz_compress(f.values(), f.dims, params);
+    EXPECT_GE(c.stats.ratio(), prev_ratio * 0.98) << eb;  // tiny slack
+    prev_ratio = c.stats.ratio();
+  }
+}
+
+TEST(Pipeline, ConstantFieldHitsRatioCeiling) {
+  Field f;
+  f.dims = Dims{1 << 16};
+  f.data.assign(f.dims.count(), 42.5f);
+  FzParams params;
+  params.eb = ErrorBound::absolute(1e-3);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  // Everything collapses to zero blocks: flags + header only.  The code
+  // stream is 2n bytes -> flag bits are 2n/16/8... ensure > 100x overall.
+  EXPECT_GT(c.stats.ratio(), 100.0);
+  const FzDecompressed d = fz_decompress(c.bytes);
+  EXPECT_TRUE(error_bounded(f.values(), d.data, 1e-3));
+}
+
+TEST(Pipeline, StatsAreConsistent) {
+  const Field f = smooth_field(Dims{128, 64}, 5);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  EXPECT_EQ(c.stats.count, f.count());
+  EXPECT_EQ(c.stats.input_bytes, f.bytes());
+  EXPECT_EQ(c.stats.compressed_bytes, c.bytes.size());
+  EXPECT_LE(c.stats.nonzero_blocks, c.stats.total_blocks);
+  EXPECT_NEAR(c.stats.bitrate(), 32.0 / c.stats.ratio(), 1e-9);
+  EXPECT_EQ(c.stage_costs.size(), 3u);  // pred-quant, fused shuffle, encode
+}
+
+TEST(Pipeline, SplitKernelVariantSameBytesDifferentCosts) {
+  const Field f = smooth_field(Dims{64, 64}, 6);
+  FzParams fused, split;
+  fused.eb = split.eb = ErrorBound::relative(1e-3);
+  split.fused_bitshuffle_mark = false;
+  const FzCompressed a = fz_compress(f.values(), f.dims, fused);
+  const FzCompressed b = fz_compress(f.values(), f.dims, split);
+  EXPECT_EQ(a.bytes, b.bytes);  // fusion is a pure performance knob
+  EXPECT_EQ(b.stage_costs.size(), 4u);
+  // The split variant pays an extra global round trip.
+  u64 fused_bytes = 0, split_bytes = 0;
+  for (const auto& c : a.stage_costs) fused_bytes += c.global_bytes();
+  for (const auto& c : b.stage_costs) split_bytes += c.global_bytes();
+  EXPECT_GT(split_bytes, fused_bytes);
+}
+
+TEST(Pipeline, AbsoluteAndRelativeBoundsAgree) {
+  const Field f = smooth_field(Dims{4096}, 8);
+  const double range = f.value_range();
+  FzParams rel, abs;
+  rel.eb = ErrorBound::relative(1e-3);
+  abs.eb = ErrorBound::absolute(1e-3 * range);
+  const FzCompressed a = fz_compress(f.values(), f.dims, rel);
+  const FzCompressed b = fz_compress(f.values(), f.dims, abs);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(Pipeline, CompressionIsDeterministic) {
+  // Reproducibility matters for archival workflows: the same input and
+  // parameters must yield byte-identical streams run to run (the OpenMP
+  // loops must not introduce ordering effects).
+  const Field f = smooth_field(Dims{96, 96}, 77);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed a = fz_compress(f.values(), f.dims, params);
+  const FzCompressed b = fz_compress(f.values(), f.dims, params);
+  EXPECT_EQ(a.bytes, b.bytes);
+  params.quant = QuantVersion::V1Original;
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  const FzCompressed d = fz_compress(f.values(), f.dims, params);
+  EXPECT_EQ(c.bytes, d.bytes);
+}
+
+// ---- exhaustive configuration sweep --------------------------------------------
+
+struct SweepCase {
+  Dataset ds;
+  double rel_eb;
+  QuantVersion quant;
+  bool fused;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineSweep, EveryConfigurationRoundTripsWithinBound) {
+  const auto [ds, rel_eb, quant, fused] = GetParam();
+  const Field f = generate_field(ds, scaled_dims(ds, 0.06), 101);
+  FzParams params;
+  params.eb = ErrorBound::relative(rel_eb);
+  params.quant = quant;
+  params.fused_bitshuffle_mark = fused;
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  const FzDecompressed d = fz_decompress(c.bytes);
+  EXPECT_TRUE(error_bounded(f.values(), d.data, c.stats.abs_eb))
+      << dataset_name(ds) << " eb=" << rel_eb
+      << " quant=" << static_cast<int>(quant) << " fused=" << fused;
+  // V1 on unordered particle data at tight bounds turns almost every
+  // residual into an 8-byte outlier and can EXPAND (the paper evaluates
+  // HACC log-transformed for exactly this reason); V2 never expands that
+  // far because saturating codes stay 2 bytes.
+  EXPECT_GT(c.stats.ratio(),
+            quant == QuantVersion::V1Original ? 0.4 : 1.0);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const Dataset ds : all_datasets())
+    for (const double eb : {1e-2, 1e-4})
+      for (const QuantVersion q :
+           {QuantVersion::V1Original, QuantVersion::V2Optimized})
+        for (const bool fused : {false, true})
+          cases.push_back({ds, eb, q, fused});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, PipelineSweep,
+                         ::testing::ValuesIn(sweep_cases()));
+
+// ---- point-wise relative bounds --------------------------------------------------
+
+TEST(PipelinePointwise, RelativeErrorBoundedPerValue) {
+  // Values spanning six orders of magnitude: a range-based bound would
+  // obliterate the small values; the point-wise mode preserves each one's
+  // relative accuracy (the paper's HACC protocol, 4.1).
+  Rng rng(61);
+  std::vector<f32> data(20000);
+  for (auto& v : data)
+    v = static_cast<f32>(std::exp(rng.uniform(-7.0, 7.0)));
+  const double rel = 1e-3;
+  FzParams params;
+  params.eb = ErrorBound::pointwise_relative(rel);
+  const FzCompressed c = fz_compress(data, Dims{data.size()}, params);
+  const FzDecompressed d = fz_decompress(c.bytes);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double ratio = static_cast<double>(d.data[i]) / data[i];
+    ASSERT_LE(ratio, (1 + rel) * (1 + 1e-5)) << i;
+    ASSERT_GE(ratio, 1.0 / (1 + rel) * (1 - 1e-5)) << i;
+  }
+}
+
+TEST(PipelinePointwise, RejectsNonPositiveData) {
+  std::vector<f32> data{1.0f, 0.0f, 2.0f};
+  FzParams params;
+  params.eb = ErrorBound::pointwise_relative(1e-3);
+  EXPECT_THROW(fz_compress(data, Dims{3}, params), Error);
+  data[1] = -1.0f;
+  EXPECT_THROW(fz_compress(data, Dims{3}, params), Error);
+}
+
+TEST(PipelinePointwise, RejectsOutOfRangeBound) {
+  std::vector<f32> data{1.0f, 2.0f};
+  FzParams params;
+  params.eb = ErrorBound::pointwise_relative(1.5);
+  EXPECT_THROW(fz_compress(data, Dims{2}, params), Error);
+}
+
+TEST(PipelinePointwise, TransformSurvivesTheStream) {
+  // The log flag travels in the header: a fresh decoder context (no
+  // params) must undo it.
+  Rng rng(62);
+  std::vector<f32> data(4096);
+  for (auto& v : data) v = static_cast<f32>(std::exp(rng.uniform(0.0, 3.0)));
+  FzParams params;
+  params.eb = ErrorBound::pointwise_relative(1e-2);
+  const FzCompressed c = fz_compress(data, Dims{data.size()}, params);
+  const FzDecompressed d = fz_decompress(c.bytes);
+  // Decompressed values must be near the ORIGINAL (not log-space) data.
+  for (size_t i = 0; i < data.size(); ++i)
+    ASSERT_NEAR(d.data[i], data[i], static_cast<double>(data[i]) * 0.011);
+}
+
+TEST(PipelinePointwise, WorksThroughChunkedContainers) {
+  Rng rng(63);
+  std::vector<f32> data(16384);
+  for (auto& v : data) v = static_cast<f32>(std::exp(rng.uniform(-3.0, 3.0)));
+  ChunkedParams params;
+  params.base.eb = ErrorBound::pointwise_relative(1e-3);
+  params.num_chunks = 4;
+  const ChunkedCompressed c =
+      fz_compress_chunked(data, Dims{data.size()}, params);
+  const FzDecompressed d = fz_decompress_chunked(c.bytes);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double ratio = static_cast<double>(d.data[i]) / data[i];
+    ASSERT_LE(std::fabs(ratio - 1.0), 1.1e-3) << i;
+  }
+}
+
+// ---- double-precision path -----------------------------------------------------
+
+TEST(PipelineF64, RoundTripWithinBound) {
+  Rng rng(55);
+  std::vector<f64> data(9000);
+  f64 acc = 0;
+  for (auto& v : data) {
+    acc += rng.normal(0.0, 0.25);
+    v = acc;
+  }
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-4);
+  const FzCompressed c = fz_compress_f64(data, Dims{data.size()}, params);
+  EXPECT_EQ(c.stats.input_bytes, data.size() * sizeof(f64));
+  const FzDecompressed64 d = fz_decompress_f64(c.bytes);
+  ASSERT_EQ(d.data.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i)
+    EXPECT_LE(std::fabs(data[i] - d.data[i]), c.stats.abs_eb * (1 + 1e-9)) << i;
+}
+
+TEST(PipelineF64, DtypeIsEnforcedAcrossDecoders) {
+  std::vector<f64> d64(2048, 1.5);
+  d64[7] = 2.5;
+  std::vector<f32> d32(2048, 1.5f);
+  d32[7] = 2.5f;
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed c64 = fz_compress_f64(d64, Dims{2048}, params);
+  const FzCompressed c32 = fz_compress(d32, Dims{2048}, params);
+  EXPECT_THROW(fz_decompress(c64.bytes), FormatError);
+  EXPECT_THROW(fz_decompress_f64(c32.bytes), FormatError);
+  EXPECT_EQ(fz_inspect(c64.bytes).dtype_bytes, 8u);
+  EXPECT_EQ(fz_inspect(c32.bytes).dtype_bytes, 4u);
+}
+
+TEST(PipelineF64, TighterBoundsThanF32AreReachable) {
+  // The point of the f64 path: bounds far below f32 precision still hold.
+  Rng rng(56);
+  std::vector<f64> data(4096);
+  f64 acc = 1e6;  // large offset: f32 ulp here is ~0.06
+  for (auto& v : data) {
+    acc += rng.normal(0.0, 1e-4);
+    v = acc;
+  }
+  FzParams params;
+  params.eb = ErrorBound::absolute(1e-6);
+  const FzCompressed c = fz_compress_f64(data, Dims{data.size()}, params);
+  EXPECT_EQ(c.stats.saturated, 0u);
+  const FzDecompressed64 d = fz_decompress_f64(c.bytes);
+  for (size_t i = 0; i < data.size(); ++i)
+    ASSERT_LE(std::fabs(data[i] - d.data[i]), 1e-6 * (1 + 1e-9));
+}
+
+TEST(PipelineF64, RejectsNonFinite) {
+  std::vector<f64> data{1.0, std::numeric_limits<f64>::infinity()};
+  FzParams params;
+  EXPECT_THROW(fz_compress_f64(data, Dims{2}, params), Error);
+}
+
+// ---- header / format robustness ----------------------------------------------
+
+TEST(PipelineFormat, InspectReadsHeader) {
+  const Field f = smooth_field(Dims{32, 16}, 9);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  const FzHeaderInfo info = fz_inspect(c.bytes);
+  EXPECT_EQ(info.dims, f.dims);
+  EXPECT_EQ(info.count, f.count());
+  EXPECT_EQ(info.quant, QuantVersion::V2Optimized);
+  EXPECT_NEAR(info.abs_eb, 1e-3 * f.value_range(), 1e-12);
+}
+
+TEST(PipelineFormat, RejectsGarbageAndTruncation) {
+  const Field f = smooth_field(Dims{2048}, 10);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  FzCompressed c = fz_compress(f.values(), f.dims, params);
+
+  std::vector<u8> garbage(64, 0xab);
+  EXPECT_THROW(fz_decompress(garbage), FormatError);
+
+  std::vector<u8> truncated(c.bytes.begin(), c.bytes.begin() + 16);
+  EXPECT_THROW(fz_decompress(truncated), FormatError);
+
+  std::vector<u8> clipped(c.bytes.begin(), c.bytes.end() - 8);
+  EXPECT_THROW(fz_decompress(clipped), FormatError);
+
+  std::vector<u8> bad_magic = c.bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(fz_decompress(bad_magic), FormatError);
+}
+
+TEST(PipelineFormat, RejectsEmptyInput) {
+  FzParams params;
+  EXPECT_THROW(fz_compress({}, Dims{0}, params), Error);
+  std::vector<f32> one{1.0f};
+  EXPECT_THROW(fz_compress(one, Dims{2}, params), Error);  // dims mismatch
+}
+
+}  // namespace
+}  // namespace fz

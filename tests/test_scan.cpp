@@ -1,0 +1,66 @@
+#include "common/error.hpp"
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "substrate/scan.hpp"
+
+namespace fz {
+namespace {
+
+std::vector<u32> random_input(size_t n, u64 seed, u32 max_v = 4) {
+  Rng rng(seed);
+  std::vector<u32> v(n);
+  for (auto& x : v) x = static_cast<u32>(rng.below(max_v));
+  return v;
+}
+
+class ScanSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ScanSizes, ParallelMatchesSequential) {
+  const size_t n = GetParam();
+  const auto in = random_input(n, 7 + n);
+  std::vector<u32> ref(n), par(n);
+  scan_exclusive_sequential(in, ref);
+  scan_exclusive_parallel(in, par);
+  EXPECT_EQ(par, ref);
+}
+
+TEST_P(ScanSizes, DeviceModelMatchesSequential) {
+  const size_t n = GetParam();
+  const auto in = random_input(n, 90 + n);
+  std::vector<u32> ref(n), dev(n);
+  scan_exclusive_sequential(in, ref);
+  const auto cost = scan_exclusive_device_model(in, dev);
+  EXPECT_EQ(dev, ref);
+  EXPECT_EQ(cost.kernel_launches, 2u);
+  if (n > 0) {
+    EXPECT_GT(cost.global_bytes(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(0, 1, 2, 3, 63, 64, 65, 4095, 4096,
+                                           4097, 100000, 1 << 20));
+
+TEST(Scan, ExclusiveSemantics) {
+  const std::vector<u32> in{5, 0, 2, 1};
+  std::vector<u32> out(4);
+  scan_exclusive_sequential(in, out);
+  EXPECT_EQ(out, (std::vector<u32>{0, 5, 5, 7}));
+}
+
+TEST(Scan, AllOnesGivesIota) {
+  const std::vector<u32> in(1000, 1);
+  std::vector<u32> out(1000);
+  scan_exclusive_parallel(in, out);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(Scan, SizeMismatchThrows) {
+  const std::vector<u32> in(4, 1);
+  std::vector<u32> out(3);
+  EXPECT_THROW(scan_exclusive_sequential(in, out), Error);
+}
+
+}  // namespace
+}  // namespace fz
