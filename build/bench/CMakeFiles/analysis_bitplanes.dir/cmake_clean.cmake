@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_bitplanes.dir/analysis_bitplanes.cpp.o"
+  "CMakeFiles/analysis_bitplanes.dir/analysis_bitplanes.cpp.o.d"
+  "analysis_bitplanes"
+  "analysis_bitplanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_bitplanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_fz_omp.dir/cpu_fz_omp.cpp.o"
+  "CMakeFiles/cpu_fz_omp.dir/cpu_fz_omp.cpp.o.d"
+  "cpu_fz_omp"
+  "cpu_fz_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_fz_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_thread_scaling.dir/cpu_thread_scaling.cpp.o"
+  "CMakeFiles/cpu_thread_scaling.dir/cpu_thread_scaling.cpp.o.d"
+  "cpu_thread_scaling"
+  "cpu_thread_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_thread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rate_distortion.dir/fig7_rate_distortion.cpp.o"
+  "CMakeFiles/fig7_rate_distortion.dir/fig7_rate_distortion.cpp.o.d"
+  "fig7_rate_distortion"
+  "fig7_rate_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rate_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_throughput_a100.dir/fig8_throughput_a100.cpp.o"
+  "CMakeFiles/fig8_throughput_a100.dir/fig8_throughput_a100.cpp.o.d"
+  "fig8_throughput_a100"
+  "fig8_throughput_a100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_throughput_a100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

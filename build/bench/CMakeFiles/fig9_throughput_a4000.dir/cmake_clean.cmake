@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_throughput_a4000.dir/fig9_throughput_a4000.cpp.o"
+  "CMakeFiles/fig9_throughput_a4000.dir/fig9_throughput_a4000.cpp.o.d"
+  "fig9_throughput_a4000"
+  "fig9_throughput_a4000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_throughput_a4000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_fused_all.dir/future_fused_all.cpp.o"
+  "CMakeFiles/future_fused_all.dir/future_fused_all.cpp.o.d"
+  "future_fused_all"
+  "future_fused_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_fused_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

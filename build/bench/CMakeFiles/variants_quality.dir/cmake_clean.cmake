@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variants_quality.dir/variants_quality.cpp.o"
+  "CMakeFiles/variants_quality.dir/variants_quality.cpp.o.d"
+  "variants_quality"
+  "variants_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variants_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_bound_explorer.dir/error_bound_explorer.cpp.o"
+  "CMakeFiles/error_bound_explorer.dir/error_bound_explorer.cpp.o.d"
+  "error_bound_explorer"
+  "error_bound_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_bound_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_cli.dir/fz_cli.cpp.o"
+  "CMakeFiles/fz_cli.dir/fz_cli.cpp.o.d"
+  "fz_cli"
+  "fz_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inmemory_cache.dir/inmemory_cache.cpp.o"
+  "CMakeFiles/inmemory_cache.dir/inmemory_cache.cpp.o.d"
+  "inmemory_cache"
+  "inmemory_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inmemory_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_compression.dir/message_compression.cpp.o"
+  "CMakeFiles/message_compression.dir/message_compression.cpp.o.d"
+  "message_compression"
+  "message_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/compressor.cpp" "src/CMakeFiles/fz_baselines.dir/baselines/compressor.cpp.o" "gcc" "src/CMakeFiles/fz_baselines.dir/baselines/compressor.cpp.o.d"
+  "/root/repo/src/baselines/cusz.cpp" "src/CMakeFiles/fz_baselines.dir/baselines/cusz.cpp.o" "gcc" "src/CMakeFiles/fz_baselines.dir/baselines/cusz.cpp.o.d"
+  "/root/repo/src/baselines/cuszx.cpp" "src/CMakeFiles/fz_baselines.dir/baselines/cuszx.cpp.o" "gcc" "src/CMakeFiles/fz_baselines.dir/baselines/cuszx.cpp.o.d"
+  "/root/repo/src/baselines/cuzfp.cpp" "src/CMakeFiles/fz_baselines.dir/baselines/cuzfp.cpp.o" "gcc" "src/CMakeFiles/fz_baselines.dir/baselines/cuzfp.cpp.o.d"
+  "/root/repo/src/baselines/mgard.cpp" "src/CMakeFiles/fz_baselines.dir/baselines/mgard.cpp.o" "gcc" "src/CMakeFiles/fz_baselines.dir/baselines/mgard.cpp.o.d"
+  "/root/repo/src/baselines/szomp.cpp" "src/CMakeFiles/fz_baselines.dir/baselines/szomp.cpp.o" "gcc" "src/CMakeFiles/fz_baselines.dir/baselines/szomp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_baselines.dir/baselines/compressor.cpp.o"
+  "CMakeFiles/fz_baselines.dir/baselines/compressor.cpp.o.d"
+  "CMakeFiles/fz_baselines.dir/baselines/cusz.cpp.o"
+  "CMakeFiles/fz_baselines.dir/baselines/cusz.cpp.o.d"
+  "CMakeFiles/fz_baselines.dir/baselines/cuszx.cpp.o"
+  "CMakeFiles/fz_baselines.dir/baselines/cuszx.cpp.o.d"
+  "CMakeFiles/fz_baselines.dir/baselines/cuzfp.cpp.o"
+  "CMakeFiles/fz_baselines.dir/baselines/cuzfp.cpp.o.d"
+  "CMakeFiles/fz_baselines.dir/baselines/mgard.cpp.o"
+  "CMakeFiles/fz_baselines.dir/baselines/mgard.cpp.o.d"
+  "CMakeFiles/fz_baselines.dir/baselines/szomp.cpp.o"
+  "CMakeFiles/fz_baselines.dir/baselines/szomp.cpp.o.d"
+  "libfz_baselines.a"
+  "libfz_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

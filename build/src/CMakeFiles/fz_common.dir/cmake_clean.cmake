@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_common.dir/common/buffer.cpp.o"
+  "CMakeFiles/fz_common.dir/common/buffer.cpp.o.d"
+  "CMakeFiles/fz_common.dir/common/error.cpp.o"
+  "CMakeFiles/fz_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/fz_common.dir/common/timer.cpp.o"
+  "CMakeFiles/fz_common.dir/common/timer.cpp.o.d"
+  "libfz_common.a"
+  "libfz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitshuffle.cpp" "src/CMakeFiles/fz_core.dir/core/bitshuffle.cpp.o" "gcc" "src/CMakeFiles/fz_core.dir/core/bitshuffle.cpp.o.d"
+  "/root/repo/src/core/chunked.cpp" "src/CMakeFiles/fz_core.dir/core/chunked.cpp.o" "gcc" "src/CMakeFiles/fz_core.dir/core/chunked.cpp.o.d"
+  "/root/repo/src/core/costs.cpp" "src/CMakeFiles/fz_core.dir/core/costs.cpp.o" "gcc" "src/CMakeFiles/fz_core.dir/core/costs.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/CMakeFiles/fz_core.dir/core/encoder.cpp.o" "gcc" "src/CMakeFiles/fz_core.dir/core/encoder.cpp.o.d"
+  "/root/repo/src/core/kernels_sim.cpp" "src/CMakeFiles/fz_core.dir/core/kernels_sim.cpp.o" "gcc" "src/CMakeFiles/fz_core.dir/core/kernels_sim.cpp.o.d"
+  "/root/repo/src/core/lorenzo.cpp" "src/CMakeFiles/fz_core.dir/core/lorenzo.cpp.o" "gcc" "src/CMakeFiles/fz_core.dir/core/lorenzo.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/fz_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/fz_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/quantizer.cpp" "src/CMakeFiles/fz_core.dir/core/quantizer.cpp.o" "gcc" "src/CMakeFiles/fz_core.dir/core/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_cudasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

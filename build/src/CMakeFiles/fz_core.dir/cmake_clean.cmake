@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_core.dir/core/bitshuffle.cpp.o"
+  "CMakeFiles/fz_core.dir/core/bitshuffle.cpp.o.d"
+  "CMakeFiles/fz_core.dir/core/chunked.cpp.o"
+  "CMakeFiles/fz_core.dir/core/chunked.cpp.o.d"
+  "CMakeFiles/fz_core.dir/core/costs.cpp.o"
+  "CMakeFiles/fz_core.dir/core/costs.cpp.o.d"
+  "CMakeFiles/fz_core.dir/core/encoder.cpp.o"
+  "CMakeFiles/fz_core.dir/core/encoder.cpp.o.d"
+  "CMakeFiles/fz_core.dir/core/kernels_sim.cpp.o"
+  "CMakeFiles/fz_core.dir/core/kernels_sim.cpp.o.d"
+  "CMakeFiles/fz_core.dir/core/lorenzo.cpp.o"
+  "CMakeFiles/fz_core.dir/core/lorenzo.cpp.o.d"
+  "CMakeFiles/fz_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/fz_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/fz_core.dir/core/quantizer.cpp.o"
+  "CMakeFiles/fz_core.dir/core/quantizer.cpp.o.d"
+  "libfz_core.a"
+  "libfz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfz_core.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudasim/cost_sheet.cpp" "src/CMakeFiles/fz_cudasim.dir/cudasim/cost_sheet.cpp.o" "gcc" "src/CMakeFiles/fz_cudasim.dir/cudasim/cost_sheet.cpp.o.d"
+  "/root/repo/src/cudasim/device_model.cpp" "src/CMakeFiles/fz_cudasim.dir/cudasim/device_model.cpp.o" "gcc" "src/CMakeFiles/fz_cudasim.dir/cudasim/device_model.cpp.o.d"
+  "/root/repo/src/cudasim/launch.cpp" "src/CMakeFiles/fz_cudasim.dir/cudasim/launch.cpp.o" "gcc" "src/CMakeFiles/fz_cudasim.dir/cudasim/launch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_cudasim.dir/cudasim/cost_sheet.cpp.o"
+  "CMakeFiles/fz_cudasim.dir/cudasim/cost_sheet.cpp.o.d"
+  "CMakeFiles/fz_cudasim.dir/cudasim/device_model.cpp.o"
+  "CMakeFiles/fz_cudasim.dir/cudasim/device_model.cpp.o.d"
+  "CMakeFiles/fz_cudasim.dir/cudasim/launch.cpp.o"
+  "CMakeFiles/fz_cudasim.dir/cudasim/launch.cpp.o.d"
+  "libfz_cudasim.a"
+  "libfz_cudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/field.cpp" "src/CMakeFiles/fz_datasets.dir/datasets/field.cpp.o" "gcc" "src/CMakeFiles/fz_datasets.dir/datasets/field.cpp.o.d"
+  "/root/repo/src/datasets/generators.cpp" "src/CMakeFiles/fz_datasets.dir/datasets/generators.cpp.o" "gcc" "src/CMakeFiles/fz_datasets.dir/datasets/generators.cpp.o.d"
+  "/root/repo/src/datasets/loader.cpp" "src/CMakeFiles/fz_datasets.dir/datasets/loader.cpp.o" "gcc" "src/CMakeFiles/fz_datasets.dir/datasets/loader.cpp.o.d"
+  "/root/repo/src/datasets/transforms.cpp" "src/CMakeFiles/fz_datasets.dir/datasets/transforms.cpp.o" "gcc" "src/CMakeFiles/fz_datasets.dir/datasets/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_datasets.dir/datasets/field.cpp.o"
+  "CMakeFiles/fz_datasets.dir/datasets/field.cpp.o.d"
+  "CMakeFiles/fz_datasets.dir/datasets/generators.cpp.o"
+  "CMakeFiles/fz_datasets.dir/datasets/generators.cpp.o.d"
+  "CMakeFiles/fz_datasets.dir/datasets/loader.cpp.o"
+  "CMakeFiles/fz_datasets.dir/datasets/loader.cpp.o.d"
+  "CMakeFiles/fz_datasets.dir/datasets/transforms.cpp.o"
+  "CMakeFiles/fz_datasets.dir/datasets/transforms.cpp.o.d"
+  "libfz_datasets.a"
+  "libfz_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/fz_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/fz_harness.dir/harness/tables.cpp.o"
+  "CMakeFiles/fz_harness.dir/harness/tables.cpp.o.d"
+  "libfz_harness.a"
+  "libfz_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

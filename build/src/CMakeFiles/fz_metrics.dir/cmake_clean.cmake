@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_metrics.dir/metrics/metrics.cpp.o"
+  "CMakeFiles/fz_metrics.dir/metrics/metrics.cpp.o.d"
+  "CMakeFiles/fz_metrics.dir/metrics/ssim.cpp.o"
+  "CMakeFiles/fz_metrics.dir/metrics/ssim.cpp.o.d"
+  "libfz_metrics.a"
+  "libfz_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/substrate/bitio.cpp" "src/CMakeFiles/fz_substrate.dir/substrate/bitio.cpp.o" "gcc" "src/CMakeFiles/fz_substrate.dir/substrate/bitio.cpp.o.d"
+  "/root/repo/src/substrate/histogram.cpp" "src/CMakeFiles/fz_substrate.dir/substrate/histogram.cpp.o" "gcc" "src/CMakeFiles/fz_substrate.dir/substrate/histogram.cpp.o.d"
+  "/root/repo/src/substrate/huffman.cpp" "src/CMakeFiles/fz_substrate.dir/substrate/huffman.cpp.o" "gcc" "src/CMakeFiles/fz_substrate.dir/substrate/huffman.cpp.o.d"
+  "/root/repo/src/substrate/lz77.cpp" "src/CMakeFiles/fz_substrate.dir/substrate/lz77.cpp.o" "gcc" "src/CMakeFiles/fz_substrate.dir/substrate/lz77.cpp.o.d"
+  "/root/repo/src/substrate/rle.cpp" "src/CMakeFiles/fz_substrate.dir/substrate/rle.cpp.o" "gcc" "src/CMakeFiles/fz_substrate.dir/substrate/rle.cpp.o.d"
+  "/root/repo/src/substrate/scan.cpp" "src/CMakeFiles/fz_substrate.dir/substrate/scan.cpp.o" "gcc" "src/CMakeFiles/fz_substrate.dir/substrate/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fz_substrate.dir/substrate/bitio.cpp.o"
+  "CMakeFiles/fz_substrate.dir/substrate/bitio.cpp.o.d"
+  "CMakeFiles/fz_substrate.dir/substrate/histogram.cpp.o"
+  "CMakeFiles/fz_substrate.dir/substrate/histogram.cpp.o.d"
+  "CMakeFiles/fz_substrate.dir/substrate/huffman.cpp.o"
+  "CMakeFiles/fz_substrate.dir/substrate/huffman.cpp.o.d"
+  "CMakeFiles/fz_substrate.dir/substrate/lz77.cpp.o"
+  "CMakeFiles/fz_substrate.dir/substrate/lz77.cpp.o.d"
+  "CMakeFiles/fz_substrate.dir/substrate/rle.cpp.o"
+  "CMakeFiles/fz_substrate.dir/substrate/rle.cpp.o.d"
+  "CMakeFiles/fz_substrate.dir/substrate/scan.cpp.o"
+  "CMakeFiles/fz_substrate.dir/substrate/scan.cpp.o.d"
+  "libfz_substrate.a"
+  "libfz_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fz_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitshuffle.dir/test_bitshuffle.cpp.o"
+  "CMakeFiles/test_bitshuffle.dir/test_bitshuffle.cpp.o.d"
+  "test_bitshuffle"
+  "test_bitshuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitshuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudasim.dir/test_cudasim.cpp.o"
+  "CMakeFiles/test_cudasim.dir/test_cudasim.cpp.o.d"
+  "test_cudasim"
+  "test_cudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuzfp.dir/test_cuzfp.cpp.o"
+  "CMakeFiles/test_cuzfp.dir/test_cuzfp.cpp.o.d"
+  "test_cuzfp"
+  "test_cuzfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuzfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rle.dir/test_rle.cpp.o"
+  "CMakeFiles/test_rle.dir/test_rle.cpp.o.d"
+  "test_rle"
+  "test_rle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_scan.cpp" "tests/CMakeFiles/test_scan.dir/test_scan.cpp.o" "gcc" "tests/CMakeFiles/test_scan.dir/test_scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fz_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
