@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI-style gate: build the default and the asan-ubsan configurations and
+# run the full test suite under both.  Any sanitizer finding fails the
+# suite (-fno-sanitize-recover=all aborts the offending test).
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   default configuration only (skip the sanitizer build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_preset() {
+  local preset="$1"
+  echo "==== configure/build/test: ${preset} ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+}
+
+run_preset default
+
+if [[ "${1:-}" != "--fast" ]]; then
+  run_preset asan-ubsan
+fi
+
+echo "check.sh: all configurations green"

@@ -147,7 +147,9 @@ void encode_ints(BitWriterLsb& s, const u32* data, int size, int maxbits) {
     const int m = std::min(n, bits);
     bits -= m;
     s.put_bits(x, m);
-    x >>= m;
+    // m can equal 64 (every coefficient of a 3D block significant) and a
+    // full-width shift is undefined.
+    x = m < 64 ? x >> m : 0;
     // Group-test the rest (original zfp control flow): the outer bit asks
     // "any significant coefficient left in this plane?", the inner bits
     // emit the run of zeros up to (and including) the next significant one.

@@ -2,13 +2,18 @@
 // these wrappers so the library builds (serially) without OpenMP too.
 #pragma once
 
+#include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <exception>
+#include <span>
+#include <utility>
 
 #if defined(FZ_HAVE_OPENMP)
 #include <omp.h>
 #endif
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace fz {
@@ -18,6 +23,16 @@ inline int max_threads() {
   return omp_get_max_threads();
 #else
   return 1;
+#endif
+}
+
+/// Index of the calling thread within the innermost parallel region
+/// (0 outside any region or without OpenMP).
+inline int thread_index() {
+#if defined(FZ_HAVE_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
 #endif
 }
 
@@ -49,14 +64,87 @@ void parallel_for(size_t begin, size_t end, Fn&& fn) {
 
 /// Parallel for over chunks: fn(chunk_begin, chunk_end).  Used when per-
 /// iteration work is tiny and the body wants sequential inner loops.
+/// `chunk` must be nonzero (a zero chunk would divide by zero).
 template <typename Fn>
 void parallel_chunks(size_t count, size_t chunk, Fn&& fn) {
+  FZ_REQUIRE(chunk > 0, "parallel_chunks: chunk size must be nonzero");
   const size_t nchunks = count == 0 ? 0 : (count + chunk - 1) / chunk;
   parallel_for(0, nchunks, [&](size_t c) {
     const size_t b = c * chunk;
     const size_t e = b + chunk < count ? b + chunk : count;
     fn(b, e);
   });
+}
+
+/// Run fn(task, worker) for every task in [0, count) using at most `workers`
+/// concurrent threads (0 = max_threads()).  Each worker index in
+/// [0, workers) is used by exactly one thread at a time, so fn may use it to
+/// address per-worker state (e.g. one fz::Codec per worker).  Tasks are
+/// claimed dynamically: uneven task costs still balance.  Exceptions
+/// propagate like parallel_for.
+template <typename Fn>
+void parallel_tasks(size_t count, size_t workers, Fn&& fn) {
+  if (workers == 0) workers = static_cast<size_t>(max_threads());
+  if (workers > count) workers = count;
+#if defined(FZ_HAVE_OPENMP)
+  if (workers > 1) {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+#pragma omp parallel num_threads(static_cast<int>(workers)) \
+    shared(next, failed, error)
+    {
+      const size_t w = static_cast<size_t>(omp_get_thread_num());
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        if (failed.load(std::memory_order_relaxed)) break;
+        try {
+          fn(i, w);
+        } catch (...) {
+#pragma omp critical(fz_parallel_tasks_error)
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < count; ++i) fn(i, 0);
+}
+
+/// Parallel min/max over the span (OpenMP reduction; no scratch
+/// allocation).  The data must be NaN-free — validate first.  Requires a
+/// non-empty span.
+template <typename T>
+std::pair<T, T> parallel_minmax(std::span<const T> v) {
+  FZ_REQUIRE(!v.empty(), "parallel_minmax: empty span");
+  T lo = v[0];
+  T hi = v[0];
+#if defined(FZ_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) reduction(min : lo) \
+    reduction(max : hi)
+#endif
+  for (i64 i = 0; i < static_cast<i64>(v.size()); ++i) {
+    const T x = v[static_cast<size_t>(i)];
+    if (x < lo) lo = x;
+    if (x > hi) hi = x;
+  }
+  return {lo, hi};
+}
+
+/// True iff every element is finite (no NaN/Inf).  OpenMP-reduced; no
+/// scratch allocation.
+template <typename T>
+bool parallel_all_finite(std::span<const T> v) {
+  int ok = 1;
+#if defined(FZ_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) reduction(&& : ok)
+#endif
+  for (i64 i = 0; i < static_cast<i64>(v.size()); ++i)
+    ok = ok && std::isfinite(v[static_cast<size_t>(i)]);
+  return ok != 0;
 }
 
 }  // namespace fz

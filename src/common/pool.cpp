@@ -1,0 +1,80 @@
+#include "common/pool.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace fz {
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    buf_ = std::move(other.buf_);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void PooledBuffer::release() {
+  if (pool_ != nullptr && buf_.size() != 0) pool_->put_back(std::move(buf_));
+  pool_ = nullptr;
+  buf_ = AlignedBuffer{};
+  size_ = 0;
+}
+
+PooledBuffer BufferPool::acquire(size_t bytes, bool zeroed) {
+  if (bytes == 0) return {};
+  AlignedBuffer buf;
+  bool recycled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Smallest cached buffer that fits.  Usage patterns are steady (the
+    // same pipeline sizes recur every call), so first-fit keeps waste low
+    // without a size-class scheme.
+    auto it = free_.lower_bound(bytes);
+    if (it != free_.end()) {
+      auto node = free_.extract(it);
+      buf = std::move(node.mapped());
+      recycled = true;
+      ++stats_.hits;
+      stats_.cached_bytes -= buf.size();
+      --stats_.cached_buffers;
+    } else {
+      ++stats_.misses;
+      stats_.allocated_bytes += bytes;
+      if (stats_.allocated_bytes > stats_.peak_allocated_bytes)
+        stats_.peak_allocated_bytes = stats_.allocated_bytes;
+    }
+    ++stats_.leased_buffers;
+  }
+  if (!recycled) {
+    buf.resize(bytes);  // fresh allocations are already zeroed
+  } else if (zeroed) {
+    std::memset(buf.data(), 0, bytes);
+  }
+  return PooledBuffer(this, std::move(buf), bytes);
+}
+
+void BufferPool::put_back(AlignedBuffer buf) {
+  const size_t cap = buf.size();
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.leased_buffers;
+  ++stats_.cached_buffers;
+  stats_.cached_bytes += cap;
+  free_.emplace(cap, std::move(buf));
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.allocated_bytes -= stats_.cached_bytes;
+  stats_.cached_bytes = 0;
+  stats_.cached_buffers = 0;
+  free_.clear();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fz

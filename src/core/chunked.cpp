@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/codec.hpp"
 #include "substrate/bitio.hpp"
 
 namespace fz {
@@ -54,6 +57,25 @@ Dims slab_dims(Dims dims, size_t len) {
   }
 }
 
+/// One private Codec per worker slot: codec scratch pools are
+/// single-threaded by design, and per-worker pooling is what lets a long
+/// chunk sequence run allocation-free on every worker.
+std::vector<std::unique_ptr<Codec>> make_worker_codecs(size_t workers,
+                                                       const FzParams& params) {
+  std::vector<std::unique_ptr<Codec>> codecs;
+  codecs.reserve(workers);
+  for (size_t w = 0; w < workers; ++w)
+    codecs.push_back(std::make_unique<Codec>(params));
+  return codecs;
+}
+
+size_t resolve_workers(size_t max_parallelism, size_t num_tasks) {
+  const size_t cap =
+      max_parallelism == 0 ? static_cast<size_t>(max_threads())
+                           : max_parallelism;
+  return std::max<size_t>(1, std::min(cap, num_tasks));
+}
+
 }  // namespace
 
 ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
@@ -64,9 +86,12 @@ ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
   // the same absolute bound (a per-chunk range would change the semantics).
   FzParams base = params.base;
   if (base.eb.mode == ErrorBoundMode::Relative) {
-    const auto [lo, hi] = std::minmax_element(data.begin(), data.end());
-    double range = static_cast<double>(*hi) - static_cast<double>(*lo);
-    if (range <= 0) range = std::max(std::fabs(static_cast<double>(*hi)), 1.0);
+    FZ_REQUIRE(parallel_all_finite(data),
+               "input contains NaN/Inf; error-bounded compression requires "
+               "finite data");
+    const auto [lo, hi] = parallel_minmax(data);
+    double range = static_cast<double>(hi) - static_cast<double>(lo);
+    if (range <= 0) range = std::max(std::fabs(static_cast<double>(hi)), 1.0);
     base.eb = ErrorBound::absolute(base.eb.value * range);
   }
 
@@ -76,13 +101,17 @@ ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
   ChunkedCompressed out;
   out.num_chunks = slabs.size();
   std::vector<FzCompressed> parts(slabs.size());
-  // Chunks are independent — this loop is the multi-GPU axis (each
-  // iteration would run on its own device).
-  for (size_t c = 0; c < slabs.size(); ++c) {
+  // Chunks are independent — this is the multi-GPU axis (each task would
+  // run on its own device).  Workers claim chunks dynamically; the parts
+  // array keeps chunk order, so the container bytes do not depend on the
+  // schedule.
+  const size_t workers = resolve_workers(params.max_parallelism, slabs.size());
+  auto codecs = make_worker_codecs(workers, base);
+  parallel_tasks(slabs.size(), workers, [&](size_t c, size_t w) {
     const auto [begin, len] = slabs[c];
-    parts[c] = fz_compress(data.subspan(begin * plane, len * plane),
-                           slab_dims(dims, len), base);
-  }
+    parts[c] = codecs[w]->compress(data.subspan(begin * plane, len * plane),
+                                   slab_dims(dims, len));
+  });
 
   ContainerHeader h{};
   h.magic = kChunkMagic;
@@ -174,25 +203,35 @@ FzDecompressed fz_decompress_chunk(ByteSpan stream, size_t index,
   return d;
 }
 
-FzDecompressed fz_decompress_chunked(ByteSpan stream) {
+FzDecompressed fz_decompress_chunked(ByteSpan stream, size_t max_parallelism) {
   const ContainerIndex idx = read_index(stream);
   const Dims dims{idx.header.nx, idx.header.ny, idx.header.nz};
+  // The writer slabs the slowest axis; recomputing its plan gives every
+  // chunk's extent and offset, so workers can decompress concurrently each
+  // into its own disjoint slab of the output (no gather pass).  A container
+  // whose chunk counts disagree with its own dims is rejected (the
+  // per-chunk header count is validated against the slab size).
+  const size_t plane = dims.count() / slowest_extent(dims);
+  const auto slabs = plan_slabs(slowest_extent(dims), idx.header.num_chunks);
+  FZ_FORMAT_REQUIRE(slabs.size() == idx.header.num_chunks,
+                    "chunk count disagrees with container dims");
 
   FzDecompressed out;
   out.dims = dims;
   out.data.resize(dims.count());
-  size_t cursor = 0;
-  for (size_t c = 0; c < idx.header.num_chunks; ++c) {
+  std::vector<std::vector<cudasim::CostSheet>> chunk_costs(slabs.size());
+  const size_t workers = resolve_workers(max_parallelism, slabs.size());
+  auto codecs = make_worker_codecs(workers, FzParams{});
+  parallel_tasks(slabs.size(), workers, [&](size_t c, size_t w) {
+    const auto [begin, len] = slabs[c];
     const ByteSpan chunk =
         stream.subspan(idx.payload_pos + idx.offsets[c], idx.sizes[c]);
-    FzDecompressed d = fz_decompress(chunk);
-    FZ_FORMAT_REQUIRE(cursor + d.data.size() <= out.data.size(),
-                      "container chunks exceed field size");
-    std::copy(d.data.begin(), d.data.end(), out.data.begin() + cursor);
-    cursor += d.data.size();
-    for (auto& costs : d.stage_costs) out.stage_costs.push_back(costs);
-  }
-  FZ_FORMAT_REQUIRE(cursor == out.data.size(), "container incomplete");
+    codecs[w]->decompress_into(
+        chunk, std::span<f32>{out.data}.subspan(begin * plane, len * plane),
+        &chunk_costs[c]);
+  });
+  for (auto& costs : chunk_costs)
+    for (auto& sheet : costs) out.stage_costs.push_back(sheet);
   return out;
 }
 

@@ -15,6 +15,12 @@
 // Note the ratio/chunking trade-off: Lorenzo prediction restarts at every
 // chunk boundary, so very small chunks cost compression ratio; tests pin
 // the expected overhead.
+//
+// Chunks execute in parallel (the CPU analogue of the paper's one-chunk-
+// per-device layout): worker threads claim chunks dynamically and each
+// worker owns a private fz::Codec, so scratch buffers pool per worker and
+// no codec state is shared.  The container bytes are independent of the
+// worker count — chunk streams are assembled in chunk order.
 #pragma once
 
 #include <vector>
@@ -28,6 +34,9 @@ struct ChunkedParams {
   /// Target number of chunks ("devices"); the actual count may be lower
   /// for small fields (at least one slowest-axis slab per chunk).
   size_t num_chunks = 4;
+  /// Upper bound on concurrent chunk workers: 0 = one per hardware thread,
+  /// 1 = serial (the reference order for byte-identicality tests).
+  size_t max_parallelism = 0;
 };
 
 struct ChunkedCompressed {
@@ -41,8 +50,11 @@ struct ChunkedCompressed {
 ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
                                       const ChunkedParams& params);
 
-/// Decompress the whole container.
-FzDecompressed fz_decompress_chunked(ByteSpan stream);
+/// Decompress the whole container.  Chunks decompress in parallel, each
+/// directly into its slab of the output field (0 = one worker per hardware
+/// thread, 1 = serial).
+FzDecompressed fz_decompress_chunked(ByteSpan stream,
+                                     size_t max_parallelism = 0);
 
 /// Decompress only chunk `index` (random access).  Returns the chunk's data
 /// and its dims; `offset_out` receives the chunk's starting index in the

@@ -1,0 +1,94 @@
+#include "core/codec.hpp"
+
+#include "common/error.hpp"
+#include "core/costs.hpp"
+#include "core/format.hpp"
+
+namespace fz {
+
+namespace {
+
+/// Returns the context's scratch leases to the pool when a run ends —
+/// including by exception, so a failed run never strands a lease.
+struct ScratchGuard {
+  PipelineContext& ctx;
+  ~ScratchGuard() { ctx.release_scratch(); }
+};
+
+}  // namespace
+
+Codec::Codec(FzParams params)
+    : params_(params),
+      compress_stages_(make_compress_stages()),
+      decompress_stages_(make_decompress_stages()) {}
+
+template <typename T>
+FzCompressed Codec::compress_impl(std::span<const T> data, Dims dims) {
+  FZ_REQUIRE(!data.empty(), "cannot compress an empty field");
+  FZ_REQUIRE(data.size() == dims.count(), "dims do not match data size");
+
+  FzCompressed out;
+  ctx_.begin_compress(&pool_, params_, dims, data.size(), sizeof(T),
+                      data.data(), &out.bytes);
+  {
+    ScratchGuard guard{ctx_};
+    for (const auto& stage : compress_stages_) stage->run(ctx_);
+  }
+  out.stats = ctx_.stats;
+  out.stage_costs = fz_compression_costs(out.stats, params_);
+  return out;
+}
+
+FzCompressed Codec::compress(FloatSpan data, Dims dims) {
+  return compress_impl(data, dims);
+}
+
+FzCompressed Codec::compress(std::span<const f64> data, Dims dims) {
+  return compress_impl(data, dims);
+}
+
+template <typename T>
+Dims Codec::decompress_into_impl(ByteSpan stream, std::span<T> out,
+                                 std::vector<cudasim::CostSheet>* stage_costs) {
+  ctx_.begin_decompress(&pool_, stream, out.size(), sizeof(T), out.data());
+  {
+    ScratchGuard guard{ctx_};
+    for (const auto& stage : decompress_stages_) stage->run(ctx_);
+  }
+  if (stage_costs != nullptr) {
+    FzParams params;
+    params.quant = ctx_.params.quant;
+    *stage_costs = fz_decompression_costs(ctx_.stats, params);
+  }
+  return ctx_.dims;
+}
+
+Dims Codec::decompress_into(ByteSpan stream, std::span<f32> out,
+                            std::vector<cudasim::CostSheet>* stage_costs) {
+  return decompress_into_impl(stream, out, stage_costs);
+}
+
+Dims Codec::decompress_into(ByteSpan stream, std::span<f64> out,
+                            std::vector<cudasim::CostSheet>* stage_costs) {
+  return decompress_into_impl(stream, out, stage_costs);
+}
+
+FzDecompressed Codec::decompress(ByteSpan stream) {
+  const FzHeaderInfo info = fz_inspect(stream);
+  FzDecompressed out;
+  out.data.resize(info.count);
+  out.dims =
+      decompress_into(stream, std::span<f32>{out.data}, &out.stage_costs);
+  return out;
+}
+
+FzDecompressed64 Codec::decompress_f64(ByteSpan stream) {
+  const FzHeaderInfo info = fz_inspect(stream);
+  FzDecompressed64 out;
+  out.data.resize(info.count);
+  out.dims =
+      decompress_into(stream, std::span<f64>{out.data}, &out.stage_costs);
+  return out;
+}
+
+}  // namespace fz

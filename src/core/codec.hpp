@@ -1,0 +1,73 @@
+// fz::Codec — a reusable compression/decompression engine.
+//
+// A Codec owns a BufferPool plus the compression and decompression stage
+// graphs, and threads one PipelineContext through them per call.  The first
+// call on each path allocates the scratch buffers (pool misses); every
+// subsequent call of a same-shaped field is answered entirely from the pool
+// (zero scratch heap allocations — see BufferPool::Stats and the
+// CodecTest.SteadyStateDoesNotAllocate test).
+//
+// The one-shot fz_compress/fz_decompress functions in core/pipeline.hpp are
+// thin wrappers that build a throwaway Codec; use a long-lived Codec when
+// compressing many fields (a service, the chunked container, benchmarks).
+//
+// Thread-safety: a Codec is a single-threaded engine (one context, one
+// pool).  Use one Codec per thread — fz_compress_chunked does exactly that
+// for its parallel chunk workers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/pool.hpp"
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
+
+namespace fz {
+
+class Codec {
+ public:
+  explicit Codec(FzParams params = {}) ;
+
+  // The pool (mutex) and the in-flight context pin a Codec in place.
+  Codec(const Codec&) = delete;
+  Codec& operator=(const Codec&) = delete;
+
+  FzCompressed compress(FloatSpan data, Dims dims);
+  FzCompressed compress(std::span<const f64> data, Dims dims);
+
+  FzDecompressed decompress(ByteSpan stream);
+  FzDecompressed64 decompress_f64(ByteSpan stream);
+
+  /// Decompress into caller storage (out.size() must equal the stream's
+  /// count — the header is validated against it).  Returns the stream's
+  /// dims.  This is the allocation-free path the chunked container uses to
+  /// write each chunk directly into its slab of the full field.
+  Dims decompress_into(ByteSpan stream, std::span<f32> out,
+                       std::vector<cudasim::CostSheet>* stage_costs = nullptr);
+  Dims decompress_into(ByteSpan stream, std::span<f64> out,
+                       std::vector<cudasim::CostSheet>* stage_costs = nullptr);
+
+  const FzParams& params() const { return params_; }
+  FzParams& params() { return params_; }
+
+  /// The scratch pool — exposed for stats (tests, capacity planning) and
+  /// trim().
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+
+ private:
+  template <typename T>
+  FzCompressed compress_impl(std::span<const T> data, Dims dims);
+  template <typename T>
+  Dims decompress_into_impl(ByteSpan stream, std::span<T> out,
+                            std::vector<cudasim::CostSheet>* stage_costs);
+
+  FzParams params_;
+  BufferPool pool_;
+  StageGraph compress_stages_;
+  StageGraph decompress_stages_;
+  PipelineContext ctx_;
+};
+
+}  // namespace fz

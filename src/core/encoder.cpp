@@ -1,5 +1,6 @@
 #include "core/encoder.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/bits.hpp"
@@ -10,13 +11,18 @@
 
 namespace fz {
 
-void mark_blocks(std::span<const u32> words, std::vector<u8>& byte_flags,
-                 std::vector<u8>& bit_flags) {
+void mark_blocks(std::span<const u32> words, std::span<u8> byte_flags,
+                 std::span<u8> bit_flags) {
   FZ_REQUIRE(words.size() % kBlockWords == 0,
              "encoder: word count must be a multiple of the block size");
   const size_t nblocks = words.size() / kBlockWords;
-  byte_flags.assign(nblocks, 0);
-  bit_flags.assign(div_ceil(nblocks, 8), 0);
+  FZ_REQUIRE(byte_flags.size() == nblocks &&
+                 bit_flags.size() == div_ceil(nblocks, 8),
+             "encoder: flag array size mismatch");
+  std::fill(byte_flags.begin(), byte_flags.end(), u8{0});
+  std::fill(bit_flags.begin(), bit_flags.end(), u8{0});
+  // 4096-block chunks keep each thread's bit_flags writes on disjoint
+  // bytes (4096 % 8 == 0), so the |= below is race-free.
   parallel_chunks(nblocks, 4096, [&](size_t b, size_t e) {
     for (size_t blk = b; blk < e; ++blk) {
       const u32* w = words.data() + blk * kBlockWords;
@@ -29,30 +35,58 @@ void mark_blocks(std::span<const u32> words, std::vector<u8>& byte_flags,
   });
 }
 
-cudasim::CostSheet compact_blocks(std::span<const u32> words,
-                                  std::span<const u8> byte_flags,
-                                  std::vector<u32>& blocks_out) {
+void mark_blocks(std::span<const u32> words, std::vector<u8>& byte_flags,
+                 std::vector<u8>& bit_flags) {
+  FZ_REQUIRE(words.size() % kBlockWords == 0,
+             "encoder: word count must be a multiple of the block size");
+  const size_t nblocks = words.size() / kBlockWords;
+  byte_flags.resize(nblocks);
+  bit_flags.resize(div_ceil(nblocks, 8));
+  mark_blocks(words, std::span<u8>{byte_flags}, std::span<u8>{bit_flags});
+}
+
+size_t compact_blocks(std::span<const u32> words,
+                      std::span<const u8> byte_flags, std::span<u32> flags32,
+                      std::span<u32> offsets, std::span<u32> scan_scratch,
+                      std::span<u32> blocks_out,
+                      cudasim::CostSheet* scan_cost) {
   const size_t nblocks = byte_flags.size();
   FZ_REQUIRE(words.size() == nblocks * kBlockWords, "encoder: size mismatch");
+  FZ_REQUIRE(flags32.size() == nblocks && offsets.size() == nblocks,
+             "encoder: scratch size mismatch");
 
   // Exclusive prefix sum of the byte flags gives each block's output slot
   // (the paper's phase-2 CUB ExclusiveSum).
-  std::vector<u32> flags32(nblocks);
   parallel_for(0, nblocks, [&](size_t i) { flags32[i] = byte_flags[i]; });
-  std::vector<u32> offsets(nblocks);
-  cudasim::CostSheet scan_cost =
-      scan_exclusive_device_model(flags32, offsets);
+  cudasim::CostSheet cost =
+      scan_exclusive_device_model(flags32, offsets, scan_scratch, 2048);
+  if (scan_cost != nullptr) *scan_cost = cost;
 
   const size_t nonzero =
       nblocks == 0 ? 0 : offsets.back() + flags32.back();
-  blocks_out.resize(nonzero * kBlockWords);
+  FZ_REQUIRE(blocks_out.size() >= nonzero * kBlockWords,
+             "encoder: output too small");
   parallel_for(0, nblocks, [&](size_t blk) {
     if (byte_flags[blk] == 0) return;
     const u32 slot = offsets[blk];
     for (size_t k = 0; k < kBlockWords; ++k)
       blocks_out[slot * kBlockWords + k] = words[blk * kBlockWords + k];
   });
-  return scan_cost;
+  return nonzero;
+}
+
+cudasim::CostSheet compact_blocks(std::span<const u32> words,
+                                  std::span<const u8> byte_flags,
+                                  std::vector<u32>& blocks_out) {
+  const size_t nblocks = byte_flags.size();
+  std::vector<u32> flags32(nblocks), offsets(nblocks);
+  std::vector<u32> scan_scratch(2 * scan_chunk_count(nblocks), 0);
+  blocks_out.resize(words.size());
+  cudasim::CostSheet cost;
+  const size_t nonzero = compact_blocks(words, byte_flags, flags32, offsets,
+                                        scan_scratch, blocks_out, &cost);
+  blocks_out.resize(nonzero * kBlockWords);
+  return cost;
 }
 
 EncodeResult encode_blocks(std::span<const u32> words) {
@@ -65,18 +99,19 @@ EncodeResult encode_blocks(std::span<const u32> words) {
 }
 
 void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
-                   std::span<u32> out) {
+                   std::span<u32> out, std::span<u32> flags32,
+                   std::span<u32> offsets, std::span<u32> scan_scratch) {
   FZ_REQUIRE(out.size() % kBlockWords == 0, "decoder: bad output size");
   const size_t nblocks = out.size() / kBlockWords;
   FZ_FORMAT_REQUIRE(bit_flags.size() >= div_ceil(nblocks, 8),
                     "decoder: flag array too small");
+  FZ_REQUIRE(flags32.size() == nblocks && offsets.size() == nblocks,
+             "decoder: scratch size mismatch");
   // Offsets are recovered with the same prefix sum the encoder used.
-  std::vector<u32> flags32(nblocks);
   parallel_for(0, nblocks, [&](size_t i) {
     flags32[i] = (bit_flags[i / 8] >> (i % 8)) & 1u;
   });
-  std::vector<u32> offsets(nblocks);
-  scan_exclusive_parallel(flags32, offsets);
+  scan_exclusive_parallel(flags32, offsets, scan_scratch);
   const size_t nonzero = nblocks == 0 ? 0 : offsets.back() + flags32.back();
   FZ_FORMAT_REQUIRE(blocks.size() == nonzero * kBlockWords,
                     "decoder: block payload size mismatch");
@@ -90,6 +125,14 @@ void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
     for (size_t k = 0; k < kBlockWords; ++k)
       dst[k] = blocks[slot * kBlockWords + k];
   });
+}
+
+void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
+                   std::span<u32> out) {
+  const size_t nblocks = out.size() / kBlockWords;
+  std::vector<u32> flags32(nblocks), offsets(nblocks);
+  std::vector<u32> scan_scratch(2 * scan_chunk_count(nblocks), 0);
+  decode_blocks(bit_flags, blocks, out, flags32, offsets, scan_scratch);
 }
 
 }  // namespace fz

@@ -33,12 +33,29 @@ struct EncodeResult {
 void mark_blocks(std::span<const u32> words, std::vector<u8>& byte_flags,
                  std::vector<u8>& bit_flags);
 
+/// Allocation-free phase 1: byte_flags.size() == words.size() / 4 and
+/// bit_flags.size() == ceil(byte_flags.size() / 8); both are cleared and
+/// refilled.  The stage graph uses this with pooled buffers.
+void mark_blocks(std::span<const u32> words, std::span<u8> byte_flags,
+                 std::span<u8> bit_flags);
+
 /// Phase 2: offsets via exclusive prefix sum + block compaction.
 /// Returns the modeled device cost of the scan (the encode kernel cost is
 /// assembled by core/costs.cpp).
 cudasim::CostSheet compact_blocks(std::span<const u32> words,
                                   std::span<const u8> byte_flags,
                                   std::vector<u32>& blocks_out);
+
+/// Allocation-free phase 2.  `flags32` and `offsets` are scratch of
+/// byte_flags.size() elements each, `scan_scratch` as required by
+/// scan_exclusive_parallel, and `blocks_out` must hold the worst case
+/// (words.size() elements).  Returns the number of nonzero blocks; the
+/// compacted payload is blocks_out[0 .. nonzero * kBlockWords).
+size_t compact_blocks(std::span<const u32> words,
+                      std::span<const u8> byte_flags, std::span<u32> flags32,
+                      std::span<u32> offsets, std::span<u32> scan_scratch,
+                      std::span<u32> blocks_out,
+                      cudasim::CostSheet* scan_cost = nullptr);
 
 /// Convenience: run both phases.
 EncodeResult encode_blocks(std::span<const u32> words);
@@ -47,5 +64,12 @@ EncodeResult encode_blocks(std::span<const u32> words);
 /// 4 words); zero blocks are zero-filled.
 void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
                    std::span<u32> out);
+
+/// Allocation-free inverse: `flags32`/`offsets` are scratch of
+/// out.size() / 4 elements each, `scan_scratch` as required by
+/// scan_exclusive_parallel.
+void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
+                   std::span<u32> out, std::span<u32> flags32,
+                   std::span<u32> offsets, std::span<u32> scan_scratch);
 
 }  // namespace fz

@@ -1,0 +1,79 @@
+// The FZ stream format: the on-disk header plus its validation rules.
+//
+// Shared by the compression stage graph (core/stages.cpp), the decoders,
+// and fz_inspect, so a header field can never be written by one layer and
+// skipped by another's validation.  Internal — the public API is
+// core/pipeline.hpp and core/codec.hpp.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/bitshuffle.hpp"
+#include "core/pipeline.hpp"
+
+namespace fz {
+
+constexpr u32 kStreamMagic = 0x50475a46u;  // "FZGP" little-endian
+constexpr u16 kStreamVersion = 2;          // v2 added the dtype field
+constexpr size_t kCodesPerTile = kTileBytes / sizeof(u16);  // 2048
+
+constexpr u8 kTransformNone = 0;
+constexpr u8 kTransformLog = 1;
+
+#pragma pack(push, 1)
+struct StreamHeader {
+  u32 magic;
+  u16 version;
+  u8 quant;
+  u8 rank;
+  u8 dtype;      // sizeof the sample type: 4 (f32) or 8 (f64)
+  u8 transform;  // 0 = none, 1 = natural log (point-wise relative bound)
+  u8 pad[6];
+  u64 nx, ny, nz;
+  u64 count;
+  f64 abs_eb;
+  u32 radius;
+  i64 anchor;  // pre-quantized first value: residual[0] has no predictor
+               // and would otherwise saturate u16 whenever |data offset|
+               // is large relative to eb
+  u64 saturated;
+  u64 outlier_count;
+  u64 bit_flag_bytes;
+  u64 block_words;
+};
+#pragma pack(pop)
+
+/// Validate every self-consistency rule a header must satisfy before any
+/// field is trusted (magic, version, rank, dtype, transform, quant, error
+/// bound, dims vs. count vs. stream size).  Throws FormatError.
+inline void validate_stream_header(const StreamHeader& h, size_t stream_bytes) {
+  FZ_FORMAT_REQUIRE(h.magic == kStreamMagic, "not an FZ stream");
+  FZ_FORMAT_REQUIRE(h.version == kStreamVersion,
+                    "unsupported FZ stream version");
+  FZ_FORMAT_REQUIRE(h.rank >= 1 && h.rank <= 3, "bad rank");
+  FZ_FORMAT_REQUIRE(h.dtype == sizeof(f32) || h.dtype == sizeof(f64),
+                    "bad dtype");
+  FZ_FORMAT_REQUIRE(
+      h.transform == kTransformNone || h.transform == kTransformLog,
+      "unknown transform");
+  const QuantVersion quant = static_cast<QuantVersion>(h.quant);
+  FZ_FORMAT_REQUIRE(quant == QuantVersion::V1Original ||
+                        quant == QuantVersion::V2Optimized,
+                    "bad quant version");
+  FZ_FORMAT_REQUIRE(h.abs_eb > 0, "bad error bound");
+  // The format's ratio ceiling is 256x on the u16 code stream (the 128x
+  // flag ceiling); a count beyond that is corrupt.  Each extent is checked
+  // stepwise so the product cannot wrap around u64 and masquerade as a
+  // small count (the loops iterate per axis, not on the product).
+  const u64 max_count = static_cast<u64>(stream_bytes) * 512;
+  FZ_FORMAT_REQUIRE(h.nx >= 1 && h.ny >= 1 && h.nz >= 1 && h.nx <= max_count &&
+                        h.ny <= max_count && h.nz <= max_count,
+                    "bad dims");
+  FZ_FORMAT_REQUIRE(h.nx * h.ny <= max_count &&
+                        h.nx * h.ny * h.nz <= max_count,
+                    "dims exceed stream");
+  const Dims dims{h.nx, h.ny, h.nz};
+  FZ_FORMAT_REQUIRE(dims.count() == h.count && h.count > 0, "bad dims");
+}
+
+}  // namespace fz

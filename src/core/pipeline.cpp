@@ -1,334 +1,39 @@
+// One-shot public API: each call builds a throwaway fz::Codec and runs the
+// stage graph once.  Callers that compress repeatedly should hold a Codec
+// (core/codec.hpp) so the scratch pool amortizes across calls.
 #include "core/pipeline.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstring>
-
-#include "common/bits.hpp"
-#include "common/buffer.hpp"
-#include "common/error.hpp"
-#include "common/parallel.hpp"
-#include "core/bitshuffle.hpp"
-#include "core/costs.hpp"
-#include "core/encoder.hpp"
-#include "core/lorenzo.hpp"
+#include "core/codec.hpp"
+#include "core/format.hpp"
 #include "substrate/bitio.hpp"
 
 namespace fz {
 
-namespace {
-
-constexpr u32 kMagic = 0x50475a46u;  // "FZGP" little-endian
-constexpr u16 kVersion = 2;          // v2 added the dtype field
-constexpr size_t kCodesPerTile = kTileBytes / sizeof(u16);  // 2048
-
-#pragma pack(push, 1)
-struct Header {
-  u32 magic;
-  u16 version;
-  u8 quant;
-  u8 rank;
-  u8 dtype;      // sizeof the sample type: 4 (f32) or 8 (f64)
-  u8 transform;  // 0 = none, 1 = natural log (point-wise relative bound)
-  u8 pad[6];
-  u64 nx, ny, nz;
-  u64 count;
-  f64 abs_eb;
-  u32 radius;
-  i64 anchor;  // pre-quantized first value: residual[0] has no predictor
-               // and would otherwise saturate u16 whenever |data offset|
-               // is large relative to eb
-  u64 saturated;
-  u64 outlier_count;
-  u64 bit_flag_bytes;
-  u64 block_words;
-};
-#pragma pack(pop)
-
-constexpr u8 kTransformNone = 0;
-constexpr u8 kTransformLog = 1;
-
-template <typename T>
-double resolve_eb(std::span<const T> data, const ErrorBound& eb) {
-  if (eb.mode == ErrorBoundMode::Absolute) return eb.value;
-  if (eb.mode == ErrorBoundMode::PointwiseRelative) {
-    // Realized via the log transform: an absolute bound of log(1+rel) on
-    // log-space data bounds each value's relative error by rel.
-    FZ_REQUIRE(eb.value > 0 && eb.value < 1,
-               "point-wise relative bound must be in (0, 1)");
-    return std::log1p(eb.value);
-  }
-  const auto [lo, hi] = std::minmax_element(data.begin(), data.end());
-  double range = static_cast<double>(*hi) - static_cast<double>(*lo);
-  if (range <= 0) {
-    // Degenerate constant field: scale the relative bound by the value
-    // magnitude instead (any positive bound reproduces it exactly anyway).
-    range = std::max(std::fabs(static_cast<double>(*hi)), 1.0);
-  }
-  return eb.resolve(range);
-}
-
-template <typename T>
-FzCompressed compress_impl(std::span<const T> data, Dims dims,
-                           const FzParams& params) {
-  FZ_REQUIRE(!data.empty(), "cannot compress an empty field");
-  FZ_REQUIRE(data.size() == dims.count(), "dims do not match data size");
-  for (const T v : data)
-    FZ_REQUIRE(std::isfinite(v),
-               "input contains NaN/Inf; error-bounded compression requires "
-               "finite data");
-
-  FzCompressed out;
-  FzStats& st = out.stats;
-  st.count = data.size();
-  st.input_bytes = data.size() * sizeof(T);
-  st.abs_eb = resolve_eb(data, params.eb);
-  FZ_REQUIRE(st.abs_eb > 0, "resolved error bound must be positive");
-
-  // Point-wise relative mode: compress log(d) with the absolute bound
-  // log(1+rel) (Liang et al., the paper's HACC protocol, §4.1).
-  const bool log_transform =
-      params.eb.mode == ErrorBoundMode::PointwiseRelative;
-  std::vector<T> transformed;
-  std::span<const T> values = data;
-  if (log_transform) {
-    transformed.resize(data.size());
-    for (size_t i = 0; i < data.size(); ++i) {
-      FZ_REQUIRE(data[i] > 0,
-                 "point-wise relative bounds require strictly positive data "
-                 "(apply an offset or use an absolute bound)");
-      transformed[i] = static_cast<T>(std::log(static_cast<double>(data[i])));
-    }
-    values = transformed;
-  }
-
-  // Stage 1: dual-quantization (pre-quantize, Lorenzo-predict, quantize the
-  // residuals).
-  std::vector<i64> pq(values.size());
-  prequantize(values, st.abs_eb, pq);
-  lorenzo_forward(pq, dims, pq);
-  // Anchor the first value: its "residual" is the value itself, which can
-  // exceed the 16-bit code range by orders of magnitude for offset-heavy
-  // data; carry it in the header instead.
-  const i64 anchor = pq[0];
-  pq[0] = 0;
-
-  // Codes live in an aligned buffer, padded with zero codes to a whole
-  // number of 4096-byte tiles: the padding bitshuffles to zero blocks and
-  // costs only flag bits.
-  const size_t padded_codes = round_up(data.size(), kCodesPerTile);
-  AlignedBuffer code_buf(padded_codes * sizeof(u16));
-  auto codes = code_buf.as<u16>();
-
-  std::vector<Outlier> outliers;
-  u32 radius = 0;
-  if (params.quant == QuantVersion::V2Optimized) {
-    QuantV2Result q = quant_encode_v2(pq);
-    st.saturated = q.saturated;
-    std::memcpy(codes.data(), q.codes.data(), q.codes.size() * sizeof(u16));
-  } else {
-    QuantV1Result q = quant_encode_v1(pq, params.radius);
-    outliers = std::move(q.outliers);
-    st.outliers = outliers.size();
-    radius = q.radius;
-    std::memcpy(codes.data(), q.codes.data(), q.codes.size() * sizeof(u16));
-  }
-
-  // Stage 2: bitshuffle (+ phase-1 flags; fused on device, see costs.cpp).
-  AlignedBuffer shuffled_buf(code_buf.size());
-  auto words_in = code_buf.as<u32>();
-  auto words_out = shuffled_buf.as<u32>();
-  bitshuffle_tiles(words_in, words_out);
-
-  std::vector<u8> byte_flags, bit_flags;
-  mark_blocks(words_out, byte_flags, bit_flags);
-
-  // Stage 3: prefix-sum offsets + block compaction.
-  std::vector<u32> blocks;
-  compact_blocks(words_out, byte_flags, blocks);
-  st.total_blocks = byte_flags.size();
-  st.nonzero_blocks = blocks.size() / kBlockWords;
-
-  // Assemble the stream.
-  Header h{};
-  h.magic = kMagic;
-  h.version = kVersion;
-  h.quant = static_cast<u8>(params.quant);
-  h.rank = static_cast<u8>(dims.rank());
-  h.dtype = sizeof(T);
-  h.transform = log_transform ? kTransformLog : kTransformNone;
-  h.nx = dims.x;
-  h.ny = dims.y;
-  h.nz = dims.z;
-  h.count = data.size();
-  h.abs_eb = st.abs_eb;
-  h.radius = radius;
-  h.anchor = anchor;
-  h.saturated = st.saturated;
-  h.outlier_count = outliers.size();
-  h.bit_flag_bytes = bit_flags.size();
-  h.block_words = blocks.size();
-
-  ByteWriter w(out.bytes);
-  w.put(h);
-  w.put_bytes(bit_flags);
-  w.put_bytes(ByteSpan{reinterpret_cast<const u8*>(blocks.data()),
-                       blocks.size() * sizeof(u32)});
-  for (const Outlier& o : outliers) {
-    FZ_REQUIRE(o.index <= UINT32_MAX && o.delta >= INT32_MIN &&
-                   o.delta <= INT32_MAX,
-               "outlier exceeds 8-byte stream encoding");
-    w.put<u32>(static_cast<u32>(o.index));
-    w.put<i32>(static_cast<i32>(o.delta));
-  }
-  st.compressed_bytes = out.bytes.size();
-
-  out.stage_costs = fz_compression_costs(st, params);
-  return out;
-}
-
-struct DecodedCore {
-  Header header;
-  Dims dims;
-  std::vector<i64> values;  ///< pre-quantized reconstruction (before scaling)
-  std::vector<cudasim::CostSheet> stage_costs;
-};
-
-DecodedCore decompress_core(ByteSpan stream, u8 expected_dtype) {
-  ByteReader r(stream);
-  const Header h = r.get<Header>();
-  FZ_FORMAT_REQUIRE(h.magic == kMagic, "not an FZ stream");
-  FZ_FORMAT_REQUIRE(h.version == kVersion, "unsupported FZ stream version");
-  FZ_FORMAT_REQUIRE(h.rank >= 1 && h.rank <= 3, "bad rank");
-  FZ_FORMAT_REQUIRE(h.dtype == expected_dtype,
-                    h.dtype == 8
-                        ? "stream holds f64 data (use fz_decompress_f64)"
-                        : "stream holds f32 data (use fz_decompress)");
-  FZ_FORMAT_REQUIRE(h.abs_eb > 0, "bad error bound");
-  // The format's ratio ceiling is 256x on the u16 code stream (the 128x
-  // flag ceiling); a count beyond that is corrupt.  Each extent is checked
-  // stepwise so the product cannot wrap around u64 and masquerade as a
-  // small count (the loops iterate per axis, not on the product).
-  const u64 max_count = static_cast<u64>(stream.size()) * 512;
-  FZ_FORMAT_REQUIRE(h.nx >= 1 && h.ny >= 1 && h.nz >= 1 && h.nx <= max_count &&
-                        h.ny <= max_count && h.nz <= max_count,
-                    "bad dims");
-  FZ_FORMAT_REQUIRE(h.nx * h.ny <= max_count &&
-                        h.nx * h.ny * h.nz <= max_count,
-                    "dims exceed stream");
-  const Dims dims{h.nx, h.ny, h.nz};
-  FZ_FORMAT_REQUIRE(dims.count() == h.count && h.count > 0, "bad dims");
-  const QuantVersion quant = static_cast<QuantVersion>(h.quant);
-  FZ_FORMAT_REQUIRE(quant == QuantVersion::V1Original ||
-                        quant == QuantVersion::V2Optimized,
-                    "bad quant version");
-
-  const size_t padded_codes = round_up(h.count, kCodesPerTile);
-  const size_t total_words = padded_codes * sizeof(u16) / sizeof(u32);
-  FZ_FORMAT_REQUIRE(h.bit_flag_bytes == div_ceil(total_words / kBlockWords, 8),
-                    "bit-flag section size mismatch");
-  FZ_FORMAT_REQUIRE(h.block_words <= total_words,
-                    "block payload exceeds field size");
-  const ByteSpan bit_flags = r.get_bytes(h.bit_flag_bytes);
-  const ByteSpan block_bytes = r.get_bytes(h.block_words * sizeof(u32));
-
-  // Scatter nonzero blocks, then inverse bitshuffle.
-  AlignedBuffer shuffled_buf(total_words * sizeof(u32));
-  {
-    std::vector<u32> blocks(h.block_words);
-    std::memcpy(blocks.data(), block_bytes.data(), block_bytes.size());
-    decode_blocks(bit_flags, blocks, shuffled_buf.as<u32>());
-  }
-  AlignedBuffer code_buf(shuffled_buf.size());
-  bitunshuffle_tiles(shuffled_buf.as<u32>(), code_buf.as<u32>());
-  auto codes = code_buf.as<u16>().subspan(0, h.count);
-
-  // Inverse quantization + Lorenzo.
-  DecodedCore core;
-  core.header = h;
-  core.dims = dims;
-  core.values.resize(h.count);
-  if (quant == QuantVersion::V2Optimized) {
-    quant_decode_v2(codes, core.values);
-  } else {
-    QuantV1Result q;
-    q.radius = h.radius;
-    q.codes.assign(codes.begin(), codes.end());
-    q.outliers.resize(h.outlier_count);
-    for (auto& o : q.outliers) {
-      o.index = r.get<u32>();
-      o.delta = r.get<i32>();
-      FZ_FORMAT_REQUIRE(o.index < h.count, "outlier index out of range");
-    }
-    quant_decode_v1(q, core.values);
-  }
-  core.values[0] += h.anchor;  // restore the first value's residual
-  lorenzo_inverse(core.values, dims, core.values);
-
-  FzStats st;
-  st.count = h.count;
-  st.input_bytes = h.count * h.dtype;
-  st.compressed_bytes = stream.size();
-  st.saturated = h.saturated;
-  st.outliers = h.outlier_count;
-  st.total_blocks = total_words / kBlockWords;
-  st.nonzero_blocks = h.block_words / kBlockWords;
-  FzParams params;
-  params.quant = quant;
-  core.stage_costs = fz_decompression_costs(st, params);
-  return core;
-}
-
-}  // namespace
-
 FzCompressed fz_compress(FloatSpan data, Dims dims, const FzParams& params) {
-  return compress_impl(data, dims, params);
+  return Codec(params).compress(data, dims);
 }
 
 FzCompressed fz_compress_f64(std::span<const f64> data, Dims dims,
                              const FzParams& params) {
-  return compress_impl(data, dims, params);
+  return Codec(params).compress(data, dims);
 }
-
-namespace {
-
-template <typename T>
-void undo_transform(u8 transform, std::span<T> values) {
-  if (transform == kTransformNone) return;
-  FZ_FORMAT_REQUIRE(transform == kTransformLog, "unknown transform");
-  parallel_for(0, values.size(), [&](size_t i) {
-    values[i] = static_cast<T>(std::exp(static_cast<double>(values[i])));
-  });
-}
-
-}  // namespace
 
 FzDecompressed fz_decompress(ByteSpan stream) {
-  DecodedCore core = decompress_core(stream, sizeof(f32));
-  FzDecompressed out;
-  out.dims = core.dims;
-  out.stage_costs = std::move(core.stage_costs);
-  out.data.resize(core.values.size());
-  dequantize(core.values, core.header.abs_eb, std::span<f32>{out.data});
-  undo_transform(core.header.transform, std::span<f32>{out.data});
-  return out;
+  return Codec().decompress(stream);
 }
 
 FzDecompressed64 fz_decompress_f64(ByteSpan stream) {
-  DecodedCore core = decompress_core(stream, sizeof(f64));
-  FzDecompressed64 out;
-  out.dims = core.dims;
-  out.stage_costs = std::move(core.stage_costs);
-  out.data.resize(core.values.size());
-  dequantize(core.values, core.header.abs_eb, std::span<f64>{out.data});
-  undo_transform(core.header.transform, std::span<f64>{out.data});
-  return out;
+  return Codec().decompress_f64(stream);
 }
 
 FzHeaderInfo fz_inspect(ByteSpan stream) {
   ByteReader r(stream);
-  const Header h = r.get<Header>();
-  FZ_FORMAT_REQUIRE(h.magic == kMagic, "not an FZ stream");
+  const StreamHeader h = r.get<StreamHeader>();
+  // Full validation (version, rank, dtype, quant, eb, dims-vs-count,
+  // section sizes vs. stream length), not just the magic: inspect is the
+  // front door for untrusted streams, so a truncated or corrupt header must
+  // be rejected here rather than surface as a huge bogus count.
+  validate_stream_header(h, stream.size());
   FzHeaderInfo info;
   info.dims = Dims{h.nx, h.ny, h.nz};
   info.abs_eb = h.abs_eb;

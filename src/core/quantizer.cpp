@@ -46,9 +46,8 @@ void dequantize(std::span<const i64> p, double eb, std::span<f64> out) {
   dequantize_impl(p, eb, out);
 }
 
-QuantV2Result quant_encode_v2(std::span<const i64> deltas) {
-  QuantV2Result r;
-  r.codes.resize(deltas.size());
+size_t quant_encode_v2(std::span<const i64> deltas, std::span<u16> codes) {
+  FZ_REQUIRE(codes.size() == deltas.size(), "quant: size mismatch");
   std::atomic<size_t> saturated{0};
   parallel_chunks(deltas.size(), 1 << 16, [&](size_t b, size_t e) {
     size_t local_sat = 0;
@@ -59,11 +58,17 @@ QuantV2Result quant_encode_v2(std::span<const i64> deltas) {
       const i64 clipped =
           d > kMaxMagnitude16 ? kMaxMagnitude16
                               : (d < -kMaxMagnitude16 ? -kMaxMagnitude16 : d);
-      r.codes[i] = sign_magnitude_encode(static_cast<i32>(clipped));
+      codes[i] = sign_magnitude_encode(static_cast<i32>(clipped));
     }
     if (local_sat != 0) saturated.fetch_add(local_sat, std::memory_order_relaxed);
   });
-  r.saturated = saturated.load();
+  return saturated.load();
+}
+
+QuantV2Result quant_encode_v2(std::span<const i64> deltas) {
+  QuantV2Result r;
+  r.codes.resize(deltas.size());
+  r.saturated = quant_encode_v2(deltas, r.codes);
   return r;
 }
 
@@ -74,11 +79,11 @@ void quant_decode_v2(std::span<const u16> codes, std::span<i64> deltas) {
   });
 }
 
-QuantV1Result quant_encode_v1(std::span<const i64> deltas, u32 radius) {
+void quant_encode_v1(std::span<const i64> deltas, u32 radius,
+                     std::span<u16> codes, std::vector<Outlier>& outliers) {
   FZ_REQUIRE(radius >= 2 && radius <= 0x4000, "bad radius");
-  QuantV1Result r;
-  r.radius = radius;
-  r.codes.resize(deltas.size());
+  FZ_REQUIRE(codes.size() == deltas.size(), "quant: size mismatch");
+  outliers.clear();
   // Outlier collection is order-dependent; run sequentially per chunk and
   // merge (outliers are rare so the merge is cheap).
   std::vector<std::vector<Outlier>> partial(
@@ -90,15 +95,22 @@ QuantV1Result quant_encode_v1(std::span<const i64> deltas, u32 radius) {
     for (size_t i = b; i < e; ++i) {
       const i64 d = deltas[i];
       if (d > -static_cast<i64>(radius) && d < static_cast<i64>(radius)) {
-        r.codes[i] = static_cast<u16>(d + radius);
+        codes[i] = static_cast<u16>(d + radius);
       } else {
-        r.codes[i] = 0;
+        codes[i] = 0;
         partial[c].push_back({i, d});
       }
     }
   });
   for (const auto& p : partial)
-    r.outliers.insert(r.outliers.end(), p.begin(), p.end());
+    outliers.insert(outliers.end(), p.begin(), p.end());
+}
+
+QuantV1Result quant_encode_v1(std::span<const i64> deltas, u32 radius) {
+  QuantV1Result r;
+  r.radius = radius;
+  r.codes.resize(deltas.size());
+  quant_encode_v1(deltas, radius, r.codes, r.outliers);
   return r;
 }
 

@@ -37,6 +37,11 @@ struct QuantV2Result {
 QuantV2Result quant_encode_v2(std::span<const i64> deltas);
 void quant_decode_v2(std::span<const u16> codes, std::span<i64> deltas);
 
+/// Allocation-free variant: encode into caller storage (codes.size() ==
+/// deltas.size()); returns the saturation count.  The stage graph uses this
+/// with pooled buffers so steady-state compression never touches the heap.
+size_t quant_encode_v2(std::span<const i64> deltas, std::span<u16> codes);
+
 // ---- V1: original (radius shift + outliers) ---------------------------------
 
 struct Outlier {
@@ -52,5 +57,11 @@ struct QuantV1Result {
 
 QuantV1Result quant_encode_v1(std::span<const i64> deltas, u32 radius = 512);
 void quant_decode_v1(const QuantV1Result& q, std::span<i64> deltas);
+
+/// Codes-into-caller-storage variant (codes.size() == deltas.size()).
+/// `outliers` is cleared and refilled (its capacity is reused across calls;
+/// the outlier list is the one genuinely data-dependent V1 output).
+void quant_encode_v1(std::span<const i64> deltas, u32 radius,
+                     std::span<u16> codes, std::vector<Outlier>& outliers);
 
 }  // namespace fz

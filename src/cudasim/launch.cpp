@@ -10,6 +10,21 @@
 
 #include "common/error.hpp"
 
+// AddressSanitizer tracks one stack per thread; every ucontext switch must
+// be bracketed with __sanitizer_start/finish_switch_fiber or the first deep
+// unwind on a fiber stack (an exception leaving a kernel body) is reported
+// as a stack-use-after-scope inside the unwinder.
+#if defined(__SANITIZE_ADDRESS__)
+#define FZ_CUDASIM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FZ_CUDASIM_ASAN 1
+#endif
+#endif
+#ifdef FZ_CUDASIM_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace fz::cudasim {
 
 namespace {
@@ -21,6 +36,7 @@ struct Fiber {
   std::vector<u8> stack;
   FiberState state = FiberState::Ready;
   u32 ltid = 0;
+  void* asan_fake_stack = nullptr;  // ASan fake-stack handle across yields
 };
 
 /// One in-flight warp collective: lanes deposit values and park until the
@@ -74,6 +90,7 @@ class BlockRunner {
  private:
   void fiber_body();
   static void fiber_entry();
+  void resume_fiber(u32 t);
   void yield_to_scheduler();
   u32 live_count() const;
   u32 live_warp_mask(u32 warp) const;
@@ -93,6 +110,8 @@ class BlockRunner {
   u32 nthreads_ = 0;
 
   u32 barrier_waiting_ = 0;
+  const void* sched_stack_bottom_ = nullptr;  // captured at first fiber entry
+  size_t sched_stack_size_ = 0;
   std::exception_ptr pending_exception_;
   std::vector<WarpOp> warp_ops_;
   std::vector<WarpSmemTrace> smem_traces_;
@@ -105,6 +124,12 @@ thread_local BlockRunner* g_runner = nullptr;
 
 void BlockRunner::fiber_entry() {
   BlockRunner* r = g_runner;
+#ifdef FZ_CUDASIM_ASAN
+  // Complete the scheduler->fiber switch and learn the scheduler's stack
+  // bounds so yields back can announce them.
+  __sanitizer_finish_switch_fiber(nullptr, &r->sched_stack_bottom_,
+                                  &r->sched_stack_size_);
+#endif
   r->fiber_body();
 }
 
@@ -120,6 +145,10 @@ void BlockRunner::fiber_body() {
   fibers_[current_].state = FiberState::Done;
   // A completed thread may unblock a barrier held by the remaining threads.
   release_barrier_if_complete();
+#ifdef FZ_CUDASIM_ASAN
+  // Final exit: a null save slot tells ASan to destroy this fiber's fake stack.
+  __sanitizer_start_switch_fiber(nullptr, sched_stack_bottom_, sched_stack_size_);
+#endif
   swapcontext(&fibers_[current_].ctx, &sched_ctx_);
   FZ_REQUIRE(false, "resumed a finished simulated thread");
 }
@@ -168,7 +197,7 @@ void BlockRunner::run_block(Dim3 block_idx) {
       if (fibers_[t].state != FiberState::Ready) continue;
       current_ = t;
       progress = true;
-      swapcontext(&sched_ctx_, &fibers_[t].ctx);
+      resume_fiber(t);
       if (pending_exception_) {
         g_runner = nullptr;
         std::rethrow_exception(std::exchange(pending_exception_, nullptr));
@@ -185,8 +214,29 @@ void BlockRunner::run_block(Dim3 block_idx) {
   flush_smem_traces();
 }
 
+void BlockRunner::resume_fiber(u32 t) {
+#ifdef FZ_CUDASIM_ASAN
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, fibers_[t].stack.data(),
+                                 fibers_[t].stack.size());
+  swapcontext(&sched_ctx_, &fibers_[t].ctx);
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#else
+  swapcontext(&sched_ctx_, &fibers_[t].ctx);
+#endif
+}
+
 void BlockRunner::yield_to_scheduler() {
+#ifdef FZ_CUDASIM_ASAN
+  Fiber& f = fibers_[current_];
+  __sanitizer_start_switch_fiber(&f.asan_fake_stack, sched_stack_bottom_,
+                                 sched_stack_size_);
+  swapcontext(&f.ctx, &sched_ctx_);
+  __sanitizer_finish_switch_fiber(fibers_[current_].asan_fake_stack, nullptr,
+                                  nullptr);
+#else
   swapcontext(&fibers_[current_].ctx, &sched_ctx_);
+#endif
 }
 
 u32 BlockRunner::live_count() const {

@@ -231,6 +231,9 @@ std::vector<u16> huffman_decompress(ByteSpan stream) {
   HuffmanCodebook book;
   book.lengths.resize(num_bins);
   for (auto& l : book.lengths) l = r.get<u8>();
+  // Stream lengths are untrusted; the canonical-code rebuild below shifts by
+  // length deltas, so enforce the same bound the encoder guarantees.
+  FZ_FORMAT_REQUIRE(book.max_length() <= 63, "Huffman code length overflow");
   // Rebuild canonical codes from lengths (codes vector only needed for
   // encode, but keep the book internally consistent).
   book.codes.assign(num_bins, 0);

@@ -17,16 +17,25 @@ void scan_exclusive_sequential(std::span<const u32> in, std::span<u32> out) {
   }
 }
 
-void scan_exclusive_parallel(std::span<const u32> in, std::span<u32> out) {
+size_t scan_chunk_count(size_t n) {
+  if (n == 0) return 0;
+  const size_t nthreads = static_cast<size_t>(max_threads());
+  const size_t chunk = std::max<size_t>(div_ceil(n, nthreads), 4096);
+  return div_ceil(n, chunk);
+}
+
+void scan_exclusive_parallel(std::span<const u32> in, std::span<u32> out,
+                             std::span<u32> scratch) {
   FZ_REQUIRE(in.size() == out.size(), "scan size mismatch");
   const size_t n = in.size();
   if (n == 0) return;
-  const size_t nthreads = static_cast<size_t>(max_threads());
-  const size_t chunk = std::max<size_t>(div_ceil(n, nthreads), 4096);
-  const size_t nchunks = div_ceil(n, chunk);
+  const size_t nchunks = scan_chunk_count(n);
+  const size_t chunk = div_ceil(n, nchunks);
+  FZ_REQUIRE(scratch.size() >= 2 * nchunks, "scan scratch too small");
+  std::span<u32> totals = scratch.subspan(0, nchunks);
+  std::span<u32> offsets = scratch.subspan(nchunks, nchunks);
 
   // Pass 1: per-chunk totals.
-  std::vector<u32> totals(nchunks, 0);
   parallel_for(0, nchunks, [&](size_t c) {
     const size_t b = c * chunk;
     const size_t e = std::min(b + chunk, n);
@@ -35,7 +44,6 @@ void scan_exclusive_parallel(std::span<const u32> in, std::span<u32> out) {
     totals[c] = t;
   });
   // Serial scan of chunk totals (tiny).
-  std::vector<u32> offsets(nchunks, 0);
   scan_exclusive_sequential(totals, offsets);
   // Pass 2: local scans seeded by the chunk offset.
   parallel_for(0, nchunks, [&](size_t c) {
@@ -49,10 +57,16 @@ void scan_exclusive_parallel(std::span<const u32> in, std::span<u32> out) {
   });
 }
 
+void scan_exclusive_parallel(std::span<const u32> in, std::span<u32> out) {
+  std::vector<u32> scratch(2 * scan_chunk_count(in.size()), 0);
+  scan_exclusive_parallel(in, out, scratch);
+}
+
 cudasim::CostSheet scan_exclusive_device_model(std::span<const u32> in,
                                                std::span<u32> out,
+                                               std::span<u32> scratch,
                                                size_t tile_size) {
-  scan_exclusive_parallel(in, out);
+  scan_exclusive_parallel(in, out, scratch);
 
   cudasim::CostSheet cost;
   cost.name = "cub::ExclusiveSum";
@@ -68,6 +82,13 @@ cudasim::CostSheet scan_exclusive_device_model(std::span<const u32> in,
   // The tile-prefix scan between the kernels is serial over tile count.
   cost.serial_ns = static_cast<double>(div_ceil(in.size(), tile_size)) * 2.0;
   return cost;
+}
+
+cudasim::CostSheet scan_exclusive_device_model(std::span<const u32> in,
+                                               std::span<u32> out,
+                                               size_t tile_size) {
+  std::vector<u32> scratch(2 * scan_chunk_count(in.size()), 0);
+  return scan_exclusive_device_model(in, out, scratch, tile_size);
 }
 
 }  // namespace fz

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/chunked.hpp"
+#include "core/codec.hpp"
+#include "datasets/generators.hpp"
+#include "metrics/metrics.hpp"
+
+namespace fz {
+namespace {
+
+Field noisy_field(Dims dims, u64 seed) {
+  Field f;
+  f.dataset = "synthetic";
+  f.name = "noisy";
+  f.dims = dims;
+  f.data.resize(dims.count());
+  Rng rng(seed);
+  for (size_t i = 0; i < f.data.size(); ++i)
+    f.data[i] = static_cast<f32>(
+        100.0 + 40.0 * std::sin(static_cast<double>(i) * 0.013) +
+        rng.uniform(-0.3, 0.3));
+  return f;
+}
+
+TEST(Codec, MatchesOneShotApiByteForByte) {
+  const Field f = noisy_field(Dims{64, 48, 5}, 11);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+
+  const FzCompressed one_shot = fz_compress(f.values(), f.dims, params);
+
+  Codec codec(params);
+  const FzCompressed first = codec.compress(f.values(), f.dims);
+  const FzCompressed second = codec.compress(f.values(), f.dims);
+
+  EXPECT_EQ(first.bytes, one_shot.bytes);
+  EXPECT_EQ(second.bytes, one_shot.bytes);  // reuse changes nothing
+  EXPECT_EQ(first.stats.nonzero_blocks, one_shot.stats.nonzero_blocks);
+
+  const FzDecompressed via_codec = codec.decompress(first.bytes);
+  const FzDecompressed via_api = fz_decompress(one_shot.bytes);
+  EXPECT_EQ(via_codec.data, via_api.data);
+  EXPECT_EQ(via_codec.dims, f.dims);
+}
+
+TEST(Codec, SteadyStateDoesNotAllocate) {
+  const Field f = noisy_field(Dims{96, 80, 4}, 23);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  Codec codec(params);
+
+  // Warm-up: every scratch buffer for both paths is a pool miss once.
+  const FzCompressed c = codec.compress(f.values(), f.dims);
+  std::vector<f32> out(f.data.size());
+  codec.decompress_into(c.bytes, out);
+  const auto warm = codec.pool().stats();
+  EXPECT_GT(warm.misses, 0u);
+  EXPECT_EQ(warm.leased_buffers, 0u);  // all scratch returned after the runs
+
+  // Steady state: same shapes -> pure pool hits, zero new allocations.
+  for (int round = 0; round < 3; ++round) {
+    const FzCompressed again = codec.compress(f.values(), f.dims);
+    EXPECT_EQ(again.bytes, c.bytes);
+    codec.decompress_into(again.bytes, out);
+  }
+  const auto steady = codec.pool().stats();
+  EXPECT_EQ(steady.misses, warm.misses) << "steady-state run hit the heap";
+  EXPECT_GT(steady.hits, warm.hits);
+  EXPECT_EQ(steady.allocated_bytes, warm.allocated_bytes);
+  EXPECT_EQ(steady.peak_allocated_bytes, warm.peak_allocated_bytes);
+  EXPECT_TRUE(error_bounded(f.values(), out, c.stats.abs_eb));
+}
+
+TEST(Codec, SteadyStateHoldsForV1AndPointwiseAndF64) {
+  const Field f = noisy_field(Dims{40, 30, 3}, 31);
+  std::vector<f64> wide(f.data.begin(), f.data.end());
+
+  FzParams v1;
+  v1.quant = QuantVersion::V1Original;
+  v1.eb = ErrorBound::absolute(1e-2);
+  FzParams pw;
+  pw.eb = ErrorBound::pointwise_relative(1e-3);
+
+  Codec codec_v1(v1), codec_pw(pw), codec_f64;
+  const auto c1 = codec_v1.compress(f.values(), f.dims);
+  const auto c2 = codec_pw.compress(f.values(), f.dims);
+  const auto c3 = codec_f64.compress(std::span<const f64>{wide}, f.dims);
+  const auto m1 = codec_v1.pool().stats().misses;
+  const auto m2 = codec_pw.pool().stats().misses;
+  const auto m3 = codec_f64.pool().stats().misses;
+
+  EXPECT_EQ(codec_v1.compress(f.values(), f.dims).bytes, c1.bytes);
+  EXPECT_EQ(codec_pw.compress(f.values(), f.dims).bytes, c2.bytes);
+  EXPECT_EQ(codec_f64.compress(std::span<const f64>{wide}, f.dims).bytes,
+            c3.bytes);
+  EXPECT_EQ(codec_v1.pool().stats().misses, m1);
+  EXPECT_EQ(codec_pw.pool().stats().misses, m2);
+  EXPECT_EQ(codec_f64.pool().stats().misses, m3);
+}
+
+TEST(Codec, DecompressIntoValidatesOutputSize) {
+  const Field f = noisy_field(Dims{2048}, 5);
+  FzParams params;
+  params.eb = ErrorBound::absolute(1e-2);
+  Codec codec(params);
+  const FzCompressed c = codec.compress(f.values(), f.dims);
+
+  std::vector<f32> wrong(f.data.size() - 1);
+  EXPECT_THROW(codec.decompress_into(c.bytes, wrong), FormatError);
+  std::vector<f64> wrong_type(f.data.size());
+  EXPECT_THROW(codec.decompress_into(c.bytes, wrong_type), FormatError);
+
+  std::vector<f32> right(f.data.size());
+  const Dims dims = codec.decompress_into(c.bytes, right);
+  EXPECT_EQ(dims, f.dims);
+  EXPECT_TRUE(error_bounded(f.values(), right, c.stats.abs_eb));
+}
+
+TEST(Codec, ScratchIsReleasedEvenWhenARunThrows) {
+  Codec codec;
+  const Field f = noisy_field(Dims{4096}, 17);
+  const FzCompressed c = codec.compress(f.values(), f.dims);
+
+  std::vector<u8> clipped(c.bytes.begin(), c.bytes.end() - 8);
+  std::vector<f32> out(f.data.size());
+  EXPECT_THROW(codec.decompress_into(clipped, out), FormatError);
+  EXPECT_EQ(codec.pool().stats().leased_buffers, 0u);
+
+  // The codec stays usable after the failure.
+  codec.decompress_into(c.bytes, out);
+  EXPECT_TRUE(error_bounded(f.values(), out, c.stats.abs_eb));
+}
+
+TEST(ChunkedParallel, OutputIsIndependentOfWorkerCount) {
+  const Field f = noisy_field(Dims{48, 40, 24}, 29);
+  ChunkedParams serial;
+  serial.base.eb = ErrorBound::relative(1e-3);
+  serial.num_chunks = 8;
+  serial.max_parallelism = 1;
+  ChunkedParams parallel = serial;
+  parallel.max_parallelism = 0;  // all hardware threads
+
+  const ChunkedCompressed cs = fz_compress_chunked(f.values(), f.dims, serial);
+  const ChunkedCompressed cp =
+      fz_compress_chunked(f.values(), f.dims, parallel);
+  EXPECT_EQ(cs.bytes, cp.bytes);
+  EXPECT_EQ(cs.num_chunks, cp.num_chunks);
+  EXPECT_EQ(cs.stats.nonzero_blocks, cp.stats.nonzero_blocks);
+
+  const FzDecompressed ds = fz_decompress_chunked(cs.bytes, 1);
+  const FzDecompressed dp = fz_decompress_chunked(cs.bytes, 0);
+  EXPECT_EQ(ds.data, dp.data);
+  EXPECT_EQ(ds.dims, dp.dims);
+  EXPECT_TRUE(error_bounded(f.values(), dp.data, cs.stats.abs_eb));
+}
+
+TEST(ChunkedParallel, WorkerCountAboveChunkCountIsFine) {
+  const Field f = noisy_field(Dims{2048}, 3);
+  ChunkedParams params;
+  params.base.eb = ErrorBound::absolute(1e-2);
+  params.num_chunks = 2;
+  params.max_parallelism = 64;
+  const ChunkedCompressed c = fz_compress_chunked(f.values(), f.dims, params);
+  const FzDecompressed d = fz_decompress_chunked(c.bytes, 64);
+  EXPECT_TRUE(error_bounded(f.values(), d.data, c.stats.abs_eb));
+}
+
+}  // namespace
+}  // namespace fz

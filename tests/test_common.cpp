@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <set>
 
 #include "common/bits.hpp"
@@ -169,6 +171,72 @@ TEST(Parallel, ChunksCoverRangeOnce) {
     for (size_t i = b; i < e; ++i) hits[i]++;
   });
   for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, ChunksRejectZeroChunkSize) {
+  // Regression: chunk == 0 used to divide by zero when computing the chunk
+  // count; it must be a reported error instead.
+  EXPECT_THROW(parallel_chunks(100, 0, [&](size_t, size_t) {}), Error);
+  // count == 0 with a valid chunk stays a silent no-op.
+  parallel_chunks(0, 64, [&](size_t, size_t) { FAIL(); });
+}
+
+TEST(Parallel, TasksCoverAllTasksWithBoundedWorkers) {
+  constexpr size_t kTasks = 137;
+  constexpr size_t kWorkers = 3;
+  std::vector<int> hits(kTasks, 0);
+  std::vector<std::atomic<int>> active(kWorkers);
+  parallel_tasks(kTasks, kWorkers, [&](size_t task, size_t worker) {
+    ASSERT_LT(worker, kWorkers);
+    // Worker slots are exclusive: two tasks never share one concurrently.
+    ASSERT_EQ(active[worker].fetch_add(1), 0);
+    hits[task]++;
+    active[worker].fetch_sub(1);
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, TasksSerialWhenOneWorker) {
+  std::vector<size_t> order;
+  parallel_tasks(10, 1, [&](size_t task, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(task);
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Parallel, TasksPropagateExceptions) {
+  EXPECT_THROW(parallel_tasks(100, 4,
+                              [&](size_t task, size_t) {
+                                if (task == 41) throw Error("boom");
+                              }),
+               Error);
+}
+
+TEST(Parallel, MinmaxMatchesSerialScan) {
+  Rng rng(7);
+  std::vector<f32> v(10001);
+  for (auto& x : v) x = static_cast<f32>(rng.uniform(-50, 50));
+  v[1234] = -100.0f;
+  v[8888] = 175.5f;
+  const auto [lo, hi] = parallel_minmax(std::span<const f32>{v});
+  EXPECT_EQ(lo, -100.0f);
+  EXPECT_EQ(hi, 175.5f);
+  const auto [slo, shi] = parallel_minmax(std::span<const f32>{v.data(), 1});
+  EXPECT_EQ(slo, v[0]);
+  EXPECT_EQ(shi, v[0]);
+  EXPECT_THROW(parallel_minmax(std::span<const f32>{}), Error);
+}
+
+TEST(Parallel, AllFiniteDetectsNaNAndInf) {
+  std::vector<f64> v(4096, 1.5);
+  EXPECT_TRUE(parallel_all_finite(std::span<const f64>{v}));
+  v[4000] = std::numeric_limits<f64>::quiet_NaN();
+  EXPECT_FALSE(parallel_all_finite(std::span<const f64>{v}));
+  v[4000] = std::numeric_limits<f64>::infinity();
+  EXPECT_FALSE(parallel_all_finite(std::span<const f64>{v}));
+  EXPECT_TRUE(parallel_all_finite(std::span<const f64>{}));
 }
 
 }  // namespace

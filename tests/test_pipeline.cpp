@@ -399,6 +399,40 @@ TEST(PipelineFormat, RejectsGarbageAndTruncation) {
   EXPECT_THROW(fz_decompress(bad_magic), FormatError);
 }
 
+TEST(PipelineFormat, InspectValidatesNotJustTheMagic) {
+  const Field f = smooth_field(Dims{16, 16, 8}, 12);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+  ASSERT_NO_THROW(fz_inspect(c.bytes));
+
+  // Truncated to less than a header.
+  std::vector<u8> tiny(c.bytes.begin(), c.bytes.begin() + 24);
+  EXPECT_THROW(fz_inspect(tiny), FormatError);
+
+  // Valid magic but a poisoned field must still be rejected: inspect is the
+  // front door for untrusted streams.
+  auto corrupt = [&](size_t offset, u8 value) {
+    std::vector<u8> s = c.bytes;
+    s[offset] = value;
+    return s;
+  };
+  EXPECT_THROW(fz_inspect(corrupt(4, 0x7f)), FormatError);   // version
+  EXPECT_THROW(fz_inspect(corrupt(6, 0x09)), FormatError);   // quant
+  EXPECT_THROW(fz_inspect(corrupt(7, 0x04)), FormatError);   // rank
+  EXPECT_THROW(fz_inspect(corrupt(8, 0x03)), FormatError);   // dtype
+  EXPECT_THROW(fz_inspect(corrupt(9, 0x02)), FormatError);   // transform
+
+  // A count that disagrees with the dims (nx low byte) is rejected rather
+  // than returned as a bogus allocation size.
+  EXPECT_THROW(fz_inspect(corrupt(16, 0xff)), FormatError);
+
+  // Dims blown up past what the stream could possibly encode.
+  std::vector<u8> huge = c.bytes;
+  for (size_t i = 16; i < 16 + 8; ++i) huge[i] = 0xff;  // nx = 2^64 - 1
+  EXPECT_THROW(fz_inspect(huge), FormatError);
+}
+
 TEST(PipelineFormat, RejectsEmptyInput) {
   FzParams params;
   EXPECT_THROW(fz_compress({}, Dims{0}, params), Error);

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/pool.hpp"
+
+namespace fz {
+namespace {
+
+TEST(BufferPool, FirstAcquireIsAMiss) {
+  BufferPool pool;
+  PooledBuffer b = pool.acquire(1024);
+  EXPECT_EQ(b.size(), 1024u);
+  EXPECT_GE(b.capacity(), 1024u);
+  const auto st = pool.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.leased_buffers, 1u);
+  EXPECT_EQ(st.cached_buffers, 0u);
+}
+
+TEST(BufferPool, ReleaseThenAcquireIsAHit) {
+  BufferPool pool;
+  pool.acquire(1024);  // temporary: released immediately
+  auto st = pool.stats();
+  EXPECT_EQ(st.cached_buffers, 1u);
+  EXPECT_EQ(st.leased_buffers, 0u);
+
+  PooledBuffer b = pool.acquire(1024);
+  st = pool.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.cached_buffers, 0u);
+  EXPECT_EQ(st.leased_buffers, 1u);
+}
+
+TEST(BufferPool, SmallerRequestReusesLargerBuffer) {
+  BufferPool pool;
+  pool.acquire(4096);
+  PooledBuffer b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);        // logical size is what was asked for
+  EXPECT_EQ(b.capacity(), 4096u);   // backed by the cached larger buffer
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(b.as<u32>().size(), 25u);
+}
+
+TEST(BufferPool, LargerRequestAllocatesFresh) {
+  BufferPool pool;
+  pool.acquire(100);
+  PooledBuffer b = pool.acquire(4096);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(b.capacity(), 4096u);
+}
+
+TEST(BufferPool, RecycledBuffersAreZeroedOnRequest) {
+  BufferPool pool;
+  {
+    PooledBuffer b = pool.acquire(256, false);
+    for (u8& v : b.bytes()) v = 0xab;
+  }
+  {
+    PooledBuffer dirty = pool.acquire(256, false);
+    EXPECT_EQ(dirty.data()[0], 0xab);  // stale contents are the caller's deal
+  }
+  PooledBuffer clean = pool.acquire(256, true);
+  for (const u8 v : clean.bytes()) ASSERT_EQ(v, 0);
+}
+
+TEST(BufferPool, TrimFreesIdleButNotLeased) {
+  BufferPool pool;
+  PooledBuffer held = pool.acquire(512);
+  pool.acquire(1024);  // released -> cached
+  auto st = pool.stats();
+  EXPECT_EQ(st.cached_buffers, 1u);
+  EXPECT_EQ(st.allocated_bytes, 512u + 1024u);
+
+  pool.trim();
+  st = pool.stats();
+  EXPECT_EQ(st.cached_buffers, 0u);
+  EXPECT_EQ(st.cached_bytes, 0u);
+  EXPECT_EQ(st.allocated_bytes, 512u);  // the lease survives
+  EXPECT_EQ(st.leased_buffers, 1u);
+  EXPECT_EQ(held.size(), 512u);
+}
+
+TEST(BufferPool, PeakTracksHighWaterMark) {
+  BufferPool pool;
+  { PooledBuffer a = pool.acquire(1000); }
+  { PooledBuffer b = pool.acquire(3000); }  // 1000 cached + 3000 = 4000 peak
+  EXPECT_EQ(pool.stats().peak_allocated_bytes, 4000u);
+}
+
+TEST(BufferPool, ZeroByteAcquireIsEmptyAndFree) {
+  BufferPool pool;
+  PooledBuffer b = pool.acquire(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(pool.stats().misses, 0u);
+  EXPECT_EQ(pool.stats().leased_buffers, 0u);
+  b.release();  // no-op
+}
+
+TEST(PooledBuffer, MoveTransfersTheLease) {
+  BufferPool pool;
+  PooledBuffer a = pool.acquire(64);
+  PooledBuffer b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): post-move probe
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_EQ(pool.stats().leased_buffers, 1u);
+  b.release();
+  EXPECT_EQ(pool.stats().cached_buffers, 1u);
+}
+
+TEST(PooledBuffer, MoveAssignReleasesTheOldLease) {
+  BufferPool pool;
+  PooledBuffer a = pool.acquire(64);
+  PooledBuffer b = pool.acquire(128);
+  b = std::move(a);  // the 128-byte lease goes back to the pool
+  EXPECT_EQ(b.size(), 64u);
+  const auto st = pool.stats();
+  EXPECT_EQ(st.leased_buffers, 1u);
+  EXPECT_EQ(st.cached_buffers, 1u);
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseIsSafe) {
+  BufferPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIters; ++i) {
+        PooledBuffer b = pool.acquire(64 + 64 * (static_cast<size_t>(t) % 4));
+        b.data()[0] = static_cast<u8>(t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto st = pool.stats();
+  EXPECT_EQ(st.hits + st.misses, static_cast<size_t>(kThreads) * kIters);
+  EXPECT_EQ(st.leased_buffers, 0u);
+  EXPECT_LE(st.misses, static_cast<size_t>(kThreads) * 4);  // recycling works
+}
+
+}  // namespace
+}  // namespace fz
