@@ -1,10 +1,22 @@
 #!/usr/bin/env bash
-# CI-style gate: build the default and the asan-ubsan configurations and
-# run the full test suite under both.  Any sanitizer finding fails the
-# suite (-fno-sanitize-recover=all aborts the offending test).
+# CI-style gate: every analysis pass must come back green.
+#
+#   1. default        — RelWithDebInfo build, full test suite (includes the
+#                       fzcheck simulator-hazard tests: any SanitizerReport
+#                       diagnostic fails test_sanitizer)
+#   2. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer
+#   3. tsan           — pool/codec/chunked/threading tests under
+#                       ThreadSanitizer (host-side concurrency)
+#   4. lint           — clang-tidy over src/ (.clang-tidy profile,
+#                       WarningsAsErrors: any warning fails); skipped with a
+#                       notice when clang-tidy is not installed
+#
+# Any sanitizer finding fails the suite (-fno-sanitize-recover=all aborts
+# the offending test; TSan exits nonzero on a report; clang-tidy exits
+# nonzero on any warning-as-error).
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast   default configuration only (skip the sanitizer build)
+#   --fast   default configuration only (skip sanitizer builds and lint)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +34,14 @@ run_preset default
 
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
+  run_preset tsan
+
+  echo "==== lint: clang-tidy over src/ ===="
+  if command -v clang-tidy > /dev/null 2>&1; then
+    cmake --build build --target lint
+  else
+    echo "lint: clang-tidy not found on PATH; skipping (install clang-tidy to enable)"
+  fi
 fi
 
 echo "check.sh: all configurations green"

@@ -1,13 +1,22 @@
-// OpenMP helpers.  All parallel loops in the native backends go through
-// these wrappers so the library builds (serially) without OpenMP too.
+// Parallel-loop helpers.  All parallel loops in the native backends go
+// through these wrappers.  With OpenMP they compile to omp regions; without
+// it (FZ_ENABLE_OPENMP=OFF) parallel_for/parallel_tasks fall back to a
+// std::thread task crew with the same contract.  The `tsan` preset builds
+// without OpenMP deliberately: libgomp is not TSan-instrumented, so its
+// fork/join happens-before edges are invisible and ThreadSanitizer flags
+// correct code; raw std::threads keep the concurrency both real and
+// visible to the tool.
 #pragma once
 
 #include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <exception>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #if defined(FZ_HAVE_OPENMP)
 #include <omp.h>
@@ -22,7 +31,8 @@ inline int max_threads() {
 #if defined(FZ_HAVE_OPENMP)
   return omp_get_max_threads();
 #else
-  return 1;
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
 #endif
 }
 
@@ -35,6 +45,43 @@ inline int thread_index() {
   return 0;
 #endif
 }
+
+namespace detail {
+
+/// std::thread task crew backing parallel_for/parallel_tasks when OpenMP is
+/// unavailable.  Same contract as parallel_tasks: fn(task, worker), tasks
+/// claimed dynamically, worker indices unique, first exception captured and
+/// rethrown on the calling thread (which doubles as worker 0).
+template <typename Fn>
+void thread_crew(size_t count, size_t workers, Fn& fn) {
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto body = [&](size_t w) {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (failed.load(std::memory_order_relaxed)) break;
+      try {
+        fn(i, w);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> crew;
+  crew.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) crew.emplace_back(body, w);
+  body(0);
+  for (auto& t : crew) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace detail
 
 /// Parallel for over [begin, end) with a static schedule.
 /// `fn(i)` must be independent across iterations.
@@ -58,7 +105,17 @@ void parallel_for(size_t begin, size_t end, Fn&& fn) {
   }
   if (error) std::rethrow_exception(error);
 #else
-  for (size_t i = begin; i < end; ++i) fn(i);
+  if (end <= begin) return;
+  const size_t count = end - begin;
+  const size_t workers =
+      count < static_cast<size_t>(max_threads()) ? count
+                                                 : static_cast<size_t>(max_threads());
+  if (workers > 1) {
+    auto task = [&](size_t i, size_t) { fn(begin + i); };
+    detail::thread_crew(count, workers, task);
+  } else {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  }
 #endif
 }
 
@@ -108,6 +165,11 @@ void parallel_tasks(size_t count, size_t workers, Fn&& fn) {
       }
     }
     if (error) std::rethrow_exception(error);
+    return;
+  }
+#else
+  if (workers > 1) {
+    detail::thread_crew(count, workers, fn);
     return;
   }
 #endif

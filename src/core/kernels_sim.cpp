@@ -36,7 +36,7 @@ CostSheet sim_pred_quant_v2(FloatSpan data, Dims dims, double abs_eb,
 
     // Pointwise pre-quantization; neighbours are recomputed, not shared.
     const auto prequant = [&](size_t ix, size_t iy, size_t iz) -> i64 {
-      const f32 v = t.gload(&data[dims.linear(ix, iy, iz)]);
+      const f32 v = t.gload(data, dims.linear(ix, iy, iz));
       t.count_ops(2);
       return static_cast<i64>(std::llround(static_cast<double>(v) * inv));
     };
@@ -55,7 +55,7 @@ CostSheet sim_pred_quant_v2(FloatSpan data, Dims dims, double abs_eb,
     if (ix > 0 && iy > 0 && iz > 0) delta -= prequant(ix - 1, iy - 1, iz - 1);
 
     const i64 clipped = std::clamp<i64>(delta, -kMaxMagnitude16, kMaxMagnitude16);
-    t.gstore(&codes_out[i], sign_magnitude_encode(static_cast<i32>(clipped)));
+    t.gstore(codes_out, i, sign_magnitude_encode(static_cast<i32>(clipped)));
     t.count_ops(6);
   });
 }
@@ -63,7 +63,7 @@ CostSheet sim_pred_quant_v2(FloatSpan data, Dims dims, double abs_eb,
 CostSheet sim_bitshuffle_mark_fused(std::span<const u32> in, std::span<u32> out,
                                     std::vector<u8>& byte_flags,
                                     std::vector<u8>& bit_flags,
-                                    bool padded_shared) {
+                                    bool padded_shared, BitshuffleFault fault) {
   FZ_REQUIRE(in.size() % kTileWords == 0, "sim: input must be whole tiles");
   FZ_REQUIRE(in.size() == out.size(), "sim: size mismatch");
   const size_t tiles = in.size() / kTileWords;
@@ -73,16 +73,21 @@ CostSheet sim_bitshuffle_mark_fused(std::span<const u32> in, std::span<u32> out,
   // The padded row stride (33 words) staggers column-wise accesses across
   // banks; the unpadded 32-word stride lands a whole column in one bank.
   const size_t stride = padded_shared ? 33 : 32;
+  // BitshuffleFault::DivergentBallot narrows the flag-ballot guard so the
+  // top 8 lanes of warp 7 skip the collective and park at the barrier.
+  const u32 ballot_guard = fault == BitshuffleFault::DivergentBallot
+                               ? kBlocksPerTile - 8
+                               : kBlocksPerTile;
 
   LaunchConfig cfg;
   cfg.name = "bitshuffle-mark-fused";
   cfg.grid = Dim3{static_cast<u32>(tiles)};
   cfg.block = Dim3{32, 32};
 
-  return cudasim::launch(cfg, [&, stride](ThreadCtx& t) {
-    u32* buf = t.shared<u32>("buf", 32 * stride);
-    u8* byte_flag_arr = t.shared<u8>("ByteFlagArr", kBlocksPerTile);
-    u32* bit_flag_arr = t.shared<u32>("BitFlagArr", 8);
+  return cudasim::launch(cfg, [&, stride, fault, ballot_guard](ThreadCtx& t) {
+    auto buf = t.shared_mem<u32>("buf", 32 * stride);
+    auto byte_flag_arr = t.shared_mem<u8>("ByteFlagArr", kBlocksPerTile);
+    auto bit_flag_arr = t.shared_mem<u32>("BitFlagArr", 8);
 
     const u32 x = t.thread_idx.x;
     const u32 y = t.thread_idx.y;
@@ -90,29 +95,23 @@ CostSheet sim_bitshuffle_mark_fused(std::span<const u32> in, std::span<u32> out,
     const size_t g = tile * kTileWords + y * 32 + x;
 
     // Load the tile into shared memory (row-wise, coalesced, conflict-free).
-    buf[y * stride + x] = t.gload(&in[g]);
-    t.shared_access(y * stride + x);
+    buf.st(y * stride + x, t.gload(in, g));
     t.sync_threads();
 
     // 32 ballot rounds: plane i of this warp's unit (= row y) is the vote
     // of bit i across the 32 lanes.  Lane i keeps round i's result.
-    u32 cur = buf[y * stride + x];
-    t.shared_access(y * stride + x);
+    const u32 cur = buf.ld(y * stride + x);
     for (u32 i = 0; i < 32; ++i) {
       const u32 plane = t.ballot((cur >> i) & 1u);
-      if (x == i) {
-        buf[y * stride + i] = plane;
-        t.shared_access(y * stride + i);
-      }
+      if (x == i) buf.st(y * stride + i, plane);
       t.count_ops(3);
     }
-    t.sync_threads();
+    if (fault != BitshuffleFault::MissingBarrier) t.sync_threads();
 
     // Transposed write-back: out word (x, y) = plane y of unit x.  The
     // column-wise shared read is the access the 32x33 padding protects.
-    const u32 shuffled = buf[x * stride + y];
-    t.shared_access(x * stride + y);
-    t.gstore(&out[g], shuffled);
+    const u32 shuffled = buf.ld(x * stride + y);
+    t.gstore(out, g, shuffled);
     t.sync_threads();
 
     // Fused mark: 256 threads each own one 16-byte block (4 consecutive
@@ -123,29 +122,28 @@ CostSheet sim_bitshuffle_mark_fused(std::span<const u32> in, std::span<u32> out,
       for (u32 i = 0; i < 4; ++i) {
         const u32 p = ltid * 4 + i;  // linear output position in the tile
         const u32 py = p / 32, px = p % 32;
-        nz |= buf[px * stride + py];
-        t.shared_access(px * stride + py);
+        nz |= buf.ld(px * stride + py);
       }
-      byte_flag_arr[ltid] = nz != 0 ? 1 : 0;
+      byte_flag_arr.st(ltid, nz != 0 ? 1 : 0);
       t.count_ops(6);
     }
     t.sync_threads();
 
     // Byte flags -> bit flags via ballot (8 warps cover 256 blocks).
-    if (ltid < kBlocksPerTile) {
-      const u32 flag_word = t.ballot(byte_flag_arr[ltid] != 0);
-      if (t.lane() == 0) bit_flag_arr[t.warp_id()] = flag_word;
+    if (ltid < ballot_guard) {
+      const u32 flag_word = t.ballot(byte_flag_arr.ld(ltid) != 0);
+      if (t.lane() == 0) bit_flag_arr.st(t.warp_id(), flag_word);
     }
     t.sync_threads();
 
     // Write both flag arrays back to global memory.
     if (ltid < kBlocksPerTile) {
-      t.gstore(&byte_flags[tile * kBlocksPerTile + ltid], byte_flag_arr[ltid]);
+      t.gstore(byte_flags, tile * kBlocksPerTile + ltid, byte_flag_arr.ld(ltid));
     }
     if (ltid < 8) {
-      const u32 word = bit_flag_arr[ltid];
+      const u32 word = bit_flag_arr.ld(ltid);
       for (u32 b = 0; b < 4; ++b) {
-        t.gstore(&bit_flags[tile * (kBlocksPerTile / 8) + ltid * 4 + b],
+        t.gstore(bit_flags, tile * (kBlocksPerTile / 8) + ltid * 4 + b,
                  static_cast<u8>(word >> (8 * b)));
       }
     }
@@ -177,16 +175,16 @@ CostSheet sim_compact_blocks(std::span<const u32> shuffled,
     const size_t blk =
         static_cast<size_t>(t.block_idx.x) * 256 + t.thread_idx.x;
     if (blk >= nblocks) return;
-    const u32 offset = t.gload(&presum[blk]);
+    const u32 offset = t.gload(presum, blk);
     // "The offset is valid if it is different from its previous offset" —
     // equivalently the block's own flag is set.
     const bool valid = blk + 1 < nblocks
-                           ? t.gload(&presum[blk + 1]) != offset
+                           ? t.gload(presum, blk + 1) != offset
                            : flags32[blk] != 0;
     if (!valid) return;
     for (size_t k = 0; k < kBlockWords; ++k) {
-      const u32 v = t.gload(&shuffled[blk * kBlockWords + k]);
-      t.gstore(&blocks_out[static_cast<size_t>(offset) * kBlockWords + k], v);
+      const u32 v = t.gload(shuffled, blk * kBlockWords + k);
+      t.gstore(blocks_out, static_cast<size_t>(offset) * kBlockWords + k, v);
     }
     t.count_ops(8);
   });
@@ -219,7 +217,7 @@ CostSheet sim_huffman_encode(std::span<const u16> symbols,
     int nbits = 0;
     std::vector<u8>& buf = payloads[c];
     for (size_t i = begin; i < end; ++i) {
-      const u16 s = t.gload(&symbols[i]);
+      const u16 s = t.gload(symbols, i);
       const int len = book.lengths[s];
       const u64 code = book.codes[s];
       t.count_ops(static_cast<size_t>(4 + len / 8));
@@ -304,7 +302,10 @@ CostSheet sim_huffman_decode(ByteSpan encoded, const HuffmanCodebook& book,
   CostSheet cost = cudasim::launch(cfg, [&](ThreadCtx& t) {
     const size_t c = static_cast<size_t>(t.block_idx.x) * 64 + t.thread_idx.x;
     if (c >= num_chunks) return;
-    const u8* bytes = payload.data() + offsets[c];
+    // Bounds-checked view of this chunk's payload: a decode overrunning
+    // its chunk is a GlobalOutOfBounds finding, not silent bleed into the
+    // next chunk.
+    const ByteSpan chunk = payload.subspan(offsets[c], sizes[c]);
     size_t bitpos = 0;
     const size_t begin = static_cast<size_t>(c) * chunk_size;
     const size_t end = std::min<size_t>(begin + chunk_size, count);
@@ -312,7 +313,7 @@ CostSheet sim_huffman_decode(ByteSpan encoded, const HuffmanCodebook& book,
       u64 code = 0;
       int len = 0;
       for (;;) {
-        const u8 byte = t.gload(&bytes[bitpos / 8]);
+        const u8 byte = t.gload(chunk, bitpos / 8);
         code = (code << 1) | ((byte >> (7 - bitpos % 8)) & 1u);
         ++bitpos;
         ++len;
@@ -322,7 +323,7 @@ CostSheet sim_huffman_decode(ByteSpan encoded, const HuffmanCodebook& book,
         if (n_at_len != 0 && code >= base && code < base + n_at_len) {
           const u32 idx = first_index[static_cast<size_t>(len)] +
                           static_cast<u32>(code - base);
-          t.gstore(&symbols_out[i], static_cast<u16>(sorted_syms[idx]));
+          t.gstore(symbols_out, i, static_cast<u16>(sorted_syms[idx]));
           break;
         }
         t.count_ops(3);
@@ -351,7 +352,7 @@ CostSheet sim_szx_block_stats(FloatSpan data, std::span<f32> mins,
     // blocks reduce correctly without divergent collectives.
     f32 lo = std::numeric_limits<f32>::infinity();
     f32 hi = -std::numeric_limits<f32>::infinity();
-    if (i < data.size()) lo = hi = t.gload(&data[i]);
+    if (i < data.size()) lo = hi = t.gload(data, i);
 
     // Warp butterfly: after log2(32) rounds every lane holds the warp
     // min/max (__shfl_xor_sync pattern).
@@ -364,22 +365,21 @@ CostSheet sim_szx_block_stats(FloatSpan data, std::span<f32> mins,
     }
 
     // Cross-warp combine through shared memory (4 warps per block).
-    f32* warp_lo = t.shared<f32>("warp_lo", 4);
-    f32* warp_hi = t.shared<f32>("warp_hi", 4);
+    auto warp_lo = t.shared_mem<f32>("warp_lo", 4);
+    auto warp_hi = t.shared_mem<f32>("warp_hi", 4);
     if (t.lane() == 0) {
-      warp_lo[t.warp_id()] = lo;
-      warp_hi[t.warp_id()] = hi;
-      t.shared_access(t.warp_id());
+      warp_lo.st(t.warp_id(), lo);
+      warp_hi.st(t.warp_id(), hi);
     }
     t.sync_threads();
     if (t.linear_tid() == 0) {
-      f32 block_lo = warp_lo[0], block_hi = warp_hi[0];
-      for (int w = 1; w < 4; ++w) {
-        block_lo = std::min(block_lo, warp_lo[w]);
-        block_hi = std::max(block_hi, warp_hi[w]);
+      f32 block_lo = warp_lo.ld(0), block_hi = warp_hi.ld(0);
+      for (size_t w = 1; w < 4; ++w) {
+        block_lo = std::min(block_lo, warp_lo.ld(w));
+        block_hi = std::max(block_hi, warp_hi.ld(w));
       }
-      t.gstore(&mins[blk], block_lo);
-      t.gstore(&maxs[blk], block_hi);
+      t.gstore(mins, blk, block_lo);
+      t.gstore(maxs, blk, block_hi);
       t.count_ops(8);
     }
   });
@@ -411,13 +411,13 @@ CostSheet sim_scatter_blocks(std::span<const u8> bit_flags,
     if (blk >= nblocks) return;
     if (flags32[blk] == 0) {
       for (size_t k = 0; k < kBlockWords; ++k)
-        t.gstore(&shuffled_out[blk * kBlockWords + k], 0u);
+        t.gstore(shuffled_out, blk * kBlockWords + k, 0u);
       return;
     }
-    const u32 slot = t.gload(&presum[blk]);
+    const u32 slot = t.gload(presum, blk);
     for (size_t k = 0; k < kBlockWords; ++k) {
-      const u32 v = t.gload(&blocks[static_cast<size_t>(slot) * kBlockWords + k]);
-      t.gstore(&shuffled_out[blk * kBlockWords + k], v);
+      const u32 v = t.gload(blocks, static_cast<size_t>(slot) * kBlockWords + k);
+      t.gstore(shuffled_out, blk * kBlockWords + k, v);
     }
     t.count_ops(8);
   });
@@ -438,39 +438,33 @@ CostSheet sim_bitunshuffle(std::span<const u32> in, std::span<u32> out,
   cfg.block = Dim3{32, 32};
 
   return cudasim::launch(cfg, [&, stride](ThreadCtx& t) {
-    u32* buf = t.shared<u32>("buf", 32 * stride);
+    auto buf = t.shared_mem<u32>("buf", 32 * stride);
     const u32 x = t.thread_idx.x;
     const u32 y = t.thread_idx.y;
     const size_t tile = t.block_idx.x;
 
     // Coalesced load of the plane-major tile into shared memory.
-    buf[y * stride + x] = t.gload(&in[tile * kTileWords + y * 32 + x]);
-    t.shared_access(y * stride + x);
+    buf.st(y * stride + x, t.gload(in, tile * kTileWords + y * 32 + x));
     t.sync_threads();
 
     // Lane x of warp y needs plane x of unit y, which sits at tile
     // position x*32 + y -> buf[x][y]: the COLUMN-wise shared read the
     // 32x33 padding protects (mirror of the forward kernel's write-back).
-    const u32 cur = buf[x * stride + y];
-    t.shared_access(x * stride + y);
+    const u32 cur = buf.ld(x * stride + y);
     t.sync_threads();
 
     // Same 32-round ballot transpose: round i reassembles original word i
     // of the unit (bit l = bit i of plane l).
     for (u32 i = 0; i < 32; ++i) {
       const u32 word = t.ballot((cur >> i) & 1u);
-      if (x == i) {
-        buf[y * stride + i] = word;
-        t.shared_access(y * stride + i);
-      }
+      if (x == i) buf.st(y * stride + i, word);
       t.count_ops(3);
     }
     t.sync_threads();
 
     // Unit y's words are contiguous in the code stream: coalesced store.
-    const u32 v = buf[y * stride + x];
-    t.shared_access(y * stride + x);
-    t.gstore(&out[tile * kTileWords + y * 32 + x], v);
+    const u32 v = buf.ld(y * stride + x);
+    t.gstore(out, tile * kTileWords + y * 32 + x, v);
   });
 }
 

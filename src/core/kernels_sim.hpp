@@ -27,15 +27,28 @@ namespace fz {
 cudasim::CostSheet sim_pred_quant_v2(FloatSpan data, Dims dims, double abs_eb,
                                      std::span<u16> codes_out);
 
+/// Deliberate defect injection for the fused bitshuffle kernel — fzcheck
+/// regression fodder (each variant must produce its expected diagnostic;
+/// see tests/test_sanitizer.cpp and docs/SANITIZER.md).
+enum class BitshuffleFault {
+  None = 0,
+  /// Skip the __syncthreads between the ballot transpose's shared stores
+  /// and the transposed read-back: a classic missing-barrier R/W race.
+  MissingBarrier,
+  /// Narrow the flag-ballot guard so 8 lanes of warp 7 skip the
+  /// __ballot_sync: a divergent collective that deadlocks the block.
+  DivergentBallot,
+};
+
 /// Fused bitshuffle + mark kernel (encode phase 1).  `in.size()` must be a
 /// multiple of one tile (1024 words).  `padded_shared=false` switches the
 /// shared tile from 32×33 to 32×32 — functionally identical but with the
-/// bank conflicts the padding exists to avoid (ablation knob).
-cudasim::CostSheet sim_bitshuffle_mark_fused(std::span<const u32> in,
-                                             std::span<u32> out,
-                                             std::vector<u8>& byte_flags,
-                                             std::vector<u8>& bit_flags,
-                                             bool padded_shared = true);
+/// bank conflicts the padding exists to avoid (ablation knob, and the
+/// target of fzcheck's bank-conflict lint).
+cudasim::CostSheet sim_bitshuffle_mark_fused(
+    std::span<const u32> in, std::span<u32> out, std::vector<u8>& byte_flags,
+    std::vector<u8>& bit_flags, bool padded_shared = true,
+    BitshuffleFault fault = BitshuffleFault::None);
 
 /// Encode phase 2: prefix-sum the byte flags (host-side CUB stand-in) and
 /// run the compaction kernel.  Returns the combined cost.

@@ -6,6 +6,7 @@
 #include <array>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -37,6 +38,11 @@ struct Fiber {
   FiberState state = FiberState::Ready;
   u32 ltid = 0;
   void* asan_fake_stack = nullptr;  // ASan fake-stack handle across yields
+  // fzcheck bookkeeping: how many barriers / collectives this thread has
+  // executed, and where it last arrived at a barrier.
+  u32 barrier_seq = 0;
+  u32 collective_seq = 0;
+  SrcLoc barrier_loc;
 };
 
 /// One in-flight warp collective: lanes deposit values and park until the
@@ -52,6 +58,10 @@ struct WarpOp {
   // even before slower lanes have been rescheduled to consume theirs.
   std::array<u32, kWarpSize> mailbox{};
   u32 mailbox_valid = 0;
+  // fzcheck: per-lane arrival site and collective count, for divergence
+  // detection when the op completes.
+  std::array<SrcLoc, kWarpSize> locs{};
+  std::array<u32, kWarpSize> seqs{};
 };
 
 /// Shared-memory access trace of one warp, slot-paired across lanes: the
@@ -62,24 +72,31 @@ struct WarpSmemTrace {
   std::array<u32, kWarpSize> seq{};  // per-lane access counter
   // slot -> lane -> (valid, word index)
   std::vector<std::array<std::pair<bool, u32>, kWarpSize>> slots;
+  // slot -> source location of the first access recorded in it (fzcheck
+  // bank-conflict lint; empty when not sanitizing).
+  std::vector<SrcLoc> slot_locs;
 };
 
 }  // namespace
 
 class BlockRunner {
  public:
-  BlockRunner(const LaunchConfig& cfg, const KernelFn& fn, CostSheet& cost)
-      : cfg_(cfg), fn_(fn), cost_(cost) {}
+  BlockRunner(const LaunchConfig& cfg, const KernelFn& fn, CostSheet& cost,
+              Sanitizer* san)
+      : cfg_(cfg), fn_(fn), cost_(cost), san_(san) {}
 
   void run_block(Dim3 block_idx);
 
   // -- called from fibers via ThreadCtx -----------------------------------
-  void sync_threads();
-  u32 ballot(bool pred);
-  bool any(bool pred);
-  u32 shfl(u32 v, u32 src_lane);
+  void sync_threads(SrcLoc loc);
+  u32 ballot(bool pred, SrcLoc loc);
+  bool any(bool pred, SrcLoc loc);
+  u32 shfl(u32 v, u32 src_lane, SrcLoc loc);
   void* shared_raw(const char* key, size_t bytes);
-  void shared_access(size_t word_index);
+  void shared_access(size_t word_index) { record_bank(word_index, SrcLoc{}); }
+  bool shared_record(const char* key, size_t view_bytes, size_t byte_begin,
+                     size_t nbytes, bool write, SrcLoc loc);
+  void global_oob(bool write, size_t index, size_t size, SrcLoc loc);
   void count_global_read(size_t b) { cost_.global_bytes_read += b; }
   void count_global_write(size_t b) { cost_.global_bytes_written += b; }
   void count_ops(size_t n) { cost_.thread_ops += n; }
@@ -94,14 +111,19 @@ class BlockRunner {
   void yield_to_scheduler();
   u32 live_count() const;
   u32 live_warp_mask(u32 warp) const;
+  u32 launch_warp_mask(u32 warp) const;
   void release_barrier_if_complete();
-  u32 warp_collective(WarpOp::Kind kind, u32 value, u32 src = 0);
+  void release_warp_op_if_complete(u32 warp);
+  u32 warp_collective(WarpOp::Kind kind, u32 value, u32 src, SrcLoc loc);
   void complete_warp_op(u32 warp);
+  void record_bank(size_t word_index, SrcLoc loc);
   void flush_smem_traces();
+  void report_deadlock_parkings();
 
   const LaunchConfig& cfg_;
   const KernelFn& fn_;
   CostSheet& cost_;
+  Sanitizer* san_ = nullptr;
 
   std::vector<Fiber> fibers_;
   std::vector<ThreadCtx> ctxs_;
@@ -143,8 +165,11 @@ void BlockRunner::fiber_body() {
     pending_exception_ = std::current_exception();
   }
   fibers_[current_].state = FiberState::Done;
-  // A completed thread may unblock a barrier held by the remaining threads.
+  // A completed thread may unblock a barrier held by the remaining threads,
+  // or complete a warp collective its siblings already arrived at (live-
+  // lane semantics must not depend on scheduling order).
   release_barrier_if_complete();
+  release_warp_op_if_complete(current_ / kWarpSize);
 #ifdef FZ_CUDASIM_ASAN
   // Final exit: a null save slot tells ASan to destroy this fiber's fake stack.
   __sanitizer_start_switch_fiber(nullptr, sched_stack_bottom_, sched_stack_size_);
@@ -165,6 +190,7 @@ void BlockRunner::run_block(Dim3 block_idx) {
   smem_traces_.assign(nwarps, WarpSmemTrace{});
   shared_arenas_.clear();
   barrier_waiting_ = 0;
+  if (san_ != nullptr) san_->begin_block(block_idx, nthreads_);
 
   for (u32 t = 0; t < nthreads_; ++t) {
     ThreadCtx ctx(*this);
@@ -205,6 +231,8 @@ void BlockRunner::run_block(Dim3 block_idx) {
     }
     if (all_done) break;
     if (!progress) {
+      report_deadlock_parkings();
+      g_runner = nullptr;
       FZ_REQUIRE(false, "simulated block deadlocked in kernel '" + cfg_.name +
                             "' (divergent collective or missing barrier "
                             "participant)");
@@ -212,6 +240,20 @@ void BlockRunner::run_block(Dim3 block_idx) {
   }
   g_runner = nullptr;
   flush_smem_traces();
+}
+
+void BlockRunner::report_deadlock_parkings() {
+  if (san_ == nullptr) return;
+  std::vector<Sanitizer::ParkedThread> parked;
+  for (const Fiber& f : fibers_) {
+    if (f.state == FiberState::WaitBarrier) {
+      parked.push_back({f.ltid, true, f.barrier_loc});
+    } else if (f.state == FiberState::WaitWarp) {
+      const WarpOp& op = warp_ops_[f.ltid / kWarpSize];
+      parked.push_back({f.ltid, false, op.locs[f.ltid % kWarpSize]});
+    }
+  }
+  san_->on_deadlock(parked);
 }
 
 void BlockRunner::resume_fiber(u32 t) {
@@ -256,16 +298,35 @@ u32 BlockRunner::live_warp_mask(u32 warp) const {
   return mask;
 }
 
+u32 BlockRunner::launch_warp_mask(u32 warp) const {
+  u32 mask = 0;
+  const u32 base = warp * kWarpSize;
+  for (u32 l = 0; l < kWarpSize; ++l)
+    if (base + l < nthreads_) mask |= 1u << l;
+  return mask;
+}
+
 void BlockRunner::release_barrier_if_complete() {
   if (barrier_waiting_ == 0) return;
   if (barrier_waiting_ < live_count()) return;
+  if (san_ != nullptr) {
+    std::vector<Sanitizer::BarrierArrival> arrivals;
+    arrivals.reserve(barrier_waiting_);
+    for (const Fiber& f : fibers_)
+      if (f.state == FiberState::WaitBarrier)
+        arrivals.push_back({f.ltid, f.barrier_seq, f.barrier_loc});
+    san_->on_barrier_release(arrivals);
+  }
   barrier_waiting_ = 0;
   for (auto& f : fibers_)
     if (f.state == FiberState::WaitBarrier) f.state = FiberState::Ready;
 }
 
-void BlockRunner::sync_threads() {
-  fibers_[current_].state = FiberState::WaitBarrier;
+void BlockRunner::sync_threads(SrcLoc loc) {
+  Fiber& f = fibers_[current_];
+  f.barrier_seq += 1;
+  f.barrier_loc = loc;
+  f.state = FiberState::WaitBarrier;
   ++barrier_waiting_;
   release_barrier_if_complete();
   yield_to_scheduler();
@@ -295,6 +356,9 @@ void BlockRunner::complete_warp_op(u32 warp) {
     case WarpOp::Kind::None:
       FZ_REQUIRE(false, "completing empty warp op");
   }
+  if (san_ != nullptr)
+    san_->on_collective_complete(warp, arrived, launch_warp_mask(warp),
+                                 op.locs, op.seqs);
   op.mailbox_valid |= arrived;
   // Reset the op immediately: results live in the mailboxes now, so a fast
   // lane may begin the next collective before slow lanes consume theirs.
@@ -309,7 +373,15 @@ void BlockRunner::complete_warp_op(u32 warp) {
   }
 }
 
-u32 BlockRunner::warp_collective(WarpOp::Kind kind, u32 value, u32 src) {
+void BlockRunner::release_warp_op_if_complete(u32 warp) {
+  WarpOp& op = warp_ops_[warp];
+  if (op.arrived == 0) return;
+  const u32 live = live_warp_mask(warp);
+  if ((op.arrived & live) == live) complete_warp_op(warp);
+}
+
+u32 BlockRunner::warp_collective(WarpOp::Kind kind, u32 value, u32 src,
+                                 SrcLoc loc) {
   const u32 warp = current_ / kWarpSize;
   const u32 lane = current_ % kWarpSize;
   WarpOp& op = warp_ops_[warp];
@@ -317,12 +389,17 @@ u32 BlockRunner::warp_collective(WarpOp::Kind kind, u32 value, u32 src) {
              "lane re-entered collective with unconsumed result");
   if (op.arrived == 0) {
     op.kind = kind;
-  } else {
-    FZ_REQUIRE(op.kind == kind,
+  } else if (op.kind != kind) {
+    if (san_ != nullptr) san_->on_collective_kind_mismatch(warp, lane, loc);
+    FZ_REQUIRE(false,
                "divergent warp collective in kernel '" + cfg_.name + "'");
   }
+  Fiber& f = fibers_[current_];
+  f.collective_seq += 1;
   op.values[lane] = value;
   op.srcs[lane] = src;
+  op.locs[lane] = loc;
+  op.seqs[lane] = f.collective_seq;
   op.arrived |= 1u << lane;
 
   const u32 live = live_warp_mask(warp);
@@ -337,16 +414,16 @@ u32 BlockRunner::warp_collective(WarpOp::Kind kind, u32 value, u32 src) {
   return op.mailbox[lane];
 }
 
-u32 BlockRunner::ballot(bool pred) {
-  return warp_collective(WarpOp::Kind::Ballot, pred ? 1 : 0);
+u32 BlockRunner::ballot(bool pred, SrcLoc loc) {
+  return warp_collective(WarpOp::Kind::Ballot, pred ? 1 : 0, 0, loc);
 }
 
-bool BlockRunner::any(bool pred) {
-  return warp_collective(WarpOp::Kind::Any, pred ? 1 : 0) != 0;
+bool BlockRunner::any(bool pred, SrcLoc loc) {
+  return warp_collective(WarpOp::Kind::Any, pred ? 1 : 0, 0, loc) != 0;
 }
 
-u32 BlockRunner::shfl(u32 v, u32 src_lane) {
-  return warp_collective(WarpOp::Kind::Shfl, v, src_lane);
+u32 BlockRunner::shfl(u32 v, u32 src_lane, SrcLoc loc) {
+  return warp_collective(WarpOp::Kind::Shfl, v, src_lane, loc);
 }
 
 void* BlockRunner::shared_raw(const char* key, size_t bytes) {
@@ -356,22 +433,64 @@ void* BlockRunner::shared_raw(const char* key, size_t bytes) {
   return it->second.data();
 }
 
-void BlockRunner::shared_access(size_t word_index) {
+void BlockRunner::record_bank(size_t word_index, SrcLoc loc) {
   const u32 warp = current_ / kWarpSize;
   const u32 lane = current_ % kWarpSize;
   WarpSmemTrace& tr = smem_traces_[warp];
   const u32 slot = tr.seq[lane]++;
-  if (slot >= tr.slots.size()) tr.slots.resize(slot + 1);
+  if (slot >= tr.slots.size()) {
+    tr.slots.resize(slot + 1);
+    if (san_ != nullptr) tr.slot_locs.resize(slot + 1);
+  }
+  if (san_ != nullptr && slot < tr.slot_locs.size() &&
+      tr.slot_locs[slot].file == nullptr)
+    tr.slot_locs[slot] = loc;
   tr.slots[slot][lane] = {true, static_cast<u32>(word_index)};
   cost_.shared_accesses += 1;
+}
+
+bool BlockRunner::shared_record(const char* key, size_t view_bytes,
+                                size_t byte_begin, size_t nbytes, bool write,
+                                SrcLoc loc) {
+  if (byte_begin + nbytes > view_bytes) {
+    if (san_ != nullptr) {
+      // Report and skip the access so the analysis can keep running.
+      san_->on_shared_access(key, view_bytes, byte_begin, nbytes, write,
+                             current_, loc);
+      return false;
+    }
+    FZ_REQUIRE(false, "shared access out of bounds in kernel '" + cfg_.name +
+                          "': " + key + "[+" + std::to_string(byte_begin) +
+                          "] (array holds " + std::to_string(view_bytes) +
+                          " bytes)");
+  }
+  record_bank(byte_begin / 4, loc);
+  if (san_ != nullptr)
+    return san_->on_shared_access(key, view_bytes, byte_begin, nbytes, write,
+                                  current_, loc);
+  return true;
+}
+
+void BlockRunner::global_oob(bool write, size_t index, size_t size,
+                             SrcLoc loc) {
+  if (san_ != nullptr) {
+    san_->on_global_oob(write, index, size, current_, loc);
+    return;
+  }
+  FZ_REQUIRE(false, "global access out of bounds in kernel '" + cfg_.name +
+                        "': index " + std::to_string(index) +
+                        " (array holds " + std::to_string(size) +
+                        " element(s))");
 }
 
 void BlockRunner::flush_smem_traces() {
   // Transactions per slot = max over banks of the number of *distinct*
   // 4-byte words the warp touches in that bank (broadcast of one word is a
   // single transaction).
+  u32 warp_index = 0;
   for (auto& tr : smem_traces_) {
-    for (const auto& slot : tr.slots) {
+    for (size_t s = 0; s < tr.slots.size(); ++s) {
+      const auto& slot = tr.slots[s];
       std::array<std::vector<u32>, kWarpSize> words_per_bank;
       for (const auto& [valid, word] : slot) {
         if (!valid) continue;
@@ -384,22 +503,44 @@ void BlockRunner::flush_smem_traces() {
         tx = std::max<u32>(tx, static_cast<u32>(words.size()));
       }
       cost_.shared_transactions += tx;
+      if (san_ != nullptr)
+        san_->on_bank_slot(warp_index, tx,
+                           s < tr.slot_locs.size() ? tr.slot_locs[s]
+                                                   : SrcLoc{});
     }
     tr.slots.clear();
+    tr.slot_locs.clear();
     tr.seq.fill(0);
+    ++warp_index;
   }
 }
 
 // ---- ThreadCtx forwarding --------------------------------------------------
 
-void ThreadCtx::sync_threads() { runner_.sync_threads(); }
-u32 ThreadCtx::ballot(bool pred) { return runner_.ballot(pred); }
-bool ThreadCtx::any(bool pred) { return runner_.any(pred); }
-u32 ThreadCtx::shfl(u32 v, u32 src_lane) { return runner_.shfl(v, src_lane); }
+void ThreadCtx::sync_threads(std::source_location loc) {
+  runner_.sync_threads(detail::to_srcloc(loc));
+}
+u32 ThreadCtx::ballot(bool pred, std::source_location loc) {
+  return runner_.ballot(pred, detail::to_srcloc(loc));
+}
+bool ThreadCtx::any(bool pred, std::source_location loc) {
+  return runner_.any(pred, detail::to_srcloc(loc));
+}
+u32 ThreadCtx::shfl(u32 v, u32 src_lane, std::source_location loc) {
+  return runner_.shfl(v, src_lane, detail::to_srcloc(loc));
+}
 void* ThreadCtx::shared_raw(const char* key, size_t bytes) {
   return runner_.shared_raw(key, bytes);
 }
 void ThreadCtx::shared_access(size_t word_index) { runner_.shared_access(word_index); }
+bool ThreadCtx::shared_record(const char* key, size_t view_bytes,
+                              size_t byte_begin, size_t nbytes, bool write,
+                              SrcLoc loc) {
+  return runner_.shared_record(key, view_bytes, byte_begin, nbytes, write, loc);
+}
+void ThreadCtx::global_oob(bool write, size_t index, size_t size, SrcLoc loc) {
+  runner_.global_oob(write, index, size, loc);
+}
 void ThreadCtx::count_global_read(size_t bytes) { runner_.count_global_read(bytes); }
 void ThreadCtx::count_global_write(size_t bytes) { runner_.count_global_write(bytes); }
 void ThreadCtx::count_ops(size_t n) { runner_.count_ops(n); }
@@ -409,10 +550,32 @@ CostSheet launch(const LaunchConfig& cfg, const KernelFn& fn) {
   CostSheet cost;
   cost.name = cfg.name;
   cost.kernel_launches = 1;
-  BlockRunner runner(cfg, fn, cost);
+
+  ScopedSanitizer* scoped = scoped_sanitizer();
+  const bool sanitize =
+      cfg.sanitize || cfg.report != nullptr || scoped != nullptr;
+  SanitizerReport local;
+  SanitizerReport* out = cfg.report != nullptr ? cfg.report
+                         : scoped != nullptr   ? &scoped->report()
+                                               : &local;
+  SanitizerOptions opts;
+  // An explicit per-launch config wins; otherwise inherit the scope's.
+  if (cfg.sanitize || cfg.report != nullptr || scoped == nullptr)
+    opts.bank_conflict_limit = cfg.bank_conflict_limit;
+  else
+    opts = scoped->options();
+
+  std::optional<Sanitizer> san;
+  if (sanitize) san.emplace(cfg.name, cfg.block, opts, *out);
+
+  BlockRunner runner(cfg, fn, cost, san ? &*san : nullptr);
   for (u32 bz = 0; bz < cfg.grid.z; ++bz)
     for (u32 by = 0; by < cfg.grid.y; ++by)
       for (u32 bx = 0; bx < cfg.grid.x; ++bx) runner.run_block(Dim3{bx, by, bz});
+
+  // Fail-fast mode: sanitize requested but nowhere to deliver findings.
+  if (sanitize && out == &local && !local.clean())
+    throw Error("fzcheck[" + cfg.name + "]: " + local.to_string());
   return cost;
 }
 

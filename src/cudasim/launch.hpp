@@ -12,26 +12,43 @@
 //     has arrived.
 // The simulator also keeps a CostSheet: global traffic (via the gload/
 // gstore helpers), shared-memory transactions with bank-conflict
-// accounting (via shared_access), per-lane op counts, and divergence
-// events.  This is the apparatus used to validate the paper's kernels
-// (bit-identical to the native reference) and its shared-memory padding
-// claim (§3.3).  Full-size benchmark costs come from analytical sheets
-// instead (see core/costs.hpp).
+// accounting (via shared_access or the instrumented SharedMem views),
+// per-lane op counts, and divergence events.  This is the apparatus used
+// to validate the paper's kernels (bit-identical to the native reference)
+// and its shared-memory padding claim (§3.3).  Full-size benchmark costs
+// come from analytical sheets instead (see core/costs.hpp).
+//
+// Opt-in hazard analysis ("fzcheck"): set LaunchConfig::sanitize (or hold
+// a ScopedSanitizer) and the same accounting hooks feed a
+// cudasim::Sanitizer that reports shared-memory races, out-of-bounds and
+// uninitialized accesses, divergent barriers/collectives, and a
+// bank-conflict lint — see cudasim/sanitizer.hpp and docs/SANITIZER.md.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <source_location>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/buffer.hpp"
 #include "common/types.hpp"
 #include "cudasim/cost_sheet.hpp"
 #include "cudasim/dim3.hpp"
+#include "cudasim/sanitizer.hpp"
 
 namespace fz::cudasim {
 
 class BlockRunner;
+template <typename T>
+class SharedMem;
+
+namespace detail {
+inline SrcLoc to_srcloc(const std::source_location& loc) {
+  return SrcLoc{loc.file_name(), loc.line()};
+}
+}  // namespace detail
 
 /// Per-thread view handed to the kernel body.
 class ThreadCtx {
@@ -49,23 +66,36 @@ class ThreadCtx {
   u32 warp_id() const { return linear_tid() / kWarpSize; }
 
   /// __syncthreads().
-  void sync_threads();
+  void sync_threads(
+      std::source_location loc = std::source_location::current());
 
   /// __ballot_sync(full mask, pred): bit i of the result is lane i's pred.
-  u32 ballot(bool pred);
+  u32 ballot(bool pred,
+             std::source_location loc = std::source_location::current());
   /// __any_sync(full mask, pred).
-  bool any(bool pred);
+  bool any(bool pred,
+           std::source_location loc = std::source_location::current());
   /// __shfl_sync(full mask, v, src_lane).
-  u32 shfl(u32 v, u32 src_lane);
+  u32 shfl(u32 v, u32 src_lane,
+           std::source_location loc = std::source_location::current());
 
   /// Block-shared zero-initialized array, keyed by name; every thread that
-  /// calls this with the same key receives the same storage.
+  /// calls this with the same key receives the same storage.  Accesses
+  /// through the raw pointer are NOT instrumented — pair them with
+  /// shared_access() for bank accounting, or use shared_mem() instead.
   template <typename T>
   T* shared(const char* key, size_t count) {
     return static_cast<T*>(shared_raw(key, count * sizeof(T)));
   }
 
-  /// Counted global-memory access helpers.
+  /// Instrumented block-shared array (same storage as shared() for the
+  /// same key).  ld()/st() feed the bank-conflict accounting and, under
+  /// fzcheck, the race/bounds/uninit analysis.
+  template <typename T>
+  SharedMem<T> shared_mem(const char* key, size_t count);
+
+  /// Counted global-memory access helpers (raw-pointer form; not bounds-
+  /// checkable — prefer the container form below in kernel code).
   template <typename T>
   T gload(const T* p) {
     count_global_read(sizeof(T));
@@ -77,9 +107,40 @@ class ThreadCtx {
     *p = v;
   }
 
+  /// Bounds-checked global load: element i of any contiguous container
+  /// (span, vector, PooledBuffer view).  Out of bounds is a hard error, or
+  /// a GlobalOutOfBounds finding (and a skipped access) under fzcheck.
+  template <typename C>
+    requires requires(const C& c) { c.data(); c.size(); }
+  auto gload(const C& c, size_t i,
+             std::source_location loc = std::source_location::current())
+      -> std::remove_cvref_t<decltype(c.data()[0])> {
+    using T = std::remove_cvref_t<decltype(c.data()[0])>;
+    count_global_read(sizeof(T));
+    if (i >= c.size()) {
+      global_oob(false, i, c.size(), detail::to_srcloc(loc));
+      return T{};
+    }
+    return c.data()[i];
+  }
+  /// Bounds-checked global store, mirror of the checked gload.
+  template <typename C, typename V>
+    requires requires(C& c) { c.data(); c.size(); }
+  void gstore(C& c, size_t i, V v,
+              std::source_location loc = std::source_location::current()) {
+    using T = std::remove_reference_t<decltype(c.data()[0])>;
+    count_global_write(sizeof(T));
+    if (i >= c.size()) {
+      global_oob(true, i, c.size(), detail::to_srcloc(loc));
+      return;
+    }
+    c.data()[i] = static_cast<T>(v);
+  }
+
   /// Record one shared-memory access by this lane to 4-byte word
   /// `word_index`; the runner derives bank conflicts from the per-warp
-  /// access pattern (lockstep slot pairing).
+  /// access pattern (lockstep slot pairing).  Uninstrumented escape hatch
+  /// used with shared(); shared_mem() records automatically.
   void shared_access(size_t word_index);
 
   void count_global_read(size_t bytes);
@@ -89,11 +150,59 @@ class ThreadCtx {
   void count_divergence();
 
  private:
+  template <typename T>
+  friend class SharedMem;
   friend class BlockRunner;
   explicit ThreadCtx(BlockRunner& runner) : runner_(runner) {}
   void* shared_raw(const char* key, size_t bytes);
+  /// Cost accounting + hazard analysis for one shared access.  Returns
+  /// false when the access must be skipped (out of bounds under fzcheck).
+  bool shared_record(const char* key, size_t view_bytes, size_t byte_begin,
+                     size_t nbytes, bool write, SrcLoc loc);
+  void global_oob(bool write, size_t index, size_t size, SrcLoc loc);
   BlockRunner& runner_;
 };
+
+/// Typed view of a block-shared array with instrumented accessors.  ld/st
+/// are the simulated SASS LDS/STS: each call records one shared-memory
+/// transaction slot and, under fzcheck, runs the hazard checks.
+template <typename T>
+class SharedMem {
+ public:
+  T ld(size_t i,
+       std::source_location loc = std::source_location::current()) const {
+    if (!ctx_->shared_record(key_, count_ * sizeof(T), i * sizeof(T),
+                             sizeof(T), false, detail::to_srcloc(loc)))
+      return T{};
+    return p_[i];
+  }
+  void st(size_t i, T v,
+          std::source_location loc = std::source_location::current()) const {
+    if (!ctx_->shared_record(key_, count_ * sizeof(T), i * sizeof(T),
+                             sizeof(T), true, detail::to_srcloc(loc)))
+      return;
+    p_[i] = v;
+  }
+  size_t size() const { return count_; }
+  /// Uninstrumented raw storage (tests; zero-cost bulk checks).
+  T* raw() const { return p_; }
+
+ private:
+  friend class ThreadCtx;
+  SharedMem(ThreadCtx* ctx, const char* key, T* p, size_t count)
+      : ctx_(ctx), key_(key), p_(p), count_(count) {}
+  ThreadCtx* ctx_;
+  const char* key_;
+  T* p_;
+  size_t count_;
+};
+
+template <typename T>
+SharedMem<T> ThreadCtx::shared_mem(const char* key, size_t count) {
+  return SharedMem<T>(this, key,
+                      static_cast<T*>(shared_raw(key, count * sizeof(T))),
+                      count);
+}
 
 using KernelFn = std::function<void(ThreadCtx&)>;
 
@@ -103,6 +212,16 @@ struct LaunchConfig {
   Dim3 block;
   /// Fiber stack size per simulated thread.
   size_t stack_bytes = 64 * 1024;
+
+  /// Run the launch under the fzcheck hazard analyzer.  Findings go to
+  /// `report` when set; with no report (and no ScopedSanitizer on the
+  /// calling thread) any hazard throws an Error summarizing the report.
+  bool sanitize = false;
+  /// Structured sanitizer output (caller-owned; findings are appended).
+  /// Setting this implies sanitize.
+  SanitizerReport* report = nullptr;
+  /// Bank-conflict lint threshold (conflict degree >= limit is reported).
+  u32 bank_conflict_limit = kDefaultBankConflictLimit;
 };
 
 /// Execute the kernel over the whole grid (blocks sequentially, threads of a

@@ -1,0 +1,383 @@
+#include "cudasim/sanitizer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace fz::cudasim {
+
+const char* hazard_name(Hazard kind) {
+  switch (kind) {
+    case Hazard::SharedRace: return "shared-race";
+    case Hazard::SharedOutOfBounds: return "shared-out-of-bounds";
+    case Hazard::GlobalOutOfBounds: return "global-out-of-bounds";
+    case Hazard::UninitRead: return "uninitialized-read";
+    case Hazard::DivergentBarrier: return "divergent-barrier";
+    case Hazard::DivergentCollective: return "divergent-collective";
+    case Hazard::BankConflict: return "bank-conflict";
+  }
+  return "unknown";
+}
+
+std::string SrcLoc::to_string() const {
+  if (file == nullptr) return "<unknown>";
+  // Report the basename: full build paths add noise, not information.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p)
+    if (*p == '/' || *p == '\\') base = p + 1;
+  return std::string(base) + ":" + std::to_string(line);
+}
+
+std::string AccessSite::to_string() const {
+  std::string s = write ? "write " : "read ";
+  s += array + "[+" + std::to_string(index) + "]";
+  if (tid != kNoThread) {
+    s += " by thread (" + std::to_string(thread.x) + "," +
+         std::to_string(thread.y) + "," + std::to_string(thread.z) + ")";
+  }
+  if (loc.file != nullptr) s += " at " + loc.to_string();
+  return s;
+}
+
+std::string Finding::to_string() const {
+  std::string s = "[";
+  s += hazard_name(kind);
+  s += "] kernel '" + kernel + "' block (" + std::to_string(block.x) + "," +
+       std::to_string(block.y) + "," + std::to_string(block.z) + "): ";
+  s += detail.empty() ? first.to_string() : detail;
+  return s;
+}
+
+void SanitizerReport::add(Finding finding) {
+  u64& n = counts_[static_cast<size_t>(finding.kind)];
+  ++n;
+  if (n <= kMaxStoredPerKind) findings_.push_back(std::move(finding));
+}
+
+void SanitizerReport::clear() {
+  findings_.clear();
+  counts_.fill(0);
+}
+
+u64 SanitizerReport::total() const {
+  u64 n = 0;
+  for (const u64 c : counts_) n += c;
+  return n;
+}
+
+std::string SanitizerReport::to_string() const {
+  if (clean()) return "no hazards detected";
+  std::string s = std::to_string(total()) + " hazard(s):";
+  for (size_t k = 0; k < kHazardKinds; ++k) {
+    if (counts_[k] == 0) continue;
+    s += " " + std::string(hazard_name(static_cast<Hazard>(k))) + "=" +
+         std::to_string(counts_[k]);
+  }
+  for (const Finding& f : findings_) s += "\n  " + f.to_string();
+  const u64 stored = findings_.size();
+  if (stored < total())
+    s += "\n  ... (" + std::to_string(total() - stored) + " more suppressed)";
+  return s;
+}
+
+// ---- ScopedSanitizer --------------------------------------------------------
+
+namespace {
+thread_local ScopedSanitizer* g_scoped = nullptr;
+}
+
+ScopedSanitizer::ScopedSanitizer(SanitizerOptions options)
+    : options_(options), prev_(g_scoped) {
+  g_scoped = this;
+}
+
+ScopedSanitizer::~ScopedSanitizer() { g_scoped = prev_; }
+
+ScopedSanitizer* scoped_sanitizer() { return g_scoped; }
+
+// ---- Sanitizer --------------------------------------------------------------
+
+Sanitizer::Sanitizer(std::string kernel, Dim3 block_dim,
+                     SanitizerOptions options, SanitizerReport& out)
+    : kernel_(std::move(kernel)),
+      block_dim_(block_dim),
+      options_(options),
+      out_(out) {}
+
+void Sanitizer::begin_block(Dim3 block_idx, u32 nthreads) {
+  block_idx_ = block_idx;
+  nthreads_ = nthreads;
+  block_epoch_ = 0;
+  warp_epochs_.assign((nthreads + kWarpSize - 1) / kWarpSize, 0);
+  arenas_.clear();
+}
+
+AccessSite Sanitizer::site(u32 tid, bool write, const std::string& array,
+                           size_t index, SrcLoc loc) const {
+  AccessSite a;
+  a.tid = tid;
+  if (tid != kNoThread) {
+    a.thread = Dim3{tid % block_dim_.x, (tid / block_dim_.x) % block_dim_.y,
+                    tid / (block_dim_.x * block_dim_.y)};
+  }
+  a.write = write;
+  a.array = array;
+  a.index = index;
+  a.loc = loc;
+  return a;
+}
+
+Finding Sanitizer::base_finding(Hazard kind) const {
+  Finding f;
+  f.kind = kind;
+  f.kernel = kernel_;
+  f.block = block_idx_;
+  return f;
+}
+
+bool Sanitizer::same_epoch(u32 other_tid, u32 other_bepoch, u32 other_wepoch,
+                           u32 tid) const {
+  if (other_bepoch != block_epoch_) return false;
+  const u32 warp = tid / kWarpSize;
+  const u32 other_warp = other_tid / kWarpSize;
+  // Same warp: a completed warp collective (epoch bump) orders the pair.
+  if (warp == other_warp) return other_wepoch == warp_epochs_[warp];
+  return true;
+}
+
+bool Sanitizer::on_shared_access(const char* key, size_t view_bytes,
+                                 size_t byte_begin, size_t nbytes, bool write,
+                                 u32 tid, SrcLoc loc) {
+  const std::string array(key);
+  if (byte_begin + nbytes > view_bytes) {
+    Finding f = base_finding(Hazard::SharedOutOfBounds);
+    f.first = site(tid, write, array, byte_begin, loc);
+    f.detail = f.first.to_string() + " out of bounds (array holds " +
+               std::to_string(view_bytes) + " bytes)";
+    out_.add(std::move(f));
+    return false;
+  }
+
+  Arena& arena = arenas_[array];
+  if (arena.shadow.size() < byte_begin + nbytes)
+    arena.shadow.resize(std::max(view_bytes, byte_begin + nbytes));
+
+  const u32 wepoch = warp_epochs_[tid / kWarpSize];
+  bool race_reported = false;
+  bool uninit_reported = false;
+  for (size_t i = 0; i < nbytes; ++i) {
+    ByteShadow& b = arena.shadow[byte_begin + i];
+    const size_t byte = byte_begin + i;
+    if (write) {
+      if (!race_reported && b.w_tid != kNoThread && b.w_tid != tid &&
+          same_epoch(b.w_tid, b.w_bepoch, b.w_wepoch, tid)) {
+        Finding f = base_finding(Hazard::SharedRace);
+        f.first = site(tid, true, array, byte, loc);
+        f.second = site(b.w_tid, true, array, byte, b.w_loc);
+        f.detail = f.first.to_string() + " races with prior " +
+                   f.second.to_string() + " (no barrier between them)";
+        out_.add(std::move(f));
+        race_reported = true;
+      }
+      // Read/write race: check both recorded same-epoch readers.
+      const auto check_reader = [&](u32 r_tid, SrcLoc r_loc) {
+        if (race_reported || r_tid == kNoThread || r_tid == tid) return;
+        if (!same_epoch(r_tid, b.r_bepoch, b.r_wepoch, tid)) return;
+        Finding f = base_finding(Hazard::SharedRace);
+        f.first = site(tid, true, array, byte, loc);
+        f.second = site(r_tid, false, array, byte, r_loc);
+        f.detail = f.first.to_string() + " races with prior " +
+                   f.second.to_string() + " (no barrier between them)";
+        out_.add(std::move(f));
+        race_reported = true;
+      };
+      check_reader(b.r_tid, b.r_loc);
+      check_reader(b.r2_tid, b.r2_loc);
+      b.w_tid = tid;
+      b.w_bepoch = block_epoch_;
+      b.w_wepoch = wepoch;
+      b.w_loc = loc;
+      b.written = true;
+    } else {
+      if (!uninit_reported && !b.written) {
+        Finding f = base_finding(Hazard::UninitRead);
+        f.first = site(tid, false, array, byte, loc);
+        f.detail = f.first.to_string() +
+                   " reads memory no thread has written (shared memory is "
+                   "uninitialized on real hardware)";
+        out_.add(std::move(f));
+        uninit_reported = true;
+      }
+      if (!race_reported && b.w_tid != kNoThread && b.w_tid != tid &&
+          same_epoch(b.w_tid, b.w_bepoch, b.w_wepoch, tid)) {
+        Finding f = base_finding(Hazard::SharedRace);
+        f.first = site(tid, false, array, byte, loc);
+        f.second = site(b.w_tid, true, array, byte, b.w_loc);
+        f.detail = f.first.to_string() + " races with prior " +
+                   f.second.to_string() + " (no barrier between them)";
+        out_.add(std::move(f));
+        race_reported = true;
+      }
+      // Track up to two distinct readers of the current epoch so a later
+      // writer can be paired even when it is itself one of the readers.
+      const bool stale = b.r_tid == kNoThread ||
+                         !same_epoch(b.r_tid, b.r_bepoch, b.r_wepoch, tid);
+      if (stale) {
+        b.r_tid = tid;
+        b.r_bepoch = block_epoch_;
+        b.r_wepoch = wepoch;
+        b.r_loc = loc;
+        b.r2_tid = kNoThread;
+      } else if (b.r_tid != tid && b.r2_tid == kNoThread) {
+        b.r2_tid = tid;
+        b.r2_loc = loc;
+      }
+    }
+  }
+  return true;
+}
+
+void Sanitizer::on_global_oob(bool write, size_t index, size_t size, u32 tid,
+                              SrcLoc loc) {
+  Finding f = base_finding(Hazard::GlobalOutOfBounds);
+  f.first = site(tid, write, "global", index, loc);
+  f.detail = f.first.to_string() + " out of bounds (array holds " +
+             std::to_string(size) + " element(s))";
+  out_.add(std::move(f));
+}
+
+void Sanitizer::on_barrier_release(
+    const std::vector<BarrierArrival>& arrivals) {
+  if (!arrivals.empty()) {
+    const BarrierArrival& ref = arrivals.front();
+    for (const BarrierArrival& a : arrivals) {
+      const bool same_site = a.loc.file == ref.loc.file &&
+                             a.loc.line == ref.loc.line;
+      if (same_site && a.seq == ref.seq) continue;
+      Finding f = base_finding(Hazard::DivergentBarrier);
+      f.first = site(ref.tid, false, "__syncthreads", ref.seq, ref.loc);
+      f.second = site(a.tid, false, "__syncthreads", a.seq, a.loc);
+      f.detail = "__syncthreads under divergent control flow: thread " +
+                 std::to_string(ref.tid) + " at " + ref.loc.to_string() +
+                 " (barrier #" + std::to_string(ref.seq) +
+                 ") paired with thread " + std::to_string(a.tid) + " at " +
+                 a.loc.to_string() + " (barrier #" + std::to_string(a.seq) +
+                 ")";
+      out_.add(std::move(f));
+      break;  // one finding per release is enough
+    }
+  }
+  ++block_epoch_;
+}
+
+namespace {
+std::string mask_hex(u32 mask) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", mask);
+  return buf;
+}
+}  // namespace
+
+void Sanitizer::on_collective_complete(
+    u32 warp, u32 arrived, u32 expected,
+    const std::array<SrcLoc, kWarpSize>& locs,
+    const std::array<u32, kWarpSize>& seqs) {
+  u32 ref_lane = kWarpSize;
+  for (u32 l = 0; l < kWarpSize; ++l) {
+    if (arrived >> l & 1u) {
+      ref_lane = l;
+      break;
+    }
+  }
+  if (arrived != expected) {
+    Finding f = base_finding(Hazard::DivergentCollective);
+    if (ref_lane < kWarpSize)
+      f.first = site(warp * kWarpSize + ref_lane, false, "warp-collective",
+                     seqs[ref_lane], locs[ref_lane]);
+    f.detail = "warp " + std::to_string(warp) +
+               " collective completed with arrival mask " + mask_hex(arrived) +
+               ", expected " + mask_hex(expected) +
+               " (lane(s) exited or diverged before a full-mask collective)";
+    out_.add(std::move(f));
+  } else if (ref_lane < kWarpSize) {
+    for (u32 l = ref_lane + 1; l < kWarpSize; ++l) {
+      if (!(arrived >> l & 1u)) continue;
+      const bool same_site = locs[l].file == locs[ref_lane].file &&
+                             locs[l].line == locs[ref_lane].line;
+      if (same_site && seqs[l] == seqs[ref_lane]) continue;
+      Finding f = base_finding(Hazard::DivergentCollective);
+      f.first = site(warp * kWarpSize + ref_lane, false, "warp-collective",
+                     seqs[ref_lane], locs[ref_lane]);
+      f.second = site(warp * kWarpSize + l, false, "warp-collective", seqs[l],
+                      locs[l]);
+      f.detail = "warp " + std::to_string(warp) +
+                 " collective paired divergent lanes: lane " +
+                 std::to_string(ref_lane) + " at " +
+                 locs[ref_lane].to_string() + " (call #" +
+                 std::to_string(seqs[ref_lane]) + ") with lane " +
+                 std::to_string(l) + " at " + locs[l].to_string() +
+                 " (call #" + std::to_string(seqs[l]) + ")";
+      out_.add(std::move(f));
+      break;
+    }
+  }
+  if (warp < warp_epochs_.size()) ++warp_epochs_[warp];
+}
+
+void Sanitizer::on_collective_kind_mismatch(u32 warp, u32 lane, SrcLoc loc) {
+  Finding f = base_finding(Hazard::DivergentCollective);
+  f.first = site(warp * kWarpSize + lane, false, "warp-collective", 0, loc);
+  f.detail = "warp " + std::to_string(warp) + " lane " + std::to_string(lane) +
+             " at " + loc.to_string() +
+             " entered a different collective kind than its warp siblings";
+  out_.add(std::move(f));
+}
+
+void Sanitizer::on_deadlock(const std::vector<ParkedThread>& parked) {
+  u32 at_barrier = 0;
+  u32 at_collective = 0;
+  const ParkedThread* barrier_rep = nullptr;
+  const ParkedThread* collective_rep = nullptr;
+  for (const ParkedThread& p : parked) {
+    if (p.at_barrier) {
+      ++at_barrier;
+      if (barrier_rep == nullptr) barrier_rep = &p;
+    } else {
+      ++at_collective;
+      if (collective_rep == nullptr) collective_rep = &p;
+    }
+  }
+  Finding f = base_finding(at_collective > 0 ? Hazard::DivergentCollective
+                                             : Hazard::DivergentBarrier);
+  f.detail = "block deadlocked: " + std::to_string(at_barrier) +
+             " thread(s) parked at __syncthreads";
+  if (barrier_rep != nullptr)
+    f.detail += " (" + barrier_rep->loc.to_string() + ")";
+  f.detail += ", " + std::to_string(at_collective) +
+              " lane(s) parked in a warp collective";
+  if (collective_rep != nullptr)
+    f.detail += " (" + collective_rep->loc.to_string() + ")";
+  if (barrier_rep != nullptr)
+    f.first = site(barrier_rep->tid, false, "__syncthreads", 0,
+                   barrier_rep->loc);
+  if (collective_rep != nullptr)
+    f.second = site(collective_rep->tid, false, "warp-collective", 0,
+                    collective_rep->loc);
+  out_.add(std::move(f));
+}
+
+void Sanitizer::on_bank_slot(u32 warp, u32 degree, SrcLoc loc) {
+  if (degree < options_.bank_conflict_limit) return;
+  Finding f = base_finding(Hazard::BankConflict);
+  f.first = site(kNoThread, false, "shared", 0, loc);
+  f.detail = "warp " + std::to_string(warp) +
+             " shared-memory access slot has conflict degree " +
+             std::to_string(degree) + " (limit " +
+             std::to_string(options_.bank_conflict_limit) + ")";
+  if (loc.file != nullptr) f.detail += " at " + loc.to_string();
+  out_.add(std::move(f));
+}
+
+}  // namespace fz::cudasim

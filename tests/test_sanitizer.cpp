@@ -1,0 +1,421 @@
+// fzcheck negative-path suite: every hazard class detected in a minimal
+// broken kernel, every shipping kernel hazard-free under analysis, and the
+// disabled mode bit-identical in cost.  See docs/SANITIZER.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/bitshuffle.hpp"
+#include "core/kernels_sim.hpp"
+#include "cudasim/launch.hpp"
+#include "substrate/huffman.hpp"
+
+namespace fz {
+namespace {
+
+using cudasim::Dim3;
+using cudasim::Hazard;
+using cudasim::LaunchConfig;
+using cudasim::SanitizerReport;
+using cudasim::ScopedSanitizer;
+using cudasim::ThreadCtx;
+
+LaunchConfig one_warp(SanitizerReport* report) {
+  LaunchConfig cfg;
+  cfg.name = "toy";
+  cfg.grid = Dim3{1};
+  cfg.block = Dim3{32};
+  cfg.report = report;
+  return cfg;
+}
+
+std::vector<u32> random_words(size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u32> v(n);
+  for (auto& w : v) w = rng.next_u32();
+  return v;
+}
+
+// ---- Hazard class 1: shared-memory races ----------------------------------
+
+TEST(Fzcheck, WriteWriteRaceSameWord) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 8);
+    s.st(0, t.lane());  // every lane writes word 0, no ordering
+  });
+  EXPECT_GT(report.count(Hazard::SharedRace), 0u);
+  const auto& f = report.findings().front();
+  EXPECT_EQ(f.kind, Hazard::SharedRace);
+  EXPECT_EQ(f.kernel, "toy");
+  EXPECT_TRUE(f.first.write);
+  EXPECT_NE(f.first.tid, f.second.tid);
+  EXPECT_NE(f.detail.find("races with"), std::string::npos);
+}
+
+TEST(Fzcheck, ReadWriteRaceWithoutBarrier) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 32);
+    s.st(t.lane(), t.lane());
+    // Missing __syncthreads: lane L reads its neighbour's slot while that
+    // neighbour's write is unordered relative to this read.
+    (void)s.ld((t.lane() + 1) % 32);
+  });
+  EXPECT_GT(report.count(Hazard::SharedRace), 0u);
+}
+
+TEST(Fzcheck, BarrierOrdersCrossThreadSharing) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 32);
+    s.st(t.lane(), t.lane());
+    t.sync_threads();
+    (void)s.ld((t.lane() + 1) % 32);
+  });
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Fzcheck, WarpCollectiveOrdersSameWarpSharing) {
+  // ballot/any/shfl synchronize the warp like __syncwarp: a cross-lane
+  // read AFTER a completed collective is ordered, with no __syncthreads.
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 32);
+    s.st(t.lane(), t.lane() * 3);
+    (void)t.ballot(true);
+    (void)s.ld((t.lane() + 1) % 32);
+  });
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Fzcheck, ByteGranularity_AdjacentByteFlagsDoNotRace) {
+  // Four u8 flags share one 32-bit word; distinct-byte writers are not a
+  // race (the fused kernel's ByteFlagArr depends on this).
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto flags = t.shared_mem<u8>("flags", 32);
+    flags.st(t.lane(), 1);
+  });
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+// ---- Hazard class 2: out-of-bounds ----------------------------------------
+
+TEST(Fzcheck, SharedOutOfBoundsIsReportedAndSkipped) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 4);
+    if (t.lane() == 0) s.st(4, 7);  // one past the end
+    if (t.lane() == 1) (void)s.ld(100);
+  });
+  EXPECT_EQ(report.count(Hazard::SharedOutOfBounds), 2u);
+  EXPECT_NE(report.to_string().find("out of bounds"), std::string::npos);
+}
+
+TEST(Fzcheck, GlobalOutOfBoundsThroughCheckedAccessors) {
+  std::vector<u32> data(16, 1);
+  std::vector<u32> out(16, 0);
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [&](ThreadCtx& t) {
+    if (t.lane() == 0) (void)t.gload(data, data.size());  // one past the end
+    if (t.lane() == 1) t.gstore(out, 999, 5u);
+  });
+  EXPECT_EQ(report.count(Hazard::GlobalOutOfBounds), 2u);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 0u), 16);  // store skipped
+}
+
+// ---- Hazard class 3: uninitialized shared reads ---------------------------
+
+TEST(Fzcheck, UninitializedSharedReadIsReported) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 8);
+    if (t.lane() == 0) (void)s.ld(3);  // nobody ever wrote s[3]
+  });
+  EXPECT_EQ(report.count(Hazard::UninitRead), 1u);
+  EXPECT_EQ(report.count(Hazard::SharedRace), 0u);
+}
+
+TEST(Fzcheck, WrittenThenReadIsNotUninitialized) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 8);
+    if (t.lane() == 0) s.st(3, 1);
+    t.sync_threads();
+    (void)s.ld(3);
+  });
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+// ---- Hazard class 4: divergent barriers / collectives ---------------------
+
+TEST(Fzcheck, DivergentBarrierCallSitesAreReported) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    if (t.lane() < 16) t.sync_threads();  // half the block at one site...
+    t.sync_threads();                     // ...pairs with the other half here
+  });
+  EXPECT_EQ(report.count(Hazard::DivergentBarrier), 1u);
+  EXPECT_NE(report.to_string().find("divergent control flow"),
+            std::string::npos);
+}
+
+TEST(Fzcheck, UniformBarriersAreClean) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    t.sync_threads();
+    t.sync_threads();
+  });
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Fzcheck, PartialMaskCollectiveIsReported) {
+  SanitizerReport report;
+  u32 mask = 0;
+  cudasim::launch(one_warp(&report), [&](ThreadCtx& t) {
+    if (t.lane() >= 16) return;  // half the warp exits before the ballot
+    const u32 b = t.ballot(true);
+    if (t.lane() == 0) mask = b;
+  });
+  EXPECT_EQ(mask, 0x0000ffffu);  // live-lane semantics still complete it
+  EXPECT_GE(report.count(Hazard::DivergentCollective), 1u);
+  EXPECT_NE(report.to_string().find("0x0000ffff"), std::string::npos);
+}
+
+TEST(Fzcheck, CollectiveCallSiteMismatchIsReported) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    u32 b = 0;
+    if (t.lane() < 16) {
+      b = t.ballot(true);
+    } else {
+      b = t.ballot(true);  // same kind, different call site
+    }
+    (void)b;
+  });
+  EXPECT_GE(report.count(Hazard::DivergentCollective), 1u);
+  EXPECT_NE(report.to_string().find("divergent lanes"), std::string::npos);
+}
+
+TEST(Fzcheck, CollectiveKindMismatchThrowsAndReports) {
+  SanitizerReport report;
+  EXPECT_THROW(cudasim::launch(one_warp(&report),
+                               [](ThreadCtx& t) {
+                                 if (t.lane() == 0) {
+                                   (void)t.ballot(true);
+                                 } else {
+                                   (void)t.any(true);
+                                 }
+                               }),
+               Error);
+  EXPECT_GE(report.count(Hazard::DivergentCollective), 1u);
+}
+
+// ---- Hazard class 5: bank-conflict lint -----------------------------------
+
+TEST(Fzcheck, ColumnStrideTriggersBankConflictLint) {
+  SanitizerReport report;
+  LaunchConfig cfg = one_warp(&report);
+  cudasim::launch(cfg, [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("tile", 32 * 32);
+    s.st(t.lane() * 32, t.lane());  // whole warp in bank 0: degree 32
+  });
+  EXPECT_EQ(report.count(Hazard::BankConflict), 1u);
+  EXPECT_NE(report.to_string().find("conflict degree 32"), std::string::npos);
+}
+
+TEST(Fzcheck, PaddedStridePassesBankConflictLint) {
+  SanitizerReport report;
+  cudasim::launch(one_warp(&report), [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("tile", 32 * 33);
+    s.st(t.lane() * 33, t.lane());  // staggered across all 32 banks
+  });
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Fzcheck, BankConflictLimitIsConfigurable) {
+  SanitizerReport report;
+  LaunchConfig cfg = one_warp(&report);
+  cfg.bank_conflict_limit = 2;
+  cudasim::launch(cfg, [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 64);
+    s.st((t.lane() % 2) * 32 + t.lane() / 2, 0);  // degree exactly 2
+  });
+  EXPECT_EQ(report.count(Hazard::BankConflict), 1u);
+}
+
+// ---- Reporting / modes ----------------------------------------------------
+
+TEST(Fzcheck, ThrowsWhenNoReportSinkIsGiven) {
+  LaunchConfig cfg;
+  cfg.name = "racy";
+  cfg.grid = Dim3{1};
+  cfg.block = Dim3{32};
+  cfg.sanitize = true;  // no report, no ScopedSanitizer: hazards throw
+  try {
+    cudasim::launch(cfg, [](ThreadCtx& t) {
+      auto s = t.shared_mem<u32>("s", 8);
+      s.st(0, t.lane());
+    });
+    FAIL() << "expected fzcheck to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fzcheck[racy]"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("shared-race"), std::string::npos);
+  }
+}
+
+TEST(Fzcheck, ScopedSanitizerCollectsAcrossLaunches) {
+  ScopedSanitizer fzcheck;
+  LaunchConfig cfg;
+  cfg.grid = Dim3{1};
+  cfg.block = Dim3{32};
+  for (int rep = 0; rep < 2; ++rep) {
+    cudasim::launch(cfg, [](ThreadCtx& t) {
+      auto s = t.shared_mem<u32>("s", 8);
+      if (t.lane() == 0) (void)s.ld(0);  // one uninit read per launch
+    });
+  }
+  EXPECT_EQ(fzcheck.report().count(Hazard::UninitRead), 2u);
+}
+
+TEST(Fzcheck, ReportCapsStoredFindingsButCountsAll) {
+  SanitizerReport report;
+  LaunchConfig cfg = one_warp(&report);
+  cfg.block = Dim3{256};
+  cudasim::launch(cfg, [](ThreadCtx& t) {
+    auto s = t.shared_mem<u32>("s", 8);
+    s.st(0, t.linear_tid());
+  });
+  EXPECT_GT(report.count(Hazard::SharedRace),
+            SanitizerReport::kMaxStoredPerKind);
+  EXPECT_LE(report.findings().size(), SanitizerReport::kMaxStoredPerKind);
+  EXPECT_NE(report.to_string().find("more suppressed"), std::string::npos);
+}
+
+TEST(Fzcheck, DisabledModeCostsAreBitIdentical) {
+  const auto in = random_words(kTileWords, 7);
+  std::vector<u32> out(in.size());
+  std::vector<u8> bf, ff;
+  const auto plain = sim_bitshuffle_mark_fused(in, out, bf, ff);
+  cudasim::CostSheet checked;
+  {
+    ScopedSanitizer fzcheck;
+    checked = sim_bitshuffle_mark_fused(in, out, bf, ff);
+    EXPECT_TRUE(fzcheck.report().clean()) << fzcheck.report().to_string();
+  }
+  EXPECT_EQ(plain.global_bytes_read, checked.global_bytes_read);
+  EXPECT_EQ(plain.global_bytes_written, checked.global_bytes_written);
+  EXPECT_EQ(plain.shared_accesses, checked.shared_accesses);
+  EXPECT_EQ(plain.shared_transactions, checked.shared_transactions);
+  EXPECT_EQ(plain.thread_ops, checked.thread_ops);
+}
+
+// ---- The paper kernels under fzcheck --------------------------------------
+
+TEST(Fzcheck, AllShippingKernelsAreHazardFree) {
+  ScopedSanitizer fzcheck;
+
+  // pred-quant
+  Rng rng(11);
+  const Dims dims{32, 16, 4};
+  std::vector<f32> field(dims.count());
+  for (size_t i = 0; i < field.size(); ++i)
+    field[i] = std::sin(0.05f * static_cast<f32>(i)) +
+               0.01f * static_cast<f32>(rng.normal(0.0, 1.0));
+  std::vector<u16> codes(field.size());
+  sim_pred_quant_v2(field, dims, 1e-3, codes);
+
+  // fused bitshuffle + mark, compaction, scatter, inverse shuffle
+  const auto in = random_words(2 * kTileWords, 12);
+  std::vector<u32> shuffled(in.size()), back(in.size());
+  std::vector<u8> byte_flags, bit_flags;
+  sim_bitshuffle_mark_fused(in, shuffled, byte_flags, bit_flags);
+  std::vector<u32> blocks;
+  sim_compact_blocks(shuffled, byte_flags, blocks);
+  std::vector<u32> scattered(in.size());
+  sim_scatter_blocks(bit_flags, blocks, scattered);
+  sim_bitunshuffle(scattered, back);
+  EXPECT_EQ(back, in);
+
+  // coarse-grained Huffman encode + chunk-parallel decode
+  std::vector<u16> syms(6000);
+  for (auto& v : syms) v = static_cast<u16>(rng.below(200));
+  std::vector<u64> hist(1024, 0);
+  for (const u16 v : syms) ++hist[v];
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+  std::vector<u8> stream;
+  sim_huffman_encode(syms, book, 1000, stream);
+  std::vector<u16> decoded;
+  sim_huffman_decode(stream, book, decoded);
+  EXPECT_EQ(decoded, syms);
+
+  // cuSZx block stats
+  std::vector<f32> mins(div_ceil(field.size(), size_t{128}));
+  std::vector<f32> maxs(mins.size());
+  sim_szx_block_stats(field, mins, maxs);
+
+  EXPECT_TRUE(fzcheck.report().clean()) << fzcheck.report().to_string();
+}
+
+TEST(Fzcheck, UnpaddedTileVariantFailsBankConflictLint) {
+  ScopedSanitizer fzcheck;
+  const auto in = random_words(kTileWords, 13);
+  std::vector<u32> out(in.size());
+  std::vector<u8> bf, ff;
+  sim_bitshuffle_mark_fused(in, out, bf, ff, /*padded_shared=*/false);
+  EXPECT_GT(fzcheck.report().count(Hazard::BankConflict), 0u);
+  EXPECT_EQ(fzcheck.report().count(Hazard::SharedRace), 0u);
+}
+
+TEST(Fzcheck, MissingBarrierVariantRaces) {
+  ScopedSanitizer fzcheck;
+  const auto in = random_words(kTileWords, 14);
+  std::vector<u32> out(in.size());
+  std::vector<u8> bf, ff;
+  sim_bitshuffle_mark_fused(in, out, bf, ff, /*padded_shared=*/true,
+                            BitshuffleFault::MissingBarrier);
+  EXPECT_GT(fzcheck.report().count(Hazard::SharedRace), 0u);
+  EXPECT_EQ(fzcheck.report().count(Hazard::BankConflict), 0u);
+}
+
+TEST(Fzcheck, DivergentBallotVariantDeadlocksWithDiagnostic) {
+  ScopedSanitizer fzcheck;
+  const auto in = random_words(kTileWords, 15);
+  std::vector<u32> out(in.size());
+  std::vector<u8> bf, ff;
+  EXPECT_THROW(
+      sim_bitshuffle_mark_fused(in, out, bf, ff, /*padded_shared=*/true,
+                                BitshuffleFault::DivergentBallot),
+      Error);
+  EXPECT_GE(fzcheck.report().count(Hazard::DivergentCollective), 1u);
+  EXPECT_NE(fzcheck.report().to_string().find("deadlocked"),
+            std::string::npos);
+}
+
+// ---- Simulator regression uncovered by fzcheck ----------------------------
+
+TEST(Fzcheck, BallotCompletesWhenSiblingsExitAfterArrival) {
+  // Lanes 0-15 arrive at the ballot FIRST (round-robin order), lanes 16-31
+  // exit afterwards.  Completion must be re-checked when a lane dies, or
+  // the op waits forever on lanes that will never come — a scheduling-
+  // order-dependent spurious deadlock the sanitizer work uncovered.
+  LaunchConfig cfg;
+  cfg.grid = Dim3{1};
+  cfg.block = Dim3{32};
+  u32 bal = 0xdeadbeef;
+  cudasim::launch(cfg, [&](ThreadCtx& t) {
+    if (t.lane() >= 16) return;
+    const u32 b = t.ballot(true);
+    if (t.lane() == 0) bal = b;
+  });
+  EXPECT_EQ(bal, 0x0000ffffu);
+}
+
+}  // namespace
+}  // namespace fz

@@ -1,0 +1,143 @@
+// Host-side concurrency tests, written to run meaningfully under
+// ThreadSanitizer (the `tsan` CMake preset; scripts/check.sh runs them
+// there).  They hammer the thread-safe surfaces PR 1 introduced — the
+// BufferPool free list and the parallel chunked codec — from raw
+// std::thread workers so TSan sees every interleaving candidate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/pool.hpp"
+#include "common/rng.hpp"
+#include "core/chunked.hpp"
+#include "core/codec.hpp"
+
+namespace fz {
+namespace {
+
+std::vector<f32> smooth_field(size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<f32> v(n);
+  for (size_t i = 0; i < n; ++i)
+    v[i] = std::sin(0.02f * static_cast<f32>(i)) +
+           0.02f * static_cast<f32>(rng.normal(0.0, 1.0));
+  return v;
+}
+
+TEST(Threading, PoolSurvivesConcurrentAcquireReleaseTrim) {
+  BufferPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kIters; ++i) {
+        PooledBuffer a = pool.acquire(1024 + 512 * static_cast<size_t>(w));
+        PooledBuffer b = pool.acquire(64, /*zeroed=*/false);
+        a.data()[0] = static_cast<u8>(i);  // touch the lease
+        b.release();
+        if (i % 32 == 0) pool.trim();
+        if (i % 16 == 0) (void)pool.stats();
+      }
+    });
+  }
+  go.store(true);
+  for (auto& t : workers) t.join();
+  const BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.leased_buffers, 0u);
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<size_t>(kThreads) * kIters * 2);
+}
+
+TEST(Threading, PerThreadCodecsProduceIdenticalStreams) {
+  // One Codec per thread is the supported concurrency model (the chunked
+  // runner does exactly this); all workers must agree byte-for-byte.
+  const Dims dims{64, 32, 2};
+  const auto field = smooth_field(dims.count(), 21);
+  std::vector<u8> reference;
+  {
+    Codec codec;
+    reference = codec.compress(field, dims).bytes;
+  }
+  constexpr int kThreads = 8;
+  std::vector<std::vector<u8>> streams(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Codec codec;
+      for (int rep = 0; rep < 3; ++rep)
+        streams[static_cast<size_t>(w)] = codec.compress(field, dims).bytes;
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& s : streams) EXPECT_EQ(s, reference);
+}
+
+TEST(Threading, ParallelChunkedRoundTripMatchesSerial) {
+  const Dims dims{32, 16, 16};
+  const auto field = smooth_field(dims.count(), 22);
+
+  ChunkedParams serial;
+  serial.num_chunks = 8;
+  serial.max_parallelism = 1;
+  ChunkedParams parallel = serial;
+  parallel.max_parallelism = 0;  // one worker per hardware thread
+
+  const ChunkedCompressed a = fz_compress_chunked(field, dims, serial);
+  const ChunkedCompressed b = fz_compress_chunked(field, dims, parallel);
+  EXPECT_EQ(a.bytes, b.bytes);  // container independent of worker count
+
+  const FzDecompressed out = fz_decompress_chunked(b.bytes, 0);
+  ASSERT_EQ(out.data.size(), field.size());
+  const double abs_eb = a.stats.abs_eb;
+  for (size_t i = 0; i < field.size(); ++i)
+    ASSERT_NEAR(out.data[i], field[i], abs_eb * 1.0001) << "at " << i;
+}
+
+TEST(Threading, ConcurrentDecompressOfSharedStream) {
+  // Many threads decompressing the SAME immutable container concurrently:
+  // read-only sharing of the stream plus independent output slabs.
+  const Dims dims{64, 16, 4};
+  const auto field = smooth_field(dims.count(), 23);
+  ChunkedParams params;
+  params.num_chunks = 4;
+  const ChunkedCompressed comp = fz_compress_chunked(field, dims, params);
+
+  constexpr int kThreads = 6;
+  std::vector<std::vector<f32>> outputs(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Codec codec;
+      std::vector<f32> out(dims.count());
+      // Alternate the whole-container and the into-slab paths.
+      if (w % 2 == 0) {
+        outputs[static_cast<size_t>(w)] =
+            fz_decompress_chunked(comp.bytes, 2).data;
+      } else {
+        for (size_t c = 0; c < fz_chunk_count(comp.bytes); ++c) {
+          size_t offset = 0;
+          const FzDecompressed chunk =
+              fz_decompress_chunk(comp.bytes, c, &offset);
+          std::copy(chunk.data.begin(), chunk.data.end(),
+                    out.begin() + static_cast<ptrdiff_t>(offset));
+        }
+        outputs[static_cast<size_t>(w)] = std::move(out);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (int w = 1; w < kThreads; ++w)
+    EXPECT_EQ(outputs[static_cast<size_t>(w)], outputs[0]);
+}
+
+}  // namespace
+}  // namespace fz
