@@ -1,0 +1,256 @@
+// PR3 performance regression bench: wall-clock GB/s of each vectorized
+// pipeline stage at every SIMD dispatch level, plus end-to-end compression
+// throughput for the four {unfused,fused} x {scalar,best-SIMD} configs on
+// the tier-1 benchmark suite.  Emits a machine-readable JSON report
+// (default BENCH_pr3.json) consumed by scripts/bench_smoke.sh; the human
+// table goes to stdout.  Byte-identity of every config's stream against
+// the scalar-unfused reference is asserted while measuring.
+//
+// Usage: regress [--scale S] [--iters N] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/simd.hpp"
+#include "core/bitshuffle.hpp"
+#include "core/format.hpp"
+#include "core/kernels_simd.hpp"
+#include "core/lorenzo.hpp"
+#include "core/pipeline.hpp"
+#include "core/quantizer.hpp"
+#include "datasets/generators.hpp"
+#include "harness/tables.hpp"
+
+namespace {
+
+using namespace fz;
+
+double min_seconds(int iters, const std::function<void()>& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+double gbps(size_t bytes, double secs) {
+  return static_cast<double>(bytes) / secs / 1e9;
+}
+
+std::vector<SimdLevel> levels_under_test() {
+  std::vector<SimdLevel> levels{SimdLevel::Scalar};
+  if (simd_supported() >= SimdLevel::SSE2) levels.push_back(SimdLevel::SSE2);
+  if (simd_supported() >= SimdLevel::AVX2) levels.push_back(SimdLevel::AVX2);
+  return levels;
+}
+
+struct JsonWriter {
+  std::string buf = "{\n";
+  bool first_section = true;
+
+  void section(const std::string& key) {
+    if (!first_section) buf += ",\n";
+    first_section = false;
+    buf += "  \"" + key + "\": ";
+  }
+  static std::string num(double v) {
+    char tmp[64];
+    std::snprintf(tmp, sizeof(tmp), "%.6g", v);
+    return tmp;
+  }
+  std::string finish() { return buf + "\n}\n"; }
+};
+
+struct StageRow {
+  std::string stage, level;
+  double value_gbps;
+};
+
+struct CompressRow {
+  std::string dataset, config;
+  double value_gbps;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.12;
+  int iters = 3;
+  std::string out_path = "BENCH_pr3.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale" && i + 1 < argc) scale = std::stod(argv[++i]);
+    else if (arg == "--iters" && i + 1 < argc) iters = std::stoi(argv[++i]);
+    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else {
+      std::cerr << "usage: regress [--scale S] [--iters N] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const auto levels = levels_under_test();
+  const SimdLevel best = resolve_simd(SimdDispatch::Auto);
+  std::cout << "PR3 regression bench: scale=" << scale << " iters=" << iters
+            << " best SIMD level: " << simd_level_name(best) << "\n\n";
+
+  // ---- per-stage throughput at every dispatch level ------------------------
+  const Field stage_field = generate_field(
+      Dataset::Hurricane, scaled_dims(Dataset::Hurricane, std::max(scale, 0.1)), 42);
+  const size_t n = stage_field.count();
+  const double abs_eb = 1e-3 * stage_field.value_range();
+  const size_t padded = round_up(n, kCodesPerTile);
+  const size_t words = padded / 2;
+
+  std::vector<i64> pq(padded, 0);
+  std::vector<u16> codes(padded, 0);
+  std::vector<u32> shuffled(words), unshuffled(words);
+  std::vector<u8> byte_flags(words / kBlockWords),
+      bit_flags(words / kBlockWords / 8);
+  std::vector<i64> row_scratch(fused_row_scratch_elems(stage_field.dims));
+  std::vector<i64> plane_scratch(fused_plane_scratch_elems(stage_field.dims));
+
+  std::vector<StageRow> stage_rows;
+  bench::Table stage_table({"stage", "level", "GB/s"});
+  for (const SimdLevel level : levels) {
+    const auto add = [&](const std::string& stage, size_t bytes,
+                         const std::function<void()>& fn) {
+      const double t = min_seconds(iters, fn);
+      stage_rows.push_back({stage, simd_level_name(level), gbps(bytes, t)});
+      stage_table.add_row({stage, simd_level_name(level),
+                           JsonWriter::num(gbps(bytes, t))});
+    };
+    add("prequant-f32", n * 4, [&] {
+      prequantize_simd(stage_field.values(), abs_eb, std::span<i64>(pq).first(n),
+                       level);
+    });
+    add("prequant-f32fast", n * 4, [&] {
+      prequantize_f32fast(stage_field.values(), abs_eb,
+                          std::span<i64>(pq).first(n), level);
+    });
+    lorenzo_forward(std::span<const i64>(pq).first(n), stage_field.dims,
+                    std::span<i64>(pq).first(n));
+    pq[0] = 0;
+    add("encode-v2", n * 8, [&] {
+      quant_encode_v2_simd(std::span<const i64>(pq).first(n),
+                           std::span<u16>(codes).first(n), level);
+    });
+    const std::span<const u32> code_words{
+        reinterpret_cast<const u32*>(codes.data()), words};
+    add("bitshuffle", words * 4,
+        [&] { bitshuffle_tiles_simd(code_words, shuffled, level); });
+    add("mark", words * 4,
+        [&] { mark_blocks_simd(shuffled, byte_flags, bit_flags, level); });
+    add("bitunshuffle", words * 4,
+        [&] { bitunshuffle_tiles_simd(shuffled, unshuffled, level); });
+    add("fused-tile-pipeline", n * 4, [&] {
+      fused_quant_shuffle_mark(stage_field.values(), stage_field.dims, abs_eb,
+                               /*f32_fast=*/false, shuffled, byte_flags,
+                               bit_flags, row_scratch, plane_scratch, level);
+    });
+  }
+  std::cout << "Stage throughput (" << stage_field.dataset << " "
+            << stage_field.dims.to_string() << ", abs eb "
+            << JsonWriter::num(abs_eb) << "):\n";
+  stage_table.print(std::cout);
+
+  // ---- end-to-end compression: {unfused,fused} x {scalar,best} -------------
+  struct Config {
+    const char* name;
+    bool fused;
+    SimdDispatch simd;
+  };
+  const Config configs[] = {
+      {"unfused-scalar", false, SimdDispatch::Scalar},
+      {"unfused-simd", false, SimdDispatch::Auto},
+      {"fused-scalar", true, SimdDispatch::Scalar},
+      {"fused-simd", true, SimdDispatch::Auto},
+  };
+
+  std::vector<CompressRow> compress_rows;
+  std::vector<std::pair<std::string, double>> speedups;
+  bench::Table comp_table(
+      {"dataset", "unfused-scalar", "unfused-simd", "fused-scalar",
+       "fused-simd", "fused-simd speedup"});
+  bool identical = true;
+  for (const Field& f : benchmark_suite(scale, 42)) {
+    FzParams params;
+    params.eb = ErrorBound::relative(1e-3);
+    std::vector<u8> reference;
+    std::vector<double> results;
+    for (const Config& c : configs) {
+      params.fused_host_graph = c.fused;
+      params.simd = c.simd;
+      FzCompressed comp;
+      const double t = min_seconds(
+          iters, [&] { comp = fz_compress(f.values(), f.dims, params); });
+      if (reference.empty()) reference = comp.bytes;
+      else if (comp.bytes != reference) identical = false;
+      results.push_back(gbps(f.bytes(), t));
+      compress_rows.push_back({f.dataset, c.name, results.back()});
+    }
+    const double speedup = results[3] / results[0];
+    speedups.emplace_back(f.dataset, speedup);
+    comp_table.add_row({f.dataset, JsonWriter::num(results[0]),
+                        JsonWriter::num(results[1]), JsonWriter::num(results[2]),
+                        JsonWriter::num(results[3]),
+                        JsonWriter::num(speedup) + "x"});
+  }
+  std::cout << "\nCompression throughput (GB/s), rel eb 1e-3; speedup = "
+               "fused-simd over unfused-scalar:\n";
+  comp_table.print(std::cout);
+  std::cout << "\nstreams byte-identical across configs: "
+            << (identical ? "yes" : "NO — BUG") << "\n";
+
+  // ---- JSON report ---------------------------------------------------------
+  JsonWriter w;
+  w.section("bench");
+  w.buf += "\"pr3-regress\"";
+  w.section("scale");
+  w.buf += JsonWriter::num(scale);
+  w.section("iters");
+  w.buf += JsonWriter::num(iters);
+  w.section("best_level");
+  w.buf += std::string("\"") + simd_level_name(best) + "\"";
+  w.section("streams_identical");
+  w.buf += identical ? "true" : "false";
+  w.section("stages");
+  w.buf += "[\n";
+  for (size_t i = 0; i < stage_rows.size(); ++i) {
+    w.buf += "    {\"stage\": \"" + stage_rows[i].stage + "\", \"level\": \"" +
+             stage_rows[i].level +
+             "\", \"gbps\": " + JsonWriter::num(stage_rows[i].value_gbps) + "}" +
+             (i + 1 < stage_rows.size() ? "," : "") + "\n";
+  }
+  w.buf += "  ]";
+  w.section("compress");
+  w.buf += "[\n";
+  for (size_t i = 0; i < compress_rows.size(); ++i) {
+    w.buf += "    {\"dataset\": \"" + compress_rows[i].dataset +
+             "\", \"config\": \"" + compress_rows[i].config +
+             "\", \"gbps\": " + JsonWriter::num(compress_rows[i].value_gbps) +
+             "}" + (i + 1 < compress_rows.size() ? "," : "") + "\n";
+  }
+  w.buf += "  ]";
+  w.section("speedups");
+  w.buf += "{\n";
+  for (size_t i = 0; i < speedups.size(); ++i) {
+    w.buf += "    \"" + speedups[i].first +
+             "\": " + JsonWriter::num(speedups[i].second) +
+             (i + 1 < speedups.size() ? "," : "") + "\n";
+  }
+  w.buf += "  }";
+
+  std::ofstream out(out_path);
+  out << w.finish();
+  std::cout << "wrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Throughput smoke guard for the PR3 SIMD + fused-pipeline work: re-runs
+# bench/regress at the checked-in baseline's scale and fails if
+#
+#   * any compressed stream stops being byte-identical across the
+#     {unfused,fused} x {scalar,simd} configs (correctness, zero tolerance),
+#   * the best fused-simd speedup over unfused-scalar drops below 1.5x
+#     (the PR3 acceptance floor, machine-independent), or
+#   * any per-stage GB/s regresses more than FZ_BENCH_TOLERANCE (default
+#     0.20 = 20%) below the checked-in BENCH_pr3.json baseline.
+#
+# Wall clocks on shared machines are noisy; raise the tolerance via
+#   FZ_BENCH_TOLERANCE=0.5 scripts/bench_smoke.sh
+# or regenerate the baseline on this machine with build/bench/regress.
+#
+# Usage: scripts/bench_smoke.sh [path/to/regress-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+regress_bin="${1:-build/bench/regress}"
+baseline="BENCH_pr3.json"
+tolerance="${FZ_BENCH_TOLERANCE:-0.20}"
+
+if [[ ! -x "${regress_bin}" ]]; then
+  echo "bench_smoke: ${regress_bin} not built (cmake --build build --target regress)" >&2
+  exit 1
+fi
+if [[ ! -f "${baseline}" ]]; then
+  echo "bench_smoke: baseline ${baseline} missing" >&2
+  exit 1
+fi
+
+fresh="$(mktemp /tmp/BENCH_smoke.XXXXXX.json)"
+trap 'rm -f "${fresh}"' EXIT
+
+scale=$(python3 -c "import json; print(json.load(open('${baseline}'))['scale'])")
+iters=$(python3 -c "import json; print(int(json.load(open('${baseline}'))['iters']))")
+"${regress_bin}" --scale "${scale}" --iters "${iters}" --out "${fresh}" > /dev/null
+
+python3 - "${baseline}" "${fresh}" "${tolerance}" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base = json.load(open(baseline_path))
+new = json.load(open(fresh_path))
+failures = []
+
+if not new["streams_identical"]:
+    failures.append("compressed streams are no longer byte-identical across configs")
+
+best_speedup = max(new["speedups"].values())
+if best_speedup < 1.5:
+    failures.append(f"best fused-simd speedup {best_speedup:.2f}x < 1.5x floor")
+
+base_stages = {(s["stage"], s["level"]): s["gbps"] for s in base["stages"]}
+for s in new["stages"]:
+    key = (s["stage"], s["level"])
+    if key not in base_stages:
+        continue  # new stage with no baseline yet
+    floor = base_stages[key] * (1.0 - tol)
+    if s["gbps"] < floor:
+        failures.append(
+            f"{s['stage']}/{s['level']}: {s['gbps']:.3f} GB/s < "
+            f"{floor:.3f} (baseline {base_stages[key]:.3f}, tol {tol:.0%})")
+
+if failures:
+    print("bench_smoke: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print(f"bench_smoke: OK (best fused-simd speedup {best_speedup:.2f}x, "
+      f"{len(new['stages'])} stage measurements within {tol:.0%} of baseline)")
+EOF

@@ -4,10 +4,13 @@
 #   1. default        — RelWithDebInfo build, full test suite (includes the
 #                       fzcheck simulator-hazard tests: any SanitizerReport
 #                       diagnostic fails test_sanitizer)
-#   2. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer
-#   3. tsan           — pool/codec/chunked/threading tests under
+#   2. bench smoke    — scripts/bench_smoke.sh guards the PR3 SIMD/fused
+#                       throughput against the checked-in BENCH_pr3.json
+#                       baseline (tolerance via FZ_BENCH_TOLERANCE)
+#   3. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer
+#   4. tsan           — pool/codec/chunked/threading tests under
 #                       ThreadSanitizer (host-side concurrency)
-#   4. lint           — clang-tidy over src/ (.clang-tidy profile,
+#   5. lint           — clang-tidy over src/ (.clang-tidy profile,
 #                       WarningsAsErrors: any warning fails); skipped with a
 #                       notice when clang-tidy is not installed
 #
@@ -31,6 +34,9 @@ run_preset() {
 }
 
 run_preset default
+
+echo "==== bench smoke: SIMD + fused-pipeline throughput guard ===="
+scripts/bench_smoke.sh build/bench/regress
 
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan

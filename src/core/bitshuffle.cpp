@@ -37,19 +37,26 @@ void check_tile_args(std::span<const u32> in, std::span<u32> out) {
 
 }  // namespace
 
+// A 4 KiB tile is already a meaningful unit of work, but claim a few per
+// atomic in the task-crew fallback anyway.
+constexpr size_t kTileGrain = 16;
+
 void bitshuffle_tiles(std::span<const u32> in, std::span<u32> out) {
   check_tile_args(in, out);
   const size_t tiles = in.size() / kTileWords;
-  parallel_for(0, tiles, [&](size_t t) {
-    const u32* tin = in.data() + t * kTileWords;
-    u32* tout = out.data() + t * kTileWords;
-    for (size_t u = 0; u < kUnitsPerTile; ++u) {
-      u32 tmp[kUnitWords];
-      std::memcpy(tmp, tin + u * kUnitWords, sizeof(tmp));
-      transpose_bit_matrix_32(tmp);
-      // tmp[j] bit i == input word i's bit j: tmp[j] is plane j of unit u.
-      // Plane-major scatter within the tile.
-      for (size_t j = 0; j < kUnitWords; ++j) tout[j * kUnitsPerTile + u] = tmp[j];
+  parallel_chunks(tiles, kTileGrain, [&](size_t tb, size_t te) {
+    for (size_t t = tb; t < te; ++t) {
+      const u32* tin = in.data() + t * kTileWords;
+      u32* tout = out.data() + t * kTileWords;
+      for (size_t u = 0; u < kUnitsPerTile; ++u) {
+        u32 tmp[kUnitWords];
+        std::memcpy(tmp, tin + u * kUnitWords, sizeof(tmp));
+        transpose_bit_matrix_32(tmp);
+        // tmp[j] bit i == input word i's bit j: tmp[j] is plane j of unit u.
+        // Plane-major scatter within the tile.
+        for (size_t j = 0; j < kUnitWords; ++j)
+          tout[j * kUnitsPerTile + u] = tmp[j];
+      }
     }
   });
 }
@@ -57,15 +64,18 @@ void bitshuffle_tiles(std::span<const u32> in, std::span<u32> out) {
 void bitunshuffle_tiles(std::span<const u32> in, std::span<u32> out) {
   check_tile_args(in, out);
   const size_t tiles = in.size() / kTileWords;
-  parallel_for(0, tiles, [&](size_t t) {
-    const u32* tin = in.data() + t * kTileWords;
-    u32* tout = out.data() + t * kTileWords;
-    for (size_t u = 0; u < kUnitsPerTile; ++u) {
-      u32 tmp[kUnitWords];
-      // Gather unit u's planes back, then invert the bit transpose.
-      for (size_t j = 0; j < kUnitWords; ++j) tmp[j] = tin[j * kUnitsPerTile + u];
-      transpose_bit_matrix_32(tmp);
-      std::memcpy(tout + u * kUnitWords, tmp, sizeof(tmp));
+  parallel_chunks(tiles, kTileGrain, [&](size_t tb, size_t te) {
+    for (size_t t = tb; t < te; ++t) {
+      const u32* tin = in.data() + t * kTileWords;
+      u32* tout = out.data() + t * kTileWords;
+      for (size_t u = 0; u < kUnitsPerTile; ++u) {
+        u32 tmp[kUnitWords];
+        // Gather unit u's planes back, then invert the bit transpose.
+        for (size_t j = 0; j < kUnitWords; ++j)
+          tmp[j] = tin[j * kUnitsPerTile + u];
+        transpose_bit_matrix_32(tmp);
+        std::memcpy(tout + u * kUnitWords, tmp, sizeof(tmp));
+      }
     }
   });
 }

@@ -20,6 +20,7 @@ struct ScratchGuard {
 Codec::Codec(FzParams params)
     : params_(params),
       compress_stages_(make_compress_stages()),
+      compress_stages_fused_(make_compress_stages_fused()),
       decompress_stages_(make_decompress_stages()) {}
 
 template <typename T>
@@ -27,12 +28,19 @@ FzCompressed Codec::compress_impl(std::span<const T> data, Dims dims) {
   FZ_REQUIRE(!data.empty(), "cannot compress an empty field");
   FZ_REQUIRE(data.size() == dims.count(), "dims do not match data size");
 
+  // The fused tile pipeline covers V2 only; V1 (outlier list) always runs
+  // the unfused graph.  Either graph emits the same bytes.
+  const StageGraph& graph =
+      params_.fused_host_graph && params_.quant == QuantVersion::V2Optimized
+          ? compress_stages_fused_
+          : compress_stages_;
+
   FzCompressed out;
   ctx_.begin_compress(&pool_, params_, dims, data.size(), sizeof(T),
                       data.data(), &out.bytes);
   {
     ScratchGuard guard{ctx_};
-    for (const auto& stage : compress_stages_) stage->run(ctx_);
+    for (const auto& stage : graph) stage->run(ctx_);
   }
   out.stats = ctx_.stats;
   out.stage_costs = fz_compression_costs(out.stats, params_);
@@ -50,7 +58,8 @@ FzCompressed Codec::compress(std::span<const f64> data, Dims dims) {
 template <typename T>
 Dims Codec::decompress_into_impl(ByteSpan stream, std::span<T> out,
                                  std::vector<cudasim::CostSheet>* stage_costs) {
-  ctx_.begin_decompress(&pool_, stream, out.size(), sizeof(T), out.data());
+  ctx_.begin_decompress(&pool_, params_, stream, out.size(), sizeof(T),
+                        out.data());
   {
     ScratchGuard guard{ctx_};
     for (const auto& stage : decompress_stages_) stage->run(ctx_);

@@ -66,6 +66,7 @@ class Codec {
   FzParams params_;
   BufferPool pool_;
   StageGraph compress_stages_;
+  StageGraph compress_stages_fused_;
   StageGraph decompress_stages_;
   PipelineContext ctx_;
 };

@@ -128,6 +128,36 @@ std::vector<CostSheet> fz_compression_costs(const FzStats& st,
   return costs;
 }
 
+CostSheet fz_fused_tile_cost(const FzStats& st) {
+  const double n = static_cast<double>(st.count);
+  const size_t words = round_up(st.count, kTileBytes / sizeof(u16)) / 2;
+  const double w = static_cast<double>(words);
+  const double blocks = static_cast<double>(st.total_blocks);
+
+  CostSheet c;
+  c.name = "fused-quant-shuffle-mark";
+  c.kernel_launches = 1;
+  // Input once; shuffled words + flags out.  The u16 codes live only in
+  // the tile working set (shared memory on the device, L1 on the host).
+  c.global_bytes_read = static_cast<u64>(n) * 4;
+  c.global_bytes_written = static_cast<u64>(words) * sizeof(u32) +
+                           static_cast<u64>(blocks) +
+                           static_cast<u64>(blocks) / 8;
+  c.thread_ops = static_cast<u64>(n * kPredQuantV2Ops +
+                                  w * kBitshuffleOpsPerWord +
+                                  blocks * kMarkOpsPerBlock);
+  c.shared_transactions = static_cast<u64>(w * kBitshuffleSmemTxPerWord);
+  return c;
+}
+
+u64 fz_fusion_traffic_saved(const FzStats& st) {
+  // pred-quant's code-array write (2 bytes/value) plus bitshuffle's
+  // re-read of the same array (padded to a tile boundary).
+  const size_t words = round_up(st.count, kTileBytes / sizeof(u16)) / 2;
+  return static_cast<u64>(st.count) * 2 +
+         static_cast<u64>(words) * sizeof(u32);
+}
+
 CostSheet fz_fully_fused_cost(const FzStats& st) {
   const double n = static_cast<double>(st.count);
   const size_t words = round_up(st.count, kTileBytes / sizeof(u16)) / 2;

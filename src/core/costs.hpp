@@ -20,6 +20,20 @@ std::vector<cudasim::CostSheet> fz_compression_costs(const FzStats& st,
 std::vector<cudasim::CostSheet> fz_decompression_costs(const FzStats& st,
                                                        const FzParams& params);
 
+/// Modeled cost of the fused tile pipeline (make_compress_stages_fused):
+/// quantize + Lorenzo + encode + bitshuffle + mark in one pass over
+/// cache-resident tiles.  Merges the first two sheets of
+/// fz_compression_costs into one launch and drops the quantization-code
+/// round trip (the u16 array written by pred-quant and re-read by
+/// bitshuffle) — exactly the traffic the paper's kernel fusion removes
+/// (§3.4).  The arithmetic is unchanged; only the memory system sees the
+/// difference.
+cudasim::CostSheet fz_fused_tile_cost(const FzStats& st);
+
+/// DRAM bytes the fused tile pipeline avoids relative to the unfused
+/// graph: the intermediate code array's write + re-read.
+u64 fz_fusion_traffic_saved(const FzStats& st);
+
 /// Projected cost of the paper's future work (§6, item 1): "fusing all GPU
 /// kernels into one".  A single persistent kernel keeps the quantization
 /// codes and the shuffled tile in shared memory and resolves the block

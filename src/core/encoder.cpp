@@ -57,7 +57,9 @@ size_t compact_blocks(std::span<const u32> words,
 
   // Exclusive prefix sum of the byte flags gives each block's output slot
   // (the paper's phase-2 CUB ExclusiveSum).
-  parallel_for(0, nblocks, [&](size_t i) { flags32[i] = byte_flags[i]; });
+  parallel_chunks(nblocks, size_t{1} << 16, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) flags32[i] = byte_flags[i];
+  });
   cudasim::CostSheet cost =
       scan_exclusive_device_model(flags32, offsets, scan_scratch, 2048);
   if (scan_cost != nullptr) *scan_cost = cost;
@@ -66,11 +68,13 @@ size_t compact_blocks(std::span<const u32> words,
       nblocks == 0 ? 0 : offsets.back() + flags32.back();
   FZ_REQUIRE(blocks_out.size() >= nonzero * kBlockWords,
              "encoder: output too small");
-  parallel_for(0, nblocks, [&](size_t blk) {
-    if (byte_flags[blk] == 0) return;
-    const u32 slot = offsets[blk];
-    for (size_t k = 0; k < kBlockWords; ++k)
-      blocks_out[slot * kBlockWords + k] = words[blk * kBlockWords + k];
+  parallel_chunks(nblocks, 4096, [&](size_t b, size_t e) {
+    for (size_t blk = b; blk < e; ++blk) {
+      if (byte_flags[blk] == 0) continue;
+      const u32 slot = offsets[blk];
+      for (size_t k = 0; k < kBlockWords; ++k)
+        blocks_out[slot * kBlockWords + k] = words[blk * kBlockWords + k];
+    }
   });
   return nonzero;
 }
@@ -108,22 +112,25 @@ void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
   FZ_REQUIRE(flags32.size() == nblocks && offsets.size() == nblocks,
              "decoder: scratch size mismatch");
   // Offsets are recovered with the same prefix sum the encoder used.
-  parallel_for(0, nblocks, [&](size_t i) {
-    flags32[i] = (bit_flags[i / 8] >> (i % 8)) & 1u;
+  parallel_chunks(nblocks, size_t{1} << 16, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i)
+      flags32[i] = (bit_flags[i / 8] >> (i % 8)) & 1u;
   });
   scan_exclusive_parallel(flags32, offsets, scan_scratch);
   const size_t nonzero = nblocks == 0 ? 0 : offsets.back() + flags32.back();
   FZ_FORMAT_REQUIRE(blocks.size() == nonzero * kBlockWords,
                     "decoder: block payload size mismatch");
-  parallel_for(0, nblocks, [&](size_t blk) {
-    u32* dst = out.data() + blk * kBlockWords;
-    if (flags32[blk] == 0) {
-      for (size_t k = 0; k < kBlockWords; ++k) dst[k] = 0;
-      return;
+  parallel_chunks(nblocks, 4096, [&](size_t b, size_t e) {
+    for (size_t blk = b; blk < e; ++blk) {
+      u32* dst = out.data() + blk * kBlockWords;
+      if (flags32[blk] == 0) {
+        for (size_t k = 0; k < kBlockWords; ++k) dst[k] = 0;
+        continue;
+      }
+      const u32 slot = offsets[blk];
+      for (size_t k = 0; k < kBlockWords; ++k)
+        dst[k] = blocks[slot * kBlockWords + k];
     }
-    const u32 slot = offsets[blk];
-    for (size_t k = 0; k < kBlockWords; ++k)
-      dst[k] = blocks[slot * kBlockWords + k];
   });
 }
 

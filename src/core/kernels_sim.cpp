@@ -7,6 +7,7 @@
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "core/bitshuffle.hpp"
+#include "core/format.hpp"
 #include "cudasim/launch.hpp"
 #include "substrate/bitio.hpp"
 #include "substrate/scan.hpp"
@@ -17,6 +18,77 @@ using cudasim::CostSheet;
 using cudasim::Dim3;
 using cudasim::LaunchConfig;
 using cudasim::ThreadCtx;
+
+namespace {
+
+// Shared tail of the two tile kernels (sim_bitshuffle_mark_fused and
+// sim_fused_quant_shuffle_mark): the caller has already placed this
+// thread's 32-bit code word in shared buf[y*stride + x] and issued the
+// barrier; from there the ballot transpose, the shuffled write-back, and
+// the fused zero-block marking are identical.
+template <typename Buf, typename ByteArr, typename BitArr>
+void tile_shuffle_mark_tail(ThreadCtx& t, Buf& buf, ByteArr& byte_flag_arr,
+                            BitArr& bit_flag_arr, std::span<u32> out,
+                            std::vector<u8>& byte_flags,
+                            std::vector<u8>& bit_flags, size_t stride,
+                            BitshuffleFault fault, u32 ballot_guard) {
+  const u32 x = t.thread_idx.x;
+  const u32 y = t.thread_idx.y;
+  const size_t tile = t.block_idx.x;
+  const size_t g = tile * kTileWords + y * 32 + x;
+
+  // 32 ballot rounds: plane i of this warp's unit (= row y) is the vote
+  // of bit i across the 32 lanes.  Lane i keeps round i's result.
+  const u32 cur = buf.ld(y * stride + x);
+  for (u32 i = 0; i < 32; ++i) {
+    const u32 plane = t.ballot((cur >> i) & 1u);
+    if (x == i) buf.st(y * stride + i, plane);
+    t.count_ops(3);
+  }
+  if (fault != BitshuffleFault::MissingBarrier) t.sync_threads();
+
+  // Transposed write-back: out word (x, y) = plane y of unit x.  The
+  // column-wise shared read is the access the 32x33 padding protects.
+  const u32 shuffled = buf.ld(x * stride + y);
+  t.gstore(out, g, shuffled);
+  t.sync_threads();
+
+  // Fused mark: 256 threads each own one 16-byte block (4 consecutive
+  // output words in plane-major order).
+  const u32 ltid = t.linear_tid();
+  if (ltid < kBlocksPerTile) {
+    u32 nz = 0;
+    for (u32 i = 0; i < 4; ++i) {
+      const u32 p = ltid * 4 + i;  // linear output position in the tile
+      const u32 py = p / 32, px = p % 32;
+      nz |= buf.ld(px * stride + py);
+    }
+    byte_flag_arr.st(ltid, nz != 0 ? 1 : 0);
+    t.count_ops(6);
+  }
+  t.sync_threads();
+
+  // Byte flags -> bit flags via ballot (8 warps cover 256 blocks).
+  if (ltid < ballot_guard) {
+    const u32 flag_word = t.ballot(byte_flag_arr.ld(ltid) != 0);
+    if (t.lane() == 0) bit_flag_arr.st(t.warp_id(), flag_word);
+  }
+  t.sync_threads();
+
+  // Write both flag arrays back to global memory.
+  if (ltid < kBlocksPerTile) {
+    t.gstore(byte_flags, tile * kBlocksPerTile + ltid, byte_flag_arr.ld(ltid));
+  }
+  if (ltid < 8) {
+    const u32 word = bit_flag_arr.ld(ltid);
+    for (u32 b = 0; b < 4; ++b) {
+      t.gstore(bit_flags, tile * (kBlocksPerTile / 8) + ltid * 4 + b,
+               static_cast<u8>(word >> (8 * b)));
+    }
+  }
+}
+
+}  // namespace
 
 CostSheet sim_pred_quant_v2(FloatSpan data, Dims dims, double abs_eb,
                             std::span<u16> codes_out) {
@@ -91,62 +163,98 @@ CostSheet sim_bitshuffle_mark_fused(std::span<const u32> in, std::span<u32> out,
 
     const u32 x = t.thread_idx.x;
     const u32 y = t.thread_idx.y;
-    const size_t tile = t.block_idx.x;
-    const size_t g = tile * kTileWords + y * 32 + x;
+    const size_t g = t.block_idx.x * kTileWords + y * 32 + x;
 
     // Load the tile into shared memory (row-wise, coalesced, conflict-free).
     buf.st(y * stride + x, t.gload(in, g));
     t.sync_threads();
 
-    // 32 ballot rounds: plane i of this warp's unit (= row y) is the vote
-    // of bit i across the 32 lanes.  Lane i keeps round i's result.
-    const u32 cur = buf.ld(y * stride + x);
-    for (u32 i = 0; i < 32; ++i) {
-      const u32 plane = t.ballot((cur >> i) & 1u);
-      if (x == i) buf.st(y * stride + i, plane);
-      t.count_ops(3);
-    }
-    if (fault != BitshuffleFault::MissingBarrier) t.sync_threads();
+    tile_shuffle_mark_tail(t, buf, byte_flag_arr, bit_flag_arr, out,
+                           byte_flags, bit_flags, stride, fault, ballot_guard);
+  });
+}
 
-    // Transposed write-back: out word (x, y) = plane y of unit x.  The
-    // column-wise shared read is the access the 32x33 padding protects.
-    const u32 shuffled = buf.ld(x * stride + y);
-    t.gstore(out, g, shuffled);
-    t.sync_threads();
+CostSheet sim_fused_quant_shuffle_mark(FloatSpan data, Dims dims,
+                                       double abs_eb, std::span<u32> out,
+                                       std::vector<u8>& byte_flags,
+                                       std::vector<u8>& bit_flags,
+                                       std::span<i64> anchor_out,
+                                       bool padded_shared,
+                                       BitshuffleFault fault) {
+  FZ_REQUIRE(data.size() == dims.count(), "sim: dims mismatch");
+  FZ_REQUIRE(out.size() % kTileWords == 0 && out.size() * 2 >= data.size(),
+             "sim: output must be whole tiles covering the input");
+  FZ_REQUIRE(!anchor_out.empty(), "sim: anchor output too small");
+  FZ_REQUIRE(abs_eb > 0, "sim: bad error bound");
+  const double inv = 1.0 / (2.0 * abs_eb);
+  const size_t tiles = out.size() / kTileWords;
+  byte_flags.assign(tiles * kBlocksPerTile, 0);
+  bit_flags.assign(tiles * kBlocksPerTile / 8, 0);
 
-    // Fused mark: 256 threads each own one 16-byte block (4 consecutive
-    // output words in plane-major order).
-    const u32 ltid = t.linear_tid();
-    if (ltid < kBlocksPerTile) {
-      u32 nz = 0;
-      for (u32 i = 0; i < 4; ++i) {
-        const u32 p = ltid * 4 + i;  // linear output position in the tile
-        const u32 py = p / 32, px = p % 32;
-        nz |= buf.ld(px * stride + py);
+  const size_t stride = padded_shared ? 33 : 32;
+  const u32 ballot_guard = fault == BitshuffleFault::DivergentBallot
+                               ? kBlocksPerTile - 8
+                               : kBlocksPerTile;
+
+  LaunchConfig cfg;
+  cfg.name = "fused-quant-shuffle-mark";
+  cfg.grid = Dim3{static_cast<u32>(tiles)};
+  cfg.block = Dim3{32, 32};
+
+  return cudasim::launch(cfg, [&, inv, stride, fault,
+                               ballot_guard](ThreadCtx& t) {
+    auto buf = t.shared_mem<u32>("buf", 32 * stride);
+    auto byte_flag_arr = t.shared_mem<u8>("ByteFlagArr", kBlocksPerTile);
+    auto bit_flag_arr = t.shared_mem<u32>("BitFlagArr", 8);
+
+    const u32 x = t.thread_idx.x;
+    const u32 y = t.thread_idx.y;
+    const size_t tile = t.block_idx.x;
+
+    // Pointwise pre-quantization; neighbours are recomputed, not shared —
+    // the dual-quantization property, exactly as in sim_pred_quant_v2.
+    const auto prequant = [&](size_t ix, size_t iy, size_t iz) -> i64 {
+      const f32 v = t.gload(data, dims.linear(ix, iy, iz));
+      t.count_ops(2);
+      return static_cast<i64>(std::llround(static_cast<double>(v) * inv));
+    };
+    const auto code_for = [&](size_t e) -> u16 {
+      if (e >= data.size()) return 0;  // tile padding shuffles to zero blocks
+      const size_t ix = e % dims.x;
+      const size_t iy = (e / dims.x) % dims.y;
+      const size_t iz = e / (dims.x * dims.y);
+      i64 delta = prequant(ix, iy, iz);
+      if (ix > 0) delta -= prequant(ix - 1, iy, iz);
+      if (iy > 0) delta -= prequant(ix, iy - 1, iz);
+      if (iz > 0) delta -= prequant(ix, iy, iz - 1);
+      if (ix > 0 && iy > 0) delta += prequant(ix - 1, iy - 1, iz);
+      if (ix > 0 && iz > 0) delta += prequant(ix - 1, iy, iz - 1);
+      if (iy > 0 && iz > 0) delta += prequant(ix, iy - 1, iz - 1);
+      if (ix > 0 && iy > 0 && iz > 0) delta -= prequant(ix - 1, iy - 1, iz - 1);
+      if (e == 0) {
+        // The first value's residual is the value itself; the host carries
+        // it in the stream header and zeroes the code (anchor).
+        t.gstore(anchor_out, 0, delta);
+        return 0;
       }
-      byte_flag_arr.st(ltid, nz != 0 ? 1 : 0);
+      const i64 clipped =
+          std::clamp<i64>(delta, -kMaxMagnitude16, kMaxMagnitude16);
       t.count_ops(6);
-    }
+      return sign_magnitude_encode(static_cast<i32>(clipped));
+    };
+
+    // This thread owns one code word of the tile = two consecutive u16
+    // codes, packed little-endian like the native codes-as-u32 layout.
+    // The codes go straight into the shared tile — never to global memory.
+    const size_t e0 = tile * kCodesPerTile + 2 * (y * 32 + x);
+    const u16 c0 = code_for(e0);
+    const u16 c1 = code_for(e0 + 1);
+    buf.st(y * stride + x,
+           static_cast<u32>(c0) | (static_cast<u32>(c1) << 16));
     t.sync_threads();
 
-    // Byte flags -> bit flags via ballot (8 warps cover 256 blocks).
-    if (ltid < ballot_guard) {
-      const u32 flag_word = t.ballot(byte_flag_arr.ld(ltid) != 0);
-      if (t.lane() == 0) bit_flag_arr.st(t.warp_id(), flag_word);
-    }
-    t.sync_threads();
-
-    // Write both flag arrays back to global memory.
-    if (ltid < kBlocksPerTile) {
-      t.gstore(byte_flags, tile * kBlocksPerTile + ltid, byte_flag_arr.ld(ltid));
-    }
-    if (ltid < 8) {
-      const u32 word = bit_flag_arr.ld(ltid);
-      for (u32 b = 0; b < 4; ++b) {
-        t.gstore(bit_flags, tile * (kBlocksPerTile / 8) + ltid * 4 + b,
-                 static_cast<u8>(word >> (8 * b)));
-      }
-    }
+    tile_shuffle_mark_tail(t, buf, byte_flag_arr, bit_flag_arr, out,
+                           byte_flags, bit_flags, stride, fault, ballot_guard);
   });
 }
 

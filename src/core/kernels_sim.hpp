@@ -50,6 +50,24 @@ cudasim::CostSheet sim_bitshuffle_mark_fused(
     std::vector<u8>& bit_flags, bool padded_shared = true,
     BitshuffleFault fault = BitshuffleFault::None);
 
+/// Device mirror of the host fused tile pipeline (PR3,
+/// core/kernels_simd.hpp fused_quant_shuffle_mark): dual-quantization,
+/// Lorenzo encoding, bit transpose and zero-block marking in ONE launch.
+/// Each thread of a 32x32 block computes the two u16 codes of its tile
+/// word via neighbour recomputation, packs them into the shared tile, and
+/// the block runs the same ballot transpose + mark tail as
+/// sim_bitshuffle_mark_fused — the quantization codes never touch global
+/// memory (the traffic fz_fused_tile_cost models as saved, §3.4).
+/// `out.size()` must be whole tiles covering `data` (padding shuffles to
+/// zero blocks); `anchor_out[0]` receives the first value's pre-quantized
+/// anchor, matching the host stream header.  Output is byte-identical to
+/// the host fused stage, which tests/test_kernels_sim.cpp asserts.
+cudasim::CostSheet sim_fused_quant_shuffle_mark(
+    FloatSpan data, Dims dims, double abs_eb, std::span<u32> out,
+    std::vector<u8>& byte_flags, std::vector<u8>& bit_flags,
+    std::span<i64> anchor_out, bool padded_shared = true,
+    BitshuffleFault fault = BitshuffleFault::None);
+
 /// Encode phase 2: prefix-sum the byte flags (host-side CUB stand-in) and
 /// run the compaction kernel.  Returns the combined cost.
 cudasim::CostSheet sim_compact_blocks(std::span<const u32> shuffled,

@@ -1,0 +1,112 @@
+// SIMD host kernels with runtime dispatch (common/simd.hpp), plus the fused
+// tile pipeline — the host mirror of the paper's kernel fusion (§3.4).
+//
+// Every kernel here is *bit-identical* to its scalar reference in
+// core/quantizer.cpp, core/bitshuffle.cpp and core/encoder.cpp at every
+// dispatch tier; tests/test_simd.cpp enforces this with random and
+// adversarial inputs at each level.  In particular the vectorized
+// pre-quantization reproduces `std::llround(double(v) * inv)` EXACTLY
+// (trunc + half-away-from-zero adjust + magic-constant i64 conversion),
+// falling back to scalar llround for any lane group whose magnitude nears
+// 2^50 — so SIMD never changes a compressed stream.
+//
+// The fused tile pipeline processes the input in cache-resident 4096-byte
+// tiles (2048 u16 codes): quantize -> Lorenzo delta -> sign-magnitude
+// encode -> 32x32 bit transpose -> zero-block flagging in one pass, so the
+// i64 pre-quant array of the unfused graph is never materialized.  Lorenzo
+// needs the previous row (2-D) / previous plane (3-D) of *pre-quantized*
+// values, which stream through small reused scratch buffers — the same
+// trick the paper's dual-quantization plays on the GPU, where neighbours
+// are recomputed instead of communicated.
+#pragma once
+
+#include <span>
+
+#include "common/simd.hpp"
+#include "common/types.hpp"
+
+namespace fz {
+
+// ---- standalone vectorized kernels (unfused graph + tests) -----------------
+
+/// Vectorized pre-quantization: p_i = llround(d_i / (2 eb)), bit-identical
+/// to the scalar reference at every level.
+void prequantize_simd(FloatSpan data, double eb, std::span<i64> out,
+                      SimdLevel level);
+void prequantize_simd(std::span<const f64> data, double eb, std::span<i64> out,
+                      SimdLevel level);
+
+/// The all-f32 fast path (float multiply + lrintf): no double promotion on
+/// the hot loop, yet *bit-identical* to prequantize at every level.  The
+/// f32 product differs from the double product by at most |x|·2^-23 (two
+/// f32 roundings), so the rounded code can only disagree when the scaled
+/// value lands within that radius of a half-integer boundary — a margin
+/// test detects exactly those lanes (plus everything at |x| ≥ 2^21, where
+/// the margin stops being meaningful, and any eb whose f32 reciprocal is
+/// subnormal/infinite) and routes them through the exact double kernel.
+/// Pinned by QuantizerTest.F32FastPathMatchesExactOnTier1 and the
+/// adversarial sweeps in tests/test_simd.cpp.
+void prequantize_f32fast(FloatSpan data, double eb, std::span<i64> out,
+                         SimdLevel level);
+
+/// Vectorized V2 residual encode (sign-magnitude, saturating); returns the
+/// saturation count.  Bit-identical to quant_encode_v2.
+size_t quant_encode_v2_simd(std::span<const i64> deltas, std::span<u16> codes,
+                            SimdLevel level);
+
+/// Vectorized tile bitshuffle / inverse (bit-identical to
+/// bitshuffle_tiles / bitunshuffle_tiles).  Sizes as in core/bitshuffle.hpp.
+void bitshuffle_tiles_simd(std::span<const u32> in, std::span<u32> out,
+                           SimdLevel level);
+void bitunshuffle_tiles_simd(std::span<const u32> in, std::span<u32> out,
+                             SimdLevel level);
+
+/// Vectorized zero-block marking (bit-identical to mark_blocks).
+void mark_blocks_simd(std::span<const u32> words, std::span<u8> byte_flags,
+                      std::span<u8> bit_flags, SimdLevel level);
+
+/// One 32-word unit bit transpose: out[j * out_stride] = plane j (bit j of
+/// each input word, word i at bit i).  Exposed for the equivalence tests;
+/// the AVX2 tier uses the movemask-epi8 plane extraction, SSE2 a vectorized
+/// Hacker's Delight swap network, scalar the reference network.
+void transpose_unit_simd(const u32* in, u32* out, size_t out_stride,
+                         SimdLevel level);
+
+// ---- fused tile pipeline ---------------------------------------------------
+
+struct FusedTileResult {
+  size_t saturated = 0;  ///< residual codes clipped to +/-(2^15 - 1)
+  i64 anchor = 0;        ///< pre-quantized first value (header field)
+};
+
+/// Scratch sizing for the fused pipeline: `row` covers the rotating
+/// pre-quantized row buffers + delta row (+ a zero row for absent
+/// neighbours), `plane` the previous-plane buffer (rank 3 only, else 0).
+size_t fused_row_scratch_elems(Dims dims);
+size_t fused_plane_scratch_elems(Dims dims);
+
+/// The fused stage kernel: quantize + Lorenzo + encode + bitshuffle + mark
+/// in one pass over `data`.  Outputs exactly what DualQuantStage +
+/// BitshuffleMarkStage produce — `shuffled` (total_words u32), `byte_flags`
+/// (one per 16-byte block) and `bit_flags` (packed) — byte-for-byte, without
+/// ever materializing the i64[count] pre-quant array.  `row_scratch` /
+/// `plane_scratch` must hold fused_*_scratch_elems(dims) elements (contents
+/// need not be initialized).  V2 quantization only.
+FusedTileResult fused_quant_shuffle_mark(FloatSpan data, Dims dims,
+                                         double abs_eb, bool f32_fast,
+                                         std::span<u32> shuffled,
+                                         std::span<u8> byte_flags,
+                                         std::span<u8> bit_flags,
+                                         std::span<i64> row_scratch,
+                                         std::span<i64> plane_scratch,
+                                         SimdLevel level);
+FusedTileResult fused_quant_shuffle_mark(std::span<const f64> data, Dims dims,
+                                         double abs_eb, bool f32_fast,
+                                         std::span<u32> shuffled,
+                                         std::span<u8> byte_flags,
+                                         std::span<u8> bit_flags,
+                                         std::span<i64> row_scratch,
+                                         std::span<i64> plane_scratch,
+                                         SimdLevel level);
+
+}  // namespace fz

@@ -57,29 +57,40 @@ void forward_3d(std::span<const i64> p, size_t nx, size_t ny, size_t nz,
   }
 }
 
+/// Chunk grain for line-parallel scans: enough lines per claim that the
+/// task-crew fallback pays one atomic per ~16Ki elements, not per line.
+size_t line_grain(size_t line_len) {
+  return std::max<size_t>(1, (size_t{1} << 14) / std::max<size_t>(1, line_len));
+}
+
 /// Inclusive prefix sum along x for every (y, z) line.
 void scan_x(std::span<i64> a, Dims dims) {
-  parallel_for(0, dims.y * dims.z, [&](size_t line) {
-    i64* row = a.data() + line * dims.x;
-    for (size_t x = 1; x < dims.x; ++x) row[x] += row[x - 1];
+  parallel_chunks(dims.y * dims.z, line_grain(dims.x), [&](size_t b, size_t e) {
+    for (size_t line = b; line < e; ++line) {
+      i64* row = a.data() + line * dims.x;
+      for (size_t x = 1; x < dims.x; ++x) row[x] += row[x - 1];
+    }
   });
 }
 
 void scan_y(std::span<i64> a, Dims dims) {
-  parallel_for(0, dims.z, [&](size_t z) {
-    i64* plane = a.data() + z * dims.x * dims.y;
-    for (size_t y = 1; y < dims.y; ++y)
-      for (size_t x = 0; x < dims.x; ++x)
-        plane[x + dims.x * y] += plane[x + dims.x * (y - 1)];
+  parallel_chunks(dims.z, line_grain(dims.x * dims.y), [&](size_t zb, size_t ze) {
+    for (size_t z = zb; z < ze; ++z) {
+      i64* plane = a.data() + z * dims.x * dims.y;
+      for (size_t y = 1; y < dims.y; ++y)
+        for (size_t x = 0; x < dims.x; ++x)
+          plane[x + dims.x * y] += plane[x + dims.x * (y - 1)];
+    }
   });
 }
 
 void scan_z(std::span<i64> a, Dims dims) {
   const size_t plane = dims.x * dims.y;
-  parallel_for(0, dims.y, [&](size_t y) {
-    for (size_t z = 1; z < dims.z; ++z)
-      for (size_t x = 0; x < dims.x; ++x)
-        a[x + dims.x * y + plane * z] += a[x + dims.x * y + plane * (z - 1)];
+  parallel_chunks(dims.y, line_grain(dims.x * dims.z), [&](size_t yb, size_t ye) {
+    for (size_t y = yb; y < ye; ++y)
+      for (size_t z = 1; z < dims.z; ++z)
+        for (size_t x = 0; x < dims.x; ++x)
+          a[x + dims.x * y + plane * z] += a[x + dims.x * y + plane * (z - 1)];
   });
 }
 

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "core/quantizer.hpp"
 #include "cudasim/cost_sheet.hpp"
@@ -38,6 +39,25 @@ struct FzParams {
   bool fused_bitshuffle_mark = true;
   /// V1-only: quantization radius.
   u32 radius = 512;
+  /// Host execution: compress through the fused tile pipeline (quantize +
+  /// Lorenzo + encode + bitshuffle + mark in one cache-resident pass, V2
+  /// only; other configurations fall back to the unfused graph).  The
+  /// stream bytes are identical either way — pinned by
+  /// CodecTest.FusedGraphMatchesUnfusedByteForByte.
+  bool fused_host_graph = true;
+  /// Host execution: SIMD tier for the vectorized kernels.  Auto resolves
+  /// from the FZ_SIMD env var / CPUID; every tier is bit-identical, so this
+  /// never changes the stream either.
+  SimdDispatch simd = SimdDispatch::Auto;
+  /// f32 inputs only: quantize with a float multiply + lrintf instead of
+  /// the double-promoted llround.  A margin test routes any value whose
+  /// scaled magnitude nears a rounding boundary (or 2^21) through the
+  /// exact path, so compressed streams are byte-identical to the default
+  /// path.  On decompress, reconstruction uses a float product while
+  /// |p| < 2^24 — values may differ from the default path by an f32 ulp
+  /// (the bound still holds up to f32 representation precision), which is
+  /// why this stays opt-in.
+  bool f32_fast_quant = false;
 };
 
 struct FzStats {

@@ -1,6 +1,7 @@
 #include "core/quantizer.hpp"
 
 #include <atomic>
+#include <cfloat>
 #include <cmath>
 
 #include "common/bits.hpp"
@@ -11,13 +12,19 @@ namespace fz {
 
 namespace {
 
+// Chunked grain for the trivial per-element loops: one atomic claim per
+// 32Ki elements instead of one per element in the task-crew fallback.
+constexpr size_t kQuantGrain = size_t{1} << 15;
+
 template <typename T>
 void prequantize_impl(std::span<const T> data, double eb, std::span<i64> out) {
   FZ_REQUIRE(eb > 0, "error bound must be positive");
   FZ_REQUIRE(data.size() == out.size(), "prequantize: size mismatch");
   const double inv = 1.0 / (2.0 * eb);
-  parallel_for(0, data.size(), [&](size_t i) {
-    out[i] = static_cast<i64>(std::llround(static_cast<double>(data[i]) * inv));
+  parallel_chunks(data.size(), kQuantGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i)
+      out[i] =
+          static_cast<i64>(std::llround(static_cast<double>(data[i]) * inv));
   });
 }
 
@@ -25,8 +32,9 @@ template <typename T>
 void dequantize_impl(std::span<const i64> p, double eb, std::span<T> out) {
   FZ_REQUIRE(p.size() == out.size(), "dequantize: size mismatch");
   const double scale = 2.0 * eb;
-  parallel_for(0, p.size(), [&](size_t i) {
-    out[i] = static_cast<T>(static_cast<double>(p[i]) * scale);
+  parallel_chunks(p.size(), kQuantGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i)
+      out[i] = static_cast<T>(static_cast<double>(p[i]) * scale);
   });
 }
 
@@ -44,6 +52,28 @@ void dequantize(std::span<const i64> p, double eb, std::span<f32> out) {
 }
 void dequantize(std::span<const i64> p, double eb, std::span<f64> out) {
   dequantize_impl(p, eb, out);
+}
+
+void dequantize_f32fast(std::span<const i64> p, double eb,
+                        std::span<f32> out) {
+  FZ_REQUIRE(p.size() == out.size(), "dequantize: size mismatch");
+  const double scale = 2.0 * eb;
+  const float scalef = static_cast<float>(scale);
+  // The fast product needs a normal, finite f32 scale; fall back to the
+  // exact expression when 2·eb rounds to zero/subnormal/inf in f32.
+  if (!(scale >= FLT_MIN && scale <= FLT_MAX)) {
+    dequantize_impl(p, eb, out);
+    return;
+  }
+  constexpr i64 kExactF32 = i64{1} << 24;  // float(p) exact below this
+  parallel_chunks(p.size(), kQuantGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      const i64 v = p[i];
+      out[i] = (v > -kExactF32 && v < kExactF32)
+                   ? static_cast<f32>(v) * scalef
+                   : static_cast<f32>(static_cast<double>(v) * scale);
+    }
+  });
 }
 
 size_t quant_encode_v2(std::span<const i64> deltas, std::span<u16> codes) {
@@ -74,8 +104,8 @@ QuantV2Result quant_encode_v2(std::span<const i64> deltas) {
 
 void quant_decode_v2(std::span<const u16> codes, std::span<i64> deltas) {
   FZ_REQUIRE(codes.size() == deltas.size(), "quant: size mismatch");
-  parallel_for(0, codes.size(), [&](size_t i) {
-    deltas[i] = sign_magnitude_decode(codes[i]);
+  parallel_chunks(codes.size(), size_t{1} << 16, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) deltas[i] = sign_magnitude_decode(codes[i]);
   });
 }
 

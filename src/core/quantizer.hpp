@@ -27,6 +27,14 @@ void prequantize(std::span<const f64> data, double eb, std::span<i64> out);
 void dequantize(std::span<const i64> p, double eb, std::span<f32> out);
 void dequantize(std::span<const i64> p, double eb, std::span<f64> out);
 
+/// All-f32 reconstruction fast path: float(p_i) · float(2eb) while
+/// |p_i| < 2^24 (where float(p_i) is exact), the double expression above
+/// otherwise.  Differs from dequantize by at most the product's f32
+/// rounding — the reconstruction still honours the error bound (pinned by
+/// QuantizerTest.F32FastDequantHonoursBound).  Selected by
+/// FzParams::f32_fast_quant.
+void dequantize_f32fast(std::span<const i64> p, double eb, std::span<f32> out);
+
 // ---- V2: optimized (sign-magnitude, saturating) ----------------------------
 
 struct QuantV2Result {

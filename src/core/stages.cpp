@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "core/bitshuffle.hpp"
 #include "core/encoder.hpp"
+#include "core/kernels_simd.hpp"
 #include "core/lorenzo.hpp"
 #include "substrate/bitio.hpp"
 #include "substrate/scan.hpp"
@@ -37,10 +38,16 @@ void PipelineContext::begin_compress(BufferPool* p, const FzParams& run_params,
   stats = {};
 }
 
-void PipelineContext::begin_decompress(BufferPool* p, ByteSpan run_stream,
-                                       size_t n, u8 run_dtype, void* out) {
+void PipelineContext::begin_decompress(BufferPool* p,
+                                       const FzParams& run_params,
+                                       ByteSpan run_stream, size_t n,
+                                       u8 run_dtype, void* out) {
   pool = p;
   params = {};
+  // Host execution knobs survive into the decompress stages; the
+  // stream-derived fields (quant, eb, ...) are filled by ParseHeaderStage.
+  params.simd = run_params.simd;
+  params.f32_fast_quant = run_params.f32_fast_quant;
   dims = {};
   count = n;
   dtype = run_dtype;
@@ -70,6 +77,8 @@ void PipelineContext::release_scratch() {
   offsets.release();
   scan_scratch.release();
   blocks.release();
+  row_scratch.release();
+  plane_scratch.release();
 }
 
 namespace {
@@ -131,11 +140,13 @@ class ResolveTransformStage final : public Stage {
     if (ctx.log_transform) {
       ctx.values = ctx.pool->acquire(ctx.count * sizeof(T), false);
       const std::span<T> values = ctx.values.as<T>();
-      parallel_for(0, data.size(), [&](size_t i) {
-        FZ_REQUIRE(data[i] > 0,
-                   "point-wise relative bounds require strictly positive data "
-                   "(apply an offset or use an absolute bound)");
-        values[i] = static_cast<T>(std::log(static_cast<double>(data[i])));
+      parallel_chunks(data.size(), size_t{1} << 14, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          FZ_REQUIRE(data[i] > 0,
+                     "point-wise relative bounds require strictly positive "
+                     "data (apply an offset or use an absolute bound)");
+          values[i] = static_cast<T>(std::log(static_cast<double>(data[i])));
+        }
       });
     }
   }
@@ -148,12 +159,15 @@ class DualQuantStage final : public Stage {
   const char* name() const override { return "dual-quant"; }
 
   void run(PipelineContext& ctx) const override {
+    const SimdLevel level = resolve_simd(ctx.params.simd);
     ctx.pq = ctx.pool->acquire(ctx.count * sizeof(i64), false);
     const std::span<i64> pq = ctx.pq.as<i64>();
     if (ctx.dtype == sizeof(f64)) {
-      prequantize(source<f64>(ctx), ctx.abs_eb, pq);
+      prequantize_simd(source<f64>(ctx), ctx.abs_eb, pq, level);
+    } else if (ctx.params.f32_fast_quant) {
+      prequantize_f32fast(source<f32>(ctx), ctx.abs_eb, pq, level);
     } else {
-      prequantize(source<f32>(ctx), ctx.abs_eb, pq);
+      prequantize_simd(source<f32>(ctx), ctx.abs_eb, pq, level);
     }
     lorenzo_forward(pq, ctx.dims, pq);
     // Anchor the first value: its "residual" is the value itself, which can
@@ -165,7 +179,8 @@ class DualQuantStage final : public Stage {
     ctx.codes = ctx.pool->acquire(ctx.padded_codes() * sizeof(u16), false);
     const std::span<u16> codes = ctx.codes.as<u16>();
     if (ctx.params.quant == QuantVersion::V2Optimized) {
-      ctx.stats.saturated = quant_encode_v2(pq, codes.first(ctx.count));
+      ctx.stats.saturated =
+          quant_encode_v2_simd(pq, codes.first(ctx.count), level);
       ctx.radius = 0;
     } else {
       quant_encode_v1(pq, ctx.params.radius, codes.first(ctx.count),
@@ -191,14 +206,65 @@ class BitshuffleMarkStage final : public Stage {
   const char* name() const override { return "bitshuffle-mark"; }
 
   void run(PipelineContext& ctx) const override {
+    const SimdLevel level = resolve_simd(ctx.params.simd);
     ctx.shuffled = ctx.pool->acquire(ctx.total_words() * sizeof(u32), false);
-    bitshuffle_tiles(ctx.codes.as<u32>(), ctx.shuffled.as<u32>());
+    bitshuffle_tiles_simd(ctx.codes.as<u32>(), ctx.shuffled.as<u32>(), level);
 
     ctx.byte_flags = ctx.pool->acquire(ctx.total_blocks(), false);
     ctx.bit_flags =
         ctx.pool->acquire(div_ceil(ctx.total_blocks(), 8), false);
-    mark_blocks(ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
-                ctx.bit_flags.as<u8>());
+    mark_blocks_simd(ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
+                     ctx.bit_flags.as<u8>(), level);
+  }
+};
+
+/// The fused host pipeline (paper §3.4's fusion idea applied to the whole
+/// compress hot path): pre-quantize + Lorenzo + residual encode + tile
+/// bitshuffle + zero-block mark in one pass over the input, tile by tile.
+/// Replaces DualQuantStage + BitshuffleMarkStage; the i64 pre-quant array
+/// never exists, only O(row)/O(plane) rolling scratch.  V2 only.
+class FusedQuantShuffleMarkStage final : public Stage {
+ public:
+  const char* name() const override { return "fused-quant-shuffle-mark"; }
+
+  void run(PipelineContext& ctx) const override {
+    FZ_REQUIRE(ctx.params.quant == QuantVersion::V2Optimized,
+               "fused graph supports V2 quantization only");
+    const SimdLevel level = resolve_simd(ctx.params.simd);
+    ctx.shuffled = ctx.pool->acquire(ctx.total_words() * sizeof(u32), false);
+    ctx.byte_flags = ctx.pool->acquire(ctx.total_blocks(), false);
+    ctx.bit_flags = ctx.pool->acquire(div_ceil(ctx.total_blocks(), 8), false);
+    ctx.row_scratch = ctx.pool->acquire(
+        fused_row_scratch_elems(ctx.dims) * sizeof(i64), false);
+    const size_t plane_elems = fused_plane_scratch_elems(ctx.dims);
+    std::span<i64> plane;
+    if (plane_elems != 0) {
+      ctx.plane_scratch = ctx.pool->acquire(plane_elems * sizeof(i64), false);
+      plane = ctx.plane_scratch.as<i64>();
+    }
+
+    FusedTileResult r;
+    if (ctx.dtype == sizeof(f64)) {
+      r = fused_quant_shuffle_mark(
+          source<f64>(ctx), ctx.dims, ctx.abs_eb, false, ctx.shuffled.as<u32>(),
+          ctx.byte_flags.as<u8>(), ctx.bit_flags.as<u8>(),
+          ctx.row_scratch.as<i64>(), plane, level);
+    } else {
+      r = fused_quant_shuffle_mark(
+          source<f32>(ctx), ctx.dims, ctx.abs_eb, ctx.params.f32_fast_quant,
+          ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
+          ctx.bit_flags.as<u8>(), ctx.row_scratch.as<i64>(), plane, level);
+    }
+    ctx.anchor = r.anchor;
+    ctx.stats.saturated = r.saturated;
+    ctx.radius = 0;
+  }
+
+ private:
+  template <typename T>
+  static std::span<const T> source(const PipelineContext& ctx) {
+    return ctx.log_transform ? std::span<const T>(ctx.values.as<T>())
+                             : ctx.input_as<T>();
   }
 };
 
@@ -346,7 +412,8 @@ class ScatterUnshuffleStage final : public Stage {
                   ctx.offsets.as<u32>(), ctx.scan_scratch.as<u32>());
 
     ctx.codes = ctx.pool->acquire(nwords * sizeof(u32), false);
-    bitunshuffle_tiles(ctx.shuffled.as<u32>(), ctx.codes.as<u32>());
+    bitunshuffle_tiles_simd(ctx.shuffled.as<u32>(), ctx.codes.as<u32>(),
+                            resolve_simd(ctx.params.simd));
   }
 };
 
@@ -364,8 +431,9 @@ class InverseQuantStage final : public Stage {
       quant_decode_v2(codes, pq);
     } else {
       const i64 radius = ctx.radius;
-      parallel_for(0, ctx.count, [&](size_t i) {
-        pq[i] = static_cast<i64>(codes[i]) - radius;  // code 0 fixed up below
+      parallel_chunks(ctx.count, size_t{1} << 16, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+          pq[i] = static_cast<i64>(codes[i]) - radius;  // code 0 fixed below
       });
       // Non-outlier zeros cannot occur: code 0 is reserved for outliers.
       const u8* rec = ctx.sec_outliers.data();
@@ -397,10 +465,19 @@ class ReconstructStage final : public Stage {
   template <typename T>
   static void run_impl(PipelineContext& ctx) {
     const std::span<T> out = ctx.output_as<T>();
-    dequantize(ctx.pq.as<i64>(), ctx.abs_eb, out);
+    if constexpr (std::is_same_v<T, f32>) {
+      if (ctx.params.f32_fast_quant) {
+        dequantize_f32fast(ctx.pq.as<i64>(), ctx.abs_eb, out);
+      } else {
+        dequantize(ctx.pq.as<i64>(), ctx.abs_eb, out);
+      }
+    } else {
+      dequantize(ctx.pq.as<i64>(), ctx.abs_eb, out);
+    }
     if (!ctx.log_transform) return;
-    parallel_for(0, out.size(), [&](size_t i) {
-      out[i] = static_cast<T>(std::exp(static_cast<double>(out[i])));
+    parallel_chunks(out.size(), size_t{1} << 14, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i)
+        out[i] = static_cast<T>(std::exp(static_cast<double>(out[i])));
     });
   }
 };
@@ -412,6 +489,15 @@ StageGraph make_compress_stages() {
   g.push_back(std::make_unique<ResolveTransformStage>());
   g.push_back(std::make_unique<DualQuantStage>());
   g.push_back(std::make_unique<BitshuffleMarkStage>());
+  g.push_back(std::make_unique<EncodeStage>());
+  g.push_back(std::make_unique<AssembleStage>());
+  return g;
+}
+
+StageGraph make_compress_stages_fused() {
+  StageGraph g;
+  g.push_back(std::make_unique<ResolveTransformStage>());
+  g.push_back(std::make_unique<FusedQuantShuffleMarkStage>());
   g.push_back(std::make_unique<EncodeStage>());
   g.push_back(std::make_unique<AssembleStage>());
   return g;

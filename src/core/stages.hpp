@@ -71,6 +71,8 @@ struct PipelineContext {
   PooledBuffer offsets;     ///< u32[total_blocks()]: scan output
   PooledBuffer scan_scratch;  ///< u32: blocked-scan chunk totals/offsets
   PooledBuffer blocks;      ///< u32: compacted blocks (worst case sized)
+  PooledBuffer row_scratch;    ///< i64: fused pipeline rolling rows
+  PooledBuffer plane_scratch;  ///< i64: fused pipeline previous plane (3-D)
 
   // ---- data-dependent results ---------------------------------------------
   i64 anchor = 0;
@@ -100,9 +102,12 @@ struct PipelineContext {
   void begin_compress(BufferPool* p, const FzParams& run_params, Dims run_dims,
                       size_t n, u8 run_dtype, const void* data,
                       std::vector<u8>* out);
-  /// Prepare the context for a decompression run.
-  void begin_decompress(BufferPool* p, ByteSpan run_stream, size_t n,
-                        u8 run_dtype, void* out);
+  /// Prepare the context for a decompression run.  `run_params` carries
+  /// only the host execution knobs (simd, f32_fast_quant); everything
+  /// stream-related comes from the parsed header.
+  void begin_decompress(BufferPool* p, const FzParams& run_params,
+                        ByteSpan run_stream, size_t n, u8 run_dtype,
+                        void* out);
   /// Return every pooled lease to the pool (end of a run).
   void release_scratch();
 };
@@ -121,5 +126,12 @@ using StageGraph = std::vector<std::unique_ptr<Stage>>;
 /// Build the compression / decompression stage graphs (see file comment).
 StageGraph make_compress_stages();
 StageGraph make_decompress_stages();
+
+/// The fused-host compression graph: DualQuantStage + BitshuffleMarkStage
+/// are replaced by one FusedQuantShuffleMarkStage that streams the input
+/// through cache-resident tiles (core/kernels_simd.hpp), never
+/// materializing the i64 pre-quant array.  V2 quantization only; the
+/// output stream is byte-identical to make_compress_stages().
+StageGraph make_compress_stages_fused();
 
 }  // namespace fz

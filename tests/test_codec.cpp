@@ -169,5 +169,96 @@ TEST(ChunkedParallel, WorkerCountAboveChunkCountIsFine) {
   EXPECT_TRUE(error_bounded(f.values(), d.data, c.stats.abs_eb));
 }
 
+TEST(Codec, FusedGraphMatchesUnfusedByteForByte) {
+  // ISSUE PR3: the fused tile pipeline must emit *exactly* the bytes the
+  // unfused five-stage graph emits, for every rank, dtype and SIMD tier.
+  const Dims cases[] = {Dims{4113}, Dims{129, 65}, Dims{24, 17, 9}};
+  for (const Dims dims : cases) {
+    const Field f = noisy_field(dims, 5 + dims.count());
+    const std::vector<f64> wide(f.data.begin(), f.data.end());
+    for (const SimdDispatch d :
+         {SimdDispatch::Auto, SimdDispatch::Scalar, SimdDispatch::SSE2,
+          SimdDispatch::AVX2}) {
+      FzParams unfused;
+      unfused.eb = ErrorBound::relative(1e-3);
+      unfused.fused_host_graph = false;
+      unfused.simd = d;
+      FzParams fused = unfused;
+      fused.fused_host_graph = true;
+
+      Codec cu(unfused), cf(fused);
+      const auto u32s = cu.compress(f.values(), f.dims);
+      const auto f32s = cf.compress(f.values(), f.dims);
+      ASSERT_EQ(u32s.bytes, f32s.bytes) << "f32 dims " << dims.x;
+      EXPECT_EQ(u32s.stats.saturated, f32s.stats.saturated);
+
+      const auto u64s = cu.compress(std::span<const f64>{wide}, f.dims);
+      const auto f64s = cf.compress(std::span<const f64>{wide}, f.dims);
+      ASSERT_EQ(u64s.bytes, f64s.bytes) << "f64 dims " << dims.x;
+    }
+  }
+}
+
+TEST(Codec, FusedGraphMatchesUnfusedWithTransformsAndV1Fallback) {
+  // Log transform feeds the fused stage from the transformed buffer; V1
+  // quantization must silently fall back to the unfused graph.
+  const Field f = noisy_field(Dims{96, 40}, 41);
+  FzParams base;
+  base.eb = ErrorBound::pointwise_relative(1e-3);
+  FzParams fused = base;
+  fused.fused_host_graph = true;
+  FzParams unfused = base;
+  unfused.fused_host_graph = false;
+  Codec cf(fused), cu(unfused);
+  EXPECT_EQ(cf.compress(f.values(), f.dims).bytes,
+            cu.compress(f.values(), f.dims).bytes);
+
+  FzParams v1 = fused;
+  v1.eb = ErrorBound::relative(1e-3);
+  v1.quant = QuantVersion::V1Original;
+  FzParams v1u = v1;
+  v1u.fused_host_graph = false;
+  Codec cv1(v1), cv1u(v1u);
+  const auto a = cv1.compress(f.values(), f.dims);
+  const auto b = cv1u.compress(f.values(), f.dims);
+  EXPECT_EQ(a.bytes, b.bytes);
+  const FzDecompressed rt = cv1.decompress(a.bytes);
+  EXPECT_TRUE(error_bounded(f.values(), rt.data, a.stats.abs_eb));
+}
+
+TEST(Codec, F32FastQuantKeepsStreamsIdenticalAndBounded) {
+  // The f32 fast-quant path's margin test routes boundary-adjacent values
+  // through the exact kernel, so the compressed stream is byte-identical
+  // to the default path; reconstruction may differ by an f32 ulp but must
+  // stay inside the bound.
+  const Field f = noisy_field(Dims{64, 48, 5}, 53);
+  double max_abs = 0;
+  for (const f32 v : f.data) max_abs = std::max(max_abs, std::fabs(double{v}));
+  for (const double rel : {1e-2, 1e-3, 1e-4}) {
+    FzParams slow;
+    slow.eb = ErrorBound::relative(rel);
+    FzParams fast = slow;
+    fast.f32_fast_quant = true;
+    Codec cs(slow), cf(fast);
+    const auto a = cs.compress(f.values(), f.dims);
+    const auto b = cf.compress(f.values(), f.dims);
+    ASSERT_EQ(a.bytes, b.bytes) << "rel=" << rel;
+
+    // The fast dequant's extra rounding is relative to the value itself
+    // (float(2eb) carries a 2^-24 relative error): reconstructions differ
+    // from the default path by f32 representation noise only.
+    const FzDecompressed slow_rt = cs.decompress(b.bytes);
+    const FzDecompressed fast_rt = cf.decompress(b.bytes);
+    for (size_t i = 0; i < f.data.size(); ++i)
+      ASSERT_NEAR(fast_rt.data[i], slow_rt.data[i], max_abs * 0x1p-22)
+          << "rel=" << rel << " i=" << i;
+    if (b.stats.saturated == 0) {
+      EXPECT_TRUE(error_bounded(f.values(), fast_rt.data,
+                                b.stats.abs_eb + max_abs * 0x1p-22))
+          << "rel=" << rel;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fz

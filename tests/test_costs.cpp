@@ -126,5 +126,29 @@ TEST(CostModel, RealRunStatsFeedTheModelConsistently) {
   EXPECT_LE(total, 10 * f.bytes());
 }
 
+TEST(CostModel, FusedTileSheetDropsExactlyTheCodeRoundTrip) {
+  // The fused tile pipeline (PR3) merges the pred-quant and
+  // bitshuffle-mark sheets into one launch; the DRAM bytes it saves are
+  // precisely the u16 code array's write + padded re-read, with the
+  // arithmetic (thread ops, shared traffic) unchanged.
+  const FzStats st = stats_for((1 << 20) + 12345, 0.3);
+  FzParams params;  // V2, fused bitshuffle-mark
+  const auto split = fz_compression_costs(st, params);
+  const cudasim::CostSheet fused = fz_fused_tile_cost(st);
+
+  const u64 split_bytes = split[0].global_bytes() + split[1].global_bytes();
+  EXPECT_EQ(split_bytes - fused.global_bytes(), fz_fusion_traffic_saved(st));
+  EXPECT_EQ(fused.thread_ops, split[0].thread_ops + split[1].thread_ops);
+  EXPECT_EQ(fused.shared_transactions,
+            split[0].shared_transactions + split[1].shared_transactions);
+  EXPECT_EQ(fused.kernel_launches, 1u);
+  EXPECT_LT(fused.global_bytes(), split_bytes);
+
+  // On the modeled device the fused stage is strictly faster.
+  const cudasim::DeviceModel dev{cudasim::DeviceSpec::a100()};
+  EXPECT_LT(dev.seconds(fused),
+            dev.seconds(split[0]) + dev.seconds(split[1]));
+}
+
 }  // namespace
 }  // namespace fz

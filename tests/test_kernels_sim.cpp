@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bits.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "core/bitshuffle.hpp"
 #include "core/encoder.hpp"
+#include "core/format.hpp"
 #include "core/kernels_sim.hpp"
+#include "core/kernels_simd.hpp"
 #include "core/lorenzo.hpp"
 #include "core/pipeline.hpp"
 #include "core/quantizer.hpp"
@@ -178,6 +182,75 @@ TEST(SimPredQuant, FeedsTheFullSimulatedPipeline) {
   std::vector<u32> back(words.size());
   sim_bitunshuffle(restored, back);
   EXPECT_TRUE(std::equal(words.begin(), words.end(), back.begin()));
+}
+
+TEST(SimFusedQuant, MatchesHostFusedStageExactly) {
+  // The single-launch device kernel (quant + Lorenzo + encode + transpose
+  // + mark) must produce the same shuffled words, flag arrays and anchor
+  // as the host fused tile pipeline, byte for byte — including tile
+  // padding and residual saturation clipping.
+  for (const Dims dims : {Dims{777}, Dims{4113}, Dims{33, 21}, Dims{9, 10, 11}}) {
+    Field f;
+    f.dims = dims;
+    f.data.resize(dims.count());
+    Rng rng(dims.count() + 1);
+    for (auto& v : f.data) v = static_cast<f32>(rng.uniform(-50.0, 50.0));
+    const double abs_eb = 0.01;
+
+    const size_t words = round_up(f.count(), kCodesPerTile) / 2;
+    const size_t blocks = words / kBlockWords;
+    std::vector<u32> host_shuffled(words), sim_shuffled(words);
+    std::vector<u8> host_byte(blocks), host_bit(blocks / 8);
+    std::vector<i64> row_scratch(fused_row_scratch_elems(dims));
+    std::vector<i64> plane_scratch(fused_plane_scratch_elems(dims));
+    const FusedTileResult host = fused_quant_shuffle_mark(
+        f.values(), dims, abs_eb, /*f32_fast=*/false, host_shuffled,
+        host_byte, host_bit, row_scratch, plane_scratch, SimdLevel::Scalar);
+
+    std::vector<u8> sim_byte, sim_bit;
+    std::vector<i64> anchor(1, -1);
+    const auto cost = sim_fused_quant_shuffle_mark(
+        f.values(), dims, abs_eb, sim_shuffled, sim_byte, sim_bit, anchor);
+    EXPECT_EQ(sim_shuffled, host_shuffled) << dims.to_string();
+    EXPECT_EQ(sim_byte, host_byte) << dims.to_string();
+    EXPECT_EQ(sim_bit, host_bit) << dims.to_string();
+    EXPECT_EQ(anchor[0], host.anchor) << dims.to_string();
+
+    // One launch; the u16 code array never touches global memory, so the
+    // only writes are the shuffled words, the flags, and the anchor.
+    EXPECT_EQ(cost.kernel_launches, 1u);
+    EXPECT_EQ(cost.global_bytes_written, words * sizeof(u32) + blocks +
+                                             blocks / 8 + sizeof(i64));
+  }
+}
+
+TEST(SimFusedQuant, ClipsSaturatedResidualsLikeTheHost) {
+  // Steps far beyond the 16-bit residual range must clip identically.
+  Field f;
+  f.dims = Dims{1500};
+  f.data.resize(f.dims.count());
+  Rng rng(5);
+  for (size_t i = 0; i < f.data.size(); ++i)
+    f.data[i] = (i % 7 == 0) ? static_cast<f32>(rng.uniform(-4e6, 4e6))
+                             : static_cast<f32>(rng.uniform(-1.0, 1.0));
+  const double abs_eb = 1e-3;
+
+  const size_t words = round_up(f.count(), kCodesPerTile) / 2;
+  std::vector<u32> host_shuffled(words), sim_shuffled(words);
+  std::vector<u8> host_byte(words / kBlockWords), host_bit(host_byte.size() / 8);
+  std::vector<i64> row_scratch(fused_row_scratch_elems(f.dims));
+  std::vector<i64> plane_scratch(fused_plane_scratch_elems(f.dims));
+  const FusedTileResult host = fused_quant_shuffle_mark(
+      f.values(), f.dims, abs_eb, /*f32_fast=*/false, host_shuffled,
+      host_byte, host_bit, row_scratch, plane_scratch, SimdLevel::Scalar);
+  ASSERT_GT(host.saturated, 0u);  // the test is vacuous otherwise
+
+  std::vector<u8> sim_byte, sim_bit;
+  std::vector<i64> anchor(1);
+  sim_fused_quant_shuffle_mark(f.values(), f.dims, abs_eb, sim_shuffled,
+                               sim_byte, sim_bit, anchor);
+  EXPECT_EQ(sim_shuffled, host_shuffled);
+  EXPECT_EQ(anchor[0], host.anchor);
 }
 
 TEST(SimHuffman, CoarseGrainedEncodeMatchesNativeByteForByte) {

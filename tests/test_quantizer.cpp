@@ -2,10 +2,14 @@
 #include "common/error.hpp"
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "core/kernels_simd.hpp"
 #include "core/quantizer.hpp"
+#include "datasets/generators.hpp"
 
 namespace fz {
 namespace {
@@ -172,6 +176,44 @@ TEST_P(DualQuantProperty, EndToEndBoundThroughBothVersions) {
 
 INSTANTIATE_TEST_SUITE_P(Bounds, DualQuantProperty,
                          ::testing::Values(1e-1, 1e-2, 1e-3));
+
+TEST(QuantizerTest, F32FastPathMatchesExactOnTier1) {
+  // ISSUE PR3 satellite: the float-multiply fast path must produce the
+  // exact same quantization codes as the double path on the tier-1
+  // benchmark datasets (its margin test guarantees this in general; this
+  // pins it on the data we actually ship results for).
+  for (const Field& f : benchmark_suite(0.08, 42)) {
+    const auto [lo, hi] = std::minmax_element(f.data.begin(), f.data.end());
+    const double range = static_cast<double>(*hi) - static_cast<double>(*lo);
+    for (const double rel : {1e-2, 1e-4}) {
+      const double eb = rel * range;
+      std::vector<i64> want(f.data.size()), got(f.data.size());
+      prequantize(f.values(), eb, want);
+      for (const SimdLevel level :
+           {SimdLevel::Scalar, resolve_simd(SimdDispatch::Auto)}) {
+        std::fill(got.begin(), got.end(), -1);
+        prequantize_f32fast(f.values(), eb, got, level);
+        ASSERT_EQ(want, got) << f.dataset << "/" << f.name << " rel=" << rel
+                             << " " << simd_level_name(level);
+      }
+    }
+  }
+}
+
+TEST(QuantizerTest, F32FastDequantHonoursBound) {
+  // Reconstruction via float(p) * float(2eb): error at most the bound plus
+  // f32 representation noise of the value itself.
+  Rng rng(7);
+  const double eb = 1e-3;
+  std::vector<f32> data(10000);
+  for (auto& v : data) v = static_cast<f32>(rng.uniform(-500.0, 500.0));
+  std::vector<i64> p(data.size());
+  prequantize(std::span<const f32>{data}, eb, p);
+  std::vector<f32> rec(data.size());
+  dequantize_f32fast(p, eb, rec);
+  for (size_t i = 0; i < data.size(); ++i)
+    ASSERT_NEAR(rec[i], data[i], eb + std::fabs(data[i]) * 0x1p-22) << i;
+}
 
 }  // namespace
 }  // namespace fz

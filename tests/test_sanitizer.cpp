@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/bitshuffle.hpp"
+#include "core/format.hpp"
 #include "core/kernels_sim.hpp"
 #include "cudasim/launch.hpp"
 #include "substrate/huffman.hpp"
@@ -331,6 +332,16 @@ TEST(Fzcheck, AllShippingKernelsAreHazardFree) {
   std::vector<u16> codes(field.size());
   sim_pred_quant_v2(field, dims, 1e-3, codes);
 
+  // single-launch fused quant + shuffle + mark (the PR3 tile pipeline)
+  {
+    const size_t words = round_up(field.size(), kCodesPerTile) / 2;
+    std::vector<u32> fused_out(words);
+    std::vector<u8> fused_byte, fused_bit;
+    std::vector<i64> anchor(1);
+    sim_fused_quant_shuffle_mark(field, dims, 1e-3, fused_out, fused_byte,
+                                 fused_bit, anchor);
+  }
+
   // fused bitshuffle + mark, compaction, scatter, inverse shuffle
   const auto in = random_words(2 * kTileWords, 12);
   std::vector<u32> shuffled(in.size()), back(in.size());
@@ -382,6 +393,32 @@ TEST(Fzcheck, MissingBarrierVariantRaces) {
                             BitshuffleFault::MissingBarrier);
   EXPECT_GT(fzcheck.report().count(Hazard::SharedRace), 0u);
   EXPECT_EQ(fzcheck.report().count(Hazard::BankConflict), 0u);
+}
+
+TEST(Fzcheck, FusedQuantKernelInheritsTheFaultKnobs) {
+  // The fused quant kernel shares the transpose/mark tail, so the same
+  // injected defects must produce the same diagnostics.
+  std::vector<f32> field(kCodesPerTile);
+  Rng rng(21);
+  for (auto& v : field) v = static_cast<f32>(rng.uniform(-5.0, 5.0));
+  const Dims dims{field.size()};
+  std::vector<u32> out(kTileWords);
+  std::vector<u8> bf, ff;
+  std::vector<i64> anchor(1);
+  {
+    ScopedSanitizer fzcheck;
+    sim_fused_quant_shuffle_mark(field, dims, 1e-3, out, bf, ff, anchor,
+                                 /*padded_shared=*/true,
+                                 BitshuffleFault::MissingBarrier);
+    EXPECT_GT(fzcheck.report().count(Hazard::SharedRace), 0u);
+  }
+  {
+    ScopedSanitizer fzcheck;
+    sim_fused_quant_shuffle_mark(field, dims, 1e-3, out, bf, ff, anchor,
+                                 /*padded_shared=*/false);
+    EXPECT_GT(fzcheck.report().count(Hazard::BankConflict), 0u);
+    EXPECT_EQ(fzcheck.report().count(Hazard::SharedRace), 0u);
+  }
 }
 
 TEST(Fzcheck, DivergentBallotVariantDeadlocksWithDiagnostic) {
