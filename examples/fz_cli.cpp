@@ -7,19 +7,23 @@
 //   fz_cli info       <in.fz>
 //   fz_cli verify     <orig.f32> <in.fz>        # check the error bound
 //
+// Any command accepts --trace <out.json>: the whole run is recorded into a
+// telemetry sink and exported as a Chrome trace (open in chrome://tracing
+// or https://ui.perfetto.dev), with a per-stage summary on stderr.
+//
 // Examples:
 //   fz_cli compress CLDHGH_1_1800_3600.f32 cldhgh.fz -d 3600 1800 -e 1e-3
 //   fz_cli decompress cldhgh.fz restored.f32
+//   fz_cli --trace trace.json compress CLDHGH_1_1800_3600.f32 out.fz -d 3600 1800
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "core/chunked.hpp"
-#include "core/pipeline.hpp"
 #include "datasets/generators.hpp"
-#include "datasets/loader.hpp"
-#include "metrics/metrics.hpp"
+#include "fz.hpp"
 
 namespace {
 
@@ -34,7 +38,9 @@ int usage() {
       "  fz_cli decompress <in.fz> <out.f32>\n"
       "  fz_cli info       <in.fz>\n"
       "  fz_cli verify     <orig.f32> <in.fz>\n"
-      "  fz_cli selftest\n");
+      "  fz_cli selftest\n"
+      "global flags (before the command):\n"
+      "  --trace <out.json>   write a Chrome trace of the run\n");
   return 2;
 }
 
@@ -120,7 +126,7 @@ int cmd_compress(int argc, char** argv) {
 int cmd_decompress(int argc, char** argv) {
   if (argc != 4) return usage();
   const std::vector<u8> bytes = load_bytes(argv[2]);
-  if (!is_container(bytes) && fz_inspect(bytes).dtype_bytes == 8) {
+  if (!is_container(bytes) && inspect(bytes).dtype_bytes == 8) {
     const FzDecompressed64 d = fz_decompress_f64(bytes);
     save_f64_file(argv[3], d.data);
     std::printf("%s: %s, %zu values (f64)\n", argv[3],
@@ -143,13 +149,22 @@ int cmd_info(int argc, char** argv) {
                 bytes.size());
     return 0;
   }
-  const FzHeaderInfo info = fz_inspect(bytes);
-  std::printf("FZ stream: dims %s, %zu values (f%u), abs eb %.6g, quant v%d, "
-              "%zu bytes (ratio %.2fx)\n",
-              info.dims.to_string().c_str(), info.count, info.dtype_bytes * 8,
-              info.abs_eb, static_cast<int>(info.quant), bytes.size(),
-              static_cast<double>(info.count * info.dtype_bytes) /
-                  static_cast<double>(bytes.size()));
+  const StreamInfo info = inspect(bytes);
+  std::printf("FZ stream v%u: dims %s, %zu values (f%u)\n",
+              info.format_version, info.dims.to_string().c_str(), info.count,
+              info.dtype_bytes * 8);
+  std::printf("  abs eb %.6g, quant v%d%s", info.abs_eb,
+              static_cast<int>(info.quant),
+              info.log_transform ? ", log-transform" : "");
+  if (info.quant == QuantVersion::V1Original)
+    std::printf(", radius %u", info.radius);
+  std::printf("\n");
+  std::printf("  layout: header %zu + bit-flags %zu + blocks %zu + "
+              "outliers %zu = %zu bytes (ratio %.2fx)\n",
+              info.header_bytes, info.bit_flag_bytes, info.block_bytes,
+              info.outlier_bytes, info.stream_bytes, info.ratio());
+  std::printf("  blocks: %zu/%zu nonzero, %zu saturated values\n",
+              info.nonzero_blocks, info.total_blocks, info.saturated);
   return 0;
 }
 
@@ -211,7 +226,7 @@ int cmd_verify(int argc, char** argv) {
       is_container(bytes) ? fz_decompress_chunked(bytes) : fz_decompress(bytes);
   const Field orig = load_f32_file(argv[2], d.dims);
   const double abs_eb =
-      is_container(bytes) ? 0.0 : fz_inspect(bytes).abs_eb;
+      is_container(bytes) ? 0.0 : inspect(bytes).abs_eb;
   const DistortionStats stats = distortion(orig.values(), d.data);
   std::printf("max abs error %.6g  PSNR %.2f dB\n", stats.max_abs_error,
               stats.psnr_db);
@@ -225,16 +240,52 @@ int cmd_verify(int argc, char** argv) {
 
 }  // namespace
 
+int run_command(int argc, char** argv) {
+  const std::string cmd = argv[1];
+  if (cmd == "compress") return cmd_compress(argc, argv);
+  if (cmd == "decompress") return cmd_decompress(argc, argv);
+  if (cmd == "info") return cmd_info(argc, argv);
+  if (cmd == "verify") return cmd_verify(argc, argv);
+  if (cmd == "selftest") return cmd_selftest();
+  return usage();
+}
+
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  // Strip global flags so the per-command parsers see a clean argv.
+  std::string trace_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+    else
+      args.push_back(argv[i]);
+  }
+  if (args.size() < 2) return usage();
+
   try {
-    const std::string cmd = argv[1];
-    if (cmd == "compress") return cmd_compress(argc, argv);
-    if (cmd == "decompress") return cmd_decompress(argc, argv);
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "verify") return cmd_verify(argc, argv);
-    if (cmd == "selftest") return cmd_selftest();
-    return usage();
+    if (trace_path.empty())
+      return run_command(static_cast<int>(args.size()), args.data());
+
+    // ScopedSink makes this sink the fallback for every codec, chunked
+    // container, and simulated kernel launch in the command — no parameter
+    // plumbing needed.
+    telemetry::Sink sink;
+    int rc;
+    {
+      telemetry::ScopedSink scope(&sink);
+      rc = run_command(static_cast<int>(args.size()), args.data());
+    }
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    sink.write_chrome_trace(out);
+    sink.write_summary(std::cerr);
+    std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

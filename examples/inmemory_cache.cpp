@@ -9,9 +9,8 @@
 #include <map>
 #include <vector>
 
-#include "core/pipeline.hpp"
 #include "datasets/generators.hpp"
-#include "metrics/metrics.hpp"
+#include "fz.hpp"
 
 namespace {
 

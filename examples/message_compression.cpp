@@ -15,12 +15,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/codec.hpp"
-#include "core/pipeline.hpp"
 #include "cudasim/device_model.hpp"
 #include "datasets/generators.hpp"
+#include "fz.hpp"
 #include "harness/experiment.hpp"
-#include "metrics/metrics.hpp"
 
 namespace {
 

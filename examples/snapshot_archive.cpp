@@ -9,10 +9,9 @@
 #include <fstream>
 #include <vector>
 
-#include "core/pipeline.hpp"
 #include "datasets/generators.hpp"
 #include "datasets/transforms.hpp"
-#include "metrics/metrics.hpp"
+#include "fz.hpp"
 
 namespace {
 

@@ -7,10 +7,17 @@
 #   2. bench smoke    — scripts/bench_smoke.sh guards the PR3 SIMD/fused
 #                       throughput against the checked-in BENCH_pr3.json
 #                       baseline (tolerance via FZ_BENCH_TOLERANCE)
-#   3. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer
-#   4. tsan           — pool/codec/chunked/threading tests under
+#   3. trace smoke    — runs fz_cli under FZ_TRACE and --trace, plus a
+#                       small bench/regress run under FZ_TRACE; in each
+#                       case scripts/validate_trace.py checks the Chrome
+#                       JSON parses, spans nest per thread, and the
+#                       expected stage/chunk spans were recorded
+#   4. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer,
+#                       plus the trace smoke re-run against the asan build
+#                       (the env-sink exit flush must be sanitizer-clean)
+#   5. tsan           — pool/codec/chunked/threading tests under
 #                       ThreadSanitizer (host-side concurrency)
-#   5. lint           — clang-tidy over src/ (.clang-tidy profile,
+#   6. lint           — clang-tidy over src/ (.clang-tidy profile,
 #                       WarningsAsErrors: any warning fails); skipped with a
 #                       notice when clang-tidy is not installed
 #
@@ -33,13 +40,45 @@ run_preset() {
   ctest --preset "${preset}" -j "${jobs}"
 }
 
+trace_smoke() {
+  # $1: fz_cli binary.  The selftest covers single-stream, f64 and chunked
+  # paths, so the trace exercises stage, chunk and per-worker spans.
+  local cli="$1"
+  local tmp
+  tmp=$(mktemp -d)
+  FZ_TRACE="${tmp}/env.json" "${cli}" selftest > /dev/null
+  "${cli}" --trace "${tmp}/cli.json" selftest > /dev/null 2> "${tmp}/summary.txt"
+  python3 scripts/validate_trace.py "${tmp}/env.json" \
+    --expect compress decompress chunk-compress prefix-sum-encode
+  python3 scripts/validate_trace.py "${tmp}/cli.json" \
+    --expect compress compress-chunked chunk-compress chunk-decompress
+  grep -q "spans by name" "${tmp}/summary.txt" ||
+    { echo "trace smoke: --trace printed no summary" >&2; exit 1; }
+  rm -rf "${tmp}"
+}
+
 run_preset default
 
 echo "==== bench smoke: SIMD + fused-pipeline throughput guard ===="
 scripts/bench_smoke.sh build/bench/regress
 
+echo "==== trace smoke: telemetry export validates ===="
+trace_smoke build/examples/fz_cli
+# A traced bench run: every env-sink codec in regress records into one
+# trace, covering both the fused and unfused compression graphs.
+trace_tmp=$(mktemp -d)
+FZ_TRACE="${trace_tmp}/regress.json" build/bench/regress \
+  --scale 0.05 --iters 1 --out "${trace_tmp}/bench.json" > /dev/null
+python3 scripts/validate_trace.py "${trace_tmp}/regress.json" \
+  --expect compress dual-quant fused-quant-shuffle-mark prefix-sum-encode
+rm -rf "${trace_tmp}"
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
+
+  echo "==== trace smoke (asan-ubsan) ===="
+  trace_smoke build-asan/examples/fz_cli
+
   run_preset tsan
 
   echo "==== lint: clang-tidy over src/ ===="

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate an FZ Chrome trace (FZ_TRACE / fz_cli --trace output).
+
+Checks, in order:
+  1. the file parses as JSON and has a non-empty "traceEvents" array;
+  2. every complete ("ph":"X") event carries name/ts/dur/pid/tid;
+  3. per (pid, tid) timeline, span intervals strictly nest: a span is either
+     fully contained in the enclosing open span or disjoint from it — a
+     partial overlap means a recorder published a torn or misattributed
+     event;
+  4. every --expect NAME appears at least once.
+
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+Usage: validate_trace.py TRACE.json [--expect NAME ...]
+"""
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--expect", nargs="*", default=[],
+                    help="span names that must appear at least once")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = []
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("X", "C"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        for key in ("name", "ts", "pid"):
+            if key not in ev:
+                fail(f"event {i}: missing {key!r}")
+        if ph == "X":
+            if "dur" not in ev or "tid" not in ev:
+                fail(f"event {i}: complete event missing dur/tid")
+            if ev["dur"] < 0:
+                fail(f"event {i} ({ev['name']}): negative duration")
+            spans.append(ev)
+
+    if not spans:
+        fail("no complete (ph=X) span events")
+
+    # Nesting: walk each thread's spans in start order with an open-span
+    # stack; every span must close before anything it contains re-opens.
+    by_tid = defaultdict(list)
+    for ev in spans:
+        by_tid[(ev["pid"], ev["tid"])].append(ev)
+    for (pid, tid), timeline in sorted(by_tid.items()):
+        timeline.sort(key=lambda ev: (ev["ts"], -ev["dur"]))
+        stack = []  # (name, start, end) of currently open spans
+        for ev in timeline:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1][2]:
+                stack.pop()
+            if stack and end > stack[-1][2]:
+                fail(f"tid {pid}/{tid}: span {ev['name']!r} "
+                     f"[{start}, {end}] partially overlaps open span "
+                     f"{stack[-1][0]!r} [{stack[-1][1]}, {stack[-1][2]}]")
+            stack.append((ev["name"], start, end))
+
+    names = {ev["name"] for ev in spans}
+    missing = [n for n in args.expect if n not in names]
+    if missing:
+        fail(f"expected span names never recorded: {missing} "
+             f"(saw: {sorted(names)})")
+
+    print(f"validate_trace: OK: {len(spans)} spans on {len(by_tid)} "
+          f"thread timeline(s), {len(names)} distinct names")
+
+
+if __name__ == "__main__":
+    main()

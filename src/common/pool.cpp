@@ -3,6 +3,11 @@
 #include <cstring>
 #include <utility>
 
+// Only the inline atomic-counter surface of the sink is used here, so
+// fz_common does not link against fz_telemetry (which itself links
+// fz_common).
+#include "telemetry/telemetry.hpp"
+
 namespace fz {
 
 PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
@@ -26,6 +31,7 @@ PooledBuffer BufferPool::acquire(size_t bytes, bool zeroed) {
   if (bytes == 0) return {};
   AlignedBuffer buf;
   bool recycled = false;
+  size_t reclaimed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Smallest cached buffer that fits.  Usage patterns are steady (the
@@ -35,7 +41,11 @@ PooledBuffer BufferPool::acquire(size_t bytes, bool zeroed) {
     if (it != free_.end()) {
       auto node = free_.extract(it);
       buf = std::move(node.mapped());
+      // Keep the emptied node so the matching put_back() reuses it instead
+      // of allocating a fresh one — the lease cycle stays heap-free.
+      spare_nodes_.push_back(std::move(node));
       recycled = true;
+      reclaimed = buf.size();
       ++stats_.hits;
       stats_.cached_bytes -= buf.size();
       --stats_.cached_buffers;
@@ -47,6 +57,16 @@ PooledBuffer BufferPool::acquire(size_t bytes, bool zeroed) {
     }
     ++stats_.leased_buffers;
   }
+  if (sink_ != nullptr) {
+    using telemetry::Counter;
+    sink_->count(recycled ? Counter::PoolHit : Counter::PoolMiss, 1);
+    if (recycled) {
+      sink_->count(Counter::PoolBytesRetained,
+                   -static_cast<i64>(reclaimed));
+    } else {
+      sink_->count(Counter::PoolBytesAllocated, static_cast<i64>(bytes));
+    }
+  }
   if (!recycled) {
     buf.resize(bytes);  // fresh allocations are already zeroed
   } else if (zeroed) {
@@ -57,19 +77,34 @@ PooledBuffer BufferPool::acquire(size_t bytes, bool zeroed) {
 
 void BufferPool::put_back(AlignedBuffer buf) {
   const size_t cap = buf.size();
+  if (sink_ != nullptr)
+    sink_->count(telemetry::Counter::PoolBytesRetained,
+                 static_cast<i64>(cap));
   std::lock_guard<std::mutex> lock(mu_);
   --stats_.leased_buffers;
   ++stats_.cached_buffers;
   stats_.cached_bytes += cap;
-  free_.emplace(cap, std::move(buf));
+  if (!spare_nodes_.empty()) {
+    auto node = std::move(spare_nodes_.back());
+    spare_nodes_.pop_back();
+    node.key() = cap;
+    node.mapped() = std::move(buf);
+    free_.insert(std::move(node));
+  } else {
+    free_.emplace(cap, std::move(buf));
+  }
 }
 
 void BufferPool::trim() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr)
+    sink_->count(telemetry::Counter::PoolBytesRetained,
+                 -static_cast<i64>(stats_.cached_bytes));
   stats_.allocated_bytes -= stats_.cached_bytes;
   stats_.cached_bytes = 0;
   stats_.cached_buffers = 0;
   free_.clear();
+  spare_nodes_.clear();
 }
 
 BufferPool::Stats BufferPool::stats() const {

@@ -24,9 +24,14 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <vector>
 
 #include "common/buffer.hpp"
 #include "common/types.hpp"
+
+namespace fz::telemetry {
+class Sink;
+}  // namespace fz::telemetry
 
 namespace fz {
 
@@ -103,14 +108,27 @@ class BufferPool {
 
   Stats stats() const;
 
+  /// Attach a telemetry sink: every acquire records a PoolHit/PoolMiss
+  /// counter tick (plus allocated/retained byte counters).  Null detaches;
+  /// with no sink the hook is a single branch.  The sink must outlive the
+  /// pool or be detached first.
+  void set_telemetry(telemetry::Sink* sink) { sink_ = sink; }
+
  private:
   friend class PooledBuffer;
   void put_back(AlignedBuffer buf);
 
+  using FreeList = std::multimap<size_t, AlignedBuffer>;
+
   mutable std::mutex mu_;
   /// Idle buffers keyed by capacity (smallest adequate buffer is reused).
-  std::multimap<size_t, AlignedBuffer> free_;
+  FreeList free_;
+  /// Map nodes emptied by acquire(), recycled by put_back() so the lease
+  /// cycle performs zero heap allocations once warm (pinned by
+  /// CodecTest.SteadyStateDoesNotAllocate's global allocation counter).
+  std::vector<FreeList::node_type> spare_nodes_;
   Stats stats_;
+  telemetry::Sink* sink_ = nullptr;
 };
 
 }  // namespace fz

@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "core/codec.hpp"
 #include "substrate/bitio.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fz {
 
@@ -76,6 +77,11 @@ size_t resolve_workers(size_t max_parallelism, size_t num_tasks) {
   return std::max<size_t>(1, std::min(cap, num_tasks));
 }
 
+telemetry::Sink* resolve_sink(const FzParams& params) {
+  return params.telemetry != nullptr ? params.telemetry
+                                     : telemetry::active_sink();
+}
+
 }  // namespace
 
 ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
@@ -107,10 +113,21 @@ ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
   // schedule.
   const size_t workers = resolve_workers(params.max_parallelism, slabs.size());
   auto codecs = make_worker_codecs(workers, base);
+  telemetry::Sink* sink = resolve_sink(base);
+  telemetry::Span total(sink, "compress-chunked");
   parallel_tasks(slabs.size(), workers, [&](size_t c, size_t w) {
     const auto [begin, len] = slabs[c];
+    // One span per chunk, recorded on the claiming worker's thread, so the
+    // exported trace shows each worker's timeline and any scheduling gaps.
+    telemetry::Span span(sink, "chunk-compress");
     parts[c] = codecs[w]->compress(data.subspan(begin * plane, len * plane),
                                    slab_dims(dims, len));
+    if (span.enabled()) {
+      span.arg("chunk", static_cast<double>(c));
+      span.arg("worker", static_cast<double>(w));
+      span.arg("bytes_in", static_cast<double>(len * plane * sizeof(f32)));
+      span.arg("bytes_out", static_cast<double>(parts[c].bytes.size()));
+    }
   });
 
   ContainerHeader h{};
@@ -135,6 +152,12 @@ ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
     out.stats.total_blocks += p.stats.total_blocks;
     out.stats.nonzero_blocks += p.stats.nonzero_blocks;
     out.chunk_costs.push_back(p.stage_costs);
+  }
+  if (total.enabled()) {
+    total.arg("chunks", static_cast<double>(out.num_chunks));
+    total.arg("workers", static_cast<double>(workers));
+    total.arg("bytes_in", static_cast<double>(out.stats.input_bytes));
+    total.arg("bytes_out", static_cast<double>(out.stats.compressed_bytes));
   }
   return out;
 }
@@ -222,13 +245,22 @@ FzDecompressed fz_decompress_chunked(ByteSpan stream, size_t max_parallelism) {
   std::vector<std::vector<cudasim::CostSheet>> chunk_costs(slabs.size());
   const size_t workers = resolve_workers(max_parallelism, slabs.size());
   auto codecs = make_worker_codecs(workers, FzParams{});
+  telemetry::Sink* sink = resolve_sink(FzParams{});
+  telemetry::Span total(sink, "decompress-chunked");
   parallel_tasks(slabs.size(), workers, [&](size_t c, size_t w) {
     const auto [begin, len] = slabs[c];
     const ByteSpan chunk =
         stream.subspan(idx.payload_pos + idx.offsets[c], idx.sizes[c]);
+    telemetry::Span span(sink, "chunk-decompress");
     codecs[w]->decompress_into(
         chunk, std::span<f32>{out.data}.subspan(begin * plane, len * plane),
         &chunk_costs[c]);
+    if (span.enabled()) {
+      span.arg("chunk", static_cast<double>(c));
+      span.arg("worker", static_cast<double>(w));
+      span.arg("bytes_in", static_cast<double>(chunk.size()));
+      span.arg("bytes_out", static_cast<double>(len * plane * sizeof(f32)));
+    }
   });
   for (auto& costs : chunk_costs)
     for (auto& sheet : costs) out.stage_costs.push_back(sheet);

@@ -15,13 +15,45 @@ struct ScratchGuard {
   ~ScratchGuard() { ctx.release_scratch(); }
 };
 
+/// Pool hit/miss counts before a run, for the run span's attribute delta.
+/// Only captured when a sink is attached — stats() takes the pool mutex,
+/// which the disabled-telemetry path must not pay.
+struct PoolDelta {
+  u64 hits = 0, misses = 0;
+};
+
+PoolDelta pool_delta(const BufferPool& pool, bool traced) {
+  if (!traced) return {};
+  const BufferPool::Stats s = pool.stats();
+  return {s.hits, s.misses};
+}
+
+void finish_run_span(telemetry::Span& span, const PipelineContext& ctx,
+                     const BufferPool& pool, const PoolDelta& before) {
+  if (!span.enabled()) return;
+  span.arg("bytes_in", static_cast<double>(ctx.stats.input_bytes));
+  span.arg("bytes_out", static_cast<double>(ctx.stats.compressed_bytes));
+  span.arg("tier", static_cast<double>(resolve_simd(ctx.params.simd)));
+  span.arg("tiles",
+           static_cast<double>(ctx.padded_codes() / kCodesPerTile));
+  const BufferPool::Stats after = pool.stats();
+  span.arg("pool_hits", static_cast<double>(after.hits - before.hits));
+  span.arg("pool_misses", static_cast<double>(after.misses - before.misses));
+}
+
 }  // namespace
 
 Codec::Codec(FzParams params)
     : params_(params),
+      sink_(params.telemetry != nullptr ? params.telemetry
+                                        : telemetry::active_sink()),
       compress_stages_(make_compress_stages()),
       compress_stages_fused_(make_compress_stages_fused()),
-      decompress_stages_(make_decompress_stages()) {}
+      decompress_stages_(make_decompress_stages()) {
+  std::vector<ParamIssue> issues = params_.validate();
+  if (!issues.empty()) throw ParamError(std::move(issues));
+  pool_.set_telemetry(sink_);
+}
 
 template <typename T>
 FzCompressed Codec::compress_impl(std::span<const T> data, Dims dims) {
@@ -39,8 +71,15 @@ FzCompressed Codec::compress_impl(std::span<const T> data, Dims dims) {
   ctx_.begin_compress(&pool_, params_, dims, data.size(), sizeof(T),
                       data.data(), &out.bytes);
   {
+    const PoolDelta before = pool_delta(pool_, sink_ != nullptr);
+    telemetry::Span run(sink_, "compress");
     ScratchGuard guard{ctx_};
-    for (const auto& stage : graph) stage->run(ctx_);
+    for (const auto& stage : graph) {
+      telemetry::Span span(sink_, stage->name());
+      stage->run(ctx_);
+      span.arg("bytes_in", static_cast<double>(ctx_.stats.input_bytes));
+    }
+    finish_run_span(run, ctx_, pool_, before);
   }
   out.stats = ctx_.stats;
   out.stage_costs = fz_compression_costs(out.stats, params_);
@@ -61,8 +100,15 @@ Dims Codec::decompress_into_impl(ByteSpan stream, std::span<T> out,
   ctx_.begin_decompress(&pool_, params_, stream, out.size(), sizeof(T),
                         out.data());
   {
+    const PoolDelta before = pool_delta(pool_, sink_ != nullptr);
+    telemetry::Span run(sink_, "decompress");
     ScratchGuard guard{ctx_};
-    for (const auto& stage : decompress_stages_) stage->run(ctx_);
+    for (const auto& stage : decompress_stages_) {
+      telemetry::Span span(sink_, stage->name());
+      stage->run(ctx_);
+      span.arg("bytes_in", static_cast<double>(ctx_.stats.input_bytes));
+    }
+    finish_run_span(run, ctx_, pool_, before);
   }
   if (stage_costs != nullptr) {
     FzParams params;

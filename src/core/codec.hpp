@@ -13,7 +13,13 @@
 //
 // Thread-safety: a Codec is a single-threaded engine (one context, one
 // pool).  Use one Codec per thread — fz_compress_chunked does exactly that
-// for its parallel chunk workers.
+// for its parallel chunk workers.  The telemetry sink is the one shared
+// piece: any number of codecs on any threads may point at the same
+// fz::telemetry::Sink (it must be thread-safe, and fz::telemetry::Sink is —
+// each thread appends spans to its own lock-free recorder and the recorders
+// are merged only when the sink is flushed/exported).  This contract is
+// exercised under ThreadSanitizer by test_threading.cpp
+// (Threading.SharedTelemetrySinkAcrossWorkerCodecs).
 #pragma once
 
 #include <span>
@@ -22,6 +28,7 @@
 #include "common/pool.hpp"
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fz {
 
@@ -56,6 +63,10 @@ class Codec {
   BufferPool& pool() { return pool_; }
   const BufferPool& pool() const { return pool_; }
 
+  /// The resolved telemetry sink: FzParams::telemetry if set, else the
+  /// FZ_TRACE env sink, else nullptr (all hooks disabled).
+  telemetry::Sink* telemetry_sink() const { return sink_; }
+
  private:
   template <typename T>
   FzCompressed compress_impl(std::span<const T> data, Dims dims);
@@ -64,6 +75,7 @@ class Codec {
                             std::vector<cudasim::CostSheet>* stage_costs);
 
   FzParams params_;
+  telemetry::Sink* sink_;
   BufferPool pool_;
   StageGraph compress_stages_;
   StageGraph compress_stages_fused_;

@@ -1,6 +1,11 @@
 // The FZ compressor: optimized dual-quantization → bitshuffle → fast
-// sparsification encoding (paper §3, Fig. 1).  This is the library's
-// primary public API.
+// sparsification encoding (paper §3, Fig. 1).
+//
+// The engine behind everything here is fz::Codec (core/codec.hpp); the
+// fz_compress/fz_decompress free functions are thin conveniences that build
+// a throwaway Codec per call.  Hold a Codec when compressing repeatedly —
+// its scratch pool makes steady-state calls allocation-free.  Include
+// "fz.hpp" to get both plus the rest of the public surface.
 //
 // Usage:
 //   fz::FzParams params;
@@ -18,16 +23,40 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/simd.hpp"
 #include "common/types.hpp"
 #include "core/quantizer.hpp"
 #include "cudasim/cost_sheet.hpp"
+
+namespace fz::telemetry {
+class Sink;
+}  // namespace fz::telemetry
 
 namespace fz {
 
 enum class QuantVersion : u8 {
   V1Original = 1,   ///< cuSZ-style: radius shift + outlier list (ablation)
   V2Optimized = 2,  ///< FZ: sign-magnitude, no outliers (the default)
+};
+
+/// One problem found by FzParams::validate(): which field is wrong and why.
+struct ParamIssue {
+  const char* field;    ///< parameter name ("eb", "radius", "dims", ...)
+  std::string message;  ///< human-readable explanation
+};
+
+/// Thrown when a Codec is built from (or run with) invalid parameters.  One
+/// error type for every misuse, carrying the full structured issue list, so
+/// callers catch configuration mistakes up front instead of deep-in-stage
+/// Error throws.
+class ParamError : public Error {
+ public:
+  explicit ParamError(std::vector<ParamIssue> issues);
+  const std::vector<ParamIssue>& issues() const { return issues_; }
+
+ private:
+  std::vector<ParamIssue> issues_;
 };
 
 struct FzParams {
@@ -58,6 +87,23 @@ struct FzParams {
   /// (the bound still holds up to f32 representation precision), which is
   /// why this stays opt-in.
   bool f32_fast_quant = false;
+  /// Observability sink (src/telemetry/): when set, every stage, chunk, and
+  /// pool interaction records spans/counters into it.  The sink must be
+  /// thread-safe (fz::telemetry::Sink is); it must outlive every codec that
+  /// holds it.  When null, telemetry::active_sink() is consulted instead
+  /// (the innermost ScopedSink, else the FZ_TRACE env-var sink); with no
+  /// sink anywhere, all hooks reduce to one branch-on-nullptr and the
+  /// output stream is byte-identical.
+  telemetry::Sink* telemetry = nullptr;
+
+  /// Check parameters for consistency; returns the (possibly empty) issue
+  /// list rather than throwing so callers can render all problems at once.
+  /// fz::Codec calls this at construction and throws ParamError on any
+  /// issue — misuse fails fast with one error type instead of deep-in-stage
+  /// throws.
+  std::vector<ParamIssue> validate() const;
+  /// Also validate a concrete field shape (zero extents, count overflow).
+  std::vector<ParamIssue> validate(Dims dims) const;
 };
 
 struct FzStats {
@@ -113,7 +159,47 @@ FzDecompressed fz_decompress(ByteSpan stream);
 /// Decompress an f64 stream (throws FormatError on an f32 stream).
 FzDecompressed64 fz_decompress_f64(ByteSpan stream);
 
-/// Peek at a stream's header without decompressing.
+/// Everything a stream's header declares, fully validated: identity (dims,
+/// dtype, count), compression parameters (error bound, quant version,
+/// transform), format version, and the byte layout of every section.  The
+/// structured replacement for the loose fz_inspect output — returned by
+/// fz::inspect, consumed by the CLI `info` command and any service that
+/// routes streams without decompressing them.
+struct StreamInfo {
+  Dims dims;
+  size_t count = 0;
+  unsigned dtype_bytes = 4;   ///< 4 = f32 stream, 8 = f64 stream
+  unsigned format_version = 0;
+  QuantVersion quant = QuantVersion::V2Optimized;
+  double abs_eb = 0;
+  bool log_transform = false;  ///< point-wise relative bound (log domain)
+  u32 radius = 0;              ///< V1 only
+
+  // Section layout, in stream order; header_bytes + bit_flag_bytes +
+  // block_bytes + outlier_bytes == stream_bytes.
+  size_t header_bytes = 0;
+  size_t bit_flag_bytes = 0;
+  size_t block_bytes = 0;
+  size_t outlier_bytes = 0;
+  size_t stream_bytes = 0;
+
+  size_t total_blocks = 0;
+  size_t nonzero_blocks = 0;
+  size_t saturated = 0;  ///< V2: residuals clipped during encoding
+
+  double ratio() const {
+    return stream_bytes == 0 ? 0
+                             : static_cast<double>(count) * dtype_bytes /
+                                   static_cast<double>(stream_bytes);
+  }
+};
+
+/// Parse and validate a stream's header without decompressing.  Throws
+/// FormatError on anything corrupt or truncated.
+StreamInfo inspect(ByteSpan stream);
+
+/// Peek at a stream's header without decompressing (legacy shape; thin
+/// wrapper over fz::inspect, which reports the full section layout).
 struct FzHeaderInfo {
   Dims dims;
   double abs_eb;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 // AddressSanitizer tracks one stack per thread; every ucontext switch must
 // be bracketed with __sanitizer_start/finish_switch_fiber or the first deep
@@ -551,6 +552,13 @@ CostSheet launch(const LaunchConfig& cfg, const KernelFn& fn) {
   cost.name = cfg.name;
   cost.kernel_launches = 1;
 
+  // One span per simulated launch so kernel timelines interleave with the
+  // host-stage spans in the same trace.  cfg.name is a std::string whose
+  // storage may die before the trace is flushed; intern it in the sink.
+  telemetry::Sink* sink = telemetry::active_sink();
+  telemetry::Span span(sink, sink != nullptr ? sink->intern(cfg.name)
+                                             : nullptr);
+
   ScopedSanitizer* scoped = scoped_sanitizer();
   const bool sanitize =
       cfg.sanitize || cfg.report != nullptr || scoped != nullptr;
@@ -576,6 +584,16 @@ CostSheet launch(const LaunchConfig& cfg, const KernelFn& fn) {
   // Fail-fast mode: sanitize requested but nowhere to deliver findings.
   if (sanitize && out == &local && !local.clean())
     throw Error("fzcheck[" + cfg.name + "]: " + local.to_string());
+  if (span.enabled()) {
+    span.arg("global_bytes_read", static_cast<double>(cost.global_bytes_read));
+    span.arg("global_bytes_written",
+             static_cast<double>(cost.global_bytes_written));
+    span.arg("shared_transactions",
+             static_cast<double>(cost.shared_transactions));
+    span.arg("thread_ops", static_cast<double>(cost.thread_ops));
+    span.arg("divergent_branches",
+             static_cast<double>(cost.divergent_branches));
+  }
   return cost;
 }
 

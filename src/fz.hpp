@@ -7,15 +7,28 @@
 //   auto compressed = fz::fz_compress(data, fz::Dims{nx, ny, nz}, params);
 //   auto restored   = fz::fz_decompress(compressed.bytes);
 //
+// The engine behind all of it is fz::Codec (core/codec.hpp): a reusable
+// object holding the stage graphs and a scratch-buffer pool, so repeated
+// calls run allocation-free.  The fz_compress / fz_decompress one-shots
+// above are thin conveniences that construct a Codec per call — prefer a
+// long-lived Codec (one per thread) in services and loops.
+//
+// Observability lives in fz::telemetry (telemetry/telemetry.hpp): attach a
+// telemetry::Sink via FzParams::telemetry (or set FZ_TRACE=<path>) to get
+// per-stage spans, pool counters, and Chrome-trace export.  See
+// docs/OBSERVABILITY.md.
+//
 // Individual subsystem headers remain includable on their own; this header
 // pulls in everything a typical application needs: the compressor (f32 +
-// f64 + chunked), error-bound types, metrics for verification, and file
-// I/O for SDRBench-format data.
+// f64 + chunked), the reusable Codec, stream inspection, telemetry, metrics
+// for verification, and file I/O for SDRBench-format data.
 #pragma once
 
-#include "common/types.hpp"        // Dims, ErrorBound, scalar aliases
-#include "core/chunked.hpp"        // multi-GPU / streaming containers
-#include "core/pipeline.hpp"       // fz_compress / fz_decompress (+_f64)
-#include "datasets/field.hpp"      // Field
-#include "datasets/loader.hpp"     // .f32/.f64 file I/O
-#include "metrics/metrics.hpp"     // distortion, error_bounded
+#include "common/types.hpp"          // Dims, ErrorBound, scalar aliases
+#include "core/chunked.hpp"          // multi-GPU / streaming containers
+#include "core/codec.hpp"            // fz::Codec — the reusable engine
+#include "core/pipeline.hpp"         // one-shots, FzParams, inspect()
+#include "datasets/field.hpp"        // Field
+#include "datasets/loader.hpp"       // .f32/.f64 file I/O
+#include "metrics/metrics.hpp"       // distortion, error_bounded
+#include "telemetry/telemetry.hpp"   // spans, counters, trace export

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/chunked.hpp"
+#include "core/codec.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/generators.hpp"
 #include "metrics/metrics.hpp"
@@ -438,6 +439,113 @@ TEST(PipelineFormat, RejectsEmptyInput) {
   EXPECT_THROW(fz_compress({}, Dims{0}, params), Error);
   std::vector<f32> one{1.0f};
   EXPECT_THROW(fz_compress(one, Dims{2}, params), Error);  // dims mismatch
+}
+
+TEST(PipelineFormat, StructuredInspectReportsSectionLayout) {
+  const Field f = smooth_field(Dims{48, 20}, 14);
+  FzParams params;
+  params.eb = ErrorBound::relative(1e-3);
+  const FzCompressed c = fz_compress(f.values(), f.dims, params);
+
+  const StreamInfo info = inspect(c.bytes);
+  EXPECT_EQ(info.dims, f.dims);
+  EXPECT_EQ(info.count, f.count());
+  EXPECT_EQ(info.dtype_bytes, 4u);
+  EXPECT_EQ(info.quant, QuantVersion::V2Optimized);
+  EXPECT_FALSE(info.log_transform);
+  EXPECT_EQ(info.stream_bytes, c.bytes.size());
+  // The four sections tile the stream exactly.
+  EXPECT_EQ(info.header_bytes + info.bit_flag_bytes + info.block_bytes +
+                info.outlier_bytes,
+            info.stream_bytes);
+  EXPECT_EQ(info.outlier_bytes, 0u);  // V2 streams carry no outlier list
+  EXPECT_EQ(info.total_blocks, c.stats.total_blocks);
+  EXPECT_EQ(info.nonzero_blocks, c.stats.nonzero_blocks);
+  EXPECT_EQ(info.saturated, c.stats.saturated);
+  EXPECT_NEAR(info.ratio(), c.stats.ratio(), 1e-12);
+
+  // The legacy wrapper reports the same identity fields.
+  const FzHeaderInfo legacy = fz_inspect(c.bytes);
+  EXPECT_EQ(legacy.dims, info.dims);
+  EXPECT_EQ(legacy.count, info.count);
+  EXPECT_EQ(legacy.quant, info.quant);
+  EXPECT_EQ(legacy.dtype_bytes, info.dtype_bytes);
+  EXPECT_EQ(legacy.abs_eb, info.abs_eb);
+}
+
+TEST(PipelineFormat, StructuredInspectCoversV1AndLogTransform) {
+  const Field f = smooth_field(Dims{40, 16}, 15);
+
+  FzParams v1;
+  v1.quant = QuantVersion::V1Original;
+  v1.eb = ErrorBound::absolute(1e-2);
+  const FzCompressed c1 = fz_compress(f.values(), f.dims, v1);
+  const StreamInfo i1 = inspect(c1.bytes);
+  EXPECT_EQ(i1.quant, QuantVersion::V1Original);
+  EXPECT_EQ(i1.radius, v1.radius);
+  EXPECT_EQ(i1.header_bytes + i1.bit_flag_bytes + i1.block_bytes +
+                i1.outlier_bytes,
+            i1.stream_bytes);
+
+  std::vector<f32> positive(f.values().begin(), f.values().end());
+  for (f32& v : positive) v = std::fabs(v) + 1.0f;
+  FzParams pw;
+  pw.eb = ErrorBound::pointwise_relative(1e-3);
+  const FzCompressed c2 = fz_compress(positive, f.dims, pw);
+  EXPECT_TRUE(inspect(c2.bytes).log_transform);
+}
+
+TEST(PipelineParams, ValidateReturnsOneIssuePerProblem) {
+  FzParams good;
+  EXPECT_TRUE(good.validate().empty());
+  EXPECT_TRUE(good.validate(Dims{16, 16}).empty());
+
+  FzParams bad;
+  bad.eb = ErrorBound::absolute(-1.0);
+  bad.quant = static_cast<QuantVersion>(9);
+  bad.simd = static_cast<SimdDispatch>(200);
+  const auto issues = bad.validate();
+  ASSERT_EQ(issues.size(), 3u);
+  EXPECT_STREQ(issues[0].field, "eb");
+  EXPECT_STREQ(issues[1].field, "quant");
+  EXPECT_STREQ(issues[2].field, "simd");
+  for (const ParamIssue& i : issues) EXPECT_FALSE(i.message.empty());
+
+  FzParams pw;
+  pw.eb = ErrorBound::pointwise_relative(1.5);
+  ASSERT_EQ(pw.validate().size(), 1u);
+  EXPECT_STREQ(pw.validate()[0].field, "eb");
+
+  FzParams v1;
+  v1.quant = QuantVersion::V1Original;
+  v1.radius = 40000;
+  ASSERT_EQ(v1.validate().size(), 1u);
+  EXPECT_STREQ(v1.validate()[0].field, "radius");
+  v1.radius = 512;
+  EXPECT_TRUE(v1.validate().empty());
+
+  EXPECT_STREQ(good.validate(Dims{0, 4}).at(0).field, "dims");
+  EXPECT_STREQ(good.validate(Dims{SIZE_MAX / 2, 3}).at(0).field, "dims");
+}
+
+TEST(PipelineParams, CodecConstructionThrowsStructuredParamError) {
+  FzParams bad;
+  bad.eb = ErrorBound::absolute(std::numeric_limits<double>::quiet_NaN());
+  bad.quant = static_cast<QuantVersion>(7);
+  try {
+    Codec codec(bad);
+    FAIL() << "Codec accepted invalid params";
+  } catch (const ParamError& e) {
+    ASSERT_EQ(e.issues().size(), 2u);
+    EXPECT_STREQ(e.issues()[0].field, "eb");
+    EXPECT_STREQ(e.issues()[1].field, "quant");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid FzParams"), std::string::npos);
+    EXPECT_NE(what.find("[eb]"), std::string::npos);
+    EXPECT_NE(what.find("[quant]"), std::string::npos);
+  }
+  // ParamError is an fz::Error, so existing catch sites keep working.
+  EXPECT_THROW(fz_compress(std::vector<f32>(8, 1.0f), Dims{8}, bad), Error);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "common/rng.hpp"
 #include "core/chunked.hpp"
 #include "core/codec.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fz {
 namespace {
@@ -99,6 +101,54 @@ TEST(Threading, ParallelChunkedRoundTripMatchesSerial) {
   const double abs_eb = a.stats.abs_eb;
   for (size_t i = 0; i < field.size(); ++i)
     ASSERT_NEAR(out.data[i], field[i], abs_eb * 1.0001) << "at " << i;
+}
+
+TEST(Threading, SharedTelemetrySinkAcrossWorkerCodecs) {
+  // The documented contract (core/codec.hpp): ONE telemetry::Sink may be
+  // shared by any number of codecs on any number of threads — each thread
+  // appends to its own recorder, counters are atomic, and snapshot/export
+  // may run concurrently with recording.  This is the interleaving TSan
+  // must bless.
+  const Dims dims{48, 24, 2};
+  const auto field = smooth_field(dims.count(), 31);
+
+  telemetry::Sink sink;
+  constexpr int kThreads = 6;
+  constexpr int kReps = 8;
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      FzParams params;
+      params.telemetry = &sink;
+      Codec codec(params);
+      while (!go.load()) std::this_thread::yield();
+      std::vector<f32> out(dims.count());
+      for (int rep = 0; rep < kReps; ++rep) {
+        const FzCompressed c = codec.compress(field, dims);
+        codec.decompress_into(c.bytes, out);
+      }
+      done.fetch_add(1);
+    });
+  }
+  go.store(true);
+  // Snapshot while the workers are still recording: readers must only ever
+  // see fully published events.
+  while (done.load() < kThreads) {
+    for (const auto& ev : sink.snapshot()) ASSERT_NE(ev.name, nullptr);
+    std::this_thread::yield();
+  }
+  for (auto& t : workers) t.join();
+
+  const auto events = sink.snapshot();
+  size_t compress_spans = 0;
+  for (const auto& ev : events)
+    if (std::string_view{ev.name} == "compress") ++compress_spans;
+  EXPECT_EQ(compress_spans, static_cast<size_t>(kThreads) * kReps);
+  EXPECT_GT(sink.counter(telemetry::Counter::PoolMiss), 0u);
+  EXPECT_EQ(sink.counter(telemetry::Counter::EventsDropped), 0u);
 }
 
 TEST(Threading, ConcurrentDecompressOfSharedStream) {
