@@ -1,10 +1,13 @@
-// PR3 performance regression bench: wall-clock GB/s of each vectorized
-// pipeline stage at every SIMD dispatch level, plus end-to-end compression
-// throughput for the four {unfused,fused} x {scalar,best-SIMD} configs on
-// the tier-1 benchmark suite.  Emits a machine-readable JSON report
-// (default BENCH_pr3.json) consumed by scripts/bench_smoke.sh; the human
-// table goes to stdout.  Byte-identity of every config's stream against
-// the scalar-unfused reference is asserted while measuring.
+// Performance regression bench (PR3 stages + PR5 tile parallelism):
+// wall-clock GB/s of each vectorized pipeline stage at every SIMD dispatch
+// level, end-to-end compression throughput for the {unfused, fused-serial,
+// fused-parallel} x {scalar, best-SIMD} configs on the tier-1 benchmark
+// suite, a fused-parallel thread-scaling sweep (1/2/4/max workers,
+// compress AND decompress), and decompression throughput.  Emits a
+// machine-readable JSON report (default BENCH_pr5.json) consumed by
+// scripts/bench_smoke.sh; the human table goes to stdout.  Byte-identity
+// of every config's stream against the scalar-unfused reference is
+// asserted while measuring.
 //
 // Usage: regress [--scale S] [--iters N] [--out FILE]
 #include <algorithm>
@@ -17,8 +20,10 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/parallel.hpp"
 #include "common/simd.hpp"
 #include "core/bitshuffle.hpp"
+#include "core/codec.hpp"
 #include "core/format.hpp"
 #include "core/kernels_simd.hpp"
 #include "core/lorenzo.hpp"
@@ -85,7 +90,7 @@ struct CompressRow {
 int main(int argc, char** argv) {
   double scale = 0.12;
   int iters = 3;
-  std::string out_path = "BENCH_pr3.json";
+  std::string out_path = "BENCH_pr5.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scale" && i + 1 < argc) scale = std::stod(argv[++i]);
@@ -99,8 +104,10 @@ int main(int argc, char** argv) {
 
   const auto levels = levels_under_test();
   const SimdLevel best = resolve_simd(SimdDispatch::Auto);
-  std::cout << "PR3 regression bench: scale=" << scale << " iters=" << iters
-            << " best SIMD level: " << simd_level_name(best) << "\n\n";
+  const size_t hw_threads = max_threads();
+  std::cout << "PR5 regression bench: scale=" << scale << " iters=" << iters
+            << " best SIMD level: " << simd_level_name(best)
+            << " hw threads: " << hw_threads << "\n\n";
 
   // ---- per-stage throughput at every dispatch level ------------------------
   const Field stage_field = generate_field(
@@ -156,30 +163,52 @@ int main(int argc, char** argv) {
                                /*f32_fast=*/false, shuffled, byte_flags,
                                bit_flags, row_scratch, plane_scratch, level);
     });
+    const FusedParallelPlan plan =
+        fused_parallel_plan(stage_field.dims, /*workers=*/0);
+    std::vector<i64> strip_scratch(plan.scratch_elems);
+    add("fused-parallel-pipeline", n * 4, [&] {
+      fused_quant_shuffle_mark_parallel(
+          stage_field.values(), stage_field.dims, abs_eb, /*f32_fast=*/false,
+          shuffled, byte_flags, bit_flags, strip_scratch, plan, level);
+    });
   }
   std::cout << "Stage throughput (" << stage_field.dataset << " "
             << stage_field.dims.to_string() << ", abs eb "
             << JsonWriter::num(abs_eb) << "):\n";
   stage_table.print(std::cout);
 
-  // ---- end-to-end compression: {unfused,fused} x {scalar,best} -------------
+  // ---- end-to-end compression: {unfused, fused-serial, fused-parallel}
+  //      x {scalar, best} ---------------------------------------------------
   struct Config {
     const char* name;
     bool fused;
+    bool serial_tiles;  // fused graph only: pre-PR5 streaming reference
     SimdDispatch simd;
   };
   const Config configs[] = {
-      {"unfused-scalar", false, SimdDispatch::Scalar},
-      {"unfused-simd", false, SimdDispatch::Auto},
-      {"fused-scalar", true, SimdDispatch::Scalar},
-      {"fused-simd", true, SimdDispatch::Auto},
+      {"unfused-scalar", false, false, SimdDispatch::Scalar},
+      {"unfused-simd", false, false, SimdDispatch::Auto},
+      {"fused-serial-scalar", true, true, SimdDispatch::Scalar},
+      {"fused-serial-simd", true, true, SimdDispatch::Auto},
+      {"fused-parallel-scalar", true, false, SimdDispatch::Scalar},
+      {"fused-parallel-simd", true, false, SimdDispatch::Auto},
   };
+  constexpr size_t kRef = 0, kSerialSimd = 3, kParallelSimd = 5;
 
   std::vector<CompressRow> compress_rows;
   std::vector<std::pair<std::string, double>> speedups;
-  bench::Table comp_table(
-      {"dataset", "unfused-scalar", "unfused-simd", "fused-scalar",
-       "fused-simd", "fused-simd speedup"});
+  std::vector<std::pair<std::string, double>> parallel_vs_serial;
+  std::vector<CompressRow> decompress_rows;
+  struct ScalingRow {
+    std::string dataset;
+    size_t workers;
+    double compress_gbps, decompress_gbps;
+  };
+  std::vector<ScalingRow> scaling_rows;
+
+  bench::Table comp_table({"dataset", "unfused-scalar", "unfused-simd",
+                           "fused-serial-simd", "fused-parallel-simd",
+                           "speedup", "par/serial"});
   bool identical = true;
   for (const Field& f : benchmark_suite(scale, 42)) {
     FzParams params;
@@ -188,6 +217,8 @@ int main(int argc, char** argv) {
     std::vector<double> results;
     for (const Config& c : configs) {
       params.fused_host_graph = c.fused;
+      params.fused_serial_tiles = c.serial_tiles;
+      params.fused_workers = 0;  // one strip per hardware thread
       params.simd = c.simd;
       FzCompressed comp;
       const double t = min_seconds(
@@ -197,29 +228,68 @@ int main(int argc, char** argv) {
       results.push_back(gbps(f.bytes(), t));
       compress_rows.push_back({f.dataset, c.name, results.back()});
     }
-    const double speedup = results[3] / results[0];
+    const double speedup = results[kParallelSimd] / results[kRef];
     speedups.emplace_back(f.dataset, speedup);
+    parallel_vs_serial.emplace_back(
+        f.dataset, results[kParallelSimd] / results[kSerialSimd]);
     comp_table.add_row({f.dataset, JsonWriter::num(results[0]),
-                        JsonWriter::num(results[1]), JsonWriter::num(results[2]),
-                        JsonWriter::num(results[3]),
-                        JsonWriter::num(speedup) + "x"});
+                        JsonWriter::num(results[1]),
+                        JsonWriter::num(results[kSerialSimd]),
+                        JsonWriter::num(results[kParallelSimd]),
+                        JsonWriter::num(speedup) + "x",
+                        JsonWriter::num(parallel_vs_serial.back().second) +
+                            "x"});
+
+    // Thread-scaling sweep (compress + decompress) at 1/2/4/max workers.
+    // The stream is identical at every worker count (asserted above and in
+    // tests); only the wall clock may change.
+    for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+      FzParams p;
+      p.eb = ErrorBound::relative(1e-3);
+      p.fused_workers = workers;
+      Codec codec(p);
+      FzCompressed comp;
+      const double tc = min_seconds(
+          iters, [&] { comp = codec.compress(f.values(), f.dims); });
+      std::vector<f32> out(f.count());
+      const double td = min_seconds(
+          iters, [&] { codec.decompress_into(comp.bytes, out); });
+      const size_t eff = workers == 0 ? hw_threads : workers;
+      scaling_rows.push_back(
+          {f.dataset, eff, gbps(f.bytes(), tc), gbps(f.bytes(), td)});
+      if (workers == 0)
+        decompress_rows.push_back({f.dataset, "fused-parallel-simd",
+                                   gbps(f.bytes(), td)});
+    }
   }
   std::cout << "\nCompression throughput (GB/s), rel eb 1e-3; speedup = "
-               "fused-simd over unfused-scalar:\n";
+               "fused-parallel-simd over unfused-scalar, par/serial = "
+               "fused-parallel-simd over fused-serial-simd:\n";
   comp_table.print(std::cout);
   std::cout << "\nstreams byte-identical across configs: "
             << (identical ? "yes" : "NO — BUG") << "\n";
 
+  bench::Table scale_table(
+      {"dataset", "workers", "compress GB/s", "decompress GB/s"});
+  for (const ScalingRow& r : scaling_rows)
+    scale_table.add_row({r.dataset, std::to_string(r.workers),
+                         JsonWriter::num(r.compress_gbps),
+                         JsonWriter::num(r.decompress_gbps)});
+  std::cout << "\nFused-parallel thread scaling:\n";
+  scale_table.print(std::cout);
+
   // ---- JSON report ---------------------------------------------------------
   JsonWriter w;
   w.section("bench");
-  w.buf += "\"pr3-regress\"";
+  w.buf += "\"pr5-regress\"";
   w.section("scale");
   w.buf += JsonWriter::num(scale);
   w.section("iters");
   w.buf += JsonWriter::num(iters);
   w.section("best_level");
   w.buf += std::string("\"") + simd_level_name(best) + "\"";
+  w.section("max_threads");
+  w.buf += JsonWriter::num(static_cast<double>(hw_threads));
   w.section("streams_identical");
   w.buf += identical ? "true" : "false";
   w.section("stages");
@@ -240,12 +310,42 @@ int main(int argc, char** argv) {
              "}" + (i + 1 < compress_rows.size() ? "," : "") + "\n";
   }
   w.buf += "  ]";
+  w.section("decompress");
+  w.buf += "[\n";
+  for (size_t i = 0; i < decompress_rows.size(); ++i) {
+    w.buf += "    {\"dataset\": \"" + decompress_rows[i].dataset +
+             "\", \"config\": \"" + decompress_rows[i].config +
+             "\", \"gbps\": " + JsonWriter::num(decompress_rows[i].value_gbps) +
+             "}" + (i + 1 < decompress_rows.size() ? "," : "") + "\n";
+  }
+  w.buf += "  ]";
+  w.section("thread_scaling");
+  w.buf += "[\n";
+  for (size_t i = 0; i < scaling_rows.size(); ++i) {
+    w.buf += "    {\"dataset\": \"" + scaling_rows[i].dataset +
+             "\", \"workers\": " +
+             JsonWriter::num(static_cast<double>(scaling_rows[i].workers)) +
+             ", \"compress_gbps\": " +
+             JsonWriter::num(scaling_rows[i].compress_gbps) +
+             ", \"decompress_gbps\": " +
+             JsonWriter::num(scaling_rows[i].decompress_gbps) + "}" +
+             (i + 1 < scaling_rows.size() ? "," : "") + "\n";
+  }
+  w.buf += "  ]";
   w.section("speedups");
   w.buf += "{\n";
   for (size_t i = 0; i < speedups.size(); ++i) {
     w.buf += "    \"" + speedups[i].first +
              "\": " + JsonWriter::num(speedups[i].second) +
              (i + 1 < speedups.size() ? "," : "") + "\n";
+  }
+  w.buf += "  }";
+  w.section("parallel_vs_serial");
+  w.buf += "{\n";
+  for (size_t i = 0; i < parallel_vs_serial.size(); ++i) {
+    w.buf += "    \"" + parallel_vs_serial[i].first +
+             "\": " + JsonWriter::num(parallel_vs_serial[i].second) +
+             (i + 1 < parallel_vs_serial.size() ? "," : "") + "\n";
   }
   w.buf += "  }";
 

@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
-# Throughput smoke guard for the PR3 SIMD + fused-pipeline work: re-runs
-# bench/regress at the checked-in baseline's scale and fails if
+# Throughput smoke guard for the SIMD + fused-pipeline work (PR3) and the
+# tile-parallel fused pipeline (PR5): re-runs bench/regress at the
+# checked-in baseline's scale and fails if
 #
 #   * any compressed stream stops being byte-identical across the
-#     {unfused,fused} x {scalar,simd} configs (correctness, zero tolerance),
-#   * the best fused-simd speedup over unfused-scalar drops below 1.5x
-#     (the PR3 acceptance floor, machine-independent), or
+#     {unfused, fused-serial, fused-parallel} x {scalar, simd} configs
+#     (correctness, zero tolerance),
+#   * the best fused-parallel-simd speedup over unfused-scalar drops below
+#     1.5x (the PR3 acceptance floor, machine-independent),
+#   * fused-parallel at max workers falls below fused-serial on any tier-1
+#     dataset (ratio < 0.95, small noise allowance — the strip body must
+#     never be a regression), or
 #   * any per-stage GB/s regresses more than FZ_BENCH_TOLERANCE (default
-#     0.20 = 20%) below the checked-in BENCH_pr3.json baseline.
+#     0.25 = 25%) below the checked-in BENCH_pr5.json baseline.  (0.20
+#     proved flaky on the single-core reference box: a hot-from-compile
+#     CPU sags memory-bound stages ~20% relative to an idle one.)
 #
 # Wall clocks on shared machines are noisy; raise the tolerance via
 #   FZ_BENCH_TOLERANCE=0.5 scripts/bench_smoke.sh
 # or regenerate the baseline on this machine with build/bench/regress.
+# The checked-in baseline's stage numbers are per-stage minima over three
+# back-to-back runs, so the floor already absorbs run-to-run jitter.
 #
 # Usage: scripts/bench_smoke.sh [path/to/regress-binary]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 regress_bin="${1:-build/bench/regress}"
-baseline="BENCH_pr3.json"
-tolerance="${FZ_BENCH_TOLERANCE:-0.20}"
+baseline="BENCH_pr5.json"
+tolerance="${FZ_BENCH_TOLERANCE:-0.25}"
 
 if [[ ! -x "${regress_bin}" ]]; then
   echo "bench_smoke: ${regress_bin} not built (cmake --build build --target regress)" >&2
@@ -50,7 +59,15 @@ if not new["streams_identical"]:
 
 best_speedup = max(new["speedups"].values())
 if best_speedup < 1.5:
-    failures.append(f"best fused-simd speedup {best_speedup:.2f}x < 1.5x floor")
+    failures.append(f"best fused-parallel speedup {best_speedup:.2f}x < 1.5x floor")
+
+# PR5 gate: the tile-parallel fused pass at max workers must never lose to
+# the serial streaming pass it replaced, on any tier-1 dataset.
+for dataset, ratio in new["parallel_vs_serial"].items():
+    if ratio < 0.95:
+        failures.append(
+            f"fused-parallel {ratio:.2f}x fused-serial on {dataset} "
+            f"(must be >= 0.95)")
 
 base_stages = {(s["stage"], s["level"]): s["gbps"] for s in base["stages"]}
 for s in new["stages"]:
@@ -68,6 +85,8 @@ if failures:
     for f in failures:
         print(f"  - {f}")
     sys.exit(1)
-print(f"bench_smoke: OK (best fused-simd speedup {best_speedup:.2f}x, "
+best_ratio = max(new["parallel_vs_serial"].values())
+print(f"bench_smoke: OK (best fused-parallel speedup {best_speedup:.2f}x, "
+      f"parallel/serial up to {best_ratio:.2f}x, "
       f"{len(new['stages'])} stage measurements within {tol:.0%} of baseline)")
 EOF

@@ -4,17 +4,24 @@
 #   1. default        — RelWithDebInfo build, full test suite (includes the
 #                       fzcheck simulator-hazard tests: any SanitizerReport
 #                       diagnostic fails test_sanitizer)
-#   2. bench smoke    — scripts/bench_smoke.sh guards the PR3 SIMD/fused
-#                       throughput against the checked-in BENCH_pr3.json
-#                       baseline (tolerance via FZ_BENCH_TOLERANCE)
+#   2. bench smoke    — scripts/bench_smoke.sh guards the SIMD/fused and
+#                       tile-parallel throughput against the checked-in
+#                       BENCH_pr5.json baseline (tolerance via
+#                       FZ_BENCH_TOLERANCE), including the fused-parallel
+#                       >= fused-serial gate
 #   3. trace smoke    — runs fz_cli under FZ_TRACE and --trace, plus a
 #                       small bench/regress run under FZ_TRACE; in each
 #                       case scripts/validate_trace.py checks the Chrome
 #                       JSON parses, spans nest per thread, and the
-#                       expected stage/chunk spans were recorded
+#                       expected stage/chunk spans were recorded — the
+#                       regress trace must contain the per-strip
+#                       "fused-strip" spans of the tile-parallel pass
 #   4. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer,
 #                       plus the trace smoke re-run against the asan build
 #                       (the env-sink exit flush must be sanitizer-clean)
+#                       and an explicit re-run of the fused-parallel
+#                       schedule-independence suite (thread-scaling
+#                       byte-identity under the sanitizers)
 #   5. tsan           — pool/codec/chunked/threading tests under
 #                       ThreadSanitizer (host-side concurrency)
 #   6. lint           — clang-tidy over src/ (.clang-tidy profile,
@@ -65,12 +72,14 @@ scripts/bench_smoke.sh build/bench/regress
 echo "==== trace smoke: telemetry export validates ===="
 trace_smoke build/examples/fz_cli
 # A traced bench run: every env-sink codec in regress records into one
-# trace, covering both the fused and unfused compression graphs.
+# trace, covering the unfused, fused-serial and fused-parallel compression
+# graphs — including the per-strip spans of the tile-parallel pass.
 trace_tmp=$(mktemp -d)
 FZ_TRACE="${trace_tmp}/regress.json" build/bench/regress \
   --scale 0.05 --iters 1 --out "${trace_tmp}/bench.json" > /dev/null
 python3 scripts/validate_trace.py "${trace_tmp}/regress.json" \
-  --expect compress dual-quant fused-quant-shuffle-mark prefix-sum-encode
+  --expect compress dual-quant fused-quant-shuffle-mark fused-strip \
+  prefix-sum-encode
 rm -rf "${trace_tmp}"
 
 if [[ "${1:-}" != "--fast" ]]; then
@@ -78,6 +87,14 @@ if [[ "${1:-}" != "--fast" ]]; then
 
   echo "==== trace smoke (asan-ubsan) ===="
   trace_smoke build-asan/examples/fz_cli
+
+  echo "==== fused-parallel schedule independence (asan-ubsan) ===="
+  # The thread-scaling byte-identity suite again, explicitly, under the
+  # sanitizers: worker counts {1,2,3,8} x dtypes x SIMD tiers must stay
+  # byte-identical and fault-free.
+  build-asan/tests/test_fused_parallel
+  build-asan/tests/test_threading \
+    --gtest_filter='Threading.SharedSinkAcrossFusedStripWorkers'
 
   run_preset tsan
 

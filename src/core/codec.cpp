@@ -60,16 +60,16 @@ FzCompressed Codec::compress_impl(std::span<const T> data, Dims dims) {
   FZ_REQUIRE(!data.empty(), "cannot compress an empty field");
   FZ_REQUIRE(data.size() == dims.count(), "dims do not match data size");
 
-  // The fused tile pipeline covers V2 only; V1 (outlier list) always runs
-  // the unfused graph.  Either graph emits the same bytes.
+  // The fused tile pipeline covers V2 only; validate() rejects a fused V1
+  // request up front, so the choice here is purely on the flag.  Either
+  // graph emits the same bytes.
   const StageGraph& graph =
-      params_.fused_host_graph && params_.quant == QuantVersion::V2Optimized
-          ? compress_stages_fused_
-          : compress_stages_;
+      params_.fused_host_graph ? compress_stages_fused_ : compress_stages_;
 
   FzCompressed out;
   ctx_.begin_compress(&pool_, params_, dims, data.size(), sizeof(T),
                       data.data(), &out.bytes);
+  ctx_.sink = sink_;
   {
     const PoolDelta before = pool_delta(pool_, sink_ != nullptr);
     telemetry::Span run(sink_, "compress");
@@ -99,6 +99,7 @@ Dims Codec::decompress_into_impl(ByteSpan stream, std::span<T> out,
                                  std::vector<cudasim::CostSheet>* stage_costs) {
   ctx_.begin_decompress(&pool_, params_, stream, out.size(), sizeof(T),
                         out.data());
+  ctx_.sink = sink_;
   {
     const PoolDelta before = pool_delta(pool_, sink_ != nullptr);
     telemetry::Span run(sink_, "decompress");

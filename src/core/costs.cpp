@@ -150,6 +150,25 @@ CostSheet fz_fused_tile_cost(const FzStats& st) {
   return c;
 }
 
+u64 fz_halo_recompute_elems(Dims dims, size_t strips) {
+  if (strips <= 1) return 0;
+  const size_t reach = dims.rank() == 1   ? 1
+                       : dims.rank() == 2 ? dims.x + 1
+                                          : dims.x * dims.y + dims.x + 1;
+  return static_cast<u64>(strips - 1) * reach;
+}
+
+CostSheet fz_fused_parallel_cost(const FzStats& st, Dims dims, size_t strips) {
+  CostSheet c = fz_fused_tile_cost(st);
+  c.name = "fused-quant-shuffle-mark-strips";
+  const u64 halo = fz_halo_recompute_elems(dims, strips);
+  // One extra f32 read plus the pointwise quantization (2 ops) per halo
+  // element; the Lorenzo stencil itself is not recomputed.
+  c.global_bytes_read += halo * sizeof(f32);
+  c.thread_ops += halo * 2;
+  return c;
+}
+
 u64 fz_fusion_traffic_saved(const FzStats& st) {
   // pred-quant's code-array write (2 bytes/value) plus bitshuffle's
   // re-read of the same array (padded to a tile boundary).

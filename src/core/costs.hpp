@@ -34,6 +34,20 @@ cudasim::CostSheet fz_fused_tile_cost(const FzStats& st);
 /// graph: the intermediate code array's write + re-read.
 u64 fz_fusion_traffic_saved(const FzStats& st);
 
+/// Extra elements the tile-parallel strip scheme re-prequantizes: every
+/// strip after the first recomputes the predecessor values its Lorenzo
+/// stencil reaches across the strip boundary (one element in 1-D, a row in
+/// 2-D, a plane in 3-D — the linear stencil reach).  Zero for one strip.
+u64 fz_halo_recompute_elems(Dims dims, size_t strips);
+
+/// Modeled cost of the tile-parallel fused pass (host strips / the
+/// sim_fused_quant_shuffle_mark_strips device kernel): fz_fused_tile_cost
+/// plus the halo re-prequantization term — each halo element is one extra
+/// input load and pointwise quantization, priced so the device model can
+/// weigh strip parallelism against its recompute overhead.
+cudasim::CostSheet fz_fused_parallel_cost(const FzStats& st, Dims dims,
+                                          size_t strips);
+
 /// Projected cost of the paper's future work (§6, item 1): "fusing all GPU
 /// kernels into one".  A single persistent kernel keeps the quantization
 /// codes and the shuffled tile in shared memory and resolves the block

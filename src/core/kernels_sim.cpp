@@ -258,6 +258,113 @@ CostSheet sim_fused_quant_shuffle_mark(FloatSpan data, Dims dims,
   });
 }
 
+CostSheet sim_fused_quant_shuffle_mark_strips(FloatSpan data, Dims dims,
+                                              double abs_eb,
+                                              std::span<u32> out,
+                                              std::vector<u8>& byte_flags,
+                                              std::vector<u8>& bit_flags,
+                                              std::span<i64> anchor_out,
+                                              bool padded_shared) {
+  FZ_REQUIRE(data.size() == dims.count(), "sim: dims mismatch");
+  FZ_REQUIRE(out.size() % kTileWords == 0 && out.size() * 2 >= data.size(),
+             "sim: output must be whole tiles covering the input");
+  FZ_REQUIRE(!anchor_out.empty(), "sim: anchor output too small");
+  FZ_REQUIRE(abs_eb > 0, "sim: bad error bound");
+
+  // Maximum backward reach of the Lorenzo stencil in linear index space:
+  // the (iz-1, iy-1, ix-1) corner sits nx*ny + nx + 1 elements behind.
+  const size_t halo_ext = dims.rank() == 1   ? 1
+                          : dims.rank() == 2 ? dims.x + 1
+                                             : dims.x * dims.y + dims.x + 1;
+  const size_t pq_elems = halo_ext + kCodesPerTile;
+  // Shared-capacity gate (Hopper-class ~228 KB dynamic shared memory,
+  // minus the transpose tile and flag arrays): when a 3-D plane halo does
+  // not fit, fall back to the per-thread global-recompute kernel — same
+  // output, more global traffic.
+  if (pq_elems * sizeof(i64) > (size_t{200} << 10))
+    return sim_fused_quant_shuffle_mark(data, dims, abs_eb, out, byte_flags,
+                                        bit_flags, anchor_out, padded_shared);
+
+  const double inv = 1.0 / (2.0 * abs_eb);
+  const size_t tiles = out.size() / kTileWords;
+  byte_flags.assign(tiles * kBlocksPerTile, 0);
+  bit_flags.assign(tiles * kBlocksPerTile / 8, 0);
+  const size_t stride = padded_shared ? 33 : 32;
+
+  LaunchConfig cfg;
+  cfg.name = "fused-quant-shuffle-mark-strips";
+  cfg.grid = Dim3{static_cast<u32>(tiles)};
+  cfg.block = Dim3{32, 32};
+
+  return cudasim::launch(cfg, [&, inv, stride, halo_ext,
+                               pq_elems](ThreadCtx& t) {
+    auto pq = t.shared_mem<i64>("pq_halo", pq_elems);
+    auto buf = t.shared_mem<u32>("buf", 32 * stride);
+    auto byte_flag_arr = t.shared_mem<u8>("ByteFlagArr", kBlocksPerTile);
+    auto bit_flag_arr = t.shared_mem<u32>("BitFlagArr", 8);
+
+    const size_t tile = t.block_idx.x;
+    const size_t e_begin = tile * kCodesPerTile;
+    const size_t h0 = e_begin > halo_ext ? e_begin - halo_ext : 0;
+    const size_t h1 = std::min(data.size(), e_begin + kCodesPerTile);
+
+    // Cooperative halo re-prequantization (the host strip scheme, one
+    // block = one strip of one tile): the block quantizes every element
+    // its codes' stencils can reach ONCE into shared memory, so the up to
+    // eight global recomputes per element of the single-pass kernel become
+    // shared loads.  Strided so consecutive lanes touch consecutive words.
+    for (size_t i = h0 + t.linear_tid(); i < h1; i += 1024) {
+      const f32 v = t.gload(data, i);
+      pq.st(i - h0,
+            static_cast<i64>(std::llround(static_cast<double>(v) * inv)));
+      t.count_ops(2);
+    }
+    t.sync_threads();
+
+    // Every guarded neighbour of an element in [e_begin, h1) lies in
+    // [e - halo_ext, e] and below data.size(), so the shared reads below
+    // never touch an unwritten slot (fzcheck's uninit-read tracking
+    // asserts this in tests/test_sanitizer.cpp).
+    const auto pq_at = [&](size_t ix, size_t iy, size_t iz) -> i64 {
+      return pq.ld(dims.linear(ix, iy, iz) - h0);
+    };
+    const auto code_for = [&](size_t e) -> u16 {
+      if (e >= data.size()) return 0;  // tile padding shuffles to zero blocks
+      const size_t ix = e % dims.x;
+      const size_t iy = (e / dims.x) % dims.y;
+      const size_t iz = e / (dims.x * dims.y);
+      i64 delta = pq_at(ix, iy, iz);
+      if (ix > 0) delta -= pq_at(ix - 1, iy, iz);
+      if (iy > 0) delta -= pq_at(ix, iy - 1, iz);
+      if (iz > 0) delta -= pq_at(ix, iy, iz - 1);
+      if (ix > 0 && iy > 0) delta += pq_at(ix - 1, iy - 1, iz);
+      if (ix > 0 && iz > 0) delta += pq_at(ix - 1, iy, iz - 1);
+      if (iy > 0 && iz > 0) delta += pq_at(ix, iy - 1, iz - 1);
+      if (ix > 0 && iy > 0 && iz > 0) delta -= pq_at(ix - 1, iy - 1, iz - 1);
+      if (e == 0) {
+        t.gstore(anchor_out, 0, delta);
+        return 0;
+      }
+      const i64 clipped =
+          std::clamp<i64>(delta, -kMaxMagnitude16, kMaxMagnitude16);
+      t.count_ops(6);
+      return sign_magnitude_encode(static_cast<i32>(clipped));
+    };
+
+    const u32 x = t.thread_idx.x;
+    const u32 y = t.thread_idx.y;
+    const size_t e0 = tile * kCodesPerTile + 2 * (y * 32 + x);
+    const u16 c0 = code_for(e0);
+    const u16 c1 = code_for(e0 + 1);
+    buf.st(y * stride + x, static_cast<u32>(c0) | (static_cast<u32>(c1) << 16));
+    t.sync_threads();
+
+    tile_shuffle_mark_tail(t, buf, byte_flag_arr, bit_flag_arr, out,
+                           byte_flags, bit_flags, stride,
+                           BitshuffleFault::None, kBlocksPerTile);
+  });
+}
+
 CostSheet sim_compact_blocks(std::span<const u32> shuffled,
                              std::span<const u8> byte_flags,
                              std::vector<u32>& blocks_out) {

@@ -68,6 +68,21 @@ cudasim::CostSheet sim_fused_quant_shuffle_mark(
     std::span<i64> anchor_out, bool padded_shared = true,
     BitshuffleFault fault = BitshuffleFault::None);
 
+/// Device mirror of the PR5 tile-parallel strip scheme: each block first
+/// *cooperatively re-prequantizes* its tile's elements plus the halo its
+/// Lorenzo stencils reach backwards (nx*ny + nx + 1 linear elements at
+/// most) into a shared i64 buffer — one global load + quantization per
+/// element — then computes codes from shared neighbours instead of up to
+/// eight global recomputes per element.  Falls back to
+/// sim_fused_quant_shuffle_mark when the 3-D plane halo exceeds the
+/// shared-memory budget.  Output is byte-identical to the single-pass
+/// kernel and the host fused stage; hazard-freedom (no uninitialized
+/// shared reads, barrier placement) is asserted under fzcheck.
+cudasim::CostSheet sim_fused_quant_shuffle_mark_strips(
+    FloatSpan data, Dims dims, double abs_eb, std::span<u32> out,
+    std::vector<u8>& byte_flags, std::vector<u8>& bit_flags,
+    std::span<i64> anchor_out, bool padded_shared = true);
+
 /// Encode phase 2: prefix-sum the byte flags (host-side CUB stand-in) and
 /// run the compaction kernel.  Returns the combined cost.
 cudasim::CostSheet sim_compact_blocks(std::span<const u32> shuffled,

@@ -11,6 +11,7 @@
 #include "common/parallel.hpp"
 #include "core/bitshuffle.hpp"
 #include "core/format.hpp"
+#include "telemetry/telemetry.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -77,16 +78,61 @@ void prequant_row_f32fast_scalar(const f32* data, size_t n, double inv,
     out[i] = prequant_one_f32fast(data[i], inv, invf);
 }
 
+inline u16 clip_encode_one(i64 v, size_t& sat) {
+  if (sign_magnitude_saturates(v)) ++sat;
+  const i64 clipped = v > kMaxMagnitude16
+                          ? kMaxMagnitude16
+                          : (v < -kMaxMagnitude16 ? -kMaxMagnitude16 : v);
+  return sign_magnitude_encode(static_cast<i32>(clipped));
+}
+
 size_t encode_row_scalar(const i64* d, size_t n, u16* codes) {
   size_t sat = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const i64 v = d[i];
-    if (sign_magnitude_saturates(v)) ++sat;
-    const i64 clipped = v > kMaxMagnitude16
-                            ? kMaxMagnitude16
-                            : (v < -kMaxMagnitude16 ? -kMaxMagnitude16 : v);
-    codes[i] = sign_magnitude_encode(static_cast<i32>(clipped));
-  }
+  for (size_t i = 0; i < n; ++i) codes[i] = clip_encode_one(d[i], sat);
+  return sat;
+}
+
+// ---- fused Lorenzo delta + encode rows -------------------------------------
+//
+// The tile-parallel strip body computes the Lorenzo residual and the
+// sign-magnitude code in one kernel, so the delta row of the serial fused
+// pass is never stored and reloaded.  Writing d[i] = s[i] - s[i-1] with
+// s the rank-specific prediction sum (s = p in 1-D, cur - prev in 2-D,
+// cur - prev - ppy + ppy1 in 3-D) makes the three ranks share one shape.
+// `has_left` distinguishes a mid-row segment (element 0 has an in-row left
+// neighbour) from a row start, whose delta drops every [i-1] term — exactly
+// delta_row_2d/3d's d[0].  1-D has no flag: the caller keeps a carry slot
+// at p[-1] (zero at the very start).  All arithmetic is i64 adds, so every
+// tier is bit-identical by construction.
+
+size_t delta1_encode_scalar(const i64* p, size_t n, u16* out) {
+  size_t sat = 0;
+  for (size_t i = 0; i < n; ++i)
+    out[i] = clip_encode_one(p[i] - p[i - 1], sat);
+  return sat;
+}
+
+size_t delta2_encode_scalar(const i64* cur, const i64* prev, size_t n,
+                            bool has_left, u16* out) {
+  size_t sat = 0;
+  size_t i = 0;
+  if (!has_left && n != 0) out[i++] = clip_encode_one(cur[0] - prev[0], sat);
+  for (; i < n; ++i)
+    out[i] = clip_encode_one(cur[i] - cur[i - 1] - prev[i] + prev[i - 1], sat);
+  return sat;
+}
+
+size_t delta3_encode_scalar(const i64* cur, const i64* prev, const i64* ppy,
+                            const i64* ppy1, size_t n, bool has_left,
+                            u16* out) {
+  size_t sat = 0;
+  size_t i = 0;
+  if (!has_left && n != 0)
+    out[i++] = clip_encode_one(cur[0] - prev[0] - ppy[0] + ppy1[0], sat);
+  for (; i < n; ++i)
+    out[i] = clip_encode_one(cur[i] - cur[i - 1] - prev[i] + prev[i - 1] -
+                                 ppy[i] + ppy[i - 1] + ppy1[i] - ppy1[i - 1],
+                             sat);
   return sat;
 }
 
@@ -420,6 +466,105 @@ __attribute__((target("avx2"))) size_t encode_row_avx2(const i64* d, size_t n,
   return sat;
 }
 
+// Fused Lorenzo delta + encode, AVX2 tiers of the delta*_encode_scalar
+// kernels.  The prediction sum s is evaluated at offsets i and i-1 with
+// unaligned loads (both rows sit in L1 scratch), differenced with paddq —
+// wraparound-exact, so bit-identical to the scalar rows.
+
+__attribute__((target("avx2"))) inline __m256i delta1_vec_avx2(const i64* p,
+                                                               size_t i) {
+  const __m256i s = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(p + i));
+  const __m256i s1 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(p + i - 1));
+  return _mm256_sub_epi64(s, s1);
+}
+
+__attribute__((target("avx2"))) size_t delta1_encode_avx2(const i64* p,
+                                                          size_t n, u16* out) {
+  size_t sat = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i lo = encode4_avx2(delta1_vec_avx2(p, i), sat);
+    const __m128i hi = encode4_avx2(delta1_vec_avx2(p, i + 4), sat);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_packus_epi32(lo, hi));
+  }
+  for (; i < n; ++i) out[i] = clip_encode_one(p[i] - p[i - 1], sat);
+  return sat;
+}
+
+__attribute__((target("avx2"))) inline __m256i delta2_sum_avx2(const i64* cur,
+                                                               const i64* prev,
+                                                               size_t i) {
+  return _mm256_sub_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + i)));
+}
+
+__attribute__((target("avx2"))) size_t delta2_encode_avx2(const i64* cur,
+                                                          const i64* prev,
+                                                          size_t n,
+                                                          bool has_left,
+                                                          u16* out) {
+  size_t sat = 0;
+  size_t i = 0;
+  if (!has_left && n != 0) out[i++] = clip_encode_one(cur[0] - prev[0], sat);
+  for (; i + 8 <= n; i += 8) {
+    const __m128i lo =
+        encode4_avx2(_mm256_sub_epi64(delta2_sum_avx2(cur, prev, i),
+                                      delta2_sum_avx2(cur, prev, i - 1)),
+                     sat);
+    const __m128i hi =
+        encode4_avx2(_mm256_sub_epi64(delta2_sum_avx2(cur, prev, i + 4),
+                                      delta2_sum_avx2(cur, prev, i + 3)),
+                     sat);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_packus_epi32(lo, hi));
+  }
+  for (; i < n; ++i)
+    out[i] = clip_encode_one(cur[i] - cur[i - 1] - prev[i] + prev[i - 1], sat);
+  return sat;
+}
+
+__attribute__((target("avx2"))) inline __m256i delta3_sum_avx2(
+    const i64* cur, const i64* prev, const i64* ppy, const i64* ppy1,
+    size_t i) {
+  const __m256i a = _mm256_sub_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + i)));
+  const __m256i b = _mm256_sub_epi64(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ppy1 + i)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ppy + i)));
+  return _mm256_add_epi64(a, b);
+}
+
+__attribute__((target("avx2"))) size_t delta3_encode_avx2(
+    const i64* cur, const i64* prev, const i64* ppy, const i64* ppy1,
+    size_t n, bool has_left, u16* out) {
+  size_t sat = 0;
+  size_t i = 0;
+  if (!has_left && n != 0)
+    out[i++] = clip_encode_one(cur[0] - prev[0] - ppy[0] + ppy1[0], sat);
+  for (; i + 8 <= n; i += 8) {
+    const __m128i lo = encode4_avx2(
+        _mm256_sub_epi64(delta3_sum_avx2(cur, prev, ppy, ppy1, i),
+                         delta3_sum_avx2(cur, prev, ppy, ppy1, i - 1)),
+        sat);
+    const __m128i hi = encode4_avx2(
+        _mm256_sub_epi64(delta3_sum_avx2(cur, prev, ppy, ppy1, i + 4),
+                         delta3_sum_avx2(cur, prev, ppy, ppy1, i + 3)),
+        sat);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_packus_epi32(lo, hi));
+  }
+  for (; i < n; ++i)
+    out[i] = clip_encode_one(cur[i] - cur[i - 1] - prev[i] + prev[i - 1] -
+                                 ppy[i] + ppy[i - 1] + ppy1[i] - ppy1[i - 1],
+                             sat);
+  return sat;
+}
+
 // 32x32 bit transpose via byte-plane extraction: gather byte k of every
 // word into one YMM (pshufb + unpack + cross-lane permute), then peel its
 // 8 bit planes with movemask_epi8, shifting left with add_epi8.  32 words
@@ -496,12 +641,18 @@ struct KernelOps {
   size_t (*encode)(const i64*, size_t, u16*);
   void (*transpose)(const u32*, u32*, size_t);
   void (*mark)(const u32*, size_t, u8*, u8*);
+  // Fused Lorenzo delta + encode rows (the tile-parallel strip body).
+  size_t (*delta1_encode)(const i64*, size_t, u16*);
+  size_t (*delta2_encode)(const i64*, const i64*, size_t, bool, u16*);
+  size_t (*delta3_encode)(const i64*, const i64*, const i64*, const i64*,
+                          size_t, bool, u16*);
 };
 
 constexpr KernelOps kScalarOps = {
     prequant_row_scalar<f32>, prequant_row_scalar<f64>,
     prequant_row_f32fast_scalar, encode_row_scalar,
     transpose_unit_scalar, mark_rows_scalar,
+    delta1_encode_scalar, delta2_encode_scalar, delta3_encode_scalar,
 };
 
 KernelOps ops_for(SimdLevel level) {
@@ -510,13 +661,17 @@ KernelOps ops_for(SimdLevel level) {
     case SimdLevel::AVX2:
       return {prequant_row_f32_avx2, prequant_row_f64_avx2,
               prequant_row_f32fast_avx2, encode_row_avx2,
-              transpose_unit_avx2, mark_rows_avx2};
+              transpose_unit_avx2, mark_rows_avx2,
+              delta1_encode_avx2, delta2_encode_avx2, delta3_encode_avx2};
     case SimdLevel::SSE2:
       // Sign-magnitude encode has no useful SSE2 form (no 64-bit compare
-      // or blend below AVX2); it stays scalar at this tier.
+      // or blend below AVX2); it and the fused delta+encode rows stay
+      // scalar at this tier.
       return {prequant_row_f32_sse2, prequant_row_f64_sse2,
               prequant_row_f32fast_sse2, encode_row_scalar,
-              transpose_unit_sse2, mark_rows_scalar};
+              transpose_unit_sse2, mark_rows_scalar,
+              delta1_encode_scalar, delta2_encode_scalar,
+              delta3_encode_scalar};
     default:
       return kScalarOps;
   }
@@ -546,6 +701,23 @@ class TileSink {
       sat_ += ops_.encode(d, take, codes() + fill_);
       fill_ += take;
       d += take;
+      n -= take;
+      if (fill_ == kCodesPerTile) flush();
+    }
+  }
+
+  /// Segment-producer form of consume: `fn(off, take, out)` writes `take`
+  /// codes for logical offsets [off, off + take) directly into the tile
+  /// buffer and returns its saturation count.  Lets the fused delta+encode
+  /// kernels emit codes without an intermediate delta row.
+  template <typename Fn>
+  void produce(size_t n, Fn&& fn) {
+    size_t off = 0;
+    while (n != 0) {
+      const size_t take = std::min(kCodesPerTile - fill_, n);
+      sat_ += fn(off, take, codes() + fill_);
+      fill_ += take;
+      off += take;
       n -= take;
       if (fill_ == kCodesPerTile) flush();
     }
@@ -725,6 +897,328 @@ FusedTileResult fused_impl(std::span<const T> data, Dims dims, double abs_eb,
   return res;
 }
 
+// ---- tile-parallel strips --------------------------------------------------
+
+// Rows per pre-quantization batch in the strip body: one kernel dispatch
+// covers ~kFusedBatchElems contiguous elements instead of one row.
+constexpr size_t kFusedBatchElems = 4096;
+
+size_t fused_batch_rows(size_t nx) {
+  return std::clamp<size_t>(div_ceil(kFusedBatchElems, nx), size_t{1},
+                            size_t{64});
+}
+
+/// i64 scratch one strip needs: zero row + stashed previous row + the
+/// multi-row pre-quantization batch (+ the previous-plane buffer in 3-D).
+size_t fused_strip_scratch_elems(Dims dims) {
+  switch (dims.rank()) {
+    case 1:
+      return kFusedChunk1D + 16;
+    case 2:
+      return (2 + fused_batch_rows(dims.x)) * dims.x + 8;
+    default:
+      return (2 + fused_batch_rows(dims.x)) * dims.x + dims.x * dims.y + 8;
+  }
+}
+
+/// Upper bound on the halo a strip re-prequantizes: one value (1-D), the
+/// previous row plus a partial row (2-D), the previous plane plus partial
+/// rows (3-D).
+size_t fused_halo_bound(Dims dims) {
+  switch (dims.rank()) {
+    case 1:
+      return 8;
+    case 2:
+      return 2 * dims.x;
+    default:
+      return dims.x * dims.y + 2 * dims.x;
+  }
+}
+
+struct StripExtent {
+  size_t first_tile = 0;
+  size_t tile_count = 0;
+  size_t begin = 0;  ///< first element (tile-aligned)
+  size_t end = 0;    ///< one past the strip's last real element
+};
+
+/// One strip of the tile-parallel fused pass.  Re-prequantizes the halo its
+/// Lorenzo stencil reaches across the strip boundary (pointwise, so the
+/// values match what the serial pass carried bit-for-bit), then streams its
+/// rows through batched prequantization and the fused delta+encode kernels
+/// into a TileSink over the strip's own tiles.  `anchor` is written only by
+/// the strip containing element 0.
+template <typename T>
+void run_fused_strip(std::span<const T> data, Dims dims, double inv,
+                     float invf, bool fast, const KernelOps& ops,
+                     const StripExtent& ext, std::span<i64> scratch,
+                     std::span<u32> shuffled, std::span<u8> byte_flags,
+                     std::span<u8> bit_flags, i64* anchor, size_t* saturated,
+                     size_t* halo_out) {
+  auto prequant_row = [&](const T* src, size_t n, i64* dst) {
+    if constexpr (std::is_same_v<T, f32>) {
+      if (fast)
+        ops.prequant_f32fast(src, n, inv, invf, dst);
+      else
+        ops.prequant_f32(src, n, inv, dst);
+    } else {
+      ops.prequant_f64(src, n, inv, dst);
+    }
+  };
+
+  TileSink sink(
+      ops, shuffled.subspan(ext.first_tile * kTileWords,
+                            ext.tile_count * kTileWords),
+      byte_flags.subspan(ext.first_tile * kBlocksPerTile,
+                         ext.tile_count * kBlocksPerTile),
+      bit_flags.subspan(ext.first_tile * (kBlocksPerTile / 8),
+                        ext.tile_count * (kBlocksPerTile / 8)));
+  size_t halo = 0;
+
+  switch (dims.rank()) {
+    case 1: {
+      // p[0] is the carry slot: the pre-quantized element left of the
+      // current chunk (re-prequantized across the strip boundary).
+      i64* p = scratch.data();
+      const size_t chunk = kFusedChunk1D;
+      if (ext.begin > 0) {
+        prequant_row(data.data() + ext.begin - 1, 1, p);
+        halo += 1;
+      } else {
+        p[0] = 0;
+      }
+      for (size_t b = ext.begin; b < ext.end; b += chunk) {
+        const size_t m = std::min(chunk, ext.end - b);
+        prequant_row(data.data() + b, m, p + 1);
+        if (b == 0) {
+          *anchor = p[1];  // d[0] == p[1] - 0: residual of the first value
+          sink.produce(1, [](size_t, size_t, u16* out) {
+            out[0] = 0;
+            return size_t{0};
+          });
+          sink.produce(m - 1, [&](size_t off, size_t take, u16* out) {
+            return ops.delta1_encode(p + 2 + off, take, out);
+          });
+        } else {
+          sink.produce(m, [&](size_t off, size_t take, u16* out) {
+            return ops.delta1_encode(p + 1 + off, take, out);
+          });
+        }
+        p[0] = p[m];
+      }
+      break;
+    }
+    case 2: {
+      const size_t nx = dims.x;
+      const size_t R = fused_batch_rows(nx);
+      i64* zrow = scratch.data();
+      i64* prevrow = zrow + nx;
+      i64* batch = prevrow + nx;
+      std::fill(zrow, zrow + nx, i64{0});
+      const size_t y_first = ext.begin / nx;
+      const size_t x_off = ext.begin % nx;
+      const size_t y_last = (ext.end - 1) / nx;
+      const i64* prev = zrow;
+      if (y_first > 0) {
+        prequant_row(data.data() + (y_first - 1) * nx, nx, prevrow);
+        halo += nx;
+        prev = prevrow;
+      }
+      halo += x_off;
+      for (size_t y0 = y_first; y0 <= y_last; y0 += R) {
+        const size_t rcount = std::min(R, y_last + 1 - y0);
+        prequant_row(data.data() + y0 * nx, rcount * nx, batch);
+        for (size_t r = 0; r < rcount; ++r) {
+          const size_t y = y0 + r;
+          const i64* cur = batch + r * nx;
+          const size_t xb = y == y_first ? x_off : 0;
+          const size_t xe = std::min(nx, ext.end - y * nx);
+          if (y == 0 && xb == 0) {
+            *anchor = cur[0] - prev[0];  // prev == zrow
+            sink.produce(1, [](size_t, size_t, u16* out) {
+              out[0] = 0;
+              return size_t{0};
+            });
+            sink.produce(xe - 1, [&](size_t off, size_t take, u16* out) {
+              return ops.delta2_encode(cur + 1 + off, prev + 1 + off, take,
+                                       true, out);
+            });
+          } else {
+            sink.produce(xe - xb, [&](size_t off, size_t take, u16* out) {
+              return ops.delta2_encode(cur + xb + off, prev + xb + off, take,
+                                       xb + off > 0, out);
+            });
+          }
+          halo += nx - xe;
+          prev = cur;
+        }
+        if (y0 + rcount <= y_last) {
+          std::memcpy(prevrow, batch + (rcount - 1) * nx, nx * sizeof(i64));
+          prev = prevrow;
+        }
+      }
+      break;
+    }
+    default: {
+      const size_t nx = dims.x, ny = dims.y;
+      const size_t nxy = nx * ny;
+      const size_t R = fused_batch_rows(nx);
+      i64* zrow = scratch.data();
+      i64* prevrow = zrow + nx;
+      i64* batch = prevrow + nx;
+      i64* plane = batch + R * nx;
+      std::fill(zrow, zrow + nx, i64{0});
+      const size_t z_first = ext.begin / nxy;
+      const size_t y_first = (ext.begin % nxy) / nx;
+      const size_t x_off = ext.begin % nx;
+      const size_t z_last = (ext.end - 1) / nxy;
+
+      // Halo init: rebuild the serial pass's plane state at (z_first,
+      // y_first) by re-prequantizing it.  At that point the delayed copies
+      // have replaced rows [0, y_first-1) with plane z_first; the rest
+      // still holds plane z_first-1 (zeros when z_first == 0).
+      const size_t lo = y_first == 0 ? 0 : y_first - 1;
+      if (lo > 0) {
+        prequant_row(data.data() + z_first * nxy, lo * nx, plane);
+        halo += lo * nx;
+      }
+      if (z_first > 0) {
+        prequant_row(data.data() + (z_first - 1) * nxy + lo * nx,
+                     (ny - lo) * nx, plane + lo * nx);
+        halo += (ny - lo) * nx;
+      } else {
+        std::fill(plane + lo * nx, plane + nxy, i64{0});
+      }
+      const i64* prev = zrow;
+      if (y_first > 0) {
+        prequant_row(data.data() + z_first * nxy + (y_first - 1) * nx, nx,
+                     prevrow);
+        halo += nx;
+        prev = prevrow;
+      }
+      halo += x_off;
+
+      for (size_t z = z_first; z <= z_last; ++z) {
+        const size_t base = z * nxy;
+        if (z != z_first) prev = zrow;
+        const size_t yb = z == z_first ? y_first : 0;
+        const size_t ye = z == z_last ? (ext.end - 1 - base) / nx + 1 : ny;
+        for (size_t y0 = yb; y0 < ye; y0 += R) {
+          const size_t rcount = std::min(R, ye - y0);
+          prequant_row(data.data() + base + y0 * nx, rcount * nx, batch);
+          const i64* batch_prev = prev;  // current row y0-1 (or the zero row)
+          for (size_t r = 0; r < rcount; ++r) {
+            const size_t y = y0 + r;
+            const i64* cur = batch + r * nx;
+            const i64* ppy = plane + y * nx;
+            const i64* ppy1 = y > 0 ? plane + (y - 1) * nx : zrow;
+            const size_t xb = (z == z_first && y == y_first) ? x_off : 0;
+            const size_t xe = std::min(nx, ext.end - base - y * nx);
+            if (z == 0 && y == 0 && xb == 0) {
+              *anchor = cur[0] - prev[0] - ppy[0] + ppy1[0];
+              sink.produce(1, [](size_t, size_t, u16* out) {
+                out[0] = 0;
+                return size_t{0};
+              });
+              sink.produce(xe - 1, [&](size_t off, size_t take, u16* out) {
+                return ops.delta3_encode(cur + 1 + off, prev + 1 + off,
+                                         ppy + 1 + off, ppy1 + 1 + off, take,
+                                         true, out);
+              });
+            } else {
+              sink.produce(xe - xb, [&](size_t off, size_t take, u16* out) {
+                return ops.delta3_encode(cur + xb + off, prev + xb + off,
+                                         ppy + xb + off, ppy1 + xb + off,
+                                         take, xb + off > 0, out);
+              });
+            }
+            halo += nx - xe;
+            prev = cur;
+          }
+          // Delayed plane update, batched: current rows [y0-1, y0+rcount-1)
+          // replace the previous plane's (every delta above read the old
+          // values; the next batch only reads rows >= y0+rcount-1, still
+          // untouched).  The batch's last row is stashed in prevrow.
+          if (y0 > 0)
+            std::memcpy(plane + (y0 - 1) * nx, batch_prev, nx * sizeof(i64));
+          if (rcount > 1)
+            std::memcpy(plane + y0 * nx, batch, (rcount - 1) * nx * sizeof(i64));
+          std::memcpy(prevrow, batch + (rcount - 1) * nx, nx * sizeof(i64));
+          prev = prevrow;
+        }
+        if (z != z_last)
+          std::memcpy(plane + (ny - 1) * nx, prevrow, nx * sizeof(i64));
+      }
+      break;
+    }
+  }
+
+  sink.finish();
+  *saturated = sink.saturated();
+  *halo_out = halo;
+}
+
+template <typename T>
+FusedTileResult fused_parallel_impl(std::span<const T> data, Dims dims,
+                                    double abs_eb, bool f32_fast,
+                                    std::span<u32> shuffled,
+                                    std::span<u8> byte_flags,
+                                    std::span<u8> bit_flags,
+                                    std::span<i64> scratch,
+                                    const FusedParallelPlan& plan,
+                                    SimdLevel level, telemetry::Sink* sink) {
+  FZ_REQUIRE(abs_eb > 0, "fused: error bound must be positive");
+  FZ_REQUIRE(data.size() == dims.count(), "fused: dims/size mismatch");
+  FZ_REQUIRE(data.size() > 0, "fused: empty input");
+  const size_t padded = round_up(data.size(), kCodesPerTile);
+  const size_t words = padded * sizeof(u16) / sizeof(u32);
+  FZ_REQUIRE(shuffled.size() == words, "fused: shuffled size mismatch");
+  FZ_REQUIRE(byte_flags.size() == words / kBlockWords &&
+                 bit_flags.size() == words / kBlockWords / 8,
+             "fused: flag size mismatch");
+  FZ_REQUIRE(plan.strips >= 1 && scratch.size() >= plan.scratch_elems,
+             "fused: scratch smaller than the plan");
+
+  const size_t tiles = padded / kCodesPerTile;
+  const size_t tiles_per = div_ceil(tiles, plan.strips);
+  const size_t strips = div_ceil(tiles, tiles_per);
+  const size_t per_strip = scratch.size() / strips;
+
+  const double inv = 1.0 / (2.0 * abs_eb);
+  const float invf = static_cast<float>(inv);
+  const KernelOps ops = ops_for(level);
+  const bool fast = f32_fast && f32_fast_ok(inv);
+
+  std::atomic<size_t> saturated{0};
+  i64 anchor = 0;  // written only by the strip holding element 0
+
+  parallel_tasks(strips, strips, [&](size_t t, size_t /*worker*/) {
+    StripExtent ext;
+    ext.first_tile = t * tiles_per;
+    ext.tile_count = std::min(tiles_per, tiles - ext.first_tile);
+    ext.begin = ext.first_tile * kCodesPerTile;
+    ext.end = std::min(data.size(),
+                       (ext.first_tile + ext.tile_count) * kCodesPerTile);
+    telemetry::Span span(sink, "fused-strip");
+    size_t sat = 0, halo = 0;
+    run_fused_strip<T>(data, dims, inv, invf, fast, ops, ext,
+                       scratch.subspan(t * per_strip, per_strip), shuffled,
+                       byte_flags, bit_flags, &anchor, &sat, &halo);
+    saturated.fetch_add(sat, std::memory_order_relaxed);
+    if (span.enabled()) {
+      span.arg("strip", static_cast<double>(t));
+      span.arg("halo_elems", static_cast<double>(halo));
+      span.arg("bytes",
+               static_cast<double>((ext.end - ext.begin) * sizeof(T)));
+    }
+  });
+
+  FusedTileResult res;
+  res.saturated = saturated.load();
+  res.anchor = anchor;
+  return res;
+}
+
 }  // namespace
 
 // ---- public entry points ---------------------------------------------------
@@ -762,6 +1256,46 @@ FusedTileResult fused_quant_shuffle_mark(std::span<const f64> data, Dims dims,
                                          SimdLevel level) {
   return fused_impl(data, dims, abs_eb, f32_fast, shuffled, byte_flags,
                     bit_flags, row_scratch, plane_scratch, level);
+}
+
+FusedParallelPlan fused_parallel_plan(Dims dims, size_t workers) {
+  const size_t n = dims.count();
+  const size_t tiles = div_ceil(std::max<size_t>(n, 1), kCodesPerTile);
+  size_t strips = std::min(workers != 0 ? workers : max_threads(), tiles);
+  // Keep the halo recompute a small fraction of the real work: each extra
+  // strip re-prequantizes at most `bound` elements.
+  const size_t bound = fused_halo_bound(dims);
+  strips = std::min(strips, std::max<size_t>(1, n / (4 * bound)));
+  strips = std::max<size_t>(strips, 1);
+  // Even tile split; trailing strips may be empty — fold them away.
+  const size_t tiles_per = div_ceil(tiles, strips);
+  strips = div_ceil(tiles, tiles_per);
+
+  FusedParallelPlan plan;
+  plan.strips = strips;
+  plan.scratch_elems = strips * round_up(fused_strip_scratch_elems(dims), 8);
+  plan.halo_elems = (strips - 1) * bound;
+  return plan;
+}
+
+FusedTileResult fused_quant_shuffle_mark_parallel(
+    FloatSpan data, Dims dims, double abs_eb, bool f32_fast,
+    std::span<u32> shuffled, std::span<u8> byte_flags,
+    std::span<u8> bit_flags, std::span<i64> scratch,
+    const FusedParallelPlan& plan, SimdLevel level, telemetry::Sink* sink) {
+  return fused_parallel_impl(data, dims, abs_eb, f32_fast, shuffled,
+                             byte_flags, bit_flags, scratch, plan, level,
+                             sink);
+}
+
+FusedTileResult fused_quant_shuffle_mark_parallel(
+    std::span<const f64> data, Dims dims, double abs_eb, bool f32_fast,
+    std::span<u32> shuffled, std::span<u8> byte_flags,
+    std::span<u8> bit_flags, std::span<i64> scratch,
+    const FusedParallelPlan& plan, SimdLevel level, telemetry::Sink* sink) {
+  return fused_parallel_impl(data, dims, abs_eb, f32_fast, shuffled,
+                             byte_flags, bit_flags, scratch, plan, level,
+                             sink);
 }
 
 void prequantize_simd(FloatSpan data, double eb, std::span<i64> out,

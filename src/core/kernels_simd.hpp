@@ -25,6 +25,10 @@
 #include "common/simd.hpp"
 #include "common/types.hpp"
 
+namespace fz::telemetry {
+class Sink;
+}  // namespace fz::telemetry
+
 namespace fz {
 
 // ---- standalone vectorized kernels (unfused graph + tests) -----------------
@@ -108,5 +112,55 @@ FusedTileResult fused_quant_shuffle_mark(std::span<const f64> data, Dims dims,
                                          std::span<i64> row_scratch,
                                          std::span<i64> plane_scratch,
                                          SimdLevel level);
+
+// ---- tile-parallel fused pipeline ------------------------------------------
+//
+// The cuSZ+ observation applied to the host path: pre-quantization is
+// pointwise, so any tile strip can *re-prequantize* the few predecessor
+// values its Lorenzo stencil reaches across the strip boundary (one value
+// in 1-D, one row in 2-D, one plane in 3-D) and then predict independently
+// of every other strip.  Strips are aligned to whole 2048-code tiles, so
+// each worker owns a disjoint region of `shuffled`/`byte_flags`/`bit_flags`
+// and the assembled stream is byte-identical to the serial fused pass for
+// every strip count, dtype and SIMD tier (pinned by
+// tests/test_fused_parallel.cpp).
+//
+// The strip body is also a faster single-thread implementation than the
+// serial streaming pass: rows are pre-quantized in multi-row batches (one
+// dispatch per batch instead of per row) and the Lorenzo delta + sign-
+// magnitude encode run as one fused vector kernel straight into the tile
+// buffer, removing the intermediate delta-row store/reload.
+
+struct FusedParallelPlan {
+  size_t strips = 1;         ///< actual strip count (<= requested workers)
+  size_t scratch_elems = 0;  ///< total i64 scratch across all strips
+  size_t halo_elems = 0;     ///< upper bound on re-prequantized halo elements
+                             ///< (exact counts ride the "fused-strip" spans)
+};
+
+/// Partition `dims` into tile strips for `workers` workers (0 = one strip
+/// per hardware thread).  The strip count is clamped so the halo-recompute
+/// overhead stays a small fraction of the total work; the plan is
+/// deterministic in (dims, workers) — it never depends on thread timing.
+FusedParallelPlan fused_parallel_plan(Dims dims, size_t workers);
+
+/// Tile-parallel fused stage kernel.  Same outputs as
+/// fused_quant_shuffle_mark, byte-for-byte, for every plan.  `scratch` must
+/// hold plan.scratch_elems i64 (contents need not be initialized); it is
+/// sliced per strip, so one pooled lease serves every worker.  When `sink`
+/// is non-null each strip records a "fused-strip" span (strip id, halo
+/// elems, consumed bytes) on its worker thread.
+FusedTileResult fused_quant_shuffle_mark_parallel(
+    FloatSpan data, Dims dims, double abs_eb, bool f32_fast,
+    std::span<u32> shuffled, std::span<u8> byte_flags,
+    std::span<u8> bit_flags, std::span<i64> scratch,
+    const FusedParallelPlan& plan, SimdLevel level,
+    telemetry::Sink* sink = nullptr);
+FusedTileResult fused_quant_shuffle_mark_parallel(
+    std::span<const f64> data, Dims dims, double abs_eb, bool f32_fast,
+    std::span<u32> shuffled, std::span<u8> byte_flags,
+    std::span<u8> bit_flags, std::span<i64> scratch,
+    const FusedParallelPlan& plan, SimdLevel level,
+    telemetry::Sink* sink = nullptr);
 
 }  // namespace fz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bits.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 
@@ -63,9 +64,85 @@ size_t line_grain(size_t line_len) {
   return std::max<size_t>(1, (size_t{1} << 14) / std::max<size_t>(1, line_len));
 }
 
+/// Deterministic chunk count for the boundary-propagation scans: at most
+/// one chunk per worker (0 = hardware threads), each covering at least
+/// `min_per` lines so the two extra passes stay negligible.
+size_t scan_chunk_split(size_t lines, size_t workers, size_t min_per) {
+  size_t w = workers != 0 ? workers : static_cast<size_t>(max_threads());
+  w = std::min(w, lines / std::max<size_t>(min_per, 1));
+  return std::max<size_t>(w, 1);
+}
+
+// The axis scans below break the prefix dependence the way rapidgzip's
+// inverse pass does: (1) every chunk computes its *chunk-local* scan in
+// parallel, (2) one cheap serial pass globalizes each chunk's final
+// line by adding the previous chunk's (already global) final line, and
+// (3) a second parallel pass adds that boundary offset to every interior
+// line.  Integer adds are associative, so the result is identical to the
+// serial scan for every chunk count — decompression stays byte-exact.
+
+/// Chunked inclusive prefix sum over one 1-D array.
+void scan_x_chunked_1d(std::span<i64> a, size_t nchunks) {
+  const size_t n = a.size();
+  const size_t per = div_ceil(n, nchunks);
+  nchunks = div_ceil(n, per);
+  parallel_tasks(nchunks, nchunks, [&](size_t c, size_t) {
+    const size_t b = c * per;
+    const size_t e = std::min(n, b + per);
+    i64* p = a.data();
+    for (size_t i = b + 1; i < e; ++i) p[i] += p[i - 1];
+  });
+  for (size_t c = 1; c < nchunks; ++c)
+    a[std::min(n, c * per + per) - 1] += a[c * per - 1];
+  parallel_tasks(nchunks - 1, nchunks - 1, [&](size_t t, size_t) {
+    const size_t c = t + 1;
+    const size_t b = c * per;
+    const size_t e = std::min(n, b + per);
+    const i64 carry = a[b - 1];
+    i64* p = a.data();
+    for (size_t i = b; i + 1 < e; ++i) p[i] += carry;
+  });
+}
+
+/// Chunked y-scan over a single plane (row-granular boundary offsets).
+void scan_y_chunked_plane(i64* plane, size_t nx, size_t ny, size_t nchunks) {
+  const size_t per = div_ceil(ny, nchunks);
+  nchunks = div_ceil(ny, per);
+  parallel_tasks(nchunks, nchunks, [&](size_t c, size_t) {
+    const size_t yb = c * per;
+    const size_t ye = std::min(ny, yb + per);
+    for (size_t y = yb + 1; y < ye; ++y)
+      for (size_t x = 0; x < nx; ++x)
+        plane[x + nx * y] += plane[x + nx * (y - 1)];
+  });
+  for (size_t c = 1; c < nchunks; ++c) {
+    i64* last = plane + (std::min(ny, c * per + per) - 1) * nx;
+    const i64* prev = plane + (c * per - 1) * nx;
+    for (size_t x = 0; x < nx; ++x) last[x] += prev[x];
+  }
+  parallel_tasks(nchunks - 1, nchunks - 1, [&](size_t t, size_t) {
+    const size_t c = t + 1;
+    const size_t yb = c * per;
+    const size_t ye = std::min(ny, yb + per);
+    const i64* carry = plane + (yb - 1) * nx;
+    for (size_t y = yb; y + 1 < ye; ++y)
+      for (size_t x = 0; x < nx; ++x) plane[x + nx * y] += carry[x];
+  });
+}
+
 /// Inclusive prefix sum along x for every (y, z) line.
-void scan_x(std::span<i64> a, Dims dims) {
-  parallel_chunks(dims.y * dims.z, line_grain(dims.x), [&](size_t b, size_t e) {
+void scan_x(std::span<i64> a, Dims dims, size_t workers) {
+  const size_t lines = dims.y * dims.z;
+  if (lines == 1) {
+    // 1-D input: the whole array is one prefix chain — the only scan where
+    // boundary propagation is needed to parallelize at all.
+    const size_t nchunks = scan_chunk_split(dims.x, workers, size_t{1} << 15);
+    if (nchunks > 1) {
+      scan_x_chunked_1d(a, nchunks);
+      return;
+    }
+  }
+  parallel_chunks(lines, line_grain(dims.x), [&](size_t b, size_t e) {
     for (size_t line = b; line < e; ++line) {
       i64* row = a.data() + line * dims.x;
       for (size_t x = 1; x < dims.x; ++x) row[x] += row[x - 1];
@@ -73,7 +150,16 @@ void scan_x(std::span<i64> a, Dims dims) {
   });
 }
 
-void scan_y(std::span<i64> a, Dims dims) {
+void scan_y(std::span<i64> a, Dims dims, size_t workers) {
+  if (dims.z == 1) {
+    // Single plane (2-D input): without boundary propagation the y-scan
+    // would be one serial chain of row adds.
+    const size_t nchunks = scan_chunk_split(dims.y, workers, 32);
+    if (nchunks > 1) {
+      scan_y_chunked_plane(a.data(), dims.x, dims.y, nchunks);
+      return;
+    }
+  }
   parallel_chunks(dims.z, line_grain(dims.x * dims.y), [&](size_t zb, size_t ze) {
     for (size_t z = zb; z < ze; ++z) {
       i64* plane = a.data() + z * dims.x * dims.y;
@@ -112,13 +198,14 @@ void lorenzo_forward(std::span<const i64> p, Dims dims, std::span<i64> delta) {
   }
 }
 
-void lorenzo_inverse(std::span<const i64> delta, Dims dims, std::span<i64> p) {
+void lorenzo_inverse(std::span<const i64> delta, Dims dims, std::span<i64> p,
+                     size_t workers) {
   FZ_REQUIRE(delta.size() == dims.count() && p.size() == delta.size(),
              "lorenzo: size mismatch");
   if (p.data() != delta.data())
     std::copy(delta.begin(), delta.end(), p.begin());
-  scan_x(p, dims);
-  if (dims.rank() >= 2) scan_y(p, dims);
+  scan_x(p, dims, workers);
+  if (dims.rank() >= 2) scan_y(p, dims, workers);
   if (dims.rank() >= 3) scan_z(p, dims);
 }
 

@@ -74,6 +74,17 @@ struct FzParams {
   /// stream bytes are identical either way — pinned by
   /// CodecTest.FusedGraphMatchesUnfusedByteForByte.
   bool fused_host_graph = true;
+  /// Host execution: worker count for the tile-parallel fused pass (and the
+  /// chunk-parallel inverse-Lorenzo scans on decompress).  0 = one strip per
+  /// hardware thread.  Every worker count emits byte-identical streams —
+  /// pinned by tests/test_fused_parallel.cpp — so this is purely a
+  /// performance knob.
+  size_t fused_workers = 0;
+  /// Host execution, ablation/reference knob: run the fused pass serially
+  /// over tiles (the pre-PR5 streaming implementation) instead of the
+  /// tile-parallel halo-recompute strips.  Output bytes are identical; the
+  /// bench harness uses this as the fused-serial baseline.
+  bool fused_serial_tiles = false;
   /// Host execution: SIMD tier for the vectorized kernels.  Auto resolves
   /// from the FZ_SIMD env var / CPUID; every tier is bit-identical, so this
   /// never changes the stream either.

@@ -234,26 +234,50 @@ class FusedQuantShuffleMarkStage final : public Stage {
     ctx.shuffled = ctx.pool->acquire(ctx.total_words() * sizeof(u32), false);
     ctx.byte_flags = ctx.pool->acquire(ctx.total_blocks(), false);
     ctx.bit_flags = ctx.pool->acquire(div_ceil(ctx.total_blocks(), 8), false);
-    ctx.row_scratch = ctx.pool->acquire(
-        fused_row_scratch_elems(ctx.dims) * sizeof(i64), false);
-    const size_t plane_elems = fused_plane_scratch_elems(ctx.dims);
-    std::span<i64> plane;
-    if (plane_elems != 0) {
-      ctx.plane_scratch = ctx.pool->acquire(plane_elems * sizeof(i64), false);
-      plane = ctx.plane_scratch.as<i64>();
-    }
 
     FusedTileResult r;
-    if (ctx.dtype == sizeof(f64)) {
-      r = fused_quant_shuffle_mark(
-          source<f64>(ctx), ctx.dims, ctx.abs_eb, false, ctx.shuffled.as<u32>(),
-          ctx.byte_flags.as<u8>(), ctx.bit_flags.as<u8>(),
-          ctx.row_scratch.as<i64>(), plane, level);
+    if (ctx.params.fused_serial_tiles) {
+      // Ablation / reference path: the pre-PR5 serial streaming pass.
+      ctx.row_scratch = ctx.pool->acquire(
+          fused_row_scratch_elems(ctx.dims) * sizeof(i64), false);
+      const size_t plane_elems = fused_plane_scratch_elems(ctx.dims);
+      std::span<i64> plane;
+      if (plane_elems != 0) {
+        ctx.plane_scratch =
+            ctx.pool->acquire(plane_elems * sizeof(i64), false);
+        plane = ctx.plane_scratch.as<i64>();
+      }
+      if (ctx.dtype == sizeof(f64)) {
+        r = fused_quant_shuffle_mark(
+            source<f64>(ctx), ctx.dims, ctx.abs_eb, false,
+            ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
+            ctx.bit_flags.as<u8>(), ctx.row_scratch.as<i64>(), plane, level);
+      } else {
+        r = fused_quant_shuffle_mark(
+            source<f32>(ctx), ctx.dims, ctx.abs_eb, ctx.params.f32_fast_quant,
+            ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
+            ctx.bit_flags.as<u8>(), ctx.row_scratch.as<i64>(), plane, level);
+      }
     } else {
-      r = fused_quant_shuffle_mark(
-          source<f32>(ctx), ctx.dims, ctx.abs_eb, ctx.params.f32_fast_quant,
-          ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
-          ctx.bit_flags.as<u8>(), ctx.row_scratch.as<i64>(), plane, level);
+      // Tile-parallel strips with halo re-prequantization: one pooled lease
+      // sliced per strip, byte-identical to the serial pass for every plan.
+      const FusedParallelPlan plan =
+          fused_parallel_plan(ctx.dims, ctx.params.fused_workers);
+      ctx.row_scratch =
+          ctx.pool->acquire(plan.scratch_elems * sizeof(i64), false);
+      if (ctx.dtype == sizeof(f64)) {
+        r = fused_quant_shuffle_mark_parallel(
+            source<f64>(ctx), ctx.dims, ctx.abs_eb, false,
+            ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
+            ctx.bit_flags.as<u8>(), ctx.row_scratch.as<i64>(), plan, level,
+            ctx.sink);
+      } else {
+        r = fused_quant_shuffle_mark_parallel(
+            source<f32>(ctx), ctx.dims, ctx.abs_eb, ctx.params.f32_fast_quant,
+            ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
+            ctx.bit_flags.as<u8>(), ctx.row_scratch.as<i64>(), plan, level,
+            ctx.sink);
+      }
     }
     ctx.anchor = r.anchor;
     ctx.stats.saturated = r.saturated;
@@ -444,7 +468,7 @@ class InverseQuantStage final : public Stage {
       }
     }
     pq[0] += ctx.header.anchor;  // restore the first value's residual
-    lorenzo_inverse(pq, ctx.dims, pq);
+    lorenzo_inverse(pq, ctx.dims, pq, ctx.params.fused_workers);
   }
 };
 

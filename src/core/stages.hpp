@@ -43,6 +43,10 @@ namespace fz {
 /// hits), and the small dynamic members keep their capacity.
 struct PipelineContext {
   BufferPool* pool = nullptr;
+  /// Resolved telemetry sink for the run (set by fz::Codec; may be null).
+  /// Stages that fan work out to worker threads record their per-worker
+  /// spans here — e.g. the tile-parallel fused pass's "fused-strip" spans.
+  telemetry::Sink* sink = nullptr;
 
   // ---- run inputs ----------------------------------------------------------
   FzParams params;

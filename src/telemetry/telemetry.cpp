@@ -30,6 +30,16 @@ struct RecorderCache {
 };
 thread_local RecorderCache t_recorder_cache;
 
+/// Every (sink, recorder) pair this thread has ever minted, so a thread that
+/// alternates between sinks re-finds its recorder without consulting the
+/// sink's registry.  This thread-local list — not a std::thread::id match
+/// against the sink's recorders — is the authority for "has this thread used
+/// this sink before": thread ids are reused after a join, so an id match
+/// could hand a dead worker's recorder to an unrelated fresh thread with no
+/// happens-before edge between the two owners (a data race on the
+/// owner-only fields; short-lived task-crew threads hit this in practice).
+thread_local std::vector<RecorderCache> t_recorder_registry;
+
 thread_local Sink* t_scoped_sink = nullptr;
 
 }  // namespace
@@ -89,9 +99,12 @@ void ThreadRecorder::collect(std::vector<TraceEvent>& out) const {
 Sink::Sink() : id_(g_next_sink_id.fetch_add(1)), epoch_ns_(steady_ns()) {}
 
 Sink::~Sink() {
-  // Drop this thread's cache if it points into us; other threads' caches
-  // are keyed by id_ and can never match a future sink.
+  // Drop this thread's cache and registry entry if they point into us;
+  // other threads' thread-locals are keyed by id_ and can never match a
+  // future sink, so their stale entries are inert.
   if (t_recorder_cache.sink_id == id_) t_recorder_cache = {};
+  std::erase_if(t_recorder_registry,
+                [this](const RecorderCache& e) { return e.sink_id == id_; });
 }
 
 u64 Sink::now_ns() const { return steady_ns() - epoch_ns_; }
@@ -103,20 +116,23 @@ const char* Sink::intern(std::string_view s) {
 
 detail::ThreadRecorder* Sink::recorder() {
   if (t_recorder_cache.sink_id == id_) return t_recorder_cache.rec;
-  const std::thread::id self = std::this_thread::get_id();
-  const std::lock_guard<std::mutex> lock(reg_mu_);
-  detail::ThreadRecorder* rec = nullptr;
   // Cache miss can also mean "this thread switched sinks and came back" —
-  // reuse its existing recorder rather than minting a duplicate timeline.
-  for (const auto& r : recorders_)
-    if (r->owner() == self) {
-      rec = r.get();
+  // the thread-local registry re-finds the recorder without minting a
+  // duplicate timeline.  A genuinely new thread starts with an empty
+  // registry and always mints a fresh recorder, even if it inherited a
+  // dead thread's reused std::thread::id.
+  detail::ThreadRecorder* rec = nullptr;
+  for (const auto& entry : t_recorder_registry)
+    if (entry.sink_id == id_) {
+      rec = entry.rec;
       break;
     }
   if (rec == nullptr) {
+    const std::lock_guard<std::mutex> lock(reg_mu_);
     recorders_.push_back(std::make_unique<detail::ThreadRecorder>(
         static_cast<u32>(recorders_.size())));
     rec = recorders_.back().get();
+    t_recorder_registry.push_back({id_, rec});
   }
   t_recorder_cache = {id_, rec};
   return rec;

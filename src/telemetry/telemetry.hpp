@@ -102,16 +102,16 @@ class ThreadRecorder {
   /// Hard cap per recorder (chunks); beyond it events count as dropped.
   static constexpr size_t kMaxChunks = 1024;
 
-  explicit ThreadRecorder(u32 tid)
-      : tid_(tid), owner_(std::this_thread::get_id()) {}
+  explicit ThreadRecorder(u32 tid) : tid_(tid) {}
   ThreadRecorder(const ThreadRecorder&) = delete;
   ThreadRecorder& operator=(const ThreadRecorder&) = delete;
   ~ThreadRecorder();
 
   u32 tid() const { return tid_; }
-  std::thread::id owner() const { return owner_; }
 
-  /// Owner thread only.
+  /// Owner thread only.  Ownership is established by Sink::recorder()'s
+  /// thread-local registry: a recorder is only ever handed to the thread
+  /// that minted it, so these fields need no synchronization.
   bool push(const TraceEvent& ev);
   u16 depth() const { return depth_; }
   void enter() { ++depth_; }
@@ -128,7 +128,6 @@ class ThreadRecorder {
   };
 
   u32 tid_;
-  std::thread::id owner_;
   u16 depth_ = 0;      // owner thread only
   size_t chunks_ = 1;  // owner thread only
   Chunk head_;

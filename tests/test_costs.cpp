@@ -48,6 +48,7 @@ TEST(CostModel, V1WritesMoreThanV2) {
   const FzStats st = stats_for(1 << 20, 0.3, /*outliers=*/1000);
   FzParams v1, v2;
   v1.quant = QuantVersion::V1Original;
+  v1.fused_host_graph = false;
   EXPECT_GT(fz_compression_costs(st, v1)[0].global_bytes(),
             fz_compression_costs(st, v2)[0].global_bytes());
 }
@@ -148,6 +149,44 @@ TEST(CostModel, FusedTileSheetDropsExactlyTheCodeRoundTrip) {
   const cudasim::DeviceModel dev{cudasim::DeviceSpec::a100()};
   EXPECT_LT(dev.seconds(fused),
             dev.seconds(split[0]) + dev.seconds(split[1]));
+}
+
+TEST(CostModel, HaloRecomputeTermScalesWithStripsAndStencilReach) {
+  // PR5's strip scheme pays (strips - 1) halo re-prequantizations whose
+  // size is the Lorenzo stencil's linear reach: 1 element in 1-D, a row
+  // plus one in 2-D, a plane plus a row plus one in 3-D.
+  EXPECT_EQ(fz_halo_recompute_elems(Dims{1 << 20}, 1), 0u);
+  EXPECT_EQ(fz_halo_recompute_elems(Dims{1 << 20}, 4), 3u);
+  EXPECT_EQ(fz_halo_recompute_elems(Dims{512, 2048}, 4), 3u * 513);
+  EXPECT_EQ(fz_halo_recompute_elems(Dims{128, 64, 128}, 8),
+            7u * (128 * 64 + 128 + 1));
+
+  const FzStats st = stats_for((1 << 20) + 12345, 0.3);
+  const Dims dims{512, 2048};
+  const cudasim::CostSheet serial = fz_fused_tile_cost(st);
+  const cudasim::CostSheet one = fz_fused_parallel_cost(st, dims, 1);
+  // A single strip recomputes nothing: identical resource counts.
+  EXPECT_EQ(one.global_bytes(), serial.global_bytes());
+  EXPECT_EQ(one.thread_ops, serial.thread_ops);
+
+  // More strips → strictly more halo input reads and quantization ops,
+  // monotonically, and by exactly the halo term.
+  u64 prev_bytes = one.global_bytes();
+  for (const size_t strips : {size_t{2}, size_t{4}, size_t{16}}) {
+    const cudasim::CostSheet c = fz_fused_parallel_cost(st, dims, strips);
+    const u64 halo = fz_halo_recompute_elems(dims, strips);
+    EXPECT_EQ(c.global_bytes_read,
+              serial.global_bytes_read + halo * sizeof(f32));
+    EXPECT_GT(c.global_bytes(), prev_bytes);
+    EXPECT_GT(c.thread_ops, serial.thread_ops);
+    prev_bytes = c.global_bytes();
+  }
+
+  // The overhead stays a sliver of the stage: even at 16 strips the halo
+  // reads are under 1% of the input on this shape.
+  const cudasim::CostSheet wide = fz_fused_parallel_cost(st, dims, 16);
+  EXPECT_LT(wide.global_bytes_read - serial.global_bytes_read,
+            serial.global_bytes_read / 100);
 }
 
 }  // namespace

@@ -253,6 +253,95 @@ TEST(SimFusedQuant, ClipsSaturatedResidualsLikeTheHost) {
   EXPECT_EQ(anchor[0], host.anchor);
 }
 
+TEST(SimFusedQuant, StripsKernelMatchesHostAndSinglePassExactly) {
+  // The PR5 strips variant re-prequantizes each block's halo cooperatively
+  // into shared memory instead of recomputing neighbours per thread.  Its
+  // output must stay byte-identical to both the host fused stage and the
+  // single-pass kernel for every rank — including multi-tile 3-D shapes
+  // where the halo spans a whole plane.
+  for (const Dims dims :
+       {Dims{777}, Dims{4113}, Dims{64, 80}, Dims{40, 24, 8}}) {
+    Field f;
+    f.dims = dims;
+    f.data.resize(dims.count());
+    Rng rng(dims.count() + 3);
+    for (auto& v : f.data) v = static_cast<f32>(rng.uniform(-50.0, 50.0));
+    const double abs_eb = 0.01;
+
+    const size_t words = round_up(f.count(), kCodesPerTile) / 2;
+    const size_t blocks = words / kBlockWords;
+    std::vector<u32> host_shuffled(words), sim_shuffled(words);
+    std::vector<u8> host_byte(blocks), host_bit(blocks / 8);
+    std::vector<i64> row_scratch(fused_row_scratch_elems(dims));
+    std::vector<i64> plane_scratch(fused_plane_scratch_elems(dims));
+    const FusedTileResult host = fused_quant_shuffle_mark(
+        f.values(), dims, abs_eb, /*f32_fast=*/false, host_shuffled,
+        host_byte, host_bit, row_scratch, plane_scratch, SimdLevel::Scalar);
+
+    std::vector<u8> sim_byte, sim_bit;
+    std::vector<i64> anchor(1, -1);
+    const auto cost = sim_fused_quant_shuffle_mark_strips(
+        f.values(), dims, abs_eb, sim_shuffled, sim_byte, sim_bit, anchor);
+    EXPECT_EQ(sim_shuffled, host_shuffled) << dims.to_string();
+    EXPECT_EQ(sim_byte, host_byte) << dims.to_string();
+    EXPECT_EQ(sim_bit, host_bit) << dims.to_string();
+    EXPECT_EQ(anchor[0], host.anchor) << dims.to_string();
+    EXPECT_EQ(cost.kernel_launches, 1u);
+  }
+}
+
+TEST(SimFusedQuant, StripsKernelCutsGlobalReadsOnHigherRanks) {
+  // The point of the cooperative halo: each element is loaded from global
+  // memory once per block (plus the halo), not once per stencil use.  On a
+  // 3-D field the single-pass kernel performs up to eight global
+  // recomputes per element, so the strips kernel must read strictly less.
+  Field f;
+  f.dims = Dims{40, 24, 8};
+  f.data.resize(f.dims.count());
+  Rng rng(9);
+  for (auto& v : f.data) v = static_cast<f32>(rng.uniform(-50.0, 50.0));
+
+  const size_t words = round_up(f.count(), kCodesPerTile) / 2;
+  std::vector<u32> a(words), b(words);
+  std::vector<u8> byte_a, bit_a, byte_b, bit_b;
+  std::vector<i64> anchor_a(1), anchor_b(1);
+  const auto single = sim_fused_quant_shuffle_mark(f.values(), f.dims, 0.01,
+                                                   a, byte_a, bit_a, anchor_a);
+  const auto strips = sim_fused_quant_shuffle_mark_strips(
+      f.values(), f.dims, 0.01, b, byte_b, bit_b, anchor_b);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(strips.global_bytes_read, single.global_bytes_read);
+}
+
+TEST(SimFusedQuant, StripsKernelFallsBackWhenPlaneHaloExceedsBudget) {
+  // A 3-D slab whose plane halo would blow the shared-memory budget
+  // (300*200 i64 ≈ 480 KB) must route through the single-pass kernel and
+  // still match the host stage byte for byte.
+  Field f;
+  f.dims = Dims{300, 200, 2};
+  f.data.resize(f.dims.count());
+  Rng rng(11);
+  for (auto& v : f.data) v = static_cast<f32>(rng.uniform(-50.0, 50.0));
+
+  const size_t words = round_up(f.count(), kCodesPerTile) / 2;
+  const size_t blocks = words / kBlockWords;
+  std::vector<u32> host_shuffled(words), sim_shuffled(words);
+  std::vector<u8> host_byte(blocks), host_bit(blocks / 8);
+  std::vector<i64> row_scratch(fused_row_scratch_elems(f.dims));
+  std::vector<i64> plane_scratch(fused_plane_scratch_elems(f.dims));
+  const FusedTileResult host = fused_quant_shuffle_mark(
+      f.values(), f.dims, 0.01, /*f32_fast=*/false, host_shuffled, host_byte,
+      host_bit, row_scratch, plane_scratch, SimdLevel::Scalar);
+
+  std::vector<u8> sim_byte, sim_bit;
+  std::vector<i64> anchor(1, -1);
+  sim_fused_quant_shuffle_mark_strips(f.values(), f.dims, 0.01, sim_shuffled,
+                                      sim_byte, sim_bit, anchor);
+  EXPECT_EQ(sim_shuffled, host_shuffled);
+  EXPECT_EQ(sim_byte, host_byte);
+  EXPECT_EQ(anchor[0], host.anchor);
+}
+
 TEST(SimHuffman, CoarseGrainedEncodeMatchesNativeByteForByte) {
   Rng rng(42);
   std::vector<u16> syms(20000);

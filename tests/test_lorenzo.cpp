@@ -122,5 +122,36 @@ TEST(Lorenzo, SizeMismatchThrows) {
   EXPECT_THROW(lorenzo_forward(p, Dims{10}, d), Error);
 }
 
+TEST(Lorenzo, ChunkedInverseScansAreScheduleIndependent) {
+  // PR5 decompression: the inverse prefix scans run chunk-local with a
+  // boundary-offset propagation pass, so the reconstruction is
+  // byte-identical for every worker count.  Integer adds are associative —
+  // the chunk partition can never show in the output.  Shapes chosen so
+  // the chunked paths actually engage: a long 1-D array (>= 2^15 elements
+  // per chunk) and a single tall 2-D plane (>= 32 rows per chunk).
+  for (const Dims dims : {Dims{1 << 18}, Dims{(1 << 18) + 77}, Dims{48, 512},
+                          Dims{7, 300}}) {
+    const auto p = random_values(dims.count(), 99 + dims.count());
+    std::vector<i64> delta(p.size());
+    lorenzo_forward(p, dims, delta);
+
+    std::vector<i64> serial(p.size());
+    lorenzo_inverse(delta, dims, serial, /*workers=*/1);
+    EXPECT_EQ(serial, p);
+
+    for (const size_t workers : {size_t{0}, size_t{2}, size_t{3}, size_t{8},
+                                 size_t{17}}) {
+      std::vector<i64> out(p.size());
+      lorenzo_inverse(delta, dims, out, workers);
+      ASSERT_EQ(out, serial) << "dims " << dims.x << "x" << dims.y
+                             << " workers " << workers;
+      // In place too, as the decompression stage runs it.
+      std::vector<i64> inplace = delta;
+      lorenzo_inverse(inplace, dims, inplace, workers);
+      ASSERT_EQ(inplace, serial) << "in-place workers " << workers;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fz

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "core/chunked.hpp"
 #include "core/codec.hpp"
+#include "core/kernels_simd.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fz {
@@ -148,6 +149,55 @@ TEST(Threading, SharedTelemetrySinkAcrossWorkerCodecs) {
     if (std::string_view{ev.name} == "compress") ++compress_spans;
   EXPECT_EQ(compress_spans, static_cast<size_t>(kThreads) * kReps);
   EXPECT_GT(sink.counter(telemetry::Counter::PoolMiss), 0u);
+  EXPECT_EQ(sink.counter(telemetry::Counter::EventsDropped), 0u);
+}
+
+TEST(Threading, SharedSinkAcrossFusedStripWorkers) {
+  // PR5 layers fused-strip parallelism UNDER codec-level threading: each
+  // compress fans the tile strips out to parallel_tasks workers, and every
+  // strip records a "fused-strip" span into the sink from its own worker
+  // thread — while other codecs on other threads do the same into the SAME
+  // sink.  TSan must bless the full nesting, and the streams must still be
+  // identical across threads (the strip partition is deterministic).
+  const Dims dims{64, 256};
+  const auto field = smooth_field(dims.count(), 37);
+
+  telemetry::Sink sink;
+  constexpr int kThreads = 4;
+  constexpr int kReps = 6;
+  std::atomic<bool> go{false};
+  std::vector<std::vector<u8>> streams(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      FzParams params;
+      params.telemetry = &sink;
+      params.fused_workers = 3;  // force multi-strip even on 1-core CI
+      Codec codec(params);
+      while (!go.load()) std::this_thread::yield();
+      std::vector<f32> out(dims.count());
+      for (int rep = 0; rep < kReps; ++rep) {
+        const FzCompressed c = codec.compress(field, dims);
+        codec.decompress_into(c.bytes, out);
+        streams[static_cast<size_t>(w)] = c.bytes;
+      }
+    });
+  }
+  go.store(true);
+  for (auto& t : workers) t.join();
+
+  for (int w = 1; w < kThreads; ++w)
+    EXPECT_EQ(streams[static_cast<size_t>(w)], streams[0]);
+
+  size_t strip_spans = 0;
+  for (const auto& ev : sink.snapshot())
+    if (std::string_view{ev.name} == "fused-strip") ++strip_spans;
+  // Every compress on every thread emitted one span per strip.
+  const FusedParallelPlan plan = fused_parallel_plan(dims, 3);
+  ASSERT_GT(plan.strips, 1u);
+  EXPECT_EQ(strip_spans,
+            static_cast<size_t>(kThreads) * kReps * plan.strips);
   EXPECT_EQ(sink.counter(telemetry::Counter::EventsDropped), 0u);
 }
 
