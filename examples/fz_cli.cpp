@@ -4,8 +4,10 @@
 //   fz_cli compress   <in.f32> <out.fz> -d NX [NY [NZ]] [-e REL_EB] [-a ABS_EB]
 //                     [-c CHUNKS]
 //   fz_cli decompress <in.fz>  <out.f32>
-//   fz_cli info       <in.fz>
-//   fz_cli verify     <orig.f32> <in.fz>        # check the error bound
+//   fz_cli slice      <in.fz>  <out.f32> -o OX [OY [OZ]] -n NX [NY [NZ]]
+//                     [-w WORKERS] [-m CACHE_MB]   # random access via fz::Reader
+//   fz_cli info       <in.fz>                      # incl. the chunk index
+//   fz_cli verify     <orig.f32> <in.fz>           # check the error bound
 //
 // Any command accepts --trace <out.json>: the whole run is recorded into a
 // telemetry sink and exported as a Chrome trace (open in chrome://tracing
@@ -36,6 +38,8 @@ int usage() {
       "  fz_cli compress   <in.f32> <out.fz> -d NX [NY [NZ]] [-e REL_EB]\n"
       "                    [-a ABS_EB] [-c CHUNKS]\n"
       "  fz_cli decompress <in.fz> <out.f32>\n"
+      "  fz_cli slice      <in.fz> <out.f32> -o OX [OY [OZ]] -n NX [NY [NZ]]\n"
+      "                    [-w WORKERS] [-m CACHE_MB]\n"
       "  fz_cli info       <in.fz>\n"
       "  fz_cli verify     <orig.f32> <in.fz>\n"
       "  fz_cli selftest\n"
@@ -145,8 +149,26 @@ int cmd_info(int argc, char** argv) {
   if (argc != 3) return usage();
   const std::vector<u8> bytes = load_bytes(argv[2]);
   if (is_container(bytes)) {
-    std::printf("FZ container, %zu chunks, %zu bytes\n", fz_chunk_count(bytes),
-                bytes.size());
+    const StreamInfo info = inspect(bytes);
+    std::printf("FZ container v%u: dims %s, %zu values, %zu chunks, "
+                "%zu bytes (ratio %.2fx)\n",
+                info.container_version, info.dims.to_string().c_str(),
+                info.count, info.chunks.size(), info.stream_bytes,
+                info.ratio());
+    std::printf("  abs eb %.6g, quant v%d%s\n", info.abs_eb,
+                static_cast<int>(info.quant),
+                info.log_transform ? ", log-transform" : "");
+    std::printf("  index: %s\n",
+                info.container_version >= 2
+                    ? "embedded (O(1) random access)"
+                    : "legacy size table (synthesized)");
+    std::printf("  %6s %12s %12s %12s  %s\n", "chunk", "offset", "bytes",
+                "elem-off", "dims");
+    for (size_t i = 0; i < info.chunks.size(); ++i) {
+      const ChunkEntry& c = info.chunks[i];
+      std::printf("  %6zu %12zu %12zu %12zu  %s\n", i, c.offset, c.bytes,
+                  c.elem_offset, c.dims.to_string().c_str());
+    }
     return 0;
   }
   const StreamInfo info = inspect(bytes);
@@ -165,6 +187,52 @@ int cmd_info(int argc, char** argv) {
               info.outlier_bytes, info.stream_bytes, info.ratio());
   std::printf("  blocks: %zu/%zu nonzero, %zu saturated values\n",
               info.nonzero_blocks, info.total_blocks, info.saturated);
+  return 0;
+}
+
+int cmd_slice(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::vector<u8> bytes = load_bytes(argv[2]);
+  const std::string out_path = argv[3];
+  ReaderOptions options;
+  std::vector<size_t> origin, extent;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0) {
+      while (i + 1 < argc && argv[i + 1][0] != '-')
+        origin.push_back(static_cast<size_t>(std::atoll(argv[++i])));
+    } else if (std::strcmp(argv[i], "-n") == 0) {
+      while (i + 1 < argc && argv[i + 1][0] != '-')
+        extent.push_back(static_cast<size_t>(std::atoll(argv[++i])));
+    } else if (std::strcmp(argv[i], "-w") == 0 && i + 1 < argc) {
+      options.workers = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "-m") == 0 && i + 1 < argc) {
+      options.cache_bytes = static_cast<size_t>(std::atoll(argv[++i])) << 20;
+    } else {
+      return usage();
+    }
+  }
+  if (extent.empty() || extent.size() > 3 || origin.size() > 3)
+    return usage();
+  Slice s;
+  if (origin.size() > 0) s.x = origin[0];
+  if (origin.size() > 1) s.y = origin[1];
+  if (origin.size() > 2) s.z = origin[2];
+  if (extent.size() > 0) s.nx = extent[0];
+  if (extent.size() > 1) s.ny = extent[1];
+  if (extent.size() > 2) s.nz = extent[2];
+
+  Reader reader(bytes, options);
+  const std::vector<f32> data = reader.read(s);
+  save_f32_file(out_path, data);
+  const ReaderStats stats = reader.stats();
+  std::printf("%s: slice %zux%zux%zu at (%zu,%zu,%zu) of %s, %zu values\n",
+              out_path.c_str(), s.nx, s.ny, s.nz, s.x, s.y, s.z,
+              reader.dims().to_string().c_str(), data.size());
+  std::printf("  %zu chunks, cache: %llu hits / %llu misses, %llu prefetched\n",
+              reader.chunk_count(),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.prefetch_issued));
   return 0;
 }
 
@@ -213,6 +281,38 @@ int cmd_selftest() {
       all_ok &= ok;
     }
   }
+  // Random access: slice the chunked container through fz::Reader twice (a
+  // sequential sweep, so the second pass exercises the warm cache) and
+  // check every slice against the full decompress.
+  {
+    ChunkedParams params;
+    params.base.eb = ErrorBound::relative(1e-3);
+    params.num_chunks = 4;
+    const ChunkedCompressed c = fz_compress_chunked(f.values(), f.dims, params);
+    const FzDecompressed full = fz_decompress_chunked(c.bytes);
+    Reader reader(c.bytes, ReaderOptions{.workers = 2});
+    bool ok = true;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t y = 0; y + 10 <= dims.y; y += 10) {
+        const Slice s{.x = 5, .y = y, .nx = 40, .ny = 10};
+        const std::vector<f32> got = reader.read(s);
+        for (size_t iy = 0; iy < s.ny; ++iy)
+          for (size_t ix = 0; ix < s.nx; ++ix)
+            ok &= got[iy * s.nx + ix] ==
+                  full.data[(s.y + iy) * dims.x + s.x + ix];
+      }
+    }
+    const ReaderStats rs = reader.stats();
+    ok &= rs.hits > 0;  // the second pass must be answered from the cache
+    std::printf("selftest %-8s: %zu chunks, %llu hits / %llu misses, "
+                "slices %s\n",
+                "reader", reader.chunk_count(),
+                static_cast<unsigned long long>(rs.hits),
+                static_cast<unsigned long long>(rs.misses),
+                ok ? "EXACT" : "WRONG");
+    all_ok &= ok;
+  }
+
   std::remove(f32_path.c_str());
   std::remove(fz_path.c_str());
   std::printf("selftest: %s\n", all_ok ? "PASS" : "FAIL");
@@ -244,6 +344,7 @@ int run_command(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "compress") return cmd_compress(argc, argv);
   if (cmd == "decompress") return cmd_decompress(argc, argv);
+  if (cmd == "slice") return cmd_slice(argc, argv);
   if (cmd == "info") return cmd_info(argc, argv);
   if (cmd == "verify") return cmd_verify(argc, argv);
   if (cmd == "selftest") return cmd_selftest();

@@ -8,14 +8,19 @@
 #                       tile-parallel throughput against the checked-in
 #                       BENCH_pr5.json baseline (tolerance via
 #                       FZ_BENCH_TOLERANCE), including the fused-parallel
-#                       >= fused-serial gate
+#                       >= fused-serial gate, and the PR6 random-access
+#                       reader gate (byte-identical slices, hot-cache hit
+#                       rate, prefetch effectiveness) via BENCH_pr6.json
 #   3. trace smoke    — runs fz_cli under FZ_TRACE and --trace, plus a
 #                       small bench/regress run under FZ_TRACE; in each
 #                       case scripts/validate_trace.py checks the Chrome
 #                       JSON parses, spans nest per thread, and the
 #                       expected stage/chunk spans were recorded — the
 #                       regress trace must contain the per-strip
-#                       "fused-strip" spans of the tile-parallel pass
+#                       "fused-strip" spans of the tile-parallel pass, and
+#                       the cli selftest traces must contain the reader's
+#                       "reader-read" spans plus one pool-worker
+#                       "chunk-fetch" span per container chunk
 #   4. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer,
 #                       plus the trace smoke re-run against the asan build
 #                       (the env-sink exit flush must be sanitizer-clean)
@@ -56,9 +61,13 @@ trace_smoke() {
   FZ_TRACE="${tmp}/env.json" "${cli}" selftest > /dev/null
   "${cli}" --trace "${tmp}/cli.json" selftest > /dev/null 2> "${tmp}/summary.txt"
   python3 scripts/validate_trace.py "${tmp}/env.json" \
-    --expect compress decompress chunk-compress prefix-sum-encode
+    --expect compress decompress chunk-compress prefix-sum-encode \
+    reader-read chunk-fetch \
+    --min-count reader-read=2 chunk-fetch=4
   python3 scripts/validate_trace.py "${tmp}/cli.json" \
-    --expect compress compress-chunked chunk-compress chunk-decompress
+    --expect compress compress-chunked chunk-compress chunk-decompress \
+    reader-read chunk-fetch \
+    --min-count reader-read=2 chunk-fetch=4
   grep -q "spans by name" "${tmp}/summary.txt" ||
     { echo "trace smoke: --trace printed no summary" >&2; exit 1; }
   rm -rf "${tmp}"
@@ -66,8 +75,8 @@ trace_smoke() {
 
 run_preset default
 
-echo "==== bench smoke: SIMD + fused-pipeline throughput guard ===="
-scripts/bench_smoke.sh build/bench/regress
+echo "==== bench smoke: SIMD + fused-pipeline + random-access guards ===="
+scripts/bench_smoke.sh build/bench/regress build/bench/random_access
 
 echo "==== trace smoke: telemetry export validates ===="
 trace_smoke build/examples/fz_cli

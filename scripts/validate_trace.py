@@ -8,10 +8,13 @@ Checks, in order:
      fully contained in the enclosing open span or disjoint from it — a
      partial overlap means a recorder published a torn or misattributed
      event;
-  4. every --expect NAME appears at least once.
+  4. every --expect NAME appears at least once;
+  5. every --min-count NAME=N span name appears at least N times (used for
+     fan-out spans like the reader's per-chunk "chunk-fetch", where a single
+     stray event would hide a broken pool dispatch).
 
 Exit code 0 on success; 1 with a diagnostic on the first violation.
-Usage: validate_trace.py TRACE.json [--expect NAME ...]
+Usage: validate_trace.py TRACE.json [--expect NAME ...] [--min-count NAME=N ...]
 """
 import argparse
 import json
@@ -29,7 +32,16 @@ def main():
     ap.add_argument("trace")
     ap.add_argument("--expect", nargs="*", default=[],
                     help="span names that must appear at least once")
+    ap.add_argument("--min-count", nargs="*", default=[], metavar="NAME=N",
+                    help="span names that must appear at least N times")
     args = ap.parse_args()
+
+    min_counts = {}
+    for spec in args.min_count:
+        name, sep, count = spec.rpartition("=")
+        if not sep or not count.isdigit():
+            fail(f"bad --min-count spec {spec!r} (want NAME=N)")
+        min_counts[name] = int(count)
 
     try:
         with open(args.trace, encoding="utf-8") as f:
@@ -82,6 +94,14 @@ def main():
     if missing:
         fail(f"expected span names never recorded: {missing} "
              f"(saw: {sorted(names)})")
+
+    counts = defaultdict(int)
+    for ev in spans:
+        counts[ev["name"]] += 1
+    for name, want in sorted(min_counts.items()):
+        if counts[name] < want:
+            fail(f"span {name!r} recorded {counts[name]} time(s), "
+                 f"need >= {want} (saw: {sorted(names)})")
 
     print(f"validate_trace: OK: {len(spans)} spans on {len(by_tid)} "
           f"thread timeline(s), {len(names)} distinct names")

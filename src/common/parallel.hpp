@@ -24,6 +24,7 @@
 #endif
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 
 namespace fz {
@@ -52,34 +53,12 @@ namespace detail {
 /// std::thread task crew backing parallel_for/parallel_tasks when OpenMP is
 /// unavailable.  Same contract as parallel_tasks: fn(task, worker), tasks
 /// claimed dynamically, worker indices unique, first exception captured and
-/// rethrown on the calling thread (which doubles as worker 0).
+/// rethrown on the calling thread (which doubles as worker 0).  The
+/// implementation lives in common/thread_pool.hpp (run_task_crew) so the
+/// fork/join loops and the persistent fz::ThreadPool share one engine.
 template <typename Fn>
 void thread_crew(size_t count, size_t workers, Fn& fn) {
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  auto body = [&](size_t w) {
-    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
-      if (failed.load(std::memory_order_relaxed)) break;
-      try {
-        fn(i, w);
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-        }
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-  std::vector<std::thread> crew;
-  crew.reserve(workers - 1);
-  for (size_t w = 1; w < workers; ++w) crew.emplace_back(body, w);
-  body(0);
-  for (auto& t : crew) t.join();
-  if (error) std::rethrow_exception(error);
+  run_task_crew(count, workers, fn);
 }
 
 }  // namespace detail

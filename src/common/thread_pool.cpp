@@ -1,0 +1,59 @@
+#include "common/thread_pool.hpp"
+
+namespace fz {
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers == 0) {
+    const unsigned n = std::thread::hardware_concurrency();
+    workers = n == 0 ? 1 : n;
+  }
+  threads_.reserve(workers);
+  for (size_t w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    queue_.clear();  // undequeued tasks are discarded, per the contract
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void(size_t)> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop(size_t worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::function<void(size_t)> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    try {
+      task(worker);
+    } catch (...) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    task = nullptr;  // release captures before reporting idle
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace fz

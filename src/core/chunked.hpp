@@ -37,6 +37,10 @@ struct ChunkedParams {
   /// Upper bound on concurrent chunk workers: 0 = one per hardware thread,
   /// 1 = serial (the reference order for byte-identicality tests).
   size_t max_parallelism = 0;
+  /// Container format version to write.  2 (the default) embeds the chunk
+  /// index that makes random access O(1); 1 writes the legacy size-table
+  /// container so the read-compat path stays honestly testable.
+  unsigned container_version = 2;
 };
 
 struct ChunkedCompressed {
@@ -50,6 +54,27 @@ struct ChunkedCompressed {
 ChunkedCompressed fz_compress_chunked(FloatSpan data, Dims dims,
                                       const ChunkedParams& params);
 
+/// A container's fully validated identity: format version, field dims, and
+/// the chunk index.  For v2 streams the index is parsed straight off the
+/// stream; for legacy v1 streams it is synthesized by walking the size
+/// table and recomputing the slab plan (the O(chunks) fallback the index
+/// was introduced to retire).
+struct ContainerInfo {
+  unsigned version = 0;  ///< 1 (legacy size table) or 2 (embedded index)
+  Dims dims;             ///< whole-field dims
+  size_t count = 0;      ///< dims.count()
+  size_t header_bytes = 0;  ///< container header + index / size table
+  size_t stream_bytes = 0;  ///< total container size
+  std::vector<ChunkEntry> chunks;
+};
+
+/// Parse and validate a container's header and complete chunk index
+/// (byte ranges in bounds and non-overlapping, element ranges exactly
+/// tiling the field).  Throws FormatError on anything corrupt.  This is the
+/// one container-parsing routine — fz_decompress_chunked, fz::Reader, and
+/// fz::inspect all route through it.
+ContainerInfo fz_container_info(ByteSpan stream);
+
 /// Decompress the whole container.  Chunks decompress in parallel, each
 /// directly into its slab of the output field (0 = one worker per hardware
 /// thread, 1 = serial).
@@ -58,11 +83,20 @@ FzDecompressed fz_decompress_chunked(ByteSpan stream,
 
 /// Decompress only chunk `index` (random access).  Returns the chunk's data
 /// and its dims; `offset_out` receives the chunk's starting index in the
-/// flattened full field.
+/// flattened full field.  On v2 containers this reads exactly one index
+/// entry — O(1) in the chunk count; the O(chunks) size-table walk survives
+/// only as the legacy-v1 fallback.
 FzDecompressed fz_decompress_chunk(ByteSpan stream, size_t index,
                                    size_t* offset_out = nullptr);
 
-/// Number of chunks in a container stream.
+/// Number of chunks in a container stream.  O(1) on v2 containers (header
+/// only); walks the size table on legacy v1 streams.
 size_t fz_chunk_count(ByteSpan stream);
+
+/// fz::inspect's container path: whole-field identity plus the validated
+/// chunk index, with compression parameters taken from chunk 0 and section
+/// byte counts summed over chunks.  Prefer calling fz::inspect, which
+/// dispatches on the magic.
+StreamInfo inspect_container(ByteSpan stream);
 
 }  // namespace fz

@@ -6,6 +6,8 @@
 // core/pipeline.hpp and core/codec.hpp.
 #pragma once
 
+#include <cstring>
+
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "core/bitshuffle.hpp"
@@ -42,6 +44,80 @@ struct StreamHeader {
   u64 block_words;
 };
 #pragma pack(pop)
+
+// ---- chunked container ------------------------------------------------------
+//
+// The container frames independent single-field chunk streams (the paper's
+// coarse-grained multi-GPU partitioning).  Container version 1 (legacy)
+// stored only a size table, so locating chunk k meant summing k sizes and
+// nothing recorded where a chunk lives in the field; version 2 embeds a
+// self-describing chunk index — per-chunk byte offset, compressed size,
+// element offset, and dims — which is what makes random access O(1) and the
+// fz::Reader slice service possible.  Readers accept both; writers emit v2
+// (v1 only on request, for compatibility tests).
+
+constexpr u32 kContainerMagic = 0x4b435a46u;  // "FZCK", v1 and v2 alike
+constexpr u16 kContainerVersion = 2;
+/// v1 stored num_chunks (bounded < 2^24) in the u32 after the magic; v2
+/// stores this sentinel there instead, so either version identifies the
+/// other's streams unambiguously — and a v1 reader rejects a v2 stream as a
+/// bad chunk count rather than misparsing it.
+constexpr u32 kContainerV2Sentinel = 0xffffffffu;
+constexpr u32 kMaxContainerChunks = 1u << 24;
+
+#pragma pack(push, 1)
+/// Container header, version 1 (legacy).  Followed by `num_chunks` u64 byte
+/// sizes, then by the concatenated chunk streams; chunk placement had to be
+/// recomputed from the slab plan.  Read-only today (written on request for
+/// compatibility tests).
+struct ContainerHeaderV1 {
+  u32 magic;       // kContainerMagic
+  u32 num_chunks;  // 1 .. 2^24-1 (which is how v1 streams stay identifiable)
+  u8 rank;
+  u8 pad[7];
+  u64 nx, ny, nz;
+};
+
+/// Container header, version 2.  Followed immediately by `num_chunks`
+/// ChunkIndexEntry records, then by the concatenated chunk streams.
+struct ContainerHeaderV2 {
+  u32 magic;     // kContainerMagic
+  u32 sentinel;  // kContainerV2Sentinel (v1 kept num_chunks here)
+  u16 version;   // kContainerVersion
+  u8 rank;       // 1..3
+  u8 pad[5];
+  u32 num_chunks;
+  u32 pad2;
+  u64 nx, ny, nz;  // dims of the WHOLE field
+};
+
+/// One chunk-index record: everything needed to locate, size, and place a
+/// chunk without touching any other chunk's bytes.
+struct ChunkIndexEntry {
+  u64 offset;       ///< byte offset of the chunk stream from container start
+  u64 bytes;        ///< compressed byte size of the chunk stream
+  u64 elem_offset;  ///< first element's index in the flattened full field
+  u64 nx, ny, nz;   ///< chunk dims (a slab of the slowest-varying axis)
+};
+#pragma pack(pop)
+
+/// True when the bytes start like a v2 (indexed) container.  False for v1
+/// containers, single-field streams, and garbage — callers still validate.
+inline bool is_container_v2(ByteSpan stream) {
+  if (stream.size() < sizeof(ContainerHeaderV2)) return false;
+  u32 magic, sentinel;
+  std::memcpy(&magic, stream.data(), sizeof(u32));
+  std::memcpy(&sentinel, stream.data() + sizeof(u32), sizeof(u32));
+  return magic == kContainerMagic && sentinel == kContainerV2Sentinel;
+}
+
+/// True when the bytes carry the container magic (either version).
+inline bool is_container(ByteSpan stream) {
+  if (stream.size() < sizeof(u32)) return false;
+  u32 magic;
+  std::memcpy(&magic, stream.data(), sizeof(u32));
+  return magic == kContainerMagic;
+}
 
 /// Validate every self-consistency rule a header must satisfy before any
 /// field is trusted (magic, version, rank, dtype, transform, quant, error

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/bits.hpp"
+#include "core/chunked.hpp"
 #include "core/codec.hpp"
 #include "core/format.hpp"
 #include "substrate/bitio.hpp"
@@ -88,6 +89,9 @@ FzDecompressed64 fz_decompress_f64(ByteSpan stream) {
 }
 
 StreamInfo inspect(ByteSpan stream) {
+  // Chunked containers are inspectable through the same front door: the
+  // container path reports the whole-field identity plus the chunk index.
+  if (is_container(stream)) return inspect_container(stream);
   ByteReader r(stream);
   const StreamHeader h = r.get<StreamHeader>();
   // Full validation (version, rank, dtype, quant, eb, dims-vs-count,

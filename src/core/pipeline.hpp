@@ -170,12 +170,29 @@ FzDecompressed fz_decompress(ByteSpan stream);
 /// Decompress an f64 stream (throws FormatError on an f32 stream).
 FzDecompressed64 fz_decompress_f64(ByteSpan stream);
 
+/// One validated chunk-index record of a chunked container: where the
+/// chunk's bytes live, how large they are, and which slab of the field they
+/// reconstruct.  Parsed from the v2 on-stream index (core/format.hpp), or
+/// synthesized from the legacy v1 size table plus the slab plan.
+struct ChunkEntry {
+  size_t offset = 0;       ///< byte offset of the chunk stream in the container
+  size_t bytes = 0;        ///< compressed byte size
+  size_t elem_offset = 0;  ///< first element's index in the flattened field
+  Dims dims;               ///< chunk dims (slab of the slowest-varying axis)
+};
+
 /// Everything a stream's header declares, fully validated: identity (dims,
 /// dtype, count), compression parameters (error bound, quant version,
 /// transform), format version, and the byte layout of every section.  The
 /// structured replacement for the loose fz_inspect output — returned by
 /// fz::inspect, consumed by the CLI `info` command and any service that
 /// routes streams without decompressing them.
+///
+/// fz::inspect also accepts chunked containers: `container_version` is then
+/// nonzero, `chunks` holds the validated chunk index, the identity fields
+/// describe the whole field, the compression parameters come from chunk 0
+/// (uniform across chunks by construction), and the section byte counts are
+/// sums over the chunks.
 struct StreamInfo {
   Dims dims;
   size_t count = 0;
@@ -197,6 +214,10 @@ struct StreamInfo {
   size_t total_blocks = 0;
   size_t nonzero_blocks = 0;
   size_t saturated = 0;  ///< V2: residuals clipped during encoding
+
+  // Chunked containers only (fz_compress_chunked streams).
+  unsigned container_version = 0;   ///< 0 = single-field stream
+  std::vector<ChunkEntry> chunks;   ///< validated chunk index
 
   double ratio() const {
     return stream_bytes == 0 ? 0

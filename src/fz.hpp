@@ -18,10 +18,15 @@
 // per-stage spans, pool counters, and Chrome-trace export.  See
 // docs/OBSERVABILITY.md.
 //
+// Random access lives in fz::Reader (reader/reader.hpp): point it at a
+// chunked container and read any N-D slice — misses decode on a persistent
+// thread pool through an LRU chunk cache, with sequential sweeps prefetched.
+//
 // Individual subsystem headers remain includable on their own; this header
 // pulls in everything a typical application needs: the compressor (f32 +
-// f64 + chunked), the reusable Codec, stream inspection, telemetry, metrics
-// for verification, and file I/O for SDRBench-format data.
+// f64 + chunked), the reusable Codec, stream inspection, random-access
+// reads, telemetry, metrics for verification, and file I/O for
+// SDRBench-format data.
 #pragma once
 
 #include "common/types.hpp"          // Dims, ErrorBound, scalar aliases
@@ -31,4 +36,5 @@
 #include "datasets/field.hpp"        // Field
 #include "datasets/loader.hpp"       // .f32/.f64 file I/O
 #include "metrics/metrics.hpp"       // distortion, error_bounded
+#include "reader/reader.hpp"         // fz::Reader — random-access slices
 #include "telemetry/telemetry.hpp"   // spans, counters, trace export

@@ -1,0 +1,100 @@
+#include "reader/cache.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace fz {
+
+namespace {
+
+void tick(telemetry::Sink* sink, telemetry::Counter c, i64 delta = 1) {
+  if (sink != nullptr) sink->count(c, delta);
+}
+
+}  // namespace
+
+ChunkCache::ChunkCache(size_t budget_bytes, telemetry::Sink* sink)
+    : budget_(budget_bytes), sink_(sink) {}
+
+ChunkCache::Lookup ChunkCache::acquire(size_t id, bool prefetch) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    Entry& e = *it->second;
+    e.last_use = ++clock_;
+    if (!prefetch) {
+      ++stats_.hits;
+      tick(sink_, telemetry::Counter::ReaderChunkHit);
+      if (e.prefetched) {
+        // Count the prefetch as useful exactly once, whether the decode has
+        // landed yet or is still in flight (either way it got a head start).
+        e.prefetched = false;
+        ++stats_.prefetch_hits;
+        tick(sink_, telemetry::Counter::ReaderPrefetchHit);
+      }
+    }
+    return {it->second, false};
+  }
+  if (prefetch) {
+    ++stats_.prefetch_issued;
+    tick(sink_, telemetry::Counter::ReaderPrefetchIssued);
+  } else {
+    ++stats_.misses;
+    tick(sink_, telemetry::Counter::ReaderChunkMiss);
+  }
+  EntryPtr entry = std::make_shared<Entry>();
+  entry->prefetched = prefetch;
+  entry->last_use = ++clock_;
+  map_.emplace(id, entry);
+  return {entry, true};
+}
+
+void ChunkCache::publish(size_t id, const EntryPtr& entry, size_t bytes) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    entry->ready = true;
+    if (entry->error != nullptr) {
+      // Don't cache failures: drop the placeholder so a later access
+      // retries the decode (the waiters still hold the entry and rethrow).
+      map_.erase(id);
+    } else {
+      entry->charged_bytes = bytes;
+      stats_.resident_bytes += bytes;
+      ++stats_.resident_chunks;
+      evict_locked();
+    }
+  }
+  ready_cv_.notify_all();
+}
+
+void ChunkCache::wait_ready(const EntryPtr& entry) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_cv_.wait(lock, [&] { return entry->ready; });
+  if (entry->error != nullptr) std::rethrow_exception(entry->error);
+}
+
+void ChunkCache::evict_locked() {
+  while (stats_.resident_bytes > budget_) {
+    auto victim = map_.end();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      // Only published entries are evictable: an in-flight placeholder has
+      // no bytes charged yet and its loader still expects to publish it.
+      if (!it->second->ready) continue;
+      if (victim == map_.end() ||
+          it->second->last_use < victim->second->last_use)
+        victim = it;
+    }
+    if (victim == map_.end()) return;
+    stats_.resident_bytes -= victim->second->charged_bytes;
+    --stats_.resident_chunks;
+    ++stats_.evictions;
+    tick(sink_, telemetry::Counter::ReaderChunkEvicted);
+    map_.erase(victim);
+  }
+}
+
+ChunkCache::Stats ChunkCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fz

@@ -1,0 +1,111 @@
+// fz::ChunkCache — LRU cache of decoded chunks with a byte budget.
+//
+// The Reader's working set: chunk id → decoded f32 slab.  Entries are
+// published in three steps so decodes never run under the cache lock:
+//
+//   1. acquire(id) under the lock either finds the entry (hit) or inserts a
+//      placeholder and tells exactly one caller to load it (miss);
+//   2. that loader decodes into the entry unlocked (it is the only writer
+//      until publication) and calls publish(), which marks the entry ready,
+//      charges its bytes, and evicts cold ready entries past the budget;
+//   3. everyone else blocks in wait_ready() on the cache's condition
+//      variable; the publish mutex hand-off is the happens-before edge that
+//      makes the loader's plain writes visible (TSan-verified by the
+//      many-reader stress in tests/test_threading.cpp).
+//
+// Entries are shared_ptrs: eviction only drops the cache's reference, so a
+// reader still copying from an evicted chunk keeps its data alive, and the
+// PooledBuffer returns to the Reader's BufferPool when the last reference
+// goes — eviction is never a dangling-pointer hazard, only a recycling
+// delay.  A load that throws publishes its exception_ptr instead of data;
+// failed entries are dropped from the map immediately so a later access
+// retries rather than caching the failure.
+//
+// Thread-safety: all methods may be called from any thread.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/pool.hpp"
+#include "common/types.hpp"
+
+namespace fz::telemetry {
+class Sink;
+}  // namespace fz::telemetry
+
+namespace fz {
+
+class ChunkCache {
+ public:
+  struct Entry {
+    // Written by the loading thread before publish(), read-only afterwards.
+    PooledBuffer data;  ///< decoded f32 slab (empty when `error` is set)
+    Dims dims;
+    size_t elem_offset = 0;
+    std::exception_ptr error;
+
+    // Guarded by the cache mutex.
+    bool ready = false;
+    bool prefetched = false;  ///< loaded speculatively, not demanded yet
+    u64 last_use = 0;
+    size_t charged_bytes = 0;
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// Demand/prefetch hit, miss, prefetch-usefulness, and eviction totals.
+  /// Mirrored onto the telemetry sink (Counter::Reader*) when one is set.
+  struct Stats {
+    u64 hits = 0;             ///< demand accesses answered from the cache
+    u64 misses = 0;           ///< demand accesses that triggered a decode
+    u64 prefetch_issued = 0;  ///< speculative decodes started
+    u64 prefetch_hits = 0;    ///< demand accesses that landed on a prefetch
+    u64 evictions = 0;
+    size_t resident_bytes = 0;
+    size_t resident_chunks = 0;
+  };
+
+  /// `budget_bytes` bounds the decoded bytes the cache retains (in-flight
+  /// readers can pin evicted entries beyond it transiently).  A budget
+  /// smaller than one chunk still works: the chunk is decoded, handed to its
+  /// waiters, and evicted on the next publish.
+  explicit ChunkCache(size_t budget_bytes, telemetry::Sink* sink = nullptr);
+
+  struct Lookup {
+    EntryPtr entry;
+    bool load = false;  ///< true for exactly one caller per entry: decode it
+  };
+
+  /// Find or create the entry for `id`.  `prefetch` marks speculative
+  /// accesses: they never count as demand hits/misses, and a hit on an
+  /// entry first loaded by prefetch counts prefetch_hits once.
+  Lookup acquire(size_t id, bool prefetch);
+
+  /// Loader only: mark `entry` ready (data or error filled in), wake every
+  /// waiter, charge `bytes` against the budget, and evict LRU ready entries
+  /// until the budget holds.  Failed loads are uncharged and dropped.
+  void publish(size_t id, const EntryPtr& entry, size_t bytes);
+
+  /// Block until `entry` is published; rethrows the loader's exception.
+  void wait_ready(const EntryPtr& entry);
+
+  Stats stats() const;
+  size_t budget_bytes() const { return budget_; }
+
+ private:
+  void evict_locked();
+
+  const size_t budget_;
+  telemetry::Sink* sink_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<size_t, EntryPtr> map_;
+  u64 clock_ = 0;  ///< LRU timestamp source
+  Stats stats_;
+};
+
+}  // namespace fz

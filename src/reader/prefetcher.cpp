@@ -1,0 +1,28 @@
+#include "reader/prefetcher.hpp"
+
+namespace fz {
+
+std::vector<size_t> Prefetcher::on_access(size_t first, size_t last,
+                                          size_t chunk_count) {
+  // Sequential iff this access starts exactly where the previous one ended
+  // or overlaps forward into it (sliding windows with overlap still ramp).
+  const bool sequential = next_expected_ != kNoPattern &&
+                          first <= next_expected_ && last + 1 > next_expected_;
+  next_expected_ = last + 1;
+  if (!sequential || max_degree_ == 0) {
+    degree_ = 1;
+    return {};
+  }
+  degree_ = degree_ * 2 < max_degree_ ? degree_ * 2 : max_degree_;
+  std::vector<size_t> ahead;
+  for (size_t id = last + 1; id < chunk_count && ahead.size() < degree_; ++id)
+    ahead.push_back(id);
+  return ahead;
+}
+
+void Prefetcher::reset() {
+  next_expected_ = kNoPattern;
+  degree_ = 1;
+}
+
+}  // namespace fz

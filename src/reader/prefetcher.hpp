@@ -1,0 +1,46 @@
+// fz::Prefetcher — sequential-pattern prefetch policy for chunk access.
+//
+// Pure policy, no I/O: the Reader reports every demand access (the chunk
+// range covering a slice) and gets back the chunk ids worth decoding
+// speculatively.  The policy is the classic exponential ramp (as in
+// rapidgzip's fetcher): a stride-1 forward pattern doubles the prefetch
+// degree per access up to `max_degree`; any seek resets it, so random
+// access never floods the pool with wasted decodes.  The first access of a
+// fresh pattern prefetches nothing — one access is not yet a pattern.
+//
+// Not thread-safe: the Reader serializes on_access() under its own mutex
+// (the policy is a few integers; contention is irrelevant).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fz {
+
+class Prefetcher {
+ public:
+  /// `max_degree` bounds the chunks prefetched ahead of a sequential sweep
+  /// (0 disables prefetching entirely).
+  explicit Prefetcher(size_t max_degree) : max_degree_(max_degree) {}
+
+  /// Record a demand access covering chunks [first, last] of a container
+  /// with `chunk_count` chunks.  Returns the ids to decode speculatively:
+  /// ascending, starting at last+1, clamped to the container — empty when
+  /// the access does not extend a sequential pattern.
+  std::vector<size_t> on_access(size_t first, size_t last, size_t chunk_count);
+
+  /// Forget the current pattern (degree resets to 1).
+  void reset();
+
+  size_t max_degree() const { return max_degree_; }
+  size_t degree() const { return degree_; }
+
+ private:
+  static constexpr size_t kNoPattern = static_cast<size_t>(-1);
+
+  size_t max_degree_;
+  size_t next_expected_ = kNoPattern;  ///< chunk after the previous access
+  size_t degree_ = 1;
+};
+
+}  // namespace fz

@@ -30,6 +30,14 @@ struct RecorderCache {
 };
 thread_local RecorderCache t_recorder_cache;
 
+/// Set by ~RecorderRegistry: on the main thread, glibc runs TLS destructors
+/// at the start of exit(), BEFORE static destructors — so a static-duration
+/// sink (the FZ_TRACE EnvSink) reaches ~Sink with this thread's registry
+/// vector already destroyed.  The flag is trivially-destructible, so it
+/// stays readable through the whole teardown and lets ~Sink skip the dead
+/// vector instead of iterating its freed buffer.
+thread_local bool t_registry_dead = false;
+
 /// Every (sink, recorder) pair this thread has ever minted, so a thread that
 /// alternates between sinks re-finds its recorder without consulting the
 /// sink's registry.  This thread-local list — not a std::thread::id match
@@ -38,7 +46,11 @@ thread_local RecorderCache t_recorder_cache;
 /// could hand a dead worker's recorder to an unrelated fresh thread with no
 /// happens-before edge between the two owners (a data race on the
 /// owner-only fields; short-lived task-crew threads hit this in practice).
-thread_local std::vector<RecorderCache> t_recorder_registry;
+struct RecorderRegistry {
+  std::vector<RecorderCache> entries;
+  ~RecorderRegistry() { t_registry_dead = true; }
+};
+thread_local RecorderRegistry t_recorder_registry;
 
 thread_local Sink* t_scoped_sink = nullptr;
 
@@ -51,6 +63,11 @@ const char* counter_name(Counter c) {
     case Counter::PoolBytesAllocated: return "pool_bytes_allocated";
     case Counter::PoolBytesRetained: return "pool_bytes_retained";
     case Counter::EventsDropped: return "events_dropped";
+    case Counter::ReaderChunkHit: return "reader_chunk_hits";
+    case Counter::ReaderChunkMiss: return "reader_chunk_misses";
+    case Counter::ReaderPrefetchIssued: return "reader_prefetch_issued";
+    case Counter::ReaderPrefetchHit: return "reader_prefetch_hits";
+    case Counter::ReaderChunkEvicted: return "reader_chunks_evicted";
     case Counter::kCount: break;
   }
   return "unknown";
@@ -103,8 +120,9 @@ Sink::~Sink() {
   // other threads' thread-locals are keyed by id_ and can never match a
   // future sink, so their stale entries are inert.
   if (t_recorder_cache.sink_id == id_) t_recorder_cache = {};
-  std::erase_if(t_recorder_registry,
-                [this](const RecorderCache& e) { return e.sink_id == id_; });
+  if (!t_registry_dead)
+    std::erase_if(t_recorder_registry.entries,
+                  [this](const RecorderCache& e) { return e.sink_id == id_; });
 }
 
 u64 Sink::now_ns() const { return steady_ns() - epoch_ns_; }
@@ -122,7 +140,7 @@ detail::ThreadRecorder* Sink::recorder() {
   // registry and always mints a fresh recorder, even if it inherited a
   // dead thread's reused std::thread::id.
   detail::ThreadRecorder* rec = nullptr;
-  for (const auto& entry : t_recorder_registry)
+  for (const auto& entry : t_recorder_registry.entries)
     if (entry.sink_id == id_) {
       rec = entry.rec;
       break;
@@ -132,7 +150,7 @@ detail::ThreadRecorder* Sink::recorder() {
     recorders_.push_back(std::make_unique<detail::ThreadRecorder>(
         static_cast<u32>(recorders_.size())));
     rec = recorders_.back().get();
-    t_recorder_registry.push_back({id_, rec});
+    t_recorder_registry.entries.push_back({id_, rec});
   }
   t_recorder_cache = {id_, rec};
   return rec;

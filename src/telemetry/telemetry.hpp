@@ -85,6 +85,11 @@ enum class Counter : u32 {
   PoolBytesAllocated, ///< cumulative bytes of fresh pool allocations
   PoolBytesRetained,  ///< gauge: bytes currently cached on pool free lists
   EventsDropped,      ///< spans discarded because a recorder hit its cap
+  ReaderChunkHit,     ///< Reader demand access answered from the chunk cache
+  ReaderChunkMiss,    ///< Reader demand access that had to decode the chunk
+  ReaderPrefetchIssued,  ///< chunk decodes issued speculatively
+  ReaderPrefetchHit,  ///< demand access that landed on a prefetched chunk
+  ReaderChunkEvicted, ///< decoded chunks dropped by the cache's byte budget
   kCount
 };
 const char* counter_name(Counter c);

@@ -5,13 +5,17 @@
 // of valid streams.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "baselines/cuzfp.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/chunked.hpp"
+#include "core/format.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/generators.hpp"
 #include "metrics/metrics.hpp"
+#include "reader/reader.hpp"
 #include "substrate/huffman.hpp"
 #include "substrate/lz77.hpp"
 #include "substrate/rle.hpp"
@@ -86,6 +90,128 @@ TEST(Fuzz, ChunkedContainerHostileInputs) {
   for (u64 seed = 0; seed < 30; ++seed) {
     const auto junk = random_bytes(32 + seed * 7, 100 + seed);
     expect_graceful([&] { fz_decompress_chunked(junk); }, "chunked junk");
+  }
+}
+
+// ---- container chunk index --------------------------------------------------
+//
+// The v2 index is the part of the container an attacker controls completely
+// (offsets, sizes, element placement) and the part every random-access path
+// trusts, so it gets its own fuzz family: bitflips confined to the header +
+// index region, truncations through it, and hand-patched entries that are
+// individually plausible but violate the tiling invariants.
+
+std::vector<u8> chunked_container(unsigned version, u64 seed) {
+  const Field f = generate_field(Dataset::Hurricane, Dims{16, 12, 9}, seed);
+  ChunkedParams params;
+  params.num_chunks = 3;
+  params.container_version = version;
+  return fz_compress_chunked(f.values(), f.dims, params).bytes;
+}
+
+/// Every container entry point must agree that the stream is hostile (or
+/// decode it to something bounded) — parse, full decompress, single-chunk
+/// access, and the Reader.
+void expect_container_graceful(const std::vector<u8>& bytes,
+                               const std::string& what) {
+  expect_graceful([&] { fz_container_info(bytes); }, what + " (info)");
+  expect_graceful([&] { fz_decompress_chunked(bytes); }, what + " (decode)");
+  expect_graceful([&] { fz_decompress_chunk(bytes, 1); }, what + " (chunk)");
+  expect_graceful([&] { Reader r(bytes, ReaderOptions{.workers = 1}); },
+                  what + " (reader)");
+}
+
+TEST(Fuzz, ContainerIndexBitflips) {
+  const std::vector<u8> good = chunked_container(2, 11);
+  const ContainerInfo info = fz_container_info(good);
+  ASSERT_EQ(info.version, 2u);
+  Rng rng(12);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<u8> bad = good;
+    // Confine flips to the header + index so every trial attacks the index
+    // machinery rather than some chunk's payload.
+    bad[rng.below(info.header_bytes)] ^= static_cast<u8>(1u << rng.below(8));
+    expect_container_graceful(bad, "v2 index bitflip");
+  }
+}
+
+TEST(Fuzz, ContainerIndexTruncations) {
+  const std::vector<u8> good = chunked_container(2, 13);
+  for (size_t keep = 0; keep < good.size(); keep += 31)
+    expect_container_graceful(
+        std::vector<u8>(good.begin(), good.begin() + static_cast<long>(keep)),
+        "v2 truncation");
+}
+
+TEST(Fuzz, ContainerIndexHostileEntries) {
+  const std::vector<u8> good = chunked_container(2, 14);
+  const auto patch_entry = [&](size_t i, const ChunkIndexEntry& e) {
+    std::vector<u8> bad = good;
+    std::memcpy(bad.data() + sizeof(ContainerHeaderV2) +
+                    i * sizeof(ChunkIndexEntry),
+                &e, sizeof(e));
+    return bad;
+  };
+  const auto read_entry = [&](size_t i) {
+    ChunkIndexEntry e;
+    std::memcpy(&e,
+                good.data() + sizeof(ContainerHeaderV2) +
+                    i * sizeof(ChunkIndexEntry),
+                sizeof(e));
+    return e;
+  };
+
+  // Overlapping byte ranges: entry 1 claims bytes inside entry 0's stream.
+  ChunkIndexEntry e = read_entry(1);
+  e.offset = read_entry(0).offset + 1;
+  EXPECT_THROW(fz_container_info(patch_entry(1, e)), FormatError);
+
+  // Overlapping element ranges: entry 1 restates entry 0's slab.
+  e = read_entry(1);
+  e.elem_offset = 0;
+  EXPECT_THROW(fz_container_info(patch_entry(1, e)), FormatError);
+
+  // A gap in the tiling (chunk 1's slab missing a row).
+  e = read_entry(1);
+  e.ny -= 1;
+  EXPECT_THROW(fz_container_info(patch_entry(1, e)), FormatError);
+
+  // Byte range past the end of the stream.
+  e = read_entry(2);
+  e.bytes += 4096;
+  EXPECT_THROW(fz_container_info(patch_entry(2, e)), FormatError);
+
+  // Offset pointing into the index itself.
+  e = read_entry(0);
+  e.offset = sizeof(ContainerHeaderV2);
+  EXPECT_THROW(fz_container_info(patch_entry(0, e)), FormatError);
+
+  // The O(1) single-chunk path validates its one entry too.
+  e = read_entry(1);
+  e.bytes = 0;
+  EXPECT_THROW(fz_decompress_chunk(patch_entry(1, e), 1), FormatError);
+}
+
+TEST(Fuzz, LegacyContainerHostileInputs) {
+  const std::vector<u8> good = chunked_container(1, 15);
+  ASSERT_EQ(fz_container_info(good).version, 1u);
+  Rng rng(16);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<u8> bad = good;
+    bad[rng.below(bad.size())] ^= static_cast<u8>(1u << rng.below(8));
+    expect_container_graceful(bad, "v1 bitflip");
+  }
+  for (size_t keep = 0; keep < good.size(); keep += 53)
+    expect_container_graceful(
+        std::vector<u8>(good.begin(), good.begin() + static_cast<long>(keep)),
+        "v1 truncation");
+}
+
+TEST(Fuzz, ReaderHostileInputs) {
+  for (u64 seed = 0; seed < 30; ++seed) {
+    const auto junk = random_bytes(24 + seed * 19, 600 + seed);
+    expect_graceful([&] { Reader r(junk, ReaderOptions{.workers = 1}); },
+                    "reader junk");
   }
 }
 

@@ -16,6 +16,7 @@
 #include "core/chunked.hpp"
 #include "core/codec.hpp"
 #include "core/kernels_simd.hpp"
+#include "reader/reader.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fz {
@@ -237,6 +238,103 @@ TEST(Threading, ConcurrentDecompressOfSharedStream) {
   for (auto& t : workers) t.join();
   for (int w = 1; w < kThreads; ++w)
     EXPECT_EQ(outputs[static_cast<size_t>(w)], outputs[0]);
+}
+
+TEST(Threading, ManyReadersShareOneReaderAndSink) {
+  // The fz::Reader concurrency contract: any number of caller threads may
+  // read through ONE Reader (one pool, one cache, one telemetry sink) at
+  // once.  Disjoint and overlapping slices interleave, so TSan sees demand
+  // racing demand on the same chunk, waiters racing the loading worker, and
+  // eviction racing in-flight copies (the tiny cache budget forces it).
+  const Dims dims{32, 16, 24};
+  const auto field = smooth_field(dims.count(), 41);
+  ChunkedParams params;
+  params.num_chunks = 8;
+  const ChunkedCompressed comp = fz_compress_chunked(field, dims, params);
+  const std::vector<f32> full = fz_decompress_chunked(comp.bytes).data;
+
+  telemetry::Sink sink;
+  ReaderOptions options;
+  options.workers = 3;
+  options.cache_bytes = 3 * dims.x * dims.y * 3 * sizeof(f32);  // ~3 chunks
+  options.telemetry = &sink;
+  Reader reader(comp.bytes, options);
+
+  constexpr int kThreads = 6;
+  constexpr int kReps = 5;
+  std::atomic<bool> go{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    callers.emplace_back([&, w] {
+      while (!go.load()) std::this_thread::yield();
+      for (int rep = 0; rep < kReps; ++rep) {
+        // Even threads sweep disjoint z-slabs; odd threads hammer one
+        // overlapping interior window, so cached chunks are shared.
+        const size_t z0 = w % 2 == 0
+                              ? static_cast<size_t>(w) % 4 * (dims.z / 4)
+                              : 8;
+        const Slice s{.x = 2,
+                      .y = 1,
+                      .z = z0,
+                      .nx = 28,
+                      .ny = 14,
+                      .nz = dims.z / 4};
+        std::vector<f32> out(s.count());
+        reader.read(s, out);
+        for (size_t z = 0; z < s.nz; ++z)
+          for (size_t y = 0; y < s.ny; ++y)
+            for (size_t x = 0; x < s.nx; ++x)
+              if (out[(z * s.ny + y) * s.nx + x] !=
+                  full[dims.linear(s.x + x, s.y + y, s.z + z)])
+                mismatches.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  // Stats and snapshots race the readers on purpose.
+  for (int i = 0; i < 50; ++i) {
+    (void)reader.stats();
+    (void)sink.snapshot();
+    std::this_thread::yield();
+  }
+  for (auto& t : callers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const ReaderStats stats = reader.stats();
+  EXPECT_GT(stats.hits, 0u);   // overlapping windows shared decodes
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_LE(stats.resident_bytes, options.cache_bytes);
+  EXPECT_EQ(sink.counter(telemetry::Counter::ReaderChunkMiss), stats.misses);
+}
+
+TEST(Threading, IndependentReadersOnOneStream) {
+  // Separate Readers (each with its own pool and cache) over the same
+  // immutable bytes must not interfere — the stream is strictly read-only.
+  const Dims dims{48, 32, 8};
+  const auto field = smooth_field(dims.count(), 43);
+  ChunkedParams params;
+  params.num_chunks = 4;
+  const ChunkedCompressed comp = fz_compress_chunked(field, dims, params);
+  const std::vector<f32> full = fz_decompress_chunked(comp.bytes).data;
+
+  constexpr int kThreads = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    callers.emplace_back([&, w] {
+      Reader reader(comp.bytes, ReaderOptions{.workers = 2});
+      std::vector<f32> out(dims.count());
+      reader.read(Slice{.nx = 48, .ny = 32, .nz = 8}, out);
+      for (size_t i = 0; i < out.size(); ++i)
+        if (out[i] != full[i]) mismatches.fetch_add(1);
+      (void)w;
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace
