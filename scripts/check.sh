@@ -21,24 +21,33 @@
 #                       the cli selftest traces must contain the reader's
 #                       "reader-read" spans plus one pool-worker
 #                       "chunk-fetch" span per container chunk
-#   4. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer,
+#   4. lint-static    — tools/fzlint over src/tools/examples/tests/bench:
+#                       layering DAG, lock/allocation discipline in hot-path
+#                       files, on-disk-layout audit, hygiene bans.  Built
+#                       from this repo, so it ALWAYS runs — including under
+#                       --fast; scripts/lint_gate.sh is the standalone
+#                       wrapper and archives build/fzlint_report.json
+#   5. asan-ubsan     — full suite under AddressSanitizer + UBSanitizer,
 #                       plus the trace smoke re-run against the asan build
 #                       (the env-sink exit flush must be sanitizer-clean)
 #                       and an explicit re-run of the fused-parallel
 #                       schedule-independence suite (thread-scaling
 #                       byte-identity under the sanitizers)
-#   5. tsan           — pool/codec/chunked/threading tests under
+#   6. tsan           — pool/codec/chunked/threading tests under
 #                       ThreadSanitizer (host-side concurrency)
-#   6. lint           — clang-tidy over src/ (.clang-tidy profile,
+#   7. lint           — clang-tidy over src/ (.clang-tidy profile,
 #                       WarningsAsErrors: any warning fails); skipped with a
-#                       notice when clang-tidy is not installed
+#                       notice when clang-tidy is not installed, unless
+#                       FZ_REQUIRE_LINT=1, which turns the skip into a
+#                       failure (docs/SANITIZER.md has the install note)
 #
 # Any sanitizer finding fails the suite (-fno-sanitize-recover=all aborts
 # the offending test; TSan exits nonzero on a report; clang-tidy exits
-# nonzero on any warning-as-error).
+# nonzero on any warning-as-error; fzlint exits nonzero on any finding).
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast   default configuration only (skip sanitizer builds and lint)
+#   --fast   default configuration + lint-static only (skip sanitizer
+#            builds and clang-tidy)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -91,6 +100,9 @@ python3 scripts/validate_trace.py "${trace_tmp}/regress.json" \
   prefix-sum-encode
 rm -rf "${trace_tmp}"
 
+echo "==== lint-static: fzlint (layering / lock discipline / layout / hygiene) ===="
+scripts/lint_gate.sh build
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
 
@@ -110,8 +122,12 @@ if [[ "${1:-}" != "--fast" ]]; then
   echo "==== lint: clang-tidy over src/ ===="
   if command -v clang-tidy > /dev/null 2>&1; then
     cmake --build build --target lint
+  elif [[ "${FZ_REQUIRE_LINT:-0}" == "1" ]]; then
+    echo "lint: clang-tidy not found on PATH and FZ_REQUIRE_LINT=1 —" \
+      "failing (docs/SANITIZER.md has the install note)" >&2
+    exit 1
   else
-    echo "lint: clang-tidy not found on PATH; skipping (install clang-tidy to enable)"
+    echo "lint: clang-tidy not found on PATH; skipping (install clang-tidy to enable, or set FZ_REQUIRE_LINT=1 to make this fatal)"
   fi
 fi
 

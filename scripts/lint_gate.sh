@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# fzlint gate: build the in-tree static analyzer and run it over the source
+# tree.  Exits nonzero on any finding, so it can stand alone as a CI stage
+# (scripts/check.sh calls it as the always-on `lint-static` stage).
+#
+# The machine-readable report is archived next to the build so CI can
+# upload it; fzlint's own text output is the human summary (one line per
+# rule plus the total/suppressed tally).
+#
+# Usage: scripts/lint_gate.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ ! -f "${build_dir}/CMakeCache.txt" ]]; then
+  cmake --preset default > /dev/null
+fi
+cmake --build "${build_dir}" -j "${jobs}" --target fzlint > /dev/null
+
+report="${build_dir}/fzlint_report.json"
+"${build_dir}/tools/fzlint/fzlint" --root . --json "${report}"
+echo "lint-static: report archived at ${report}"

@@ -6,7 +6,9 @@
 // core/pipeline.hpp and core/codec.hpp.
 #pragma once
 
+#include <cstddef>
 #include <cstring>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
@@ -44,6 +46,33 @@ struct StreamHeader {
   u64 block_words;
 };
 #pragma pack(pop)
+
+// On-disk layout guards: these asserts ARE the format contract.  The
+// literal numbers must match docs/FORMAT.md, and tools/fzlint (rule
+// layout-audit) re-derives every value from the declaration above and
+// fails CI if an assert is missing or disagrees — so layout drift is a
+// compile error and a stale assert is a lint error.  memcpy in/out of the
+// stream additionally requires trivial copyability.
+static_assert(std::is_trivially_copyable_v<StreamHeader>);
+static_assert(sizeof(StreamHeader) == 100);
+static_assert(offsetof(StreamHeader, magic) == 0);
+static_assert(offsetof(StreamHeader, version) == 4);
+static_assert(offsetof(StreamHeader, quant) == 6);
+static_assert(offsetof(StreamHeader, rank) == 7);
+static_assert(offsetof(StreamHeader, dtype) == 8);
+static_assert(offsetof(StreamHeader, transform) == 9);
+static_assert(offsetof(StreamHeader, pad) == 10);
+static_assert(offsetof(StreamHeader, nx) == 16);
+static_assert(offsetof(StreamHeader, ny) == 24);
+static_assert(offsetof(StreamHeader, nz) == 32);
+static_assert(offsetof(StreamHeader, count) == 40);
+static_assert(offsetof(StreamHeader, abs_eb) == 48);
+static_assert(offsetof(StreamHeader, radius) == 56);
+static_assert(offsetof(StreamHeader, anchor) == 60);
+static_assert(offsetof(StreamHeader, saturated) == 68);
+static_assert(offsetof(StreamHeader, outlier_count) == 76);
+static_assert(offsetof(StreamHeader, bit_flag_bytes) == 84);
+static_assert(offsetof(StreamHeader, block_words) == 92);
 
 // ---- chunked container ------------------------------------------------------
 //
@@ -100,6 +129,42 @@ struct ChunkIndexEntry {
   u64 nx, ny, nz;   ///< chunk dims (a slab of the slowest-varying axis)
 };
 #pragma pack(pop)
+
+// Container layout guards (see the StreamHeader block above for why the
+// values are literals): v1 is frozen forever — old archives must keep
+// reading — and v2's 48-byte header + 48-byte index entries are what
+// docs/FORMAT.md documents and fz::Reader seeks by.
+static_assert(std::is_trivially_copyable_v<ContainerHeaderV1>);
+static_assert(sizeof(ContainerHeaderV1) == 40);
+static_assert(offsetof(ContainerHeaderV1, magic) == 0);
+static_assert(offsetof(ContainerHeaderV1, num_chunks) == 4);
+static_assert(offsetof(ContainerHeaderV1, rank) == 8);
+static_assert(offsetof(ContainerHeaderV1, pad) == 9);
+static_assert(offsetof(ContainerHeaderV1, nx) == 16);
+static_assert(offsetof(ContainerHeaderV1, ny) == 24);
+static_assert(offsetof(ContainerHeaderV1, nz) == 32);
+
+static_assert(std::is_trivially_copyable_v<ContainerHeaderV2>);
+static_assert(sizeof(ContainerHeaderV2) == 48);
+static_assert(offsetof(ContainerHeaderV2, magic) == 0);
+static_assert(offsetof(ContainerHeaderV2, sentinel) == 4);
+static_assert(offsetof(ContainerHeaderV2, version) == 8);
+static_assert(offsetof(ContainerHeaderV2, rank) == 10);
+static_assert(offsetof(ContainerHeaderV2, pad) == 11);
+static_assert(offsetof(ContainerHeaderV2, num_chunks) == 16);
+static_assert(offsetof(ContainerHeaderV2, pad2) == 20);
+static_assert(offsetof(ContainerHeaderV2, nx) == 24);
+static_assert(offsetof(ContainerHeaderV2, ny) == 32);
+static_assert(offsetof(ContainerHeaderV2, nz) == 40);
+
+static_assert(std::is_trivially_copyable_v<ChunkIndexEntry>);
+static_assert(sizeof(ChunkIndexEntry) == 48);
+static_assert(offsetof(ChunkIndexEntry, offset) == 0);
+static_assert(offsetof(ChunkIndexEntry, bytes) == 8);
+static_assert(offsetof(ChunkIndexEntry, elem_offset) == 16);
+static_assert(offsetof(ChunkIndexEntry, nx) == 24);
+static_assert(offsetof(ChunkIndexEntry, ny) == 32);
+static_assert(offsetof(ChunkIndexEntry, nz) == 40);
 
 /// True when the bytes start like a v2 (indexed) container.  False for v1
 /// containers, single-field streams, and garbage — callers still validate.

@@ -1,3 +1,5 @@
+// fzlint:hot-path — the prefetcher mutex is taken on every read;
+// fzlint flags allocation and blocking inside its critical section.
 #include "reader/reader.hpp"
 
 #include <algorithm>

@@ -1,0 +1,465 @@
+// fzlint rule-engine tests: every rule must fire on a violating fixture and
+// stay silent on a conforming one, suppressions included.  The fixtures are
+// in-memory sources so each case states exactly the construct under test;
+// one integration case runs the engine over the repo's real format header
+// and layer declarations.
+#include "fzlint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using fzlint::Config;
+using fzlint::Finding;
+using fzlint::Report;
+using fzlint::SourceFile;
+
+constexpr const char* kLayers = R"(
+base:
+mid: base
+top: mid
+tests: *
+examples: *
+)";
+
+Report lint(std::vector<SourceFile> files, std::string layers = kLayers,
+            std::vector<std::string> layout_files = {}) {
+  Config config;
+  config.layers_text = std::move(layers);
+  config.layout_files = std::move(layout_files);
+  return fzlint::run_lint(config, files);
+}
+
+bool has_finding(const Report& r, const std::string& rule,
+                 const std::string& message_part) {
+  for (const Finding& f : r.findings)
+    if (f.rule == rule && f.message.find(message_part) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---- layering ---------------------------------------------------------------
+
+TEST(Layering, ConformingIncludesPass) {
+  const Report r = lint({{"src/mid/b.cpp",
+                          "#include <vector>\n"
+                          "#include \"mid/b.hpp\"\n"
+                          "#include \"base/a.hpp\"\n"}});
+  EXPECT_TRUE(r.clean()) << r.findings.size();
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleLayering), 0);
+}
+
+TEST(Layering, BackEdgeReported) {
+  const Report r =
+      lint({{"src/base/a.cpp", "#include \"mid/b.hpp\"\nint x;\n"}});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, fzlint::kRuleLayering);
+  EXPECT_EQ(r.findings[0].line, 1);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLayering, "may not include"));
+}
+
+TEST(Layering, TransitiveClosureAllowed) {
+  // top declares only mid; base is reachable through mid's deps.
+  const Report r = lint({{"src/top/t.cpp", "#include \"base/a.hpp\"\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Layering, UndeclaredLayerReported) {
+  const Report r = lint({{"src/newdir/x.cpp", "int x;\n"}});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLayering, "not declared"));
+}
+
+TEST(Layering, StarLayerMayIncludeAnything) {
+  const Report r = lint({{"tests/t.cpp",
+                          "#include \"mid/b.hpp\"\n"
+                          "#include \"top/t.hpp\"\n"
+                          "#include \"base/a.hpp\"\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Layering, AngledIncludesAreNotLayerEdges) {
+  const Report r = lint({{"src/base/a.cpp", "#include <mid/b.hpp>\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Layering, SameDirectoryIncludesAreNotLayerEdges) {
+  const Report r = lint({{"src/base/a.cpp", "#include \"helpers.hpp\"\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Layering, CycleInDeclarationIsAnError) {
+  const Report r = lint({{"src/base/a.cpp", "int x;\n"}},
+                        "a: b\nb: a\nbase:\n");
+  EXPECT_FALSE(r.clean());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("cycle"), std::string::npos);
+}
+
+TEST(Layering, UndeclaredDependencyIsAnError) {
+  const Report r = lint({}, "base: ghost\n");
+  EXPECT_FALSE(r.clean());
+  ASSERT_FALSE(r.errors.empty());
+  EXPECT_NE(r.errors[0].find("undeclared"), std::string::npos);
+}
+
+TEST(Layering, AllowSuppressesBackEdge) {
+  const Report r = lint(
+      {{"src/base/a.cpp",
+        "#include \"mid/b.hpp\"  // fzlint:allow(layering)\nint x;\n"}});
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+// ---- lock discipline --------------------------------------------------------
+
+constexpr const char* kHot = "// fzlint:hot-path\n";
+
+TEST(LockDiscipline, AllocationUnderLockReported) {
+  const Report r = lint({{"src/base/a.cpp",
+                          std::string(kHot) +
+                              "void f() {\n"
+                              "  std::lock_guard<std::mutex> lock(mu);\n"
+                              "  auto* p = new int[4];\n"
+                              "  auto q = std::make_shared<int>(7);\n"
+                              "  items.push_back(1);\n"
+                              "}\n"}});
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleLockDiscipline), 3);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLockDiscipline, "'new' allocates"));
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLockDiscipline, "make_shared"));
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLockDiscipline, "push_back"));
+}
+
+TEST(LockDiscipline, UnannotatedFileIsIgnored) {
+  const Report r = lint({{"src/base/a.cpp",
+                          "void f() {\n"
+                          "  std::lock_guard<std::mutex> lock(mu);\n"
+                          "  auto* p = new int[4];\n"
+                          "}\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LockDiscipline, AllocationOutsideLockScopePasses) {
+  const Report r = lint({{"src/base/a.cpp",
+                          std::string(kHot) +
+                              "void f() {\n"
+                              "  {\n"
+                              "    std::lock_guard<std::mutex> lock(mu);\n"
+                              "    counter += 1;\n"
+                              "  }\n"
+                              "  auto* p = new int[4];\n"
+                              "  items.push_back(1);\n"
+                              "}\n"}});
+  EXPECT_TRUE(r.clean()) << r.findings[0].message;
+}
+
+TEST(LockDiscipline, BlockingWaitReported) {
+  const Report r = lint({{"src/base/a.cpp",
+                          std::string(kHot) +
+                              "void f() {\n"
+                              "  std::unique_lock<std::mutex> lock(mu);\n"
+                              "  cv.wait(lock);\n"
+                              "  worker.join();\n"
+                              "  std::this_thread::sleep_for(1ms);\n"
+                              "}\n"}});
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleLockDiscipline), 3);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLockDiscipline, "'.wait()'"));
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLockDiscipline, "'.join()'"));
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLockDiscipline, "sleep_for"));
+}
+
+TEST(LockDiscipline, SpanConstructionReported) {
+  const Report r = lint({{"src/base/a.cpp",
+                          std::string(kHot) +
+                              "void f() {\n"
+                              "  std::scoped_lock lock(mu);\n"
+                              "  telemetry::Span span(sink, \"stage\");\n"
+                              "}\n"}});
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleLockDiscipline), 1);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLockDiscipline, "Span"));
+}
+
+TEST(LockDiscipline, FindingNamesTheLockLine) {
+  const Report r = lint({{"src/base/a.cpp",
+                          std::string(kHot) +
+                              "void f() {\n"
+                              "  std::lock_guard<std::mutex> lock(mu);\n"
+                              "  items.resize(9);\n"
+                              "}\n"}});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 4);
+  EXPECT_NE(r.findings[0].message.find("line 3"), std::string::npos);
+}
+
+TEST(LockDiscipline, AllowOnPrecedingLineSuppresses) {
+  const Report r = lint({{"src/base/a.cpp",
+                          std::string(kHot) +
+                              "void f() {\n"
+                              "  std::lock_guard<std::mutex> lock(mu);\n"
+                              "  // fzlint:allow(lock-discipline)\n"
+                              "  items.push_back(1);\n"
+                              "}\n"}});
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+TEST(LockDiscipline, AllowForOtherRuleDoesNotSuppress) {
+  const Report r = lint({{"src/base/a.cpp",
+                          std::string(kHot) +
+                              "void f() {\n"
+                              "  std::lock_guard<std::mutex> lock(mu);\n"
+                              "  items.push_back(1);  // fzlint:allow(hygiene)\n"
+                              "}\n"}});
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleLockDiscipline), 1);
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+// ---- layout audit -----------------------------------------------------------
+
+constexpr const char* kGoodLayout = R"(
+#pragma pack(push, 1)
+struct Rec {
+  u32 magic;
+  u16 version;
+  u8 pad[2];
+  u64 nx, ny;
+};
+#pragma pack(pop)
+static_assert(std::is_trivially_copyable_v<Rec>);
+static_assert(sizeof(Rec) == 24);
+static_assert(offsetof(Rec, magic) == 0);
+static_assert(offsetof(Rec, version) == 4);
+static_assert(offsetof(Rec, pad) == 6);
+static_assert(offsetof(Rec, nx) == 8);
+static_assert(offsetof(Rec, ny) == 16);
+)";
+
+TEST(LayoutAudit, MatchingAssertsPass) {
+  const Report r =
+      lint({{"src/base/format.hpp", kGoodLayout}}, kLayers,
+           {"src/base/format.hpp"});
+  EXPECT_TRUE(r.clean()) << r.findings[0].message;
+}
+
+TEST(LayoutAudit, FileNotListedIsIgnored) {
+  // Same struct with no asserts at all, but the file is not a declared
+  // on-disk-format header.
+  const Report r = lint({{"src/base/other.hpp",
+                          "#pragma pack(push, 1)\n"
+                          "struct Rec { u32 magic; };\n"
+                          "#pragma pack(pop)\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LayoutAudit, MissingAssertsReported) {
+  const Report r = lint({{"src/base/format.hpp",
+                          "#pragma pack(push, 1)\n"
+                          "struct Rec { u32 magic; u16 version; };\n"
+                          "#pragma pack(pop)\n"}},
+                        kLayers, {"src/base/format.hpp"});
+  // sizeof + trivially-copyable + one offsetof per field.
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleLayoutAudit), 4);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLayoutAudit, "sizeof(Rec) == 6"));
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLayoutAudit,
+                          "offsetof(Rec, version) == 4"));
+  EXPECT_TRUE(
+      has_finding(r, fzlint::kRuleLayoutAudit, "is_trivially_copyable_v"));
+}
+
+TEST(LayoutAudit, MismatchedSizeReported) {
+  const Report r = lint({{"src/base/format.hpp",
+                          "#pragma pack(push, 1)\n"
+                          "struct Rec { u32 magic; };\n"
+                          "#pragma pack(pop)\n"
+                          "static_assert(std::is_trivially_copyable_v<Rec>);\n"
+                          "static_assert(sizeof(Rec) == 8);\n"
+                          "static_assert(offsetof(Rec, magic) == 0);\n"}},
+                        kLayers, {"src/base/format.hpp"});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_NE(r.findings[0].message.find("says 8"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("4 bytes"), std::string::npos);
+  EXPECT_EQ(r.findings[0].line, 5);
+}
+
+TEST(LayoutAudit, MismatchedOffsetReported) {
+  const Report r = lint({{"src/base/format.hpp",
+                          "#pragma pack(push, 1)\n"
+                          "struct Rec { u32 a; u32 b; };\n"
+                          "#pragma pack(pop)\n"
+                          "static_assert(std::is_trivially_copyable_v<Rec>);\n"
+                          "static_assert(sizeof(Rec) == 8);\n"
+                          "static_assert(offsetof(Rec, a) == 0);\n"
+                          "static_assert(offsetof(Rec, b) == 6);\n"}},
+                        kLayers, {"src/base/format.hpp"});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_NE(r.findings[0].message.find("says 6"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("byte 4"), std::string::npos);
+}
+
+TEST(LayoutAudit, StaleFieldAssertReported) {
+  const Report r = lint({{"src/base/format.hpp",
+                          "#pragma pack(push, 1)\n"
+                          "struct Rec { u32 a; };\n"
+                          "#pragma pack(pop)\n"
+                          "static_assert(std::is_trivially_copyable_v<Rec>);\n"
+                          "static_assert(sizeof(Rec) == 4);\n"
+                          "static_assert(offsetof(Rec, a) == 0);\n"
+                          "static_assert(offsetof(Rec, removed) == 4);\n"}},
+                        kLayers, {"src/base/format.hpp"});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLayoutAudit,
+                          "declaration does not have"));
+}
+
+TEST(LayoutAudit, UnpackedStructsAreNotAudited) {
+  const Report r = lint(
+      {{"src/base/format.hpp", "struct InMemory { u32 a; void* p; };\n"}},
+      kLayers, {"src/base/format.hpp"});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LayoutAudit, NonScalarMemberReported) {
+  const Report r = lint({{"src/base/format.hpp",
+                          "#pragma pack(push, 1)\n"
+                          "struct Rec { u32 a; SomeClass c; };\n"
+                          "#pragma pack(pop)\n"}},
+                        kLayers, {"src/base/format.hpp"});
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleLayoutAudit,
+                          "not a fixed-width scalar"));
+}
+
+TEST(LayoutAudit, RealFormatHeaderIsPinned) {
+  // The repo's actual on-disk header, checked with the repo's actual layer
+  // declarations: the shipped asserts must agree with the shipped structs.
+  const std::string root = FZ_SOURCE_ROOT;
+  Config config;
+  config.layers_text = slurp(root + "/tools/fzlint_layers.txt");
+  config.layout_files = {"src/core/format.hpp"};
+  const std::vector<SourceFile> files = {
+      {"src/core/format.hpp", slurp(root + "/src/core/format.hpp")}};
+  const Report r = fzlint::run_lint(config, files);
+  EXPECT_TRUE(r.clean()) << (r.findings.empty()
+                                 ? "errors only"
+                                 : r.findings[0].message);
+}
+
+// ---- hygiene ----------------------------------------------------------------
+
+TEST(Hygiene, BannedCallsReported) {
+  const Report r = lint({{"src/base/a.cpp",
+                          "void f() {\n"
+                          "  void* p = malloc(10);\n"
+                          "  printf(\"x\");\n"
+                          "  int v = rand();\n"
+                          "}\n"}});
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleHygiene), 3);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleHygiene, "'malloc()'"));
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleHygiene, "'printf()'"));
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleHygiene, "'rand()'"));
+}
+
+TEST(Hygiene, OutsideSrcIsExempt) {
+  const Report r = lint({{"examples/demo.cpp",
+                          "void f() { printf(\"x\"); }\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Hygiene, RawStdThreadReported) {
+  const Report r =
+      lint({{"src/base/a.cpp", "std::thread t([] { work(); });\n"}});
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleHygiene), 1);
+  EXPECT_TRUE(has_finding(r, fzlint::kRuleHygiene, "std::thread"));
+}
+
+TEST(Hygiene, ThreadMetadataAllowed) {
+  const Report r = lint(
+      {{"src/base/a.cpp",
+        "const unsigned n = std::thread::hardware_concurrency();\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Hygiene, ThreadPoolImplementationIsExempt) {
+  const Report r = lint({{"src/common/thread_pool.cpp",
+                          "std::thread t([] { work(); });\n"}},
+                        "common:\n");
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Hygiene, TokensInStringsAndCommentsIgnored) {
+  const Report r = lint({{"src/base/a.cpp",
+                          "// calls malloc( and printf( and rand()\n"
+                          "const char* s = \"malloc(10) printf(x)\";\n"
+                          "const char* raw = R\"(rand() malloc())\";\n"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Hygiene, AllowSuppresses) {
+  const Report r = lint(
+      {{"src/base/a.cpp",
+        "void* p = malloc(10);  // fzlint:allow(hygiene)\n"}});
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.suppressed, 1);
+}
+
+// ---- reporting --------------------------------------------------------------
+
+TEST(Reporting, PerRuleSummaryCountsEveryRule) {
+  const Report r = lint({{"src/base/a.cpp", "void* p = malloc(4);\n"}});
+  EXPECT_EQ(r.per_rule.size(), 4u);
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleHygiene), 1);
+  EXPECT_EQ(r.per_rule.at(fzlint::kRuleLayering), 0);
+}
+
+TEST(Reporting, TextReportNamesFileLineAndRule) {
+  const Report r = lint({{"src/base/a.cpp", "void* p = malloc(4);\n"}});
+  std::ostringstream os;
+  fzlint::write_text_report(r, os);
+  EXPECT_NE(os.str().find("src/base/a.cpp:1: [hygiene]"), std::string::npos);
+  EXPECT_NE(os.str().find("FAILED"), std::string::npos);
+}
+
+TEST(Reporting, CleanTextReportSaysClean) {
+  const Report r = lint({});
+  std::ostringstream os;
+  fzlint::write_text_report(r, os);
+  EXPECT_NE(os.str().find("clean"), std::string::npos);
+}
+
+TEST(Reporting, JsonReportCarriesFindingsAndSummary) {
+  const Report r = lint(
+      {{"src/base/a.cpp",
+        "void* p = malloc(4);\nint q = rand();  // fzlint:allow(hygiene)\n"}});
+  std::ostringstream os;
+  fzlint::write_json_report(r, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"rule\": \"hygiene\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/base/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"hygiene\": 1"), std::string::npos);
+}
+
+TEST(Reporting, FindingsAreSortedByFileThenLine) {
+  const Report r = lint({{"src/base/b.cpp", "void* p = malloc(4);\n"},
+                         {"src/base/a.cpp",
+                          "int x;\nvoid* p = malloc(4);\n"
+                          "void* q = calloc(1, 4);\n"}});
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.findings[0].file, "src/base/a.cpp");
+  EXPECT_EQ(r.findings[0].line, 2);
+  EXPECT_EQ(r.findings[1].line, 3);
+  EXPECT_EQ(r.findings[2].file, "src/base/b.cpp");
+}
+
+}  // namespace

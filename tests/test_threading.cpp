@@ -7,11 +7,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <functional>
+#include <stdexcept>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/pool.hpp"
+#include "common/thread_pool.hpp"
 #include "common/rng.hpp"
 #include "core/chunked.hpp"
 #include "core/codec.hpp"
@@ -335,6 +338,90 @@ TEST(Threading, IndependentReadersOnOneStream) {
   }
   for (auto& t : callers) t.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- ThreadPool tasks-never-throw contract -----------------------------------
+//
+// The pool's contract says tasks must not throw; when one does anyway the
+// pool must swallow it, count it in dropped_exceptions(), and keep serving.
+// These tests pin that recovery path plus wait_idle()'s accounting while
+// submits race in from many threads.
+
+TEST(Threading, PoolCountsThrowingTasksAndStaysUsable) {
+  ThreadPool pool(4);
+  constexpr int kThrowing = 37;
+  constexpr int kNormal = 200;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kThrowing + kNormal; ++i) {
+    if (i % 6 == 0 && i / 6 < kThrowing) {
+      pool.submit([](size_t) { throw std::runtime_error("contract breach"); });
+    } else {
+      pool.submit([&](size_t) { ran.fetch_add(1); });
+    }
+  }
+  pool.wait_idle();
+  EXPECT_EQ(pool.dropped_exceptions(), static_cast<size_t>(kThrowing));
+  EXPECT_EQ(ran.load(), kNormal);
+
+  // The workers that caught those exceptions must still be alive: a second
+  // batch has to run to completion on the same pool.
+  ran.store(0);
+  for (int i = 0; i < kNormal; ++i)
+    pool.submit([&](size_t) { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kNormal);
+  EXPECT_EQ(pool.dropped_exceptions(), static_cast<size_t>(kThrowing));
+}
+
+TEST(Threading, PoolWaitIdleSeesWorkFromConcurrentSubmitters) {
+  // wait_idle() must observe everything submitted before the producers
+  // finished, even when submits race with workers draining the queue.
+  ThreadPool pool(3);
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 250;
+  std::atomic<int> ran{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerProducer; ++i)
+        pool.submit([&](size_t) { ran.fetch_add(1); });
+    });
+  }
+  go.store(true);
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+  EXPECT_EQ(pool.dropped_exceptions(), 0u);
+}
+
+TEST(Threading, PoolWaitIdleFollowsTasksSubmittedByTasks) {
+  // A running task keeps active_ > 0, so a resubmission chain can never slip
+  // through wait_idle()'s "queue empty and all idle" predicate: by the time
+  // the predicate holds, the whole chain has run.
+  ThreadPool pool(2);
+  constexpr int kDepth = 64;
+  std::atomic<int> hops{0};
+  std::function<void(size_t)> hop = [&](size_t) {
+    if (hops.fetch_add(1) + 1 < kDepth) pool.submit(hop);
+  };
+  pool.submit(hop);
+  pool.wait_idle();
+  EXPECT_EQ(hops.load(), kDepth);
+
+  // Same chain, but every hop throws after scheduling the next one: the
+  // exception must neither break the chain nor confuse the idle accounting.
+  std::atomic<int> angry_hops{0};
+  std::function<void(size_t)> angry = [&](size_t) {
+    if (angry_hops.fetch_add(1) + 1 < kDepth) pool.submit(angry);
+    throw std::runtime_error("contract breach");
+  };
+  pool.submit(angry);
+  pool.wait_idle();
+  EXPECT_EQ(angry_hops.load(), kDepth);
+  EXPECT_EQ(pool.dropped_exceptions(), static_cast<size_t>(kDepth));
 }
 
 }  // namespace

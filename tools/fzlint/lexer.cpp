@@ -1,0 +1,279 @@
+#include "fzlint/lexer.hpp"
+
+#include <cctype>
+
+namespace fzlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  int line() const { return line_; }
+  size_t pos() const { return pos_; }
+  std::string_view slice(size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Consume a quoted literal starting at the opening quote.  Handles escape
+/// sequences; stops at the closing quote or end-of-file.
+void take_quoted(Cursor& c, char quote) {
+  c.take();  // opening quote
+  while (!c.done()) {
+    const char ch = c.take();
+    if (ch == '\\' && !c.done()) {
+      c.take();
+      continue;
+    }
+    if (ch == quote) return;
+  }
+}
+
+/// Consume R"delim( ... )delim" starting at the opening double quote.
+void take_raw_string(Cursor& c) {
+  c.take();  // the "
+  std::string delim;
+  while (!c.done() && c.peek() != '(') delim.push_back(c.take());
+  if (!c.done()) c.take();  // the (
+  const std::string closer = ")" + delim + "\"";
+  std::string tail;
+  while (!c.done()) {
+    tail.push_back(c.take());
+    if (tail.size() > closer.size()) tail.erase(tail.begin());
+    if (tail == closer) return;
+  }
+}
+
+/// Numbers: consume digits, separators, radix prefixes, suffixes and
+/// exponents.  A sign after e/E/p/P belongs to the literal.
+void take_number(Cursor& c) {
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '.' ||
+        ch == '\'') {
+      const char taken = c.take();
+      if ((taken == 'e' || taken == 'E' || taken == 'p' || taken == 'P') &&
+          (c.peek() == '+' || c.peek() == '-'))
+        c.take();
+      continue;
+    }
+    break;
+  }
+}
+
+/// Fold one preprocessor directive (with backslash continuations) into a
+/// single normalized string; newlines inside become spaces.
+std::string take_pp_line(Cursor& c) {
+  std::string text;
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\' && (c.peek(1) == '\n' ||
+                       (c.peek(1) == '\r' && c.peek(2) == '\n'))) {
+      c.take();                       // backslash
+      while (c.peek() != '\n') c.take();
+      c.take();                       // newline
+      text.push_back(' ');
+      continue;
+    }
+    if (ch == '\n') break;
+    if (ch == '/' && c.peek(1) == '/') break;  // trailing comment
+    if (ch == '/' && c.peek(1) == '*') break;  // handled by main loop
+    text.push_back(c.take());
+  }
+  // Trim trailing whitespace for stable matching.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.pop_back();
+  return text;
+}
+
+/// Parse `#include "path"` / `#include <path>` out of a folded directive.
+bool parse_include(const std::string& directive, std::string& path,
+                   bool& angled) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < directive.size() &&
+           std::isspace(static_cast<unsigned char>(directive[i])))
+      ++i;
+  };
+  skip_ws();
+  if (i >= directive.size() || directive[i] != '#') return false;
+  ++i;
+  skip_ws();
+  if (directive.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  skip_ws();
+  if (i >= directive.size()) return false;
+  const char open = directive[i];
+  const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+  if (close == '\0') return false;
+  const size_t start = ++i;
+  const size_t end = directive.find(close, start);
+  if (end == std::string::npos) return false;
+  path = directive.substr(start, end - start);
+  angled = open == '<';
+  return true;
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  Cursor c(src);
+  bool line_start = true;  // only whitespace seen so far on this line
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == '\n') {
+      c.take();
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.take();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      const int line = c.line();
+      c.take();
+      c.take();
+      const size_t from = c.pos();
+      while (!c.done() && c.peek() != '\n') c.take();
+      out.comments.push_back({std::string(c.slice(from)), line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      const int line = c.line();
+      c.take();
+      c.take();
+      const size_t from = c.pos();
+      size_t end = c.pos();
+      while (!c.done()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          end = c.pos();
+          c.take();
+          c.take();
+          break;
+        }
+        c.take();
+        end = c.pos();
+      }
+      std::string_view body = c.slice(from);
+      body = body.substr(0, end - from);
+      out.comments.push_back({std::string(body), line});
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its (logical) line.
+    if (ch == '#' && line_start) {
+      const int line = c.line();
+      const std::string directive = take_pp_line(c);
+      std::string path;
+      bool angled = false;
+      if (parse_include(directive, path, angled))
+        out.includes.push_back({path, line, angled});
+      out.tokens.push_back({TokKind::Pp, directive, line});
+      line_start = false;
+      continue;
+    }
+    line_start = false;
+
+    // Literals.
+    if (ch == '"') {
+      const int line = c.line();
+      take_quoted(c, '"');
+      out.tokens.push_back({TokKind::String, "\"\"", line});
+      continue;
+    }
+    if (ch == '\'') {
+      const int line = c.line();
+      take_quoted(c, '\'');
+      out.tokens.push_back({TokKind::CharLit, "''", line});
+      continue;
+    }
+
+    // Identifiers (and raw-string / encoding prefixes).
+    if (ident_start(ch)) {
+      const int line = c.line();
+      const size_t from = c.pos();
+      while (!c.done() && ident_char(c.peek())) c.take();
+      std::string text(c.slice(from));
+      // R"(...)" — the identifier was actually a raw-string prefix.
+      if ((text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR") &&
+          c.peek() == '"') {
+        take_raw_string(c);
+        out.tokens.push_back({TokKind::String, "\"\"", line});
+        continue;
+      }
+      // "..."-adjacent encoding prefixes (u8"x").
+      if ((text == "u8" || text == "u" || text == "U" || text == "L") &&
+          c.peek() == '"') {
+        take_quoted(c, '"');
+        out.tokens.push_back({TokKind::String, "\"\"", line});
+        continue;
+      }
+      out.tokens.push_back({TokKind::Identifier, std::move(text), line});
+      continue;
+    }
+
+    // Numbers (including .5 style).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      const int line = c.line();
+      const size_t from = c.pos();
+      take_number(c);
+      out.tokens.push_back({TokKind::Number, std::string(c.slice(from)), line});
+      continue;
+    }
+
+    // Punctuation.  Keep the three sequences rules match on as single
+    // tokens; everything else is one character at a time.
+    {
+      const int line = c.line();
+      if (ch == ':' && c.peek(1) == ':') {
+        c.take();
+        c.take();
+        out.tokens.push_back({TokKind::Punct, "::", line});
+      } else if (ch == '-' && c.peek(1) == '>') {
+        c.take();
+        c.take();
+        out.tokens.push_back({TokKind::Punct, "->", line});
+      } else if (ch == '=' && c.peek(1) == '=') {
+        c.take();
+        c.take();
+        out.tokens.push_back({TokKind::Punct, "==", line});
+      } else {
+        out.tokens.push_back({TokKind::Punct, std::string(1, c.take()), line});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fzlint

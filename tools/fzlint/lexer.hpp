@@ -1,0 +1,65 @@
+// fzlint's C++ lexer: just enough tokenization to drive the rule engine.
+//
+// This is deliberately not a compiler front end.  fzlint needs four things
+// from a translation unit, and nothing else:
+//
+//   * the code tokens (identifiers, numbers, punctuation) with line numbers,
+//     so rules can pattern-match constructs like `std::lock_guard` scopes,
+//     `static_assert(sizeof(T) == N)`, or banned calls;
+//   * the comments, separately, so `// fzlint:allow(<rule>)` suppressions
+//     and `// fzlint:hot-path` file markers are visible to the engine but
+//     never confused with code;
+//   * the `#include` directives with their paths (layering rule);
+//   * preprocessor directives as opaque single tokens in stream order, so
+//     the layout rule can find `#pragma pack(push, 1)` regions positionally.
+//
+// The lexer understands line/block comments, string/char literals including
+// raw strings, digit separators, and backslash-continued preprocessor
+// lines.  It does not do phase-2 trigraphs, UCNs, or macro expansion —
+// project style never uses them, and a rule that mis-fires on such code can
+// be suppressed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fzlint {
+
+enum class TokKind {
+  Identifier,  ///< [A-Za-z_][A-Za-z0-9_]*  (keywords included)
+  Number,      ///< integer/float literal, suffixes and separators attached
+  String,      ///< "..." or R"delim(...)delim" — content NOT tokenized
+  CharLit,     ///< '...'
+  Punct,       ///< one operator/punctuator; "::" "->" "==" kept whole
+  Pp,          ///< one whole preprocessor directive, continuations folded
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based line of the token's first character
+};
+
+struct Comment {
+  std::string text;  ///< without the // or /* */ markers
+  int line;          ///< 1-based line where the comment starts
+};
+
+struct Include {
+  std::string path;  ///< as written between the quotes/brackets
+  int line;
+  bool angled;  ///< <system> include (true) vs "project" include (false)
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+};
+
+/// Tokenize one source file.  Never throws on malformed input: an
+/// unterminated literal or comment simply ends at end-of-file.
+LexedFile lex(std::string_view src);
+
+}  // namespace fzlint

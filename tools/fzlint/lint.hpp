@@ -1,0 +1,95 @@
+// fzlint — the project's own static analyzer, run as a hard CI gate.
+//
+// clang-tidy is a best-effort gate here (skipped when the binary is absent)
+// and cannot express project-specific invariants anyway.  fzlint closes
+// that hole with four rule families the fused/concurrent code actually
+// depends on, each checkable from source alone:
+//
+//   layering        — project includes must follow the DAG declared in
+//                     tools/fzlint_layers.txt (cycles in the declaration
+//                     itself are also an error).
+//   lock-discipline — in files annotated `// fzlint:hot-path`, no
+//                     allocation (`new`, `make_*`, container growth),
+//                     blocking waits, or telemetry Span construction inside
+//                     a std::lock_guard / unique_lock / scoped_lock scope.
+//   layout-audit    — every struct declared inside a `#pragma pack(push, 1)`
+//                     region of an on-disk-format header must be pinned by
+//                     static_asserts (sizeof, offsetof of every field,
+//                     trivial copyability) whose literal values agree with
+//                     the declaration fzlint parsed.
+//   hygiene         — banned tokens in src/: raw malloc/calloc/realloc,
+//                     printf-family, rand(), and std::thread outside
+//                     common/thread_pool.{hpp,cpp}.
+//
+// Suppression: `// fzlint:allow(<rule>[,<rule>...])` silences findings of
+// the named rules on the comment's line and the line immediately after.
+// Suppressions are counted and reported, never silent.
+//
+// The library works on in-memory sources so the unit tests can drive every
+// rule with fixture files; main.cpp adds the directory walker and CLI.
+// fzlint depends only on the C++ standard library — it must stay buildable
+// with the stock project toolchain, with no libclang or other externals.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fzlint {
+
+inline constexpr const char* kRuleLayering = "layering";
+inline constexpr const char* kRuleLockDiscipline = "lock-discipline";
+inline constexpr const char* kRuleLayoutAudit = "layout-audit";
+inline constexpr const char* kRuleHygiene = "hygiene";
+
+/// Marker comment that opts a file into the lock-discipline rule.
+inline constexpr const char* kHotPathMarker = "fzlint:hot-path";
+
+struct SourceFile {
+  std::string path;     ///< repo-relative, forward slashes (e.g. "src/core/x.cpp")
+  std::string content;  ///< full text
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Report {
+  /// Findings that survived suppression, in file/line order.
+  std::vector<Finding> findings;
+  /// Post-suppression count per rule; every rule is present, 0 when clean.
+  std::map<std::string, int> per_rule;
+  /// Findings silenced by `fzlint:allow` markers.
+  int suppressed = 0;
+  /// Configuration / internal problems (bad layers file, unreadable input).
+  /// Any entry makes the run fail, like a finding.
+  std::vector<std::string> errors;
+
+  bool clean() const { return findings.empty() && errors.empty(); }
+};
+
+struct Config {
+  /// Text of the layer declaration file (see tools/fzlint_layers.txt for
+  /// the format: `layer: dep dep ...`, `*` = may depend on everything).
+  std::string layers_text;
+  /// Path the declarations came from, for messages only.
+  std::string layers_path = "tools/fzlint_layers.txt";
+  /// Files whose packed structs the layout-audit rule must pin.
+  std::vector<std::string> layout_files = {"src/core/format.hpp"};
+};
+
+/// Run every rule over `files` and return the merged report.
+Report run_lint(const Config& config, const std::vector<SourceFile>& files);
+
+/// `path:line: [rule] message` per finding, then a one-line-per-rule
+/// summary (also printed when clean — the gate's heartbeat).
+void write_text_report(const Report& report, std::ostream& os);
+
+/// Machine-readable report: {findings, summary, suppressed, errors, clean}.
+void write_json_report(const Report& report, std::ostream& os);
+
+}  // namespace fzlint

@@ -1,0 +1,129 @@
+// fzlint CLI: walk the repo, run every rule, report, exit nonzero on any
+// finding.  See lint.hpp for the rule families and suppression syntax.
+//
+//   fzlint [--root DIR] [--layers FILE] [--json OUT] [dirs...]
+//
+//   --root DIR     repo root (default: current directory); all paths are
+//                  resolved and reported relative to it
+//   --layers FILE  layer DAG declaration (default: tools/fzlint_layers.txt
+//                  under the root)
+//   --json OUT     also write the machine-readable report to OUT
+//   dirs...        directories to walk, relative to the root
+//                  (default: src tools examples tests bench)
+//
+// Exit codes: 0 clean, 1 findings or configuration errors, 2 usage errors.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fzlint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+std::string slashed(const fs::path& p) {
+  std::string s = p.generic_string();
+  return s;
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--layers FILE] [--json OUT] [dirs...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string layers_rel = "tools/fzlint_layers.txt";
+  std::string json_out;
+  std::vector<std::string> dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_rel = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) dirs = {"src", "tools", "examples", "tests", "bench"};
+
+  fzlint::Config config;
+  config.layers_path = layers_rel;
+  if (!read_file(root / layers_rel, config.layers_text)) {
+    std::cerr << "fzlint: cannot read layer declarations at "
+              << slashed(root / layers_rel) << "\n";
+    return 2;
+  }
+
+  std::vector<fzlint::SourceFile> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;  // e.g. no bench/ checkout
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file() || !lintable(it->path())) continue;
+      fzlint::SourceFile file;
+      file.path = slashed(fs::relative(it->path(), root));
+      if (!read_file(it->path(), file.content)) {
+        std::cerr << "fzlint: cannot read " << file.path << "\n";
+        return 2;
+      }
+      files.push_back(std::move(file));
+    }
+    if (ec) {
+      std::cerr << "fzlint: error walking " << slashed(base) << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const fzlint::SourceFile& a, const fzlint::SourceFile& b) {
+              return a.path < b.path;
+            });
+
+  const fzlint::Report report = fzlint::run_lint(config, files);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "fzlint: cannot write " << json_out << "\n";
+      return 2;
+    }
+    fzlint::write_json_report(report, out);
+  }
+  fzlint::write_text_report(report, std::cout);
+  return report.clean() ? 0 : 1;
+}
