@@ -9,7 +9,13 @@
 // of every config's stream against the scalar-unfused reference is
 // asserted while measuring.
 //
-// Usage: regress [--scale S] [--iters N] [--out FILE]
+// PR8 adds a gap-array Huffman decode sweep: per-dataset quantization codes
+// are Huffman-encoded once, then decoded at 1/2/4/max workers (table-driven)
+// plus the bit-serial ablation at one worker, with symbol identity asserted
+// on every timed run.  Those rows go to a second report (default
+// BENCH_pr8.json), gated separately by scripts/bench_smoke.sh.
+//
+// Usage: regress [--scale S] [--iters N] [--out FILE] [--huff-out FILE]
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -31,6 +37,8 @@
 #include "core/quantizer.hpp"
 #include "datasets/generators.hpp"
 #include "harness/tables.hpp"
+#include "substrate/histogram.hpp"
+#include "substrate/huffman.hpp"
 
 namespace {
 
@@ -91,13 +99,16 @@ int main(int argc, char** argv) {
   double scale = 0.12;
   int iters = 3;
   std::string out_path = "BENCH_pr5.json";
+  std::string huff_out_path = "BENCH_pr8.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scale" && i + 1 < argc) scale = std::stod(argv[++i]);
     else if (arg == "--iters" && i + 1 < argc) iters = std::stoi(argv[++i]);
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else if (arg == "--huff-out" && i + 1 < argc) huff_out_path = argv[++i];
     else {
-      std::cerr << "usage: regress [--scale S] [--iters N] [--out FILE]\n";
+      std::cerr << "usage: regress [--scale S] [--iters N] [--out FILE] "
+                   "[--huff-out FILE]\n";
       return 2;
     }
   }
@@ -278,6 +289,71 @@ int main(int argc, char** argv) {
   std::cout << "\nFused-parallel thread scaling:\n";
   scale_table.print(std::cout);
 
+  // ---- PR8: gap-array Huffman decode thread scaling ------------------------
+  // Real per-dataset code distributions: v1 quantization codes (the cuSZ
+  // baseline's Huffman input), encoded once per dataset with the default
+  // gap layout.  Symbol identity is asserted on every timed decode.
+  struct HuffRow {
+    std::string dataset;
+    size_t workers;
+    double value_gbps;
+  };
+  std::vector<HuffRow> huff_rows;
+  std::vector<std::pair<std::string, double>> huff_table_speedup;
+  std::vector<std::pair<std::string, double>> huff_par_vs_serial;
+  bool huff_identical = true;
+
+  bench::Table huff_table({"dataset", "w=1", "w=2", "w=4", "w=max",
+                           "bit-serial", "table/bits", "par/serial"});
+  for (const Field& f : benchmark_suite(scale, 42)) {
+    const double eb = f.resolve_eb(ErrorBound::relative(1e-3));
+    std::vector<i64> hpq(f.count());
+    prequantize(f.values(), eb, hpq);
+    lorenzo_forward(hpq, f.dims, hpq);
+    hpq[0] = 0;
+    const QuantV1Result q = quant_encode_v1(hpq, 512);
+    const std::vector<u16>& hsyms = q.codes;
+    const auto hist = histogram<u16>(hsyms, 1024);
+    const HuffmanCodebook book = HuffmanCodebook::build(hist);
+    const std::vector<u8> enc = huffman_encode(hsyms, book);
+    const std::vector<u8> legacy =
+        huffman_encode(hsyms, book, HuffmanEncodeOptions{kHuffDefaultChunk, 0});
+    const size_t bytes = hsyms.size() * sizeof(u16);
+
+    std::vector<double> per_worker;
+    for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+      std::vector<u16> dec;
+      const double t = min_seconds(iters, [&] {
+        dec = huffman_decode(enc, book, {.workers = workers});
+      });
+      if (dec != hsyms) huff_identical = false;
+      per_worker.push_back(gbps(bytes, t));
+      huff_rows.push_back(
+          {f.dataset, workers == 0 ? hw_threads : workers, per_worker.back()});
+    }
+    std::vector<u16> dec_bits;
+    const double t_bits = min_seconds(iters, [&] {
+      dec_bits = huffman_decode(enc, book, {.workers = 1, .table_fast = false});
+    });
+    if (dec_bits != hsyms) huff_identical = false;
+    if (huffman_decode(legacy, book) != hsyms) huff_identical = false;
+    const double bits_gbps = gbps(bytes, t_bits);
+    huff_table_speedup.emplace_back(f.dataset, per_worker[0] / bits_gbps);
+    huff_par_vs_serial.emplace_back(f.dataset, per_worker[3] / per_worker[0]);
+    huff_table.add_row(
+        {f.dataset, JsonWriter::num(per_worker[0]),
+         JsonWriter::num(per_worker[1]), JsonWriter::num(per_worker[2]),
+         JsonWriter::num(per_worker[3]), JsonWriter::num(bits_gbps),
+         JsonWriter::num(huff_table_speedup.back().second) + "x",
+         JsonWriter::num(huff_par_vs_serial.back().second) + "x"});
+  }
+  std::cout << "\nGap-array Huffman decode throughput (GB/s of decoded "
+               "symbols); table/bits = table-driven over bit-serial at one "
+               "worker, par/serial = max workers over one worker:\n";
+  huff_table.print(std::cout);
+  std::cout << "decoded symbols identical across every path: "
+            << (huff_identical ? "yes" : "NO — BUG") << "\n";
+
   // ---- JSON report ---------------------------------------------------------
   JsonWriter w;
   w.section("bench");
@@ -352,5 +428,48 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << w.finish();
   std::cout << "wrote " << out_path << "\n";
-  return identical ? 0 : 1;
+
+  // ---- PR8 JSON report -----------------------------------------------------
+  JsonWriter hw;
+  hw.section("bench");
+  hw.buf += "\"pr8-huffman\"";
+  hw.section("scale");
+  hw.buf += JsonWriter::num(scale);
+  hw.section("iters");
+  hw.buf += JsonWriter::num(iters);
+  hw.section("max_threads");
+  hw.buf += JsonWriter::num(static_cast<double>(hw_threads));
+  hw.section("huffman_identical");
+  hw.buf += huff_identical ? "true" : "false";
+  hw.section("huffman_decode");
+  hw.buf += "[\n";
+  for (size_t i = 0; i < huff_rows.size(); ++i) {
+    hw.buf += "    {\"dataset\": \"" + huff_rows[i].dataset +
+              "\", \"workers\": " +
+              JsonWriter::num(static_cast<double>(huff_rows[i].workers)) +
+              ", \"gbps\": " + JsonWriter::num(huff_rows[i].value_gbps) + "}" +
+              (i + 1 < huff_rows.size() ? "," : "") + "\n";
+  }
+  hw.buf += "  ]";
+  hw.section("huffman_table_speedup");
+  hw.buf += "{\n";
+  for (size_t i = 0; i < huff_table_speedup.size(); ++i) {
+    hw.buf += "    \"" + huff_table_speedup[i].first +
+              "\": " + JsonWriter::num(huff_table_speedup[i].second) +
+              (i + 1 < huff_table_speedup.size() ? "," : "") + "\n";
+  }
+  hw.buf += "  }";
+  hw.section("huffman_parallel_vs_serial");
+  hw.buf += "{\n";
+  for (size_t i = 0; i < huff_par_vs_serial.size(); ++i) {
+    hw.buf += "    \"" + huff_par_vs_serial[i].first +
+              "\": " + JsonWriter::num(huff_par_vs_serial[i].second) +
+              (i + 1 < huff_par_vs_serial.size() ? "," : "") + "\n";
+  }
+  hw.buf += "  }";
+
+  std::ofstream huff_out(huff_out_path);
+  huff_out << hw.finish();
+  std::cout << "wrote " << huff_out_path << "\n";
+  return identical && huff_identical ? 0 : 1;
 }

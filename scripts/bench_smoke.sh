@@ -36,6 +36,22 @@
 #   * hot-cache re-reads must beat cold reads by >= 2x (hot is a memcpy
 #     out of the cache; losing that gap means decodes are being repeated).
 #
+# PR8 adds a third gate on the gap-array Huffman decode rows regress now
+# emits (BENCH_pr8.json):
+#
+#   * every decode path (any worker count, table-driven or bit-serial, gap
+#     or legacy stream) must keep returning the exact encoded symbols
+#     (zero tolerance),
+#   * segment-parallel decode at max workers must not lose to one worker on
+#     any tier-1 dataset (ratio < 0.95, same noise allowance as the fused
+#     gate — on multi-core boxes this is where the gap array pays off; on a
+#     single-core box the two configs run the same code, so the bar drops
+#     to 0.85, a pure task-crew-overhead guard against the bimodal clock),
+#   * the table-driven fast path must stay >= 2x the bit-serial walk at one
+#     worker on every dataset (the PR8 acceptance floor; the batched
+#     peek/consume window is what keeps this true even for near-constant
+#     code distributions).
+#
 # Usage: scripts/bench_smoke.sh [path/to/regress-binary] [path/to/random_access-binary]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +60,7 @@ regress_bin="${1:-build/bench/regress}"
 reader_bin="${2:-build/bench/random_access}"
 baseline="BENCH_pr5.json"
 reader_baseline="BENCH_pr6.json"
+huff_baseline="BENCH_pr8.json"
 tolerance="${FZ_BENCH_TOLERANCE:-0.50}"
 
 if [[ ! -x "${regress_bin}" ]]; then
@@ -54,17 +71,19 @@ if [[ ! -x "${reader_bin}" ]]; then
   echo "bench_smoke: ${reader_bin} not built (cmake --build build --target random_access)" >&2
   exit 1
 fi
-if [[ ! -f "${baseline}" || ! -f "${reader_baseline}" ]]; then
-  echo "bench_smoke: baseline ${baseline} or ${reader_baseline} missing" >&2
+if [[ ! -f "${baseline}" || ! -f "${reader_baseline}" || ! -f "${huff_baseline}" ]]; then
+  echo "bench_smoke: baseline ${baseline}, ${reader_baseline} or ${huff_baseline} missing" >&2
   exit 1
 fi
 
 fresh="$(mktemp /tmp/BENCH_smoke.XXXXXX.json)"
-trap 'rm -f "${fresh}"' EXIT
+huff_fresh="$(mktemp /tmp/BENCH_huff_smoke.XXXXXX.json)"
+trap 'rm -f "${fresh}" "${huff_fresh}"' EXIT
 
 scale=$(python3 -c "import json; print(json.load(open('${baseline}'))['scale'])")
 iters=$(python3 -c "import json; print(int(json.load(open('${baseline}'))['iters']))")
-"${regress_bin}" --scale "${scale}" --iters "${iters}" --out "${fresh}" > /dev/null
+"${regress_bin}" --scale "${scale}" --iters "${iters}" --out "${fresh}" \
+  --huff-out "${huff_fresh}" > /dev/null
 
 python3 - "${baseline}" "${fresh}" "${tolerance}" <<'EOF'
 import json, sys
@@ -111,9 +130,47 @@ print(f"bench_smoke: OK (best fused-parallel speedup {best_speedup:.2f}x, "
       f"{len(new['stages'])} stage measurements within {tol:.0%} of baseline)")
 EOF
 
+# ---- PR8: gap-array Huffman decode gate -------------------------------------
+python3 - "${huff_fresh}" <<'EOF'
+import json, sys
+
+new = json.load(open(sys.argv[1]))
+failures = []
+
+if not new["huffman_identical"]:
+    failures.append("Huffman decode no longer returns the encoded symbols on every path")
+
+# On a single-core box max-workers and one-worker run the same code path;
+# the comparison only carries scheduling overhead + clock noise, so the bar
+# drops from "must not lose" to "must not collapse".
+floor = 0.95 if new["max_threads"] > 1 else 0.85
+for dataset, ratio in new["huffman_parallel_vs_serial"].items():
+    if ratio < floor:
+        failures.append(
+            f"segment-parallel decode {ratio:.2f}x one-worker on {dataset} "
+            f"(must be >= {floor})")
+
+for dataset, speedup in new["huffman_table_speedup"].items():
+    if speedup < 2.0:
+        failures.append(
+            f"table-driven decode only {speedup:.2f}x bit-serial on {dataset} "
+            f"(must be >= 2x)")
+
+if failures:
+    print("bench_smoke[huffman]: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+spd = new["huffman_table_speedup"]
+ratios = new["huffman_parallel_vs_serial"]
+print(f"bench_smoke[huffman]: OK (symbols identical on every path, "
+      f"table/bit-serial {min(spd.values()):.2f}-{max(spd.values()):.2f}x, "
+      f"parallel/serial up to {max(ratios.values()):.2f}x)")
+EOF
+
 # ---- PR6: random-access reader gate -----------------------------------------
 reader_fresh="$(mktemp /tmp/BENCH_reader_smoke.XXXXXX.json)"
-trap 'rm -f "${fresh}" "${reader_fresh}"' EXIT
+trap 'rm -f "${fresh}" "${huff_fresh}" "${reader_fresh}"' EXIT
 
 reader_scale=$(python3 -c "import json; print(json.load(open('${reader_baseline}'))['scale'])")
 reader_iters=$(python3 -c "import json; print(int(json.load(open('${reader_baseline}'))['iters']))")

@@ -191,15 +191,21 @@ RunResult CuszCompressor::run(const Field& field, double rel_eb) const {
   dequantize(deltas, h2.abs_eb, r.reconstructed);
 
   // Decompression cost mirrors compression minus the codebook build
-  // (decode reuses the serialized lengths).
-  CostSheet dec;
-  dec.name = encoding_ == Encoding::Huffman ? "huffman-decode" : "rle-decode";
-  dec.kernel_launches = 2;
-  dec.global_bytes_read = huff.size() + st.count * sizeof(u32);
-  dec.global_bytes_written = st.count * sizeof(u16);
-  dec.thread_ops = st.count * (encoding_ == Encoding::Huffman ? 40 : 8);
-  dec.shared_transactions = st.count * (encoding_ == Encoding::Huffman ? 5 : 0);
-  r.decompression_costs.push_back(dec);
+  // (decode reuses the serialized lengths).  The Huffman tail is the
+  // segment-parallel gap-array decode the stream now carries offsets for.
+  if (encoding_ == Encoding::Huffman) {
+    r.decompression_costs.push_back(huffman_gap_decode_cost(
+        st.count, huff.size(),
+        huffman_gap_bytes(st.count, kHuffDefaultChunk, kHuffDefaultSegment)));
+  } else {
+    CostSheet dec;
+    dec.name = "rle-decode";
+    dec.kernel_launches = 2;
+    dec.global_bytes_read = huff.size() + st.count * sizeof(u32);
+    dec.global_bytes_written = st.count * sizeof(u16);
+    dec.thread_ops = st.count * 8;
+    r.decompression_costs.push_back(dec);
+  }
   auto inv = fz_decompression_costs(st, v1);
   r.decompression_costs.push_back(inv.back());  // inverse pred-quant
   r.decompression_costs.push_back(outlier_cost(q.outliers.size()));

@@ -40,6 +40,17 @@ constexpr double kMarkOpsPerBlock = 10.0;
 constexpr double kScanOpsPerBlock = 6.0;
 constexpr double kCompactOpsPerBlock = 8.0;
 
+// Gap-array Huffman decode: with the K-bit lookup table one shared-memory
+// access resolves a whole code (two for codes past the primary width), so
+// a symbol costs ~8 ops — peek, table hit, length extract, bit-cursor
+// advance — versus the ~40 of the bit-at-a-time canonical walk the old
+// chunk-serial estimate charged.
+constexpr double kHuffGapDecodeOpsPerSym = 8.0;
+constexpr double kHuffGapDecodeSmemTxPerSym = 2.0;
+// Per-segment setup: map the segment to its chunk, load its gap offset,
+// and align the bit cursor before the first symbol.
+constexpr double kHuffGapSegmentSetupOps = 24.0;
+
 }  // namespace
 
 std::vector<CostSheet> fz_compression_costs(const FzStats& st,
@@ -175,6 +186,27 @@ u64 fz_fusion_traffic_saved(const FzStats& st) {
   const size_t words = round_up(st.count, kTileBytes / sizeof(u16)) / 2;
   return static_cast<u64>(st.count) * 2 +
          static_cast<u64>(words) * sizeof(u32);
+}
+
+CostSheet huffman_gap_decode_cost(size_t count, size_t encoded_bytes,
+                                  size_t gap_bytes) {
+  CostSheet c;
+  c.name = "huffman-decode-gap";
+  c.kernel_launches = 1;
+  // The whole stream is read once (the gap array is part of it — that is
+  // the storage the format spends); decoded symbols are written once.
+  c.global_bytes_read = encoded_bytes;
+  c.global_bytes_written = static_cast<u64>(count) * sizeof(u16);
+  // One thread per segment: the segment count is recoverable from the gap
+  // metadata (one u32 per segment after each chunk's first).
+  const u64 segments = gap_bytes / sizeof(u32) + 1;
+  c.thread_ops = static_cast<u64>(static_cast<double>(count) *
+                                      kHuffGapDecodeOpsPerSym +
+                                  static_cast<double>(segments) *
+                                      kHuffGapSegmentSetupOps);
+  c.shared_transactions = static_cast<u64>(static_cast<double>(count) *
+                                           kHuffGapDecodeSmemTxPerSym);
+  return c;
 }
 
 CostSheet fz_fully_fused_cost(const FzStats& st) {

@@ -48,6 +48,18 @@ u64 fz_halo_recompute_elems(Dims dims, size_t strips);
 cudasim::CostSheet fz_fused_parallel_cost(const FzStats& st, Dims dims,
                                           size_t strips);
 
+/// Modeled cost of the segment-parallel gap-array Huffman decode
+/// (substrate/huffman.cpp, sim_huffman_decode_gap) — the
+/// codebook_build_serial_ns sibling on the decode side.  `encoded_bytes`
+/// is the whole stream including the gap array; `gap_bytes` (see
+/// huffman_gap_bytes) is the slice of it that is pure parallelism
+/// metadata, priced as per-segment launch/setup work on top of the
+/// table-driven per-symbol decode.  Replaces the hand-tuned 40-ops/symbol
+/// bit-serial estimate the cusz baseline used before the gap decode
+/// existed.
+cudasim::CostSheet huffman_gap_decode_cost(size_t count, size_t encoded_bytes,
+                                           size_t gap_bytes);
+
 /// Projected cost of the paper's future work (§6, item 1): "fusing all GPU
 /// kernels into one".  A single persistent kernel keeps the quantization
 /// codes and the shuffled tile in shared memory and resolves the block

@@ -409,13 +409,17 @@ CostSheet sim_compact_blocks(std::span<const u32> shuffled,
 
 CostSheet sim_huffman_encode(std::span<const u16> symbols,
                              const HuffmanCodebook& book, size_t chunk_size,
-                             std::vector<u8>& encoded_out) {
+                             std::vector<u8>& encoded_out,
+                             size_t segment_size) {
   FZ_REQUIRE(chunk_size > 0, "sim: chunk size must be positive");
   const size_t num_chunks = div_ceil(symbols.size(), chunk_size);
 
   // Kernel 1: each thread encodes one chunk into its private (worst-case
-  // sized) buffer and records the produced byte count.
+  // sized) buffer, records the produced byte count, and — for free, since
+  // the encoder always knows its bit position — the gap array of segment
+  // start offsets that unlocks segment-parallel decode.
   std::vector<std::vector<u8>> payloads(num_chunks);
+  std::vector<std::vector<u32>> gaps(num_chunks);
   std::vector<u32> sizes(num_chunks, 0);
   LaunchConfig cfg;
   cfg.name = "huffman-encode-coarse";
@@ -432,6 +436,9 @@ CostSheet sim_huffman_encode(std::span<const u16> symbols,
     int nbits = 0;
     std::vector<u8>& buf = payloads[c];
     for (size_t i = begin; i < end; ++i) {
+      if (segment_size != 0 && i != begin && (i - begin) % segment_size == 0)
+        gaps[c].push_back(static_cast<u32>(buf.size() * 8 +
+                                           static_cast<size_t>(nbits)));
       const u16 s = t.gload(symbols, i);
       const int len = book.lengths[s];
       const u64 code = book.codes[s];
@@ -447,7 +454,7 @@ CostSheet sim_huffman_encode(std::span<const u16> symbols,
     }
     if (nbits != 0) buf.push_back(static_cast<u8>(acc << (8 - nbits)));
     sizes[c] = static_cast<u32>(buf.size());
-    t.count_global_write(buf.size());
+    t.count_global_write(buf.size() + gaps[c].size() * sizeof(u32));
   });
 
   // Prefix sum of chunk sizes gives the compaction offsets (same global-
@@ -455,13 +462,24 @@ CostSheet sim_huffman_encode(std::span<const u16> symbols,
   std::vector<u32> offsets(num_chunks);
   total += scan_exclusive_device_model(sizes, offsets);
 
-  // Assemble the exact huffman_encode stream layout.
+  // Assemble the exact huffman_encode stream layout (either version).
   encoded_out.clear();
   ByteWriter w(encoded_out);
-  w.put<u32>(static_cast<u32>(num_chunks));
-  w.put<u32>(static_cast<u32>(chunk_size));
-  w.put<u64>(symbols.size());
-  for (const u32 sz : sizes) w.put<u32>(sz);
+  if (segment_size != 0) {
+    w.put<u32>(kHuffGapMagic);
+    w.put<u32>(static_cast<u32>(num_chunks));
+    w.put<u32>(static_cast<u32>(chunk_size));
+    w.put<u32>(static_cast<u32>(segment_size));
+    w.put<u64>(symbols.size());
+    for (const u32 sz : sizes) w.put<u32>(sz);
+    for (const auto& g : gaps)
+      for (const u32 bit : g) w.put<u32>(bit);
+  } else {
+    w.put<u32>(static_cast<u32>(num_chunks));
+    w.put<u32>(static_cast<u32>(chunk_size));
+    w.put<u64>(symbols.size());
+    for (const u32 sz : sizes) w.put<u32>(sz);
+  }
   for (const auto& p : payloads) w.put_bytes(p);
   total.name = "huffman-encode-coarse";
   return total;
@@ -469,61 +487,33 @@ CostSheet sim_huffman_encode(std::span<const u16> symbols,
 
 CostSheet sim_huffman_decode(ByteSpan encoded, const HuffmanCodebook& book,
                              std::vector<u16>& symbols_out) {
-  // Parse the chunked layout host-side (it is part of the stream format).
-  ByteReader r(encoded);
-  const u32 num_chunks = r.get<u32>();
-  const u32 chunk_size = r.get<u32>();
-  const u64 count = r.get<u64>();
-  FZ_FORMAT_REQUIRE(chunk_size > 0 &&
-                        num_chunks == div_ceil(count, chunk_size),
-                    "sim: bad huffman chunk layout");
-  std::vector<u32> sizes(num_chunks);
-  for (auto& s : sizes) s = r.get<u32>();
-  std::vector<size_t> offsets(num_chunks + 1, 0);
-  for (size_t c = 0; c < num_chunks; ++c)
-    offsets[c + 1] = offsets[c] + sizes[c];
-  const ByteSpan payload = r.get_bytes(offsets.back());
-  FZ_FORMAT_REQUIRE(count <= payload.size() * 8, "sim: count exceeds payload");
+  // Parse the chunked layout host-side (it is part of the stream format),
+  // through the same validated parser the host decoder uses.
+  const HuffmanLayout lay = parse_huffman_layout(encoded);
+  FZ_FORMAT_REQUIRE(lay.count <= lay.payload.size() * 8,
+                    "sim: count exceeds payload");
 
-  // Canonical decode tables, as on device constant memory.
-  const int maxlen = book.max_length();
-  std::vector<u32> sorted_syms;
-  for (size_t s = 0; s < book.num_symbols(); ++s)
-    if (book.lengths[s] != 0) sorted_syms.push_back(static_cast<u32>(s));
-  std::sort(sorted_syms.begin(), sorted_syms.end(), [&](u32 a, u32 b) {
-    return book.lengths[a] != book.lengths[b] ? book.lengths[a] < book.lengths[b]
-                                              : a < b;
-  });
-  std::vector<u32> count_per_len(static_cast<size_t>(maxlen) + 1, 0);
-  for (const u32 s : sorted_syms) ++count_per_len[book.lengths[s]];
-  std::vector<u64> first_code(static_cast<size_t>(maxlen) + 1, 0);
-  std::vector<u32> first_index(static_cast<size_t>(maxlen) + 1, 0);
-  {
-    u64 code = 0;
-    u32 index = 0;
-    for (int len = 1; len <= maxlen; ++len) {
-      first_code[static_cast<size_t>(len)] = code;
-      first_index[static_cast<size_t>(len)] = index;
-      code = (code + count_per_len[static_cast<size_t>(len)]) << 1;
-      index += count_per_len[static_cast<size_t>(len)];
-    }
-  }
+  // Canonical decode tables, as on device constant memory — the shared
+  // build also rejects hostile length tables before any kernel runs.
+  const HuffmanDecodeTables tb = build_decode_tables(book);
+  const int maxlen = tb.max_length;
+  FZ_FORMAT_REQUIRE(maxlen > 0 || lay.count == 0, "sim: empty codebook");
 
-  symbols_out.assign(count, 0);
+  symbols_out.assign(lay.count, 0);
   LaunchConfig cfg;
   cfg.name = "huffman-decode-chunked";
-  cfg.grid = Dim3{static_cast<u32>(div_ceil(num_chunks, 64))};
+  cfg.grid = Dim3{static_cast<u32>(div_ceil(lay.num_chunks, 64))};
   cfg.block = Dim3{64};
   CostSheet cost = cudasim::launch(cfg, [&](ThreadCtx& t) {
     const size_t c = static_cast<size_t>(t.block_idx.x) * 64 + t.thread_idx.x;
-    if (c >= num_chunks) return;
+    if (c >= lay.num_chunks) return;
     // Bounds-checked view of this chunk's payload: a decode overrunning
     // its chunk is a GlobalOutOfBounds finding, not silent bleed into the
     // next chunk.
-    const ByteSpan chunk = payload.subspan(offsets[c], sizes[c]);
+    const ByteSpan chunk = lay.payload.subspan(lay.offsets[c], lay.sizes[c]);
     size_t bitpos = 0;
-    const size_t begin = static_cast<size_t>(c) * chunk_size;
-    const size_t end = std::min<size_t>(begin + chunk_size, count);
+    const size_t begin = c * static_cast<size_t>(lay.chunk_size);
+    const size_t end = std::min<size_t>(begin + lay.chunk_size, lay.count);
     for (size_t i = begin; i < end; ++i) {
       u64 code = 0;
       int len = 0;
@@ -533,12 +523,12 @@ CostSheet sim_huffman_decode(ByteSpan encoded, const HuffmanCodebook& book,
         ++bitpos;
         ++len;
         FZ_FORMAT_REQUIRE(len <= maxlen, "sim: invalid Huffman code");
-        const u64 base = first_code[static_cast<size_t>(len)];
-        const u32 n_at_len = count_per_len[static_cast<size_t>(len)];
+        const u64 base = tb.first_code[static_cast<size_t>(len)];
+        const u32 n_at_len = tb.count_per_len[static_cast<size_t>(len)];
         if (n_at_len != 0 && code >= base && code < base + n_at_len) {
-          const u32 idx = first_index[static_cast<size_t>(len)] +
+          const u32 idx = tb.first_index[static_cast<size_t>(len)] +
                           static_cast<u32>(code - base);
-          t.gstore(symbols_out, i, static_cast<u16>(sorted_syms[idx]));
+          t.gstore(symbols_out, i, static_cast<u16>(tb.sorted_syms[idx]));
           break;
         }
         t.count_ops(3);
@@ -546,6 +536,134 @@ CostSheet sim_huffman_decode(ByteSpan encoded, const HuffmanCodebook& book,
     }
   });
   return cost;
+}
+
+CostSheet sim_huffman_decode_gap(ByteSpan encoded, const HuffmanCodebook& book,
+                                 std::vector<u16>& symbols_out) {
+  const HuffmanLayout lay = parse_huffman_layout(encoded);
+  FZ_FORMAT_REQUIRE(lay.count <= lay.payload.size() * 8,
+                    "sim: count exceeds payload");
+  const HuffmanDecodeTables tb = build_decode_tables(book);
+  FZ_FORMAT_REQUIRE(tb.max_length > 0 || lay.count == 0, "sim: empty codebook");
+
+  symbols_out.assign(lay.count, 0);
+  const size_t nseg = lay.total_segments();
+  if (nseg == 0) {
+    CostSheet empty;
+    empty.name = "huffman-decode-gap";
+    return empty;
+  }
+
+  // Host-side segment -> chunk map (device builds this with a trivial
+  // binary search or a scatter; constant-size metadata either way).
+  std::vector<u32> seg_chunk(nseg);
+  for (size_t c = 0; c < lay.num_chunks; ++c) {
+    const size_t base = lay.gap_start[c] + c;
+    std::fill_n(seg_chunk.begin() + static_cast<long>(base),
+                lay.segments_in_chunk(c), static_cast<u32>(c));
+  }
+
+  const bool use_table = tb.table_ok;
+  const int K = tb.primary_bits;
+  const size_t psize = tb.primary.size();
+  const std::span<const u32> primary_g(tb.primary);
+  const std::span<const u32> secondary_g(tb.secondary);
+
+  LaunchConfig cfg;
+  cfg.name = "huffman-decode-gap";
+  cfg.grid = Dim3{static_cast<u32>(div_ceil(nseg, 64))};
+  cfg.block = Dim3{64};
+  return cudasim::launch(cfg, [&](ThreadCtx& t) {
+    // Cooperatively stage the primary lookup table into shared memory
+    // (every segment's inner loop hits it once per symbol); the barrier
+    // below is the hazard fzcheck verifies.  All threads participate
+    // before the excess-segment guard so the block-wide sync is uniform.
+    auto sh = t.shared_mem<u32>("huff_primary", std::max<size_t>(psize, 1));
+    if (use_table) {
+      for (size_t i = t.linear_tid(); i < psize; i += 64)
+        sh.st(i, t.gload(primary_g, i));
+    }
+    t.sync_threads();
+
+    const size_t g = static_cast<size_t>(t.block_idx.x) * 64 + t.thread_idx.x;
+    if (g >= nseg) return;
+    const size_t c = seg_chunk[g];
+    const size_t s = g - (lay.gap_start[c] + c);
+    const size_t chunk_begin = c * static_cast<size_t>(lay.chunk_size);
+    const size_t chunk_end =
+        std::min<size_t>(chunk_begin + lay.chunk_size, lay.count);
+    const size_t seg_size = lay.segment_size == 0 ? chunk_end - chunk_begin
+                                                  : lay.segment_size;
+    const size_t begin = chunk_begin + s * seg_size;
+    const size_t end = std::min(begin + seg_size, chunk_end);
+    const ByteSpan chunk = lay.payload.subspan(lay.offsets[c], lay.sizes[c]);
+    size_t bitpos = s == 0 ? 0 : lay.gaps[lay.gap_start[c] + s - 1];
+
+    if (use_table) {
+      // 4-byte window starting at the current byte: >= 25 valid bits from
+      // any intra-byte phase, enough for the 11-bit primary index and any
+      // in-budget sub-table width (<= 20 bits).  Bytes past the chunk read
+      // as zero, like BitReaderMsb::peek; the position check after each
+      // symbol rejects decodes that ran into the padding.
+      const auto peek_win = [&](int n) -> u32 {
+        const size_t first = bitpos / 8;
+        u64 window = 0;
+        for (size_t b = 0; b < 4; ++b) {
+          const u64 byte =
+              first + b < chunk.size() ? t.gload(chunk, first + b) : 0;
+          window = (window << 8) | byte;
+        }
+        return static_cast<u32>(
+            (window >> (32 - bitpos % 8 - static_cast<size_t>(n))) &
+            ((u64{1} << n) - 1));
+      };
+      for (size_t i = begin; i < end; ++i) {
+        const u32 e = sh.ld(peek_win(K));
+        FZ_FORMAT_REQUIRE(e != HuffmanDecodeTables::kInvalidEntry,
+                          "sim: invalid Huffman code");
+        if ((e & HuffmanDecodeTables::kLongFlag) == 0) {
+          bitpos += e >> HuffmanDecodeTables::kLenShift;
+          t.gstore(symbols_out, i, static_cast<u16>(e & 0xffff));
+        } else {
+          bitpos += static_cast<size_t>(K);
+          const int sub =
+              static_cast<int>(e >> HuffmanDecodeTables::kLenShift) & 0x3f;
+          const u32 e2 =
+              t.gload(secondary_g, (e & 0x00ffffffu) + peek_win(sub));
+          FZ_FORMAT_REQUIRE(e2 != HuffmanDecodeTables::kInvalidEntry,
+                            "sim: invalid Huffman code");
+          bitpos += (e2 >> HuffmanDecodeTables::kLenShift) -
+                    static_cast<size_t>(K);
+          t.gstore(symbols_out, i, static_cast<u16>(e2 & 0xffff));
+        }
+        FZ_FORMAT_REQUIRE(bitpos <= chunk.size() * 8,
+                          "sim: bit stream exhausted");
+        t.count_ops(4);
+      }
+      return;
+    }
+    // Bit-serial fallback for codebooks past the table budget.
+    for (size_t i = begin; i < end; ++i) {
+      u64 code = 0;
+      int len = 0;
+      for (;;) {
+        const u8 byte = t.gload(chunk, bitpos / 8);
+        code = (code << 1) | ((byte >> (7 - bitpos % 8)) & 1u);
+        ++bitpos;
+        ++len;
+        FZ_FORMAT_REQUIRE(len <= tb.max_length, "sim: invalid Huffman code");
+        const u64 base = tb.first_code[static_cast<size_t>(len)];
+        const u32 n_at_len = tb.count_per_len[static_cast<size_t>(len)];
+        if (n_at_len != 0 && code >= base && code < base + n_at_len) {
+          const u32 idx = tb.first_index[static_cast<size_t>(len)] +
+                          static_cast<u32>(code - base);
+          t.gstore(symbols_out, i, static_cast<u16>(tb.sorted_syms[idx]));
+          break;
+        }
+        t.count_ops(3);
+      }
+    }
+  });
 }
 
 CostSheet sim_szx_block_stats(FloatSpan data, std::span<f32> mins,

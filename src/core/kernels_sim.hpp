@@ -93,21 +93,42 @@ cudasim::CostSheet sim_compact_blocks(std::span<const u32> shuffled,
 /// paper reference [47]): ONE THREAD serially encodes one whole chunk of
 /// symbols into its private buffer (the "coarse-grained" design the paper
 /// contrasts with fine-grained alternatives), then the chunk payloads are
-/// compacted by a prefix sum over their byte sizes.  Produces byte-
-/// identical output to fz::huffman_encode for the same codebook and chunk
-/// size, which the tests assert.
+/// compacted by a prefix sum over their byte sizes.  While packing, each
+/// thread also records the gap array — the bit offset of every
+/// segment_size-symbol segment inside its chunk (Rivera et al.'s two-pass
+/// scheme folds into one pass here because the encoder knows the offsets
+/// for free).  Produces byte-identical output to fz::huffman_encode for
+/// the same codebook/chunk/segment sizes (segment_size = 0 emits the
+/// legacy layout), which the tests assert.
 cudasim::CostSheet sim_huffman_encode(std::span<const u16> symbols,
                                       const HuffmanCodebook& book,
                                       size_t chunk_size,
-                                      std::vector<u8>& encoded_out);
+                                      std::vector<u8>& encoded_out,
+                                      size_t segment_size = kHuffDefaultSegment);
 
-/// Chunk-parallel GPU Huffman decoding (Rivera et al., IPDPS'22, paper
-/// reference [48]): the chunked stream layout makes every chunk's bit
-/// offset known up front, so one thread decodes each chunk independently.
-/// Byte-identical output to fz::huffman_decode.
+/// Chunk-parallel GPU Huffman decoding: the chunked stream layout makes
+/// every chunk's bit offset known up front, so one thread decodes each
+/// chunk independently with the bit-serial canonical walk.  Accepts both
+/// stream versions (gap arrays are simply ignored).  Byte-identical output
+/// to fz::huffman_decode.  Kept as the pre-gap reference kernel the
+/// gap-parallel kernel is measured against.
 cudasim::CostSheet sim_huffman_decode(ByteSpan encoded,
                                       const HuffmanCodebook& book,
                                       std::vector<u16>& symbols_out);
+
+/// Segment-parallel gap-array GPU Huffman decoding (Rivera et al.,
+/// IPDPS'22, paper reference [48]): one thread decodes each
+/// segment_size-symbol segment, entering the chunk's bit stream at the
+/// offset the encoder recorded — a single-chunk stream no longer
+/// serializes on one thread.  Codes resolve through the shared
+/// HuffmanDecodeTables K-bit lookup table, cooperatively staged into
+/// shared memory by each block (bit-serial walk when the codebook is too
+/// deep for the table budget).  Legacy streams decode too (one segment
+/// per chunk).  Byte-identical output to fz::huffman_decode; hazard
+/// freedom of the staging barrier is asserted under fzcheck.
+cudasim::CostSheet sim_huffman_decode_gap(ByteSpan encoded,
+                                          const HuffmanCodebook& book,
+                                          std::vector<u16>& symbols_out);
 
 /// cuSZx block-statistics kernel (Yu et al., HPDC'22): per 128-value block,
 /// min and max are computed with warp-shuffle butterfly reductions (the

@@ -78,6 +78,39 @@ void prequant_row_f32fast_scalar(const f32* data, size_t n, double inv,
     out[i] = prequant_one_f32fast(data[i], inv, invf);
 }
 
+// The f64 fast path pays one more rounding than the f32 one: the input is
+// first narrowed to f32 (vf = fl32(v)), then x = fl32(vf * fl32(inv)) — three
+// roundings, so the relative error bound grows to ~3*2^-24 and the margin
+// slope widens to 2^-21 (vs 2^-22), leaving >2.6x slack.  Two extra guards
+// keep the bound honest: a *subnormal* nonzero fl32(v) voids the relative
+// error analysis, so those lanes take the exact path; fl32(v) == 0 with
+// v != 0 stays fast because |v * inv| < 2^-149 * 2^128 = 2^-21 < 0.5 then,
+// so 0 IS the exact llround.  fl32(v) overflowing to inf fails the range
+// test like any large x.  The same kF32FastLimit cap applies (the wider
+// margin just reaches 0.5 earlier, sending more large values to the exact
+// path — a perf matter, never a correctness one).
+constexpr float kF64FastMarginSlope = 0x1p-21f;
+
+inline i64 prequant_one_f64fast(f64 v, double inv, float invf) {
+  const float vf = static_cast<float>(v);
+  const float av = std::fabs(vf);
+  if (av < FLT_MIN && av != 0.0f) return prequant_one(v, inv);
+  const float x = vf * invf;
+  const float ax = std::fabs(x);
+  if (!(ax < kF32FastLimit)) return prequant_one(v, inv);
+  const long r = std::lrintf(x);
+  const float diff = std::fabs(x - static_cast<float>(r));
+  const float margin = ax * kF64FastMarginSlope + 0x1p-24f;
+  if (!(diff < 0.5f - margin)) return prequant_one(v, inv);
+  return r;
+}
+
+void prequant_row_f64fast_scalar(const f64* data, size_t n, double inv,
+                                 float invf, i64* out) {
+  for (size_t i = 0; i < n; ++i)
+    out[i] = prequant_one_f64fast(data[i], inv, invf);
+}
+
 inline u16 clip_encode_one(i64 v, size_t& sat) {
   if (sign_magnitude_saturates(v)) ++sat;
   const i64 clipped = v > kMaxMagnitude16
@@ -271,6 +304,51 @@ __attribute__((target("sse2"))) void prequant_row_f32fast_sse2(
   for (; i < n; ++i) out[i] = prequant_one_f32fast(data[i], inv, invf);
 }
 
+__attribute__((target("sse2"))) void prequant_row_f64fast_sse2(
+    const f64* data, size_t n, double inv, float invf, i64* out) {
+  const __m128 vinvf = _mm_set1_ps(invf);
+  const __m128 abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+  const __m128 limitf = _mm_set1_ps(kF32FastLimit);
+  const __m128 fltmin = _mm_set1_ps(FLT_MIN);
+  const __m128 zero = _mm_setzero_ps();
+  const __m128 half = _mm_set1_ps(0.5f);
+  const __m128 mslope = _mm_set1_ps(kF64FastMarginSlope);
+  const __m128 mfloor = _mm_set1_ps(0x1p-24f);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // cvtpd_ps narrows round-to-nearest-even, exactly fl32(v).
+    const __m128 vf = _mm_movelh_ps(_mm_cvtpd_ps(_mm_loadu_pd(data + i)),
+                                    _mm_cvtpd_ps(_mm_loadu_pd(data + i + 2)));
+    const __m128 av = _mm_and_ps(vf, abs_mask);
+    // Lanes where fl32(v) went subnormal-but-nonzero take the exact path.
+    const __m128 sub =
+        _mm_and_ps(_mm_cmplt_ps(av, fltmin), _mm_cmpneq_ps(av, zero));
+    const __m128 x = _mm_mul_ps(vf, vinvf);
+    const __m128 ax = _mm_and_ps(x, abs_mask);
+    if (_mm_movemask_ps(_mm_or_ps(sub, _mm_cmpnlt_ps(ax, limitf))) != 0) {
+      for (size_t k = 0; k < 4; ++k)
+        out[i + k] = prequant_one_f64fast(data[i + k], inv, invf);
+      continue;
+    }
+    const __m128i q = _mm_cvtps_epi32(x);  // nearest-even == lrintf
+    // Same margin test as prequant_one_f64fast, all four lanes at once.
+    const __m128 diff =
+        _mm_and_ps(_mm_sub_ps(x, _mm_cvtepi32_ps(q)), abs_mask);
+    const __m128 margin = _mm_add_ps(_mm_mul_ps(ax, mslope), mfloor);
+    if (_mm_movemask_ps(_mm_cmpnlt_ps(diff, _mm_sub_ps(half, margin))) != 0) {
+      for (size_t k = 0; k < 4; ++k)
+        out[i + k] = prequant_one_f64fast(data[i + k], inv, invf);
+      continue;
+    }
+    const __m128i sign = _mm_srai_epi32(q, 31);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_unpacklo_epi32(q, sign));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 2),
+                     _mm_unpackhi_epi32(q, sign));
+  }
+  for (; i < n; ++i) out[i] = prequant_one_f64fast(data[i], inv, invf);
+}
+
 // Vectorized Hacker's Delight swap network: the scalar loop in
 // transpose_bit_matrix_32 over a[32], four words per XMM register.  The
 // j=16/8/4 stages pair whole registers; j=2/1 pair lanes within a register
@@ -428,6 +506,55 @@ __attribute__((target("avx2"))) void prequant_row_f32fast_avx2(
         _mm256_cvtepi32_epi64(_mm256_extracti128_si256(q, 1)));
   }
   for (; i < n; ++i) out[i] = prequant_one_f32fast(data[i], inv, invf);
+}
+
+__attribute__((target("avx2"))) void prequant_row_f64fast_avx2(
+    const f64* data, size_t n, double inv, float invf, i64* out) {
+  const __m256 vinvf = _mm256_set1_ps(invf);
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 limitf = _mm256_set1_ps(kF32FastLimit);
+  const __m256 fltmin = _mm256_set1_ps(FLT_MIN);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 mslope = _mm256_set1_ps(kF64FastMarginSlope);
+  const __m256 mfloor = _mm256_set1_ps(0x1p-24f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Two 4-wide narrowing converts (round-to-nearest-even == fl32).
+    const __m256 vf = _mm256_insertf128_ps(
+        _mm256_castps128_ps256(_mm256_cvtpd_ps(_mm256_loadu_pd(data + i))),
+        _mm256_cvtpd_ps(_mm256_loadu_pd(data + i + 4)), 1);
+    const __m256 av = _mm256_and_ps(vf, abs_mask);
+    const __m256 sub =
+        _mm256_and_ps(_mm256_cmp_ps(av, fltmin, _CMP_LT_OQ),
+                      _mm256_cmp_ps(av, zero, _CMP_NEQ_OQ));
+    const __m256 x = _mm256_mul_ps(vf, vinvf);
+    const __m256 ax = _mm256_and_ps(x, abs_mask);
+    if (_mm256_movemask_ps(_mm256_or_ps(
+            sub, _mm256_cmp_ps(ax, limitf, _CMP_NLT_UQ))) != 0) {
+      for (size_t k = 0; k < 8; ++k)
+        out[i + k] = prequant_one_f64fast(data[i + k], inv, invf);
+      continue;
+    }
+    const __m256i q = _mm256_cvtps_epi32(x);  // nearest-even == lrintf
+    // Same margin test as prequant_one_f64fast, eight lanes at once.
+    const __m256 diff =
+        _mm256_and_ps(_mm256_sub_ps(x, _mm256_cvtepi32_ps(q)), abs_mask);
+    const __m256 margin = _mm256_add_ps(_mm256_mul_ps(ax, mslope), mfloor);
+    if (_mm256_movemask_ps(_mm256_cmp_ps(diff, _mm256_sub_ps(half, margin),
+                                         _CMP_NLT_UQ)) != 0) {
+      for (size_t k = 0; k < 8; ++k)
+        out[i + k] = prequant_one_f64fast(data[i + k], inv, invf);
+      continue;
+    }
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(q)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i + 4),
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(q, 1)));
+  }
+  for (; i < n; ++i) out[i] = prequant_one_f64fast(data[i], inv, invf);
 }
 
 // Encodes four i64 residuals to sign-magnitude u16 codes (in the low 64
@@ -638,6 +765,7 @@ struct KernelOps {
   void (*prequant_f32)(const f32*, size_t, double, i64*);
   void (*prequant_f64)(const f64*, size_t, double, i64*);
   void (*prequant_f32fast)(const f32*, size_t, double, float, i64*);
+  void (*prequant_f64fast)(const f64*, size_t, double, float, i64*);
   size_t (*encode)(const i64*, size_t, u16*);
   void (*transpose)(const u32*, u32*, size_t);
   void (*mark)(const u32*, size_t, u8*, u8*);
@@ -650,7 +778,8 @@ struct KernelOps {
 
 constexpr KernelOps kScalarOps = {
     prequant_row_scalar<f32>, prequant_row_scalar<f64>,
-    prequant_row_f32fast_scalar, encode_row_scalar,
+    prequant_row_f32fast_scalar, prequant_row_f64fast_scalar,
+    encode_row_scalar,
     transpose_unit_scalar, mark_rows_scalar,
     delta1_encode_scalar, delta2_encode_scalar, delta3_encode_scalar,
 };
@@ -660,7 +789,8 @@ KernelOps ops_for(SimdLevel level) {
   switch (level) {
     case SimdLevel::AVX2:
       return {prequant_row_f32_avx2, prequant_row_f64_avx2,
-              prequant_row_f32fast_avx2, encode_row_avx2,
+              prequant_row_f32fast_avx2, prequant_row_f64fast_avx2,
+              encode_row_avx2,
               transpose_unit_avx2, mark_rows_avx2,
               delta1_encode_avx2, delta2_encode_avx2, delta3_encode_avx2};
     case SimdLevel::SSE2:
@@ -668,7 +798,8 @@ KernelOps ops_for(SimdLevel level) {
       // or blend below AVX2); it and the fused delta+encode rows stay
       // scalar at this tier.
       return {prequant_row_f32_sse2, prequant_row_f64_sse2,
-              prequant_row_f32fast_sse2, encode_row_scalar,
+              prequant_row_f32fast_sse2, prequant_row_f64fast_sse2,
+              encode_row_scalar,
               transpose_unit_sse2, mark_rows_scalar,
               delta1_encode_scalar, delta2_encode_scalar,
               delta3_encode_scalar};
@@ -807,7 +938,10 @@ FusedTileResult fused_impl(std::span<const T> data, Dims dims, double abs_eb,
       else
         ops.prequant_f32(src, n, inv, dst);
     } else {
-      ops.prequant_f64(src, n, inv, dst);
+      if (fast)
+        ops.prequant_f64fast(src, n, inv, invf, dst);
+      else
+        ops.prequant_f64(src, n, inv, dst);
     }
   };
 
@@ -962,7 +1096,10 @@ void run_fused_strip(std::span<const T> data, Dims dims, double inv,
       else
         ops.prequant_f32(src, n, inv, dst);
     } else {
-      ops.prequant_f64(src, n, inv, dst);
+      if (fast)
+        ops.prequant_f64fast(src, n, inv, invf, dst);
+      else
+        ops.prequant_f64(src, n, inv, dst);
     }
   };
 
@@ -1337,6 +1474,26 @@ void prequantize_f32fast(FloatSpan data, double eb, std::span<i64> out,
   }
   parallel_chunks(data.size(), size_t{1} << 15, [&](size_t b, size_t e) {
     ops.prequant_f32fast(data.data() + b, e - b, inv, invf, out.data() + b);
+  });
+}
+
+void prequantize_f64fast(std::span<const f64> data, double eb,
+                         std::span<i64> out, SimdLevel level) {
+  FZ_REQUIRE(eb > 0, "error bound must be positive");
+  FZ_REQUIRE(data.size() == out.size(), "prequantize: size mismatch");
+  const double inv = 1.0 / (2.0 * eb);
+  const float invf = static_cast<float>(inv);
+  const KernelOps ops = ops_for(level);
+  if (!f32_fast_ok(inv)) {
+    // Same gate as the f32 fast path: a subnormal/zero/infinite fl32(inv)
+    // voids the margin analysis, so every element takes the exact kernel.
+    parallel_chunks(data.size(), size_t{1} << 15, [&](size_t b, size_t e) {
+      ops.prequant_f64(data.data() + b, e - b, inv, out.data() + b);
+    });
+    return;
+  }
+  parallel_chunks(data.size(), size_t{1} << 15, [&](size_t b, size_t e) {
+    ops.prequant_f64fast(data.data() + b, e - b, inv, invf, out.data() + b);
   });
 }
 

@@ -53,6 +53,17 @@ void prequantize_simd(std::span<const f64> data, double eb, std::span<i64> out,
 void prequantize_f32fast(FloatSpan data, double eb, std::span<i64> out,
                          SimdLevel level);
 
+/// The f64 sibling of prequantize_f32fast: narrow the input to f32 once,
+/// then the same float-multiply + lrintf hot loop — still *bit-identical*
+/// to prequantize at every level.  The extra narrowing rounding widens the
+/// margin slope to 2^-21 (three roundings instead of two), and any value
+/// whose f32 image is subnormal-but-nonzero is routed to the exact double
+/// kernel (a value that narrows to exactly 0 stays fast: its scaled
+/// magnitude is provably below 1/2, so 0 is the exact code).  Pinned by
+/// the adversarial sweeps in tests/test_simd.cpp.
+void prequantize_f64fast(std::span<const f64> data, double eb,
+                         std::span<i64> out, SimdLevel level);
+
 /// Vectorized V2 residual encode (sign-magnitude, saturating); returns the
 /// saturation count.  Bit-identical to quant_encode_v2.
 size_t quant_encode_v2_simd(std::span<const i64> deltas, std::span<u16> codes,
@@ -95,7 +106,10 @@ size_t fused_plane_scratch_elems(Dims dims);
 /// (one per 16-byte block) and `bit_flags` (packed) — byte-for-byte, without
 /// ever materializing the i64[count] pre-quant array.  `row_scratch` /
 /// `plane_scratch` must hold fused_*_scratch_elems(dims) elements (contents
-/// need not be initialized).  V2 quantization only.
+/// need not be initialized).  V2 quantization only.  `f32_fast` opts into
+/// the margin-tested fast-quant row for the overload's dtype (the f64
+/// overload routes through the prequantize_f64fast kernel); output is
+/// bit-identical either way.
 FusedTileResult fused_quant_shuffle_mark(FloatSpan data, Dims dims,
                                          double abs_eb, bool f32_fast,
                                          std::span<u32> shuffled,

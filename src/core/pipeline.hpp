@@ -98,6 +98,14 @@ struct FzParams {
   /// (the bound still holds up to f32 representation precision), which is
   /// why this stays opt-in.
   bool f32_fast_quant = false;
+  /// f64 inputs only: the same margin-tested fast-quant scheme, narrowing
+  /// the input to f32 before the float multiply + lrintf.  The extra
+  /// narrowing rounding widens the margin, and any value whose f32 image
+  /// is subnormal-but-nonzero takes the exact path, so compressed streams
+  /// stay byte-identical to the default path.  Reconstruction is unchanged
+  /// (exact double arithmetic), so unlike f32_fast_quant this flag never
+  /// affects decompressed values.
+  bool f64_fast_quant = false;
   /// Observability sink (src/telemetry/): when set, every stage, chunk, and
   /// pool interaction records spans/counters into it.  The sink must be
   /// thread-safe (fz::telemetry::Sink is); it must outlive every codec that

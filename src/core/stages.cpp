@@ -48,6 +48,7 @@ void PipelineContext::begin_decompress(BufferPool* p,
   // stream-derived fields (quant, eb, ...) are filled by ParseHeaderStage.
   params.simd = run_params.simd;
   params.f32_fast_quant = run_params.f32_fast_quant;
+  params.f64_fast_quant = run_params.f64_fast_quant;
   dims = {};
   count = n;
   dtype = run_dtype;
@@ -163,7 +164,11 @@ class DualQuantStage final : public Stage {
     ctx.pq = ctx.pool->acquire(ctx.count * sizeof(i64), false);
     const std::span<i64> pq = ctx.pq.as<i64>();
     if (ctx.dtype == sizeof(f64)) {
-      prequantize_simd(source<f64>(ctx), ctx.abs_eb, pq, level);
+      if (ctx.params.f64_fast_quant) {
+        prequantize_f64fast(source<f64>(ctx), ctx.abs_eb, pq, level);
+      } else {
+        prequantize_simd(source<f64>(ctx), ctx.abs_eb, pq, level);
+      }
     } else if (ctx.params.f32_fast_quant) {
       prequantize_f32fast(source<f32>(ctx), ctx.abs_eb, pq, level);
     } else {
@@ -249,7 +254,7 @@ class FusedQuantShuffleMarkStage final : public Stage {
       }
       if (ctx.dtype == sizeof(f64)) {
         r = fused_quant_shuffle_mark(
-            source<f64>(ctx), ctx.dims, ctx.abs_eb, false,
+            source<f64>(ctx), ctx.dims, ctx.abs_eb, ctx.params.f64_fast_quant,
             ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
             ctx.bit_flags.as<u8>(), ctx.row_scratch.as<i64>(), plane, level);
       } else {
@@ -267,7 +272,7 @@ class FusedQuantShuffleMarkStage final : public Stage {
           ctx.pool->acquire(plan.scratch_elems * sizeof(i64), false);
       if (ctx.dtype == sizeof(f64)) {
         r = fused_quant_shuffle_mark_parallel(
-            source<f64>(ctx), ctx.dims, ctx.abs_eb, false,
+            source<f64>(ctx), ctx.dims, ctx.abs_eb, ctx.params.f64_fast_quant,
             ctx.shuffled.as<u32>(), ctx.byte_flags.as<u8>(),
             ctx.bit_flags.as<u8>(), ctx.row_scratch.as<i64>(), plan, level,
             ctx.sink);

@@ -48,27 +48,107 @@ class BitWriterMsb {
   int nbits_ = 0;
 };
 
+/// MSB-first bit reader with a buffered multi-bit peek/consume surface.
+/// `peek(n)` exposes the next n bits without advancing (zero-padded past the
+/// end of the stream, so a lookup-table decode can always index with a full
+/// window), and `consume(n)` advances with the same exhaustion check the
+/// bit-at-a-time reader enforced — a code resolved against padding still
+/// fails with FormatError the moment it is consumed past the real data.
 class BitReaderMsb {
  public:
+  /// Widest peek/consume: the 64-bit refill buffer always holds >= 57 valid
+  /// bits after refill (it tops up in whole bytes).
+  static constexpr int kMaxPeek = 57;
+
   explicit BitReaderMsb(ByteSpan data) : data_(data) {}
+  /// Start reading at an arbitrary bit offset (gap-array segment decode).
+  /// `start_bit` beyond the stream is a FormatError: segment offsets come
+  /// from untrusted headers.
+  BitReaderMsb(ByteSpan data, size_t start_bit) : data_(data) {
+    FZ_FORMAT_REQUIRE(start_bit <= data_.size() * 8, "bad bit offset");
+    pos_ = start_bit;
+    fill_byte_ = start_bit / 8;
+    const int drop = static_cast<int>(start_bit % 8);
+    if (drop != 0) {
+      refill();
+      buf_ <<= drop;
+      buf_bits_ -= drop;
+    }
+  }
+
+  /// Next `n` (0..kMaxPeek) bits, MSB-first, in the low bits of the result;
+  /// bits past the end of the stream read as zero.  Does not advance.
+  u64 peek(int n) {
+    FZ_REQUIRE(n >= 0 && n <= kMaxPeek, "bad peek width");
+    if (buf_bits_ < n) refill();
+    return n == 0 ? 0 : buf_ >> (64 - n);
+  }
+  /// Advance by `n` (0..kMaxPeek) bits; FormatError past the end.
+  void consume(int n) {
+    FZ_REQUIRE(n >= 0 && n <= kMaxPeek, "bad consume width");
+    FZ_FORMAT_REQUIRE(pos_ + static_cast<size_t>(n) <= data_.size() * 8,
+                      "bit stream exhausted");
+    if (buf_bits_ < n) refill();
+    pos_ += static_cast<size_t>(n);
+    buf_ <<= n;
+    buf_bits_ -= n;
+  }
+
   bool get_bit() {
-    FZ_FORMAT_REQUIRE(bit_pos_ < data_.size() * 8, "bit stream exhausted");
-    const u8 byte = data_[bit_pos_ / 8];
-    const bool b = (byte >> (7 - bit_pos_ % 8)) & 1;
-    ++bit_pos_;
+    const bool b = peek(1) != 0;
+    consume(1);
     return b;
   }
   u64 get_bits(int n) {
+    FZ_REQUIRE(n >= 0 && n <= 64, "bad bit count");
     u64 v = 0;
-    for (int i = 0; i < n; ++i) v = (v << 1) | u64{get_bit()};
+    while (n > kMaxPeek) {
+      v = (v << kMaxPeek) | peek(kMaxPeek);
+      consume(kMaxPeek);
+      n -= kMaxPeek;
+    }
+    if (n != 0) {
+      v = (v << n) | peek(n);
+      consume(n);
+    }
     return v;
   }
-  size_t bit_pos() const { return bit_pos_; }
-  size_t bits_remaining() const { return data_.size() * 8 - bit_pos_; }
+  size_t bit_pos() const { return pos_; }
+  size_t bits_remaining() const { return data_.size() * 8 - pos_; }
 
  private:
+  void refill() {
+    // MSB-aligned: the next unread bit is bit 63 of buf_.  Bytes past the
+    // end refill as zero (peek padding); consume()'s position check is what
+    // rejects reads into the padding.
+    if (fill_byte_ + 8 <= data_.size()) {
+      // Fast path: one unaligned 64-bit load per refill instead of a
+      // byte-at-a-time loop (this sits under every peek of the table-driven
+      // Huffman decode).  The shift-OR assembly is recognized as
+      // load+byteswap by the usual compilers.
+      u64 w = 0;
+      for (int k = 0; k < 8; ++k)
+        w = (w << 8) | u64{data_[fill_byte_ + static_cast<size_t>(k)]};
+      const int added = (64 - buf_bits_) >> 3;  // whole bytes that fit
+      const int bits = added * 8;               // 8..64
+      buf_ |= ((w >> (64 - bits)) << (64 - bits)) >> buf_bits_;
+      fill_byte_ += static_cast<size_t>(added);
+      buf_bits_ += bits;
+      return;
+    }
+    while (buf_bits_ <= 56) {
+      const u64 b = fill_byte_ < data_.size() ? data_[fill_byte_] : 0;
+      buf_ |= b << (56 - buf_bits_);
+      ++fill_byte_;
+      buf_bits_ += 8;
+    }
+  }
+
   ByteSpan data_;
-  size_t bit_pos_ = 0;
+  u64 buf_ = 0;
+  int buf_bits_ = 0;
+  size_t fill_byte_ = 0;  ///< next byte to load into the buffer
+  size_t pos_ = 0;        ///< bits consumed so far
 };
 
 /// LSB-first bit writer over 64-bit words (ZFP-style stream).

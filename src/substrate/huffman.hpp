@@ -3,9 +3,21 @@
 // This is the entropy back end of the cuSZ/SZ-OMP baselines.  Encoding is
 // chunked ("coarse-grained" in cuSZ terminology): symbols are split into
 // fixed-size chunks, each encoded independently and byte-aligned, so chunks
-// can be decoded in parallel.  The codebook build is the inherently serial
-// phase the FZ-GPU paper identifies as cuSZ's bottleneck; its modeled device
-// cost is exposed via codebook_build_serial_ns().
+// can be decoded in parallel.  On top of that, the encoder records a *gap
+// array* (Rivera et al., "Optimizing Huffman Decoding for Error-Bounded
+// Lossy Compression on GPUs"): the bit offset of every segment_size-symbol
+// segment inside each chunk, so decode parallelism is per segment instead
+// of per chunk — a single-chunk stream no longer serializes on one thread.
+// Decoding itself resolves codes through a flat (symbol, length) lookup
+// table indexed by the next K bits (two-level for longer codes), fed by the
+// buffered BitReaderMsb::peek/consume, instead of the bit-at-a-time
+// canonical walk.  Both speedups are format-versioned and byte-identical in
+// output: legacy (no-gap) streams still decode, and every path yields the
+// same symbols.
+//
+// The codebook build is the inherently serial phase the FZ-GPU paper
+// identifies as cuSZ's bottleneck; its modeled device cost is exposed via
+// codebook_build_serial_ns().
 #pragma once
 
 #include <span>
@@ -26,24 +38,136 @@ struct HuffmanCodebook {
 
   /// Build a canonical codebook from symbol frequencies.
   static HuffmanCodebook build(std::span<const u64> histogram);
+
+  /// Rebuild `codes` from `lengths` (canonical order: sorted by length,
+  /// then symbol value).  This is the one shared canonical-assignment
+  /// routine — build() and the stream decoder both call it.  Throws
+  /// FormatError when the length table is not a prefix code (lengths over
+  /// 63 bits, or an over-subscribed Kraft sum — the "decode table
+  /// overflow" case for hostile streams).
+  void rebuild_codes_from_lengths();
 };
 
-/// Chunked encode. Output layout:
+/// Canonical decode tables for a codebook: the bit-serial first_code walk
+/// plus the flat K-bit lookup table (two-level for codes longer than K).
+/// Shared by the host decoder and the cudasim decode kernels so every path
+/// resolves codes identically.
+struct HuffmanDecodeTables {
+  int max_length = 0;
+  /// Symbols in canonical order (length, then value).
+  std::vector<u32> sorted_syms;
+  std::vector<u32> count_per_len;  ///< [0 .. max_length]
+  std::vector<u64> first_code;     ///< [0 .. max_length + 1]
+  std::vector<u32> first_index;    ///< [0 .. max_length + 1]
+
+  // ---- table-driven fast path ----
+  // primary[next primary_bits bits] resolves codes of length <= primary_bits
+  // directly; longer codes chain through `secondary` sub-tables.  Entry
+  // layout: kInvalidEntry = no code with this prefix (FormatError on hit);
+  // short entry = symbol | length << kLenShift; long entry additionally has
+  // kLongFlag set, with the low bits holding the secondary-table offset and
+  // the sub-table width in bits at kLenShift.
+  static constexpr u32 kInvalidEntry = 0xffffffffu;
+  static constexpr u32 kLongFlag = 0x80000000u;
+  static constexpr int kLenShift = 24;
+  static constexpr int kMaxPrimaryBits = 11;
+  /// Budget on total secondary entries: a valid but pathologically deep
+  /// codebook (lengths up to 63 are legal) could otherwise demand
+  /// gigabyte-scale tables from a few header bytes.  Past the budget,
+  /// table_ok stays false and decode falls back to the bit-serial walk —
+  /// correctness never depends on the table.
+  static constexpr size_t kMaxSecondaryEntries = size_t{1} << 20;
+
+  int primary_bits = 0;
+  bool table_ok = false;
+  std::vector<u32> primary;
+  std::vector<u32> secondary;
+};
+
+/// Build decode tables from `book.lengths` (codes are not consulted).
+/// Throws FormatError on an invalid length table, like
+/// rebuild_codes_from_lengths.
+HuffmanDecodeTables build_decode_tables(const HuffmanCodebook& book);
+
+/// Stream-layout constants and the parsed view of an encoded stream,
+/// shared with the cudasim mirror kernels.
+inline constexpr u32 kHuffGapMagic = 0x50414748u;  // "HGAP"
+inline constexpr size_t kHuffDefaultChunk = 4096;
+inline constexpr size_t kHuffDefaultSegment = 1024;
+
+struct HuffmanLayout {
+  u32 num_chunks = 0;
+  u32 chunk_size = 0;
+  u32 segment_size = 0;  ///< 0 = legacy stream (one segment per chunk)
+  u64 count = 0;
+  std::vector<u32> sizes;       ///< payload bytes per chunk
+  std::vector<size_t> offsets;  ///< exclusive prefix sum of sizes (n+1)
+  std::vector<u32> gaps;        ///< per-chunk intra-chunk segment bit offsets
+  std::vector<size_t> gap_start;  ///< first gap index per chunk (n+1)
+  ByteSpan payload;
+
+  /// Segments in chunk c: ceil(symbols_in_chunk / segment_size), or 1 for
+  /// legacy streams.
+  size_t segments_in_chunk(size_t c) const;
+  size_t total_segments() const;
+};
+
+/// Parse and validate the header of a huffman_encode stream (either
+/// version).  FormatError on any inconsistency; the returned spans alias
+/// `encoded`.
+HuffmanLayout parse_huffman_layout(ByteSpan encoded);
+
+struct HuffmanEncodeOptions {
+  size_t chunk_size = kHuffDefaultChunk;
+  /// Symbols per gap-array segment.  0 writes the legacy (v1) layout with
+  /// no gap array — kept for format-compat tests and as the decode
+  /// fallback ablation.
+  size_t segment_size = kHuffDefaultSegment;
+};
+
+struct HuffmanDecodeOptions {
+  /// Worker threads for segment-parallel decode; 0 = one per hardware
+  /// thread.  Every worker count yields identical output.
+  size_t workers = 0;
+  /// Ablation: force the bit-at-a-time canonical walk instead of the
+  /// K-bit lookup table.  Output is identical either way.
+  bool table_fast = true;
+};
+
+/// Chunked encode. Gap (v2) layout:
+///   [u32 kHuffGapMagic][u32 num_chunks][u32 chunk_size][u32 segment_size]
+///   [u64 symbol_count][u32 byte_size per chunk...]
+///   [u32 segment bit offsets: segments_in_chunk(c) - 1 per chunk...]
+///   [chunk payloads, each byte aligned]
+/// Legacy (v1) layout (segment_size = 0; also what pre-gap streams hold):
 ///   [u32 num_chunks][u32 chunk_size][u64 symbol_count]
 ///   [u32 byte_size per chunk...][chunk payloads, each byte aligned]
+/// The payload bytes are identical between the two versions; only the
+/// header differs.
 std::vector<u8> huffman_encode(std::span<const u16> symbols,
                                const HuffmanCodebook& book,
-                               size_t chunk_size = 4096);
+                               const HuffmanEncodeOptions& opts = {});
+/// Back-compat shim: encode with an explicit chunk size and the default
+/// segment size.
+std::vector<u8> huffman_encode(std::span<const u16> symbols,
+                               const HuffmanCodebook& book, size_t chunk_size);
 
-/// Decode `huffman_encode` output. Chunks are decoded independently
-/// (parallelized across threads when OpenMP is enabled).
-std::vector<u16> huffman_decode(ByteSpan encoded, const HuffmanCodebook& book);
+/// Decode `huffman_encode` output (either version).  Segments (chunks, for
+/// legacy streams) are decoded independently in parallel with no
+/// per-symbol synchronization.
+std::vector<u16> huffman_decode(ByteSpan encoded, const HuffmanCodebook& book,
+                                const HuffmanDecodeOptions& opts = {});
 
 /// Self-contained stream: serializes the codebook (as the length table)
 /// ahead of the chunked payload.
 std::vector<u8> huffman_compress(std::span<const u16> symbols, size_t num_bins,
-                                 size_t chunk_size = 4096);
+                                 size_t chunk_size = kHuffDefaultChunk);
 std::vector<u16> huffman_decompress(ByteSpan stream);
+
+/// Gap-array bytes a v2 stream spends on `count` symbols: one u32 per
+/// segment after the first in each chunk, plus the extra header fields.
+/// The decode-speed/format-cost trade is priced in core/costs.*.
+size_t huffman_gap_bytes(size_t count, size_t chunk_size, size_t segment_size);
 
 /// Modeled serial device time (ns) to build a codebook of `num_bins`
 /// symbols on a GPU, cuSZ-style (histogram + serial tree + canonization).

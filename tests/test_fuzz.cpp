@@ -16,6 +16,8 @@
 #include "datasets/generators.hpp"
 #include "metrics/metrics.hpp"
 #include "reader/reader.hpp"
+#include "substrate/bitio.hpp"
+#include "substrate/histogram.hpp"
 #include "substrate/huffman.hpp"
 #include "substrate/lz77.hpp"
 #include "substrate/rle.hpp"
@@ -230,6 +232,90 @@ TEST(Fuzz, HuffmanHostileInputs) {
     bad[rng.below(bad.size())] ^= static_cast<u8>(1u << rng.below(8));
     expect_graceful([&] { huffman_decompress(bad); }, "huffman bitflip");
   }
+}
+
+// ---- gap-array Huffman streams ---------------------------------------------
+//
+// The v2 header hands an attacker three coupled tables (chunk sizes, gap
+// offsets, segment geometry); every inconsistency must die in
+// parse_huffman_layout or a bounds-checked consume — never out-of-bounds.
+
+std::vector<u8> patched_u32(std::vector<u8> s, size_t off, u32 v) {
+  std::memcpy(s.data() + off, &v, sizeof(v));
+  return s;
+}
+
+TEST(Fuzz, HuffmanGapHostileHeaders) {
+  Rng rng(31);
+  std::vector<u16> syms(20000);
+  for (auto& s : syms) s = static_cast<u16>(rng.below(300));
+  const auto hist = histogram<u16>(syms, 512);
+  const auto book = HuffmanCodebook::build(hist);
+  const auto good = huffman_encode(syms, book);
+  ASSERT_EQ(huffman_decode(good, book), syms);
+  const auto attack = [&](std::vector<u8> bad, const std::string& what) {
+    expect_graceful([&] { huffman_decode(bad, book); }, what);
+  };
+  // v2 header layout: magic@0, num_chunks@4, chunk_size@8, segment_size@12,
+  // count@16 (u64), then the chunk-size table.
+  // Chunk table far larger than the stream: must fail the size check
+  // before the table allocation, not allocate 4 GB.
+  EXPECT_THROW(
+      huffman_decode(patched_u32(good, 4, 0x40000000u), book), FormatError);
+  // Zero chunk size / zero segment size on a v2 stream.
+  EXPECT_THROW(huffman_decode(patched_u32(good, 8, 0), book), FormatError);
+  EXPECT_THROW(huffman_decode(patched_u32(good, 12, 0), book), FormatError);
+  // Undersized gap array: segment_size=1 implies ~20k gap words the stream
+  // does not contain.
+  EXPECT_THROW(huffman_decode(patched_u32(good, 12, 1), book), FormatError);
+  // Oversized gap array claim: a huge segment size means fewer gap words
+  // than present, shearing the payload framing.
+  attack(patched_u32(good, 12, 1u << 30), "huffman oversized segments");
+  // Chunk-count / symbol-count mismatch.
+  EXPECT_THROW(
+      huffman_decode(patched_u32(good, 4, 1), book), FormatError);
+  // First chunk claims more payload bytes than the stream holds.
+  EXPECT_THROW(
+      huffman_decode(patched_u32(good, 24, 0x7fffffffu), book), FormatError);
+  // Gap offset beyond the chunk's bit length.
+  const size_t gap0 = 24 + parse_huffman_layout(good).num_chunks * 4;
+  EXPECT_THROW(
+      huffman_decode(patched_u32(good, gap0, 0xffffffffu), book), FormatError);
+  // Truncations through header, gap array and payload.
+  for (size_t keep = 0; keep < good.size(); keep += 101)
+    attack(std::vector<u8>(good.begin(), good.begin() + static_cast<long>(keep)),
+           "huffman gap truncation");
+  // Random bitflips anywhere in the stream.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<u8> bad = good;
+    bad[rng.below(bad.size())] ^= static_cast<u8>(1u << rng.below(8));
+    attack(bad, "huffman gap bitflip");
+  }
+}
+
+TEST(Fuzz, HuffmanRejectsHostileLengthTables) {
+  // huffman_decompress carries the length table in-stream; an
+  // over-subscribed or overlong table must die in the canonical rebuild,
+  // before any decode table is sized from it.
+  const auto craft = [](std::initializer_list<u8> lengths) {
+    std::vector<u8> s;
+    ByteWriter w(s);
+    w.put<u32>(static_cast<u32>(lengths.size()));
+    for (const u8 l : lengths) w.put<u8>(l);
+    w.put<u32>(0);   // v1 encode header: num_chunks
+    w.put<u32>(16);  // chunk_size
+    w.put<u64>(0);   // count
+    return s;
+  };
+  // Kraft sum 2 > 1: four codes of length 1.
+  EXPECT_THROW(huffman_decompress(craft({1, 1, 1, 1})), FormatError);
+  // Length beyond the 63-bit code register.
+  EXPECT_THROW(huffman_decompress(craft({200, 0, 0, 0})), FormatError);
+  // Subtler over-subscription at mixed lengths.
+  EXPECT_THROW(huffman_decompress(craft({1, 2, 2, 2})), FormatError);
+  // A well-formed table through the same path still works.
+  const auto ok = craft({1, 2, 2, 0});
+  EXPECT_TRUE(huffman_decompress(ok).empty());
 }
 
 TEST(Fuzz, LzHostileInputs) {

@@ -120,6 +120,114 @@ TEST(Huffman, ChunkSizeDoesNotChangeContent) {
   }
 }
 
+TEST(HuffmanGap, PayloadBytesIdenticalToLegacyForEverySegmentSize) {
+  // The gap array is pure metadata: the v2 stream's chunk payloads must be
+  // byte-for-byte the legacy payloads, for every (chunk, segment) shape.
+  const auto syms = geometric_symbols(30000, 21, 512);
+  const auto hist = histogram<u16>(syms, 512);
+  const auto book = HuffmanCodebook::build(hist);
+  for (const size_t chunk : {256u, 1024u, 4096u, 65536u}) {
+    const auto legacy =
+        huffman_encode(syms, book, HuffmanEncodeOptions{chunk, 0});
+    const HuffmanLayout ll = parse_huffman_layout(legacy);
+    for (const size_t seg : {64u, 256u, 1024u, 4096u, 100000u}) {
+      const auto gap =
+          huffman_encode(syms, book, HuffmanEncodeOptions{chunk, seg});
+      const HuffmanLayout gl = parse_huffman_layout(gap);
+      ASSERT_EQ(gl.segment_size, seg);
+      ASSERT_TRUE(std::equal(ll.payload.begin(), ll.payload.end(),
+                             gl.payload.begin(), gl.payload.end()))
+          << "chunk=" << chunk << " seg=" << seg;
+      EXPECT_EQ(huffman_decode(gap, book), syms)
+          << "chunk=" << chunk << " seg=" << seg;
+    }
+  }
+}
+
+TEST(HuffmanGap, LegacyStreamStillDecodes) {
+  const auto syms = geometric_symbols(20000, 22, 1024);
+  const auto hist = histogram<u16>(syms, 1024);
+  const auto book = HuffmanCodebook::build(hist);
+  const auto legacy =
+      huffman_encode(syms, book, HuffmanEncodeOptions{4096, 0});
+  const HuffmanLayout lay = parse_huffman_layout(legacy);
+  EXPECT_EQ(lay.segment_size, 0u);
+  EXPECT_TRUE(lay.gaps.empty());
+  EXPECT_EQ(huffman_decode(legacy, book), syms);
+}
+
+TEST(HuffmanGap, TableAndBitSerialPathsAgree) {
+  const auto syms = geometric_symbols(50000, 23, 1024);
+  const auto hist = histogram<u16>(syms, 1024);
+  const auto book = HuffmanCodebook::build(hist);
+  const auto enc = huffman_encode(syms, book);
+  const auto table = huffman_decode(enc, book, {.workers = 1});
+  const auto serial =
+      huffman_decode(enc, book, {.workers = 1, .table_fast = false});
+  EXPECT_EQ(table, syms);
+  EXPECT_EQ(serial, syms);
+}
+
+TEST(HuffmanGap, EveryWorkerCountYieldsIdenticalOutput) {
+  const auto syms = geometric_symbols(40000, 24, 512);
+  const auto hist = histogram<u16>(syms, 512);
+  const auto book = HuffmanCodebook::build(hist);
+  // Small segments so worker counts actually partition many segments.
+  const auto enc = huffman_encode(syms, book, HuffmanEncodeOptions{4096, 128});
+  const auto want = huffman_decode(enc, book, {.workers = 1});
+  ASSERT_EQ(want, syms);
+  for (const size_t w : {2u, 3u, 8u, 0u}) {
+    EXPECT_EQ(huffman_decode(enc, book, {.workers = w}), want)
+        << "workers=" << w;
+  }
+}
+
+TEST(HuffmanGap, SingleChunkStreamDecodesSegmentParallel) {
+  // The motivating case for the gap array: one huge chunk used to decode
+  // on one thread; now it splits into many segments.
+  const auto syms = geometric_symbols(60000, 25, 256);
+  const auto hist = histogram<u16>(syms, 256);
+  const auto book = HuffmanCodebook::build(hist);
+  const auto enc =
+      huffman_encode(syms, book, HuffmanEncodeOptions{1u << 20, 512});
+  const HuffmanLayout lay = parse_huffman_layout(enc);
+  ASSERT_EQ(lay.num_chunks, 1u);
+  EXPECT_GT(lay.total_segments(), 100u);
+  EXPECT_EQ(huffman_decode(enc, book), syms);
+}
+
+TEST(HuffmanGap, GapBytesMatchesStreamOverhead) {
+  const auto syms = geometric_symbols(30000, 26, 512);
+  const auto hist = histogram<u16>(syms, 512);
+  const auto book = HuffmanCodebook::build(hist);
+  const size_t chunk = 4096, seg = 512;
+  const auto legacy = huffman_encode(syms, book, HuffmanEncodeOptions{chunk, 0});
+  const auto gap = huffman_encode(syms, book, HuffmanEncodeOptions{chunk, seg});
+  EXPECT_EQ(gap.size() - legacy.size(),
+            huffman_gap_bytes(syms.size(), chunk, seg));
+}
+
+TEST(HuffmanGap, DeepCodebookFallsBackPastTableBudget) {
+  // A maximally skewed histogram produces a staircase codebook whose
+  // longest codes exceed the two-level table budget handling; whatever path
+  // the decoder picks must still round-trip.
+  std::vector<u64> hist(40, 0);
+  u64 f = 1;
+  for (size_t s = 0; s < hist.size(); ++s) {
+    hist[s] = f;
+    if (f < (u64{1} << 40)) f *= 2;
+  }
+  const auto book = HuffmanCodebook::build(hist);
+  EXPECT_GT(book.max_length(), HuffmanDecodeTables::kMaxPrimaryBits);
+  Rng rng(27);
+  std::vector<u16> syms(20000);
+  for (auto& s : syms)
+    s = static_cast<u16>(hist.size() - 1 - std::min<u64>(rng.below(40), 39));
+  const auto enc = huffman_encode(syms, book);
+  EXPECT_EQ(huffman_decode(enc, book), syms);
+  EXPECT_EQ(huffman_decode(enc, book, {.table_fast = false}), syms);
+}
+
 TEST(Huffman, RejectsCorruptStream) {
   auto syms = geometric_symbols(1000, 10, 64);
   auto stream = huffman_compress(syms, 64);

@@ -406,6 +406,82 @@ TEST(SimHuffman, EncodeDecodeComposeOnSimulatorOnly) {
   EXPECT_EQ(decoded, syms);
 }
 
+TEST(SimHuffman, GapSegmentParallelDecodeMatchesNative) {
+  Rng rng(48);
+  std::vector<u16> syms(15000);
+  for (auto& v : syms)
+    v = static_cast<u16>(
+        std::clamp<i64>(512 + std::llround(rng.normal(0.0, 8.0)), 0, 1023));
+  std::vector<u64> hist(1024, 0);
+  for (const u16 v : syms) ++hist[v];
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+  const std::vector<u8> stream =
+      huffman_encode(syms, book, HuffmanEncodeOptions{2000, 256});
+
+  std::vector<u16> decoded;
+  const auto cost = sim_huffman_decode_gap(stream, book, decoded);
+  EXPECT_EQ(decoded, syms);
+  EXPECT_EQ(decoded, huffman_decode(stream, book));
+  EXPECT_EQ(cost.kernel_launches, 1u);
+  // One thread per segment: more parallel slots than the chunk-grained
+  // kernel has chunks.
+  EXPECT_GT(parse_huffman_layout(stream).total_segments(),
+            parse_huffman_layout(stream).num_chunks);
+}
+
+TEST(SimHuffman, GapDecodeHandlesSingleChunkManySegments) {
+  // The motivating shape: one chunk used to serialize on one thread.
+  Rng rng(49);
+  std::vector<u16> syms(30000);
+  for (auto& v : syms) v = static_cast<u16>(rng.below(200));
+  std::vector<u64> hist(512, 0);
+  for (const u16 v : syms) ++hist[v];
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+  const std::vector<u8> stream =
+      huffman_encode(syms, book, HuffmanEncodeOptions{1u << 20, 512});
+  ASSERT_EQ(parse_huffman_layout(stream).num_chunks, 1u);
+  std::vector<u16> decoded;
+  sim_huffman_decode_gap(stream, book, decoded);
+  EXPECT_EQ(decoded, syms);
+}
+
+TEST(SimHuffman, GapDecodeAcceptsLegacyStreams) {
+  // A pre-gap (v1) stream decodes on the same kernel: one segment per
+  // chunk, no gap array.
+  Rng rng(50);
+  std::vector<u16> syms(9000);
+  for (auto& v : syms) v = static_cast<u16>(rng.below(128));
+  std::vector<u64> hist(128, 0);
+  for (const u16 v : syms) ++hist[v];
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+  const std::vector<u8> legacy =
+      huffman_encode(syms, book, HuffmanEncodeOptions{1500, 0});
+  std::vector<u16> decoded;
+  sim_huffman_decode_gap(legacy, book, decoded);
+  EXPECT_EQ(decoded, syms);
+}
+
+TEST(SimHuffman, GapDecodeDeepCodebookUsesFallbackPath) {
+  // A staircase codebook past the two-level table budget exercises the
+  // in-kernel bit-serial branch.
+  std::vector<u64> hist(40, 0);
+  u64 f = 1;
+  for (size_t s = 0; s < hist.size(); ++s) {
+    hist[s] = f;
+    if (f < (u64{1} << 40)) f *= 2;
+  }
+  const HuffmanCodebook book = HuffmanCodebook::build(hist);
+  ASSERT_FALSE(build_decode_tables(book).table_ok);
+  Rng rng(51);
+  std::vector<u16> syms(8000);
+  for (auto& v : syms) v = static_cast<u16>(39 - std::min<u64>(rng.below(40), 39));
+  const std::vector<u8> stream =
+      huffman_encode(syms, book, HuffmanEncodeOptions{2048, 256});
+  std::vector<u16> decoded;
+  sim_huffman_decode_gap(stream, book, decoded);
+  EXPECT_EQ(decoded, syms);
+}
+
 TEST(SimSzx, BlockStatsMatchScalarReference) {
   Rng rng(46);
   std::vector<f32> data(1000);  // 7 full blocks + 1 partial (104 values)

@@ -376,6 +376,14 @@ TEST(Fzcheck, AllShippingKernelsAreHazardFree) {
   sim_huffman_decode(stream, book, decoded);
   EXPECT_EQ(decoded, syms);
 
+  // segment-parallel gap-array decode (the PR8 scheme): the cooperative
+  // shared staging of the K-bit table must be race- and uninit-free
+  std::vector<u8> gap_stream;
+  sim_huffman_encode(syms, book, 1000, gap_stream, 250);
+  std::vector<u16> gap_decoded;
+  sim_huffman_decode_gap(gap_stream, book, gap_decoded);
+  EXPECT_EQ(gap_decoded, syms);
+
   // cuSZx block stats
   std::vector<f32> mins(div_ceil(field.size(), size_t{128}));
   std::vector<f32> maxs(mins.size());
