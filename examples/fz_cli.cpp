@@ -9,9 +9,19 @@
 //   fz_cli info       <in.fz>                      # incl. the chunk index
 //   fz_cli verify     <orig.f32> <in.fz>           # check the error bound
 //
+// With --socket PATH (a serving fzd daemon, see docs/SERVICE.md) the
+// r-prefixed commands run the same jobs remotely over the wire protocol:
+//   fz_cli --socket /run/fzd.sock rcompress   <in.f32> <out.fz> -d NX [NY [NZ]]
+//   fz_cli --socket /run/fzd.sock rdecompress <in.fz> <out.f32>
+//   fz_cli --socket /run/fzd.sock rinfo       <in.fz>
+//   fz_cli --socket /run/fzd.sock rstats      # scrape the daemon's stats text
+//
 // Any command accepts --trace <out.json>: the whole run is recorded into a
 // telemetry sink and exported as a Chrome trace (open in chrome://tracing
 // or https://ui.perfetto.dev), with a per-stage summary on stderr.
+// `--stats` prints the run's process counters (pool hits, reader chunk
+// cache hits/misses, prefetches) in the same `fz_counter{...}` text format
+// the fzd stats endpoint serves, so local and remote runs are comparable.
 //
 // Examples:
 //   fz_cli compress CLDHGH_1_1800_3600.f32 cldhgh.fz -d 3600 1800 -e 1e-3
@@ -43,9 +53,33 @@ int usage() {
       "  fz_cli info       <in.fz>\n"
       "  fz_cli verify     <orig.f32> <in.fz>\n"
       "  fz_cli selftest\n"
+      "remote commands (need --socket; run on a serving fzd daemon):\n"
+      "  fz_cli rcompress   <in.f32> <out.fz> -d NX [NY [NZ]] [-e REL_EB]\n"
+      "                     [-a ABS_EB] [-t f32|f64]\n"
+      "  fz_cli rdecompress <in.fz> <out.f32>\n"
+      "  fz_cli rinfo       <in.fz>\n"
+      "  fz_cli rstats\n"
       "global flags (before the command):\n"
-      "  --trace <out.json>   write a Chrome trace of the run\n");
+      "  --trace <out.json>   write a Chrome trace of the run\n"
+      "  --stats              print fz_counter{...} process counters\n"
+      "  --socket <path>      fzd daemon socket for the r* commands\n");
   return 2;
+}
+
+/// Socket path from --socket; the r* commands refuse to run without it.
+std::string g_socket;
+
+fz::Client connect_or_die() {
+  if (g_socket.empty()) {
+    std::fprintf(stderr, "error: r* commands need --socket <path>\n");
+    std::exit(2);
+  }
+  return fz::Client(g_socket);
+}
+
+int report_status(const char* what, const Status& s) {
+  std::fprintf(stderr, "error: %s: %s\n", what, s.to_string().c_str());
+  return 1;
 }
 
 bool is_container(ByteSpan bytes) {
@@ -338,6 +372,107 @@ int cmd_verify(int argc, char** argv) {
   return 0;
 }
 
+// --- remote commands: the same jobs, served by a running fzd daemon ------
+
+int cmd_rcompress(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  Dims dims;
+  ErrorBound eb = ErrorBound::relative(1e-3);
+  bool f64_input = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-d") == 0) {
+      std::vector<size_t> d;
+      while (i + 1 < argc && argv[i + 1][0] != '-')
+        d.push_back(static_cast<size_t>(std::atoll(argv[++i])));
+      if (d.empty() || d.size() > 3) return usage();
+      dims = d.size() == 1 ? Dims{d[0]}
+             : d.size() == 2 ? Dims{d[0], d[1]}
+                             : Dims{d[0], d[1], d[2]};
+    } else if (std::strcmp(argv[i], "-e") == 0 && i + 1 < argc) {
+      eb = ErrorBound::relative(std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "-a") == 0 && i + 1 < argc) {
+      eb = ErrorBound::absolute(std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "-t") == 0 && i + 1 < argc) {
+      const std::string t = argv[++i];
+      if (t == "f64") {
+        f64_input = true;
+      } else if (t != "f32") {
+        return usage();
+      }
+    } else {
+      return usage();
+    }
+  }
+  if (dims.count() == 0) return usage();
+
+  Client client = connect_or_die();
+  Response resp;
+  Status s;
+  size_t in_bytes = 0;
+  if (f64_input) {
+    const std::vector<f64> data = load_f64_file(in_path, dims);
+    in_bytes = data.size() * sizeof(f64);
+    s = client.compress_f64(data, dims, eb, resp);
+  } else {
+    const Field f = load_f32_file(in_path, dims);
+    in_bytes = f.bytes();
+    s = client.compress(f.values(), dims, eb, resp);
+  }
+  if (!s.ok()) return report_status("rcompress", s);
+  save_bytes(out_path, resp.payload);
+  std::printf("%s: %zu -> %zu bytes (%.2fx, %s, via fzd)\n", out_path.c_str(),
+              in_bytes, resp.payload.size(), resp.stats.ratio(),
+              f64_input ? "f64" : "f32");
+  return 0;
+}
+
+int cmd_rdecompress(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const std::vector<u8> bytes = load_bytes(argv[2]);
+  Client client = connect_or_die();
+  Response resp;
+  const Status s = client.decompress(bytes, resp);
+  if (!s.ok()) return report_status("rdecompress", s);
+  // The response payload already is the raw little-endian sample file.
+  save_bytes(argv[3], resp.payload);
+  std::printf("%s: %s, %zu values (f%u, via fzd)\n", argv[3],
+              resp.dims.to_string().c_str(),
+              resp.payload.size() / resp.dtype_bytes, resp.dtype_bytes * 8);
+  return 0;
+}
+
+int cmd_rinfo(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::vector<u8> bytes = load_bytes(argv[2]);
+  Client client = connect_or_die();
+  Response resp;
+  const Status s = client.inspect(bytes, resp);
+  if (!s.ok()) return report_status("rinfo", s);
+  const StreamInfo& info = resp.info;
+  std::printf("FZ stream v%u: dims %s, %zu values (f%u, via fzd)\n",
+              info.format_version, info.dims.to_string().c_str(), info.count,
+              info.dtype_bytes * 8);
+  std::printf("  abs eb %.6g, quant v%d%s\n", info.abs_eb,
+              static_cast<int>(info.quant),
+              info.log_transform ? ", log-transform" : "");
+  std::printf("  %zu bytes (ratio %.2fx), blocks %zu/%zu nonzero\n",
+              info.stream_bytes, info.ratio(), info.nonzero_blocks,
+              info.total_blocks);
+  return 0;
+}
+
+int cmd_rstats(int argc, char**) {
+  if (argc != 2) return usage();
+  Client client = connect_or_die();
+  std::string text;
+  const Status s = client.stats_text(text);
+  if (!s.ok()) return report_status("rstats", s);
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int run_command(int argc, char** argv) {
@@ -348,44 +483,60 @@ int run_command(int argc, char** argv) {
   if (cmd == "info") return cmd_info(argc, argv);
   if (cmd == "verify") return cmd_verify(argc, argv);
   if (cmd == "selftest") return cmd_selftest();
+  if (cmd == "rcompress") return cmd_rcompress(argc, argv);
+  if (cmd == "rdecompress") return cmd_rdecompress(argc, argv);
+  if (cmd == "rinfo") return cmd_rinfo(argc, argv);
+  if (cmd == "rstats") return cmd_rstats(argc, argv);
   return usage();
 }
 
 int main(int argc, char** argv) {
   // Strip global flags so the per-command parsers see a clean argv.
   std::string trace_path;
+  bool print_stats = false;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
       trace_path = argv[++i];
+    else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
+      g_socket = argv[++i];
+    else if (std::strcmp(argv[i], "--stats") == 0)
+      print_stats = true;
     else
       args.push_back(argv[i]);
   }
   if (args.size() < 2) return usage();
 
   try {
-    if (trace_path.empty())
+    if (trace_path.empty() && !print_stats)
       return run_command(static_cast<int>(args.size()), args.data());
 
     // ScopedSink makes this sink the fallback for every codec, chunked
-    // container, and simulated kernel launch in the command — no parameter
-    // plumbing needed.
+    // container, reader chunk cache, and simulated kernel launch in the
+    // command — no parameter plumbing needed.
     telemetry::Sink sink;
     int rc;
     {
       telemetry::ScopedSink scope(&sink);
       rc = run_command(static_cast<int>(args.size()), args.data());
     }
-    std::ofstream out(trace_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write trace to %s\n",
-                   trace_path.c_str());
-      return 1;
+    if (print_stats) {
+      // Same fz_counter{...} text the fzd stats endpoint serves: one
+      // telemetry path for local fz_cli runs and the daemon.
+      telemetry::write_counters_text(sink, std::cout);
     }
-    sink.write_chrome_trace(out);
-    sink.write_summary(std::cerr);
-    std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      sink.write_chrome_trace(out);
+      sink.write_summary(std::cerr);
+      std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+    }
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

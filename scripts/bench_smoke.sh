@@ -52,15 +52,30 @@
 #     peek/consume window is what keeps this true even for near-constant
 #     code distributions).
 #
-# Usage: scripts/bench_smoke.sh [path/to/regress-binary] [path/to/random_access-binary]
+# PR9 adds a fourth gate on bench/service_throughput vs BENCH_pr9.json
+# (all machine-independent, no wall-clock floor):
+#
+#   * every compress job streamed through fz::Service must return the
+#     byte-identical stream a direct Codec produces (zero tolerance),
+#   * the one-worker service must keep >= 0.5x the direct codec's
+#     throughput (the harness overhead guard — queueing + wakeup must stay
+#     small next to the compression itself),
+#   * the queue-saturation segment must record QueueFull rejections
+#     (backpressure must stay explicit, never blocking or unbounded), and
+#   * the worker pool must complete with zero dropped exceptions and zero
+#     failed jobs.
+#
+# Usage: scripts/bench_smoke.sh [path/to/regress-binary] [path/to/random_access-binary] [path/to/service_throughput-binary]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 regress_bin="${1:-build/bench/regress}"
 reader_bin="${2:-build/bench/random_access}"
+service_bin="${3:-build/bench/service_throughput}"
 baseline="BENCH_pr5.json"
 reader_baseline="BENCH_pr6.json"
 huff_baseline="BENCH_pr8.json"
+service_baseline="BENCH_pr9.json"
 tolerance="${FZ_BENCH_TOLERANCE:-0.50}"
 
 if [[ ! -x "${regress_bin}" ]]; then
@@ -71,8 +86,12 @@ if [[ ! -x "${reader_bin}" ]]; then
   echo "bench_smoke: ${reader_bin} not built (cmake --build build --target random_access)" >&2
   exit 1
 fi
-if [[ ! -f "${baseline}" || ! -f "${reader_baseline}" || ! -f "${huff_baseline}" ]]; then
-  echo "bench_smoke: baseline ${baseline}, ${reader_baseline} or ${huff_baseline} missing" >&2
+if [[ ! -x "${service_bin}" ]]; then
+  echo "bench_smoke: ${service_bin} not built (cmake --build build --target service_throughput)" >&2
+  exit 1
+fi
+if [[ ! -f "${baseline}" || ! -f "${reader_baseline}" || ! -f "${huff_baseline}" || ! -f "${service_baseline}" ]]; then
+  echo "bench_smoke: baseline ${baseline}, ${reader_baseline}, ${huff_baseline} or ${service_baseline} missing" >&2
   exit 1
 fi
 
@@ -204,4 +223,43 @@ if failures:
 print(f"bench_smoke[reader]: OK (slices byte-identical, hot {hot_over_cold:.1f}x cold, "
       f"hit rate {new['hot_hit_rate']:.2f}, "
       f"prefetch {new['prefetch_hits']}/{new['prefetch_issued']} hits)")
+EOF
+
+# ---- PR9: service harness gate ----------------------------------------------
+service_fresh="$(mktemp /tmp/BENCH_service_smoke.XXXXXX.json)"
+trap 'rm -f "${fresh}" "${huff_fresh}" "${reader_fresh}" "${service_fresh}"' EXIT
+
+service_scale=$(python3 -c "import json; print(json.load(open('${service_baseline}'))['scale'])")
+service_iters=$(python3 -c "import json; print(int(json.load(open('${service_baseline}'))['iters']))")
+"${service_bin}" --scale "${service_scale}" --iters "${service_iters}" \
+  --out "${service_fresh}" > /dev/null
+
+python3 - "${service_fresh}" <<'EOF'
+import json, sys
+
+new = json.load(open(sys.argv[1]))
+failures = []
+
+if not new["byte_identical"]:
+    failures.append("service responses are no longer byte-identical to a direct Codec")
+if new["service_1w_vs_direct"] < 0.5:
+    failures.append(
+        f"one-worker service only {new['service_1w_vs_direct']:.2f}x direct "
+        f"codec (harness overhead; must be >= 0.5x)")
+if new["queue_full_rejects"] == 0:
+    failures.append("saturation produced no QueueFull rejections (backpressure inert)")
+if new["dropped_exceptions"] != 0:
+    failures.append(f"worker pool dropped {new['dropped_exceptions']} exceptions")
+if new["failed_jobs"] != 0:
+    failures.append(f"{new['failed_jobs']} service jobs completed with a failure status")
+
+if failures:
+    print("bench_smoke[service]: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print(f"bench_smoke[service]: OK (byte-identical, 1-worker {new['service_1w_vs_direct']:.2f}x "
+      f"direct, pool scaling {new['pool_scaling']:.2f}x, "
+      f"p50/p99 {new['latency_p50_us']:.0f}/{new['latency_p99_us']:.0f} us, "
+      f"{new['queue_full_rejects']} backpressure rejects)")
 EOF

@@ -4,6 +4,10 @@
 #   1. default        — RelWithDebInfo build, full test suite (includes the
 #                       fzcheck simulator-hazard tests: any SanitizerReport
 #                       diagnostic fails test_sanitizer)
+#   1b. service smoke — fzd selftest (job taxonomy, byte-identity vs a
+#                       direct Codec, policy/params rejection) plus a short
+#                       concurrent soak against the admission queue; re-run
+#                       under the tsan preset in full mode
 #   2. bench smoke    — scripts/bench_smoke.sh guards the SIMD/fused and
 #                       tile-parallel throughput against the checked-in
 #                       BENCH_pr5.json baseline (tolerance via
@@ -82,7 +86,22 @@ trace_smoke() {
   rm -rf "${tmp}"
 }
 
+service_smoke() {
+  # $1: fzd binary.  selftest covers the full job taxonomy (roundtrip
+  # byte-identity vs a direct Codec, policy/params rejection, stats text);
+  # the short soak hammers the admission queue from concurrent clients and
+  # fails on any response mismatch or dropped worker exception.
+  local fzd="$1"
+  echo "---- fzd selftest (${fzd}) ----"
+  "${fzd}" selftest > /dev/null
+  echo "---- fzd soak: 600 mixed requests / 6 clients ----"
+  "${fzd}" soak --requests 600 --clients 6 --queue 16 > /dev/null
+}
+
 run_preset default
+
+echo "==== service smoke: fzd selftest + concurrent soak ===="
+service_smoke build/src/fzd
 
 echo "==== bench smoke: SIMD + fused-pipeline + random-access guards ===="
 scripts/bench_smoke.sh build/bench/regress build/bench/random_access
@@ -118,6 +137,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     --gtest_filter='Threading.SharedSinkAcrossFusedStripWorkers'
 
   run_preset tsan
+
+  echo "==== service smoke (tsan): fzd selftest + concurrent soak ===="
+  service_smoke build-tsan/src/fzd
 
   echo "==== lint: clang-tidy over src/ ===="
   if command -v clang-tidy > /dev/null 2>&1; then

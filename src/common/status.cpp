@@ -1,0 +1,29 @@
+#include "common/status.hpp"
+
+namespace fz {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok:            return "ok";
+    case StatusCode::InvalidParams: return "invalid-params";
+    case StatusCode::InvalidStream: return "invalid-stream";
+    case StatusCode::BadRequest:    return "bad-request";
+    case StatusCode::PolicyDenied:  return "policy-denied";
+    case StatusCode::QueueFull:     return "queue-full";
+    case StatusCode::ShuttingDown:  return "shutting-down";
+    case StatusCode::Unsupported:   return "unsupported";
+    case StatusCode::Internal:      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string s = "[";
+  s += status_code_name(code_);
+  s += "] ";
+  s += message_;
+  return s;
+}
+
+}  // namespace fz

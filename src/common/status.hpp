@@ -1,0 +1,62 @@
+// fz::Status — the non-throwing error channel of the public API.
+//
+// The library's internals keep throwing fz::Error subclasses (that is the
+// right tool for deep-in-stage failures), but exceptions are the wrong
+// boundary for a long-lived service: a daemon must turn every failure into
+// a response, never unwind a worker.  Status is that boundary type: a small
+// code + message pair returned by Codec::try_compress / try_decompress /
+// fz::try_inspect and carried by every fz::Service response.  Exceptions
+// are mapped into codes exactly once, at the try_* boundary
+// (fz::detail::status_from_current_exception in core/pipeline.cpp) — no
+// other layer catches.
+//
+// The success path allocates nothing: a default-constructed Status is Ok
+// with an empty message, so steady-state service loops stay
+// allocation-free (the soak test in tests/test_service.cpp pins this with
+// a global operator-new counter).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace fz {
+
+/// Stable, wire-safe failure taxonomy (docs/SERVICE.md documents each).
+/// Values are part of the fzd wire protocol — append only, never renumber.
+enum class StatusCode : u8 {
+  Ok = 0,
+  InvalidParams = 1,  ///< FzParams/ParamError: bad eb, radius, dims, ...
+  InvalidStream = 2,  ///< FormatError: corrupt/truncated/mismatched stream
+  BadRequest = 3,     ///< malformed job: empty payload, size/dims mismatch
+  PolicyDenied = 4,   ///< tenant policy rejected the job (service layer)
+  QueueFull = 5,      ///< admission queue at capacity — retry later
+  ShuttingDown = 6,   ///< service is stopping; job was not admitted
+  Unsupported = 7,    ///< recognized but unimplemented job/protocol version
+  Internal = 8,       ///< anything else; message carries the what() text
+};
+
+/// Stable kebab-case name ("ok", "invalid-params", ...), never nullptr.
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  /// Default is success — `return {};` on the happy path.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::Ok; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "[invalid-stream] header magic mismatch" (or "ok").
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::string message_;
+};
+
+}  // namespace fz

@@ -56,7 +56,17 @@ Codec::Codec(FzParams params)
 }
 
 template <typename T>
-FzCompressed Codec::compress_impl(std::span<const T> data, Dims dims) {
+void Codec::compress_impl(std::span<const T> data, Dims dims,
+                          FzCompressed& out, bool with_costs) {
+  out.bytes.clear();
+  out.stage_costs.clear();
+  out.stats = {};
+  // params() hands out a mutable reference so callers can retune the bound
+  // between runs; revalidate here so a bad mutation surfaces as ParamError
+  // at the call boundary instead of failing deep inside a stage.  The happy
+  // path returns an empty (allocation-free) issue vector.
+  std::vector<ParamIssue> issues = params_.validate(dims);
+  if (!issues.empty()) throw ParamError(std::move(issues));
   FZ_REQUIRE(!data.empty(), "cannot compress an empty field");
   FZ_REQUIRE(data.size() == dims.count(), "dims do not match data size");
 
@@ -66,7 +76,6 @@ FzCompressed Codec::compress_impl(std::span<const T> data, Dims dims) {
   const StageGraph& graph =
       params_.fused_host_graph ? compress_stages_fused_ : compress_stages_;
 
-  FzCompressed out;
   ctx_.begin_compress(&pool_, params_, dims, data.size(), sizeof(T),
                       data.data(), &out.bytes);
   ctx_.sink = sink_;
@@ -82,16 +91,41 @@ FzCompressed Codec::compress_impl(std::span<const T> data, Dims dims) {
     finish_run_span(run, ctx_, pool_, before);
   }
   out.stats = ctx_.stats;
-  out.stage_costs = fz_compression_costs(out.stats, params_);
-  return out;
+  if (with_costs) out.stage_costs = fz_compression_costs(out.stats, params_);
 }
 
 FzCompressed Codec::compress(FloatSpan data, Dims dims) {
-  return compress_impl(data, dims);
+  FzCompressed out;
+  compress_impl(data, dims, out, /*with_costs=*/true);
+  return out;
 }
 
 FzCompressed Codec::compress(std::span<const f64> data, Dims dims) {
-  return compress_impl(data, dims);
+  FzCompressed out;
+  compress_impl(data, dims, out, /*with_costs=*/true);
+  return out;
+}
+
+Status Codec::try_compress(FloatSpan data, Dims dims,
+                           FzCompressed& out) noexcept {
+  try {
+    compress_impl(data, dims, out, /*with_costs=*/false);
+    return {};
+  } catch (...) {
+    out.bytes.clear();
+    return detail::status_from_current_exception();
+  }
+}
+
+Status Codec::try_compress(std::span<const f64> data, Dims dims,
+                           FzCompressed& out) noexcept {
+  try {
+    compress_impl(data, dims, out, /*with_costs=*/false);
+    return {};
+  } catch (...) {
+    out.bytes.clear();
+    return detail::status_from_current_exception();
+  }
 }
 
 template <typename T>
@@ -130,7 +164,7 @@ Dims Codec::decompress_into(ByteSpan stream, std::span<f64> out,
 }
 
 FzDecompressed Codec::decompress(ByteSpan stream) {
-  const FzHeaderInfo info = fz_inspect(stream);
+  const StreamInfo info = inspect(stream);
   FzDecompressed out;
   out.data.resize(info.count);
   out.dims =
@@ -139,12 +173,60 @@ FzDecompressed Codec::decompress(ByteSpan stream) {
 }
 
 FzDecompressed64 Codec::decompress_f64(ByteSpan stream) {
-  const FzHeaderInfo info = fz_inspect(stream);
+  const StreamInfo info = inspect(stream);
   FzDecompressed64 out;
   out.data.resize(info.count);
   out.dims =
       decompress_into(stream, std::span<f64>{out.data}, &out.stage_costs);
   return out;
+}
+
+Status Codec::try_decompress_into(ByteSpan stream, std::span<f32> out,
+                                  Dims* dims) noexcept {
+  try {
+    const Dims d = decompress_into_impl(stream, out, nullptr);
+    if (dims != nullptr) *dims = d;
+    return {};
+  } catch (...) {
+    return detail::status_from_current_exception();
+  }
+}
+
+Status Codec::try_decompress_into(ByteSpan stream, std::span<f64> out,
+                                  Dims* dims) noexcept {
+  try {
+    const Dims d = decompress_into_impl(stream, out, nullptr);
+    if (dims != nullptr) *dims = d;
+    return {};
+  } catch (...) {
+    return detail::status_from_current_exception();
+  }
+}
+
+template <typename T>
+Status Codec::try_decompress_impl(ByteSpan stream, std::vector<T>& data,
+                                  Dims& dims,
+                                  unsigned expected_dtype_bytes) noexcept {
+  try {
+    const StreamInfo info = inspect(stream);
+    // Resize before the dtype check so an exact message comes from the
+    // stage's own validation path (one wording for both entry points).
+    if (info.dtype_bytes == expected_dtype_bytes) data.resize(info.count);
+    dims = decompress_into_impl(stream, std::span<T>{data}, nullptr);
+    return {};
+  } catch (...) {
+    return detail::status_from_current_exception();
+  }
+}
+
+Status Codec::try_decompress(ByteSpan stream, FzDecompressed& out) noexcept {
+  out.stage_costs.clear();
+  return try_decompress_impl(stream, out.data, out.dims, sizeof(f32));
+}
+
+Status Codec::try_decompress(ByteSpan stream, FzDecompressed64& out) noexcept {
+  out.stage_costs.clear();
+  return try_decompress_impl(stream, out.data, out.dims, sizeof(f64));
 }
 
 }  // namespace fz

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/pool.hpp"
+#include "common/status.hpp"
 #include "core/pipeline.hpp"
 #include "core/stages.hpp"
 #include "telemetry/telemetry.hpp"
@@ -45,6 +46,39 @@ class Codec {
 
   FzDecompressed decompress(ByteSpan stream);
   FzDecompressed64 decompress_f64(ByteSpan stream);
+
+  // ---- non-throwing boundary ------------------------------------------------
+  //
+  // The try_* family is the service-facing API: identical work, but every
+  // failure comes back as an fz::Status instead of an exception
+  // (ParamError → InvalidParams, FormatError → InvalidStream, anything
+  // else → Internal; the mapping lives in one place,
+  // detail::status_from_current_exception).  fz::Service uses these as its
+  // only error path, so no exception ever crosses the service boundary.
+  //
+  // try_compress reuses `out`: bytes and stats are overwritten with the
+  // vector's capacity retained, so a warm steady-state call allocates
+  // nothing.  Unlike compress(), it does NOT fill out.stage_costs (the
+  // device cost sheets allocate per call; a service loop has no use for
+  // them) — out.stage_costs is cleared, not populated.  On failure `out`
+  // holds no stream (bytes cleared).
+
+  Status try_compress(FloatSpan data, Dims dims, FzCompressed& out) noexcept;
+  Status try_compress(std::span<const f64> data, Dims dims,
+                      FzCompressed& out) noexcept;
+
+  /// Decompress into `out.data`, resizing it to the stream's count (capacity
+  /// is reused on repeat calls).  Does not fill out.stage_costs.
+  Status try_decompress(ByteSpan stream, FzDecompressed& out) noexcept;
+  Status try_decompress(ByteSpan stream, FzDecompressed64& out) noexcept;
+
+  /// Allocation-free variant: decompress into caller storage (out.size()
+  /// must equal the stream's count).  The stream's dims are written to
+  /// *dims when non-null.
+  Status try_decompress_into(ByteSpan stream, std::span<f32> out,
+                             Dims* dims = nullptr) noexcept;
+  Status try_decompress_into(ByteSpan stream, std::span<f64> out,
+                             Dims* dims = nullptr) noexcept;
 
   /// Decompress into caller storage (out.size() must equal the stream's
   /// count — the header is validated against it).  Returns the stream's
@@ -68,11 +102,17 @@ class Codec {
   telemetry::Sink* telemetry_sink() const { return sink_; }
 
  private:
+  /// Compress into `out` (bytes/stats overwritten, capacities reused).
+  /// Fills out.stage_costs only when `with_costs`.
   template <typename T>
-  FzCompressed compress_impl(std::span<const T> data, Dims dims);
+  void compress_impl(std::span<const T> data, Dims dims, FzCompressed& out,
+                     bool with_costs);
   template <typename T>
   Dims decompress_into_impl(ByteSpan stream, std::span<T> out,
                             std::vector<cudasim::CostSheet>* stage_costs);
+  template <typename T>
+  Status try_decompress_impl(ByteSpan stream, std::vector<T>& data, Dims& dims,
+                             unsigned expected_dtype_bytes) noexcept;
 
   FzParams params_;
   telemetry::Sink* sink_;

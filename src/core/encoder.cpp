@@ -60,9 +60,14 @@ size_t compact_blocks(std::span<const u32> words,
   parallel_chunks(nblocks, size_t{1} << 16, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) flags32[i] = byte_flags[i];
   });
-  cudasim::CostSheet cost =
-      scan_exclusive_device_model(flags32, offsets, scan_scratch, 2048);
-  if (scan_cost != nullptr) *scan_cost = cost;
+  if (scan_cost != nullptr) {
+    *scan_cost =
+        scan_exclusive_device_model(flags32, offsets, scan_scratch, 2048);
+  } else {
+    // The device model is the same scan plus a CostSheet; skip the sheet
+    // (its name string allocates) so warm compress calls stay alloc-free.
+    scan_exclusive_parallel(flags32, offsets, scan_scratch);
+  }
 
   const size_t nonzero =
       nblocks == 0 ? 0 : offsets.back() + flags32.back();

@@ -123,6 +123,33 @@ StreamInfo inspect(ByteSpan stream) {
   return info;
 }
 
+Status try_inspect(ByteSpan stream, StreamInfo& out) noexcept {
+  try {
+    out = inspect(stream);
+    return {};
+  } catch (...) {
+    return detail::status_from_current_exception();
+  }
+}
+
+namespace detail {
+
+Status status_from_current_exception() {
+  try {
+    throw;
+  } catch (const ParamError& e) {
+    return {StatusCode::InvalidParams, e.what()};
+  } catch (const FormatError& e) {
+    return {StatusCode::InvalidStream, e.what()};
+  } catch (const std::exception& e) {
+    return {StatusCode::Internal, e.what()};
+  } catch (...) {
+    return {StatusCode::Internal, "unknown exception"};
+  }
+}
+
+}  // namespace detail
+
 FzHeaderInfo fz_inspect(ByteSpan stream) {
   const StreamInfo info = inspect(stream);
   FzHeaderInfo legacy;

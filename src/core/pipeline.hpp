@@ -25,6 +25,7 @@
 
 #include "common/error.hpp"
 #include "common/simd.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "core/quantizer.hpp"
 #include "cudasim/cost_sheet.hpp"
@@ -238,8 +239,27 @@ struct StreamInfo {
 /// FormatError on anything corrupt or truncated.
 StreamInfo inspect(ByteSpan stream);
 
-/// Peek at a stream's header without decompressing (legacy shape; thin
-/// wrapper over fz::inspect, which reports the full section layout).
+/// Non-throwing inspect: the service-boundary variant.  On failure `out` is
+/// left untouched and the FormatError comes back as StatusCode::InvalidStream
+/// (see common/status.hpp; exceptions are mapped exactly once, here and in
+/// Codec::try_*).
+Status try_inspect(ByteSpan stream, StreamInfo& out) noexcept;
+
+namespace detail {
+/// The one place exceptions become Status codes: rethrows the current
+/// exception and maps ParamError → InvalidParams, FormatError →
+/// InvalidStream, everything else → Internal.  Call only from a catch
+/// block.  Every try_* boundary (Codec::try_compress/try_decompress,
+/// fz::try_inspect, fz::Service) funnels through here so the taxonomy can
+/// never drift between entry points.
+Status status_from_current_exception();
+}  // namespace detail
+
+/// DEPRECATED legacy header peek: use fz::inspect (StreamInfo reports the
+/// same identity fields plus the full section layout and chunk index) or
+/// fz::try_inspect at a non-throwing boundary.  See docs/SERVICE.md for the
+/// migration table.  This shim survives one release for out-of-tree
+/// callers and is no longer used anywhere in-tree.
 struct FzHeaderInfo {
   Dims dims;
   double abs_eb;
@@ -247,6 +267,8 @@ struct FzHeaderInfo {
   size_t count;
   unsigned dtype_bytes = 4;  ///< 4 = f32 stream, 8 = f64 stream
 };
+[[deprecated("use fz::inspect / fz::try_inspect (StreamInfo); see "
+             "docs/SERVICE.md")]]
 FzHeaderInfo fz_inspect(ByteSpan stream);
 
 }  // namespace fz

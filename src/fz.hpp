@@ -13,10 +13,25 @@
 // above are thin conveniences that construct a Codec per call — prefer a
 // long-lived Codec (one per thread) in services and loops.
 //
+// Error handling comes in two flavours: the classic API throws fz::Error
+// subclasses (ParamError, FormatError), and every entry point now has a
+// non-throwing try_* twin (Codec::try_compress / try_decompress,
+// fz::try_inspect) returning fz::Status (common/status.hpp) — the boundary
+// type for services and FFI, where a failure must become a response, never
+// an unwind.
+//
+// Long-lived serving lives in fz::Service (service/service.hpp): a worker
+// pool with one Codec per worker, a bounded admission queue with explicit
+// backpressure, per-tenant policy, and small-request batching, consuming
+// fz::Request / producing fz::Response (service/job.hpp).  The fzd daemon
+// wraps it behind a Unix-socket wire protocol (service/server.hpp,
+// service/client.hpp); see docs/SERVICE.md.
+//
 // Observability lives in fz::telemetry (telemetry/telemetry.hpp): attach a
 // telemetry::Sink via FzParams::telemetry (or set FZ_TRACE=<path>) to get
 // per-stage spans, pool counters, and Chrome-trace export.  See
-// docs/OBSERVABILITY.md.
+// docs/OBSERVABILITY.md.  A Service shares its sink with every worker
+// Codec and renders it all as one scrapeable stats page.
 //
 // Random access lives in fz::Reader (reader/reader.hpp): point it at a
 // chunked container and read any N-D slice — misses decode on a persistent
@@ -24,11 +39,12 @@
 //
 // Individual subsystem headers remain includable on their own; this header
 // pulls in everything a typical application needs: the compressor (f32 +
-// f64 + chunked), the reusable Codec, stream inspection, random-access
-// reads, telemetry, metrics for verification, and file I/O for
-// SDRBench-format data.
+// f64 + chunked), the reusable Codec, stream inspection, the service
+// harness, random-access reads, telemetry, metrics for verification, and
+// file I/O for SDRBench-format data.
 #pragma once
 
+#include "common/status.hpp"         // fz::Status / StatusCode
 #include "common/types.hpp"          // Dims, ErrorBound, scalar aliases
 #include "core/chunked.hpp"          // multi-GPU / streaming containers
 #include "core/codec.hpp"            // fz::Codec — the reusable engine
@@ -37,4 +53,6 @@
 #include "datasets/loader.hpp"       // .f32/.f64 file I/O
 #include "metrics/metrics.hpp"       // distortion, error_bounded
 #include "reader/reader.hpp"         // fz::Reader — random-access slices
+#include "service/client.hpp"        // fzd wire client
+#include "service/service.hpp"       // fz::Service — the job harness
 #include "telemetry/telemetry.hpp"   // spans, counters, trace export

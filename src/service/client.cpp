@@ -1,0 +1,139 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace fz {
+
+namespace {
+
+bool read_full(int fd, void* into, size_t n) {
+  u8* p = static_cast<u8*>(into);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* from, size_t n) {
+  const u8* p = static_cast<const u8*>(from);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put <= 0) {
+      if (put < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<size_t>(put);
+  }
+  return true;
+}
+
+Status transport_error(const char* what) {
+  return {StatusCode::Internal, std::string("fzd transport: ") + what};
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+    throw Error("fzd client: bad socket path: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw Error(std::string("fzd client: socket(): ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("fzd client: cannot connect to " + socket_path + ": " + why);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::call(const Request& req, Response& resp) {
+  buf_.clear();
+  wire::encode_request(req, buf_);
+  if (!write_full(fd_, buf_.data(), buf_.size()))
+    return transport_error("send failed (daemon gone?)");
+  u32 frame_bytes = 0;
+  if (!read_full(fd_, &frame_bytes, sizeof(frame_bytes)))
+    return transport_error("connection closed before a response arrived");
+  if (frame_bytes < sizeof(wire::ResponseHeader) ||
+      frame_bytes > wire::kMaxFrameBytes)
+    return transport_error("bad response frame length");
+  buf_.resize(frame_bytes);
+  if (!read_full(fd_, buf_.data(), buf_.size()))
+    return transport_error("response frame truncated");
+  const Status decoded = wire::decode_response(buf_, resp);
+  if (!decoded.ok()) return decoded;
+  return resp.status;
+}
+
+Status Client::ping() {
+  Response resp;
+  req_.kind = JobKind::Ping;
+  req_.payload.clear();
+  return call(req_, resp);
+}
+
+Status Client::compress(FloatSpan data, Dims dims, ErrorBound eb,
+                        Response& resp) {
+  req_.kind = JobKind::Compress;
+  req_.dims = dims;
+  req_.eb = eb;
+  const u8* bytes = reinterpret_cast<const u8*>(data.data());
+  req_.payload.assign(bytes, bytes + data.size() * sizeof(f32));
+  return call(req_, resp);
+}
+
+Status Client::compress_f64(std::span<const f64> data, Dims dims,
+                            ErrorBound eb, Response& resp) {
+  req_.kind = JobKind::CompressF64;
+  req_.dims = dims;
+  req_.eb = eb;
+  const u8* bytes = reinterpret_cast<const u8*>(data.data());
+  req_.payload.assign(bytes, bytes + data.size() * sizeof(f64));
+  return call(req_, resp);
+}
+
+Status Client::decompress(ByteSpan stream, Response& resp) {
+  req_.kind = JobKind::Decompress;
+  req_.payload.assign(stream.begin(), stream.end());
+  return call(req_, resp);
+}
+
+Status Client::inspect(ByteSpan stream, Response& resp) {
+  req_.kind = JobKind::Inspect;
+  req_.payload.assign(stream.begin(), stream.end());
+  return call(req_, resp);
+}
+
+Status Client::stats_text(std::string& out) {
+  Response resp;
+  req_.kind = JobKind::Stats;
+  req_.payload.clear();
+  const Status s = call(req_, resp);
+  if (s.ok()) out.assign(resp.payload.begin(), resp.payload.end());
+  return s;
+}
+
+}  // namespace fz

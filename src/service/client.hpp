@@ -1,0 +1,46 @@
+// fzd_client — the blocking client side of the fzd wire protocol.
+//
+// One Client wraps one connected Unix socket and runs one RPC at a time
+// (request frame out, response frame in).  Not thread-safe: give each
+// client thread its own Client, the way fzd's soak harness and
+// `fz_cli r*` commands do.  Transport failures (daemon gone, truncated
+// frame) surface as StatusCode::Unavailable-like Internal statuses — the
+// client never throws once constructed.
+#pragma once
+
+#include <string>
+
+#include "service/wire.hpp"
+
+namespace fz {
+
+class Client {
+ public:
+  /// Connect to a serving fzd at `socket_path`; throws fz::Error if the
+  /// daemon is not reachable (the one failure that has no Response to
+  /// carry a status).
+  explicit Client(const std::string& socket_path);
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// One RPC: returns resp.status (transport failures map to Internal).
+  Status call(const Request& req, Response& resp);
+
+  // Convenience wrappers over call(); each reuses the Response's buffers.
+  Status ping();
+  Status compress(FloatSpan data, Dims dims, ErrorBound eb, Response& resp);
+  Status compress_f64(std::span<const f64> data, Dims dims, ErrorBound eb,
+                      Response& resp);
+  Status decompress(ByteSpan stream, Response& resp);
+  Status inspect(ByteSpan stream, Response& resp);
+  /// Fetch the daemon's scrapeable stats text (docs/SERVICE.md format).
+  Status stats_text(std::string& out);
+
+ private:
+  int fd_ = -1;
+  Request req_;         ///< scratch for the convenience wrappers
+  std::vector<u8> buf_; ///< encoded-frame scratch, reused per call
+};
+
+}  // namespace fz

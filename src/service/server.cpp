@@ -1,0 +1,155 @@
+// fzlint:hot-path — per-request transport loop; keep lock scopes empty.
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace fz {
+
+namespace {
+
+constexpr int kPollMs = 200;  ///< stop-flag check cadence while blocked
+
+/// Read exactly `n` bytes, polling so a stop request interrupts the wait.
+/// Returns false on EOF/error/stop.
+bool read_full(int fd, void* into, size_t n, const std::atomic<bool>& stop) {
+  u8* p = static_cast<u8*>(into);
+  while (n > 0) {
+    if (stop.load(std::memory_order_relaxed)) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) return false;
+    if (ready <= 0) continue;
+    const ssize_t got = ::read(fd, p, n);
+    if (got <= 0) {
+      if (got < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* from, size_t n) {
+  const u8* p = static_cast<const u8*>(from);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put <= 0) {
+      if (put < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Options options)
+    : opts_(std::move(options)),
+      service_(opts_.service),
+      io_pool_(std::max<size_t>(opts_.io_workers, 1) + 1) {
+  if (opts_.socket_path.empty())
+    throw Error("fzd server: socket_path must not be empty");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path))
+    throw Error("fzd server: socket path too long: " + opts_.socket_path);
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw Error(std::string("fzd server: socket(): ") + std::strerror(errno));
+  ::unlink(opts_.socket_path.c_str());  // the daemon owns its path
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("fzd server: cannot listen on " + opts_.socket_path + ": " +
+                why);
+  }
+  io_pool_.submit([this](size_t) { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (stop_.exchange(true)) {
+    io_pool_.wait_idle();  // another stop() already ran; just join
+    return;
+  }
+  io_pool_.wait_idle();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    io_pool_.submit([this, fd](size_t) { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  // The pool's tasks-never-throw contract: nothing a peer sends may unwind.
+  try {
+    Request req;
+    Response resp;
+    std::vector<u8> frame;
+    std::vector<u8> out;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      u32 frame_bytes = 0;
+      if (!read_full(fd, &frame_bytes, sizeof(frame_bytes), stop_)) break;
+      if (frame_bytes < sizeof(wire::RequestHeader) ||
+          frame_bytes > wire::kMaxFrameBytes) {
+        resp.reset();
+        resp.status = Status(StatusCode::BadRequest, "bad frame length");
+        out.clear();
+        wire::encode_response(resp, out);
+        write_full(fd, out.data(), out.size());
+        break;  // framing is gone; the stream cannot be resynced
+      }
+      frame.resize(frame_bytes);
+      if (!read_full(fd, frame.data(), frame.size(), stop_)) break;
+
+      const Status decoded = wire::decode_request(frame, req);
+      if (decoded.ok()) {
+        service_.submit(req, resp);  // resp.status carries any failure
+      } else {
+        resp.reset();
+        resp.status = decoded;
+      }
+      out.clear();
+      wire::encode_response(resp, out);
+      if (!write_full(fd, out.data(), out.size())) break;
+      if (!decoded.ok()) break;  // a confused peer gets one answer, then EOF
+    }
+  } catch (...) {
+    // Swallow (bad_alloc on a huge frame, ...): drop the connection instead
+    // of feeding the pool's dropped_exceptions counter.
+  }
+  ::close(fd);
+}
+
+}  // namespace fz

@@ -1,0 +1,70 @@
+// fzd's transport: an AF_UNIX SOCK_STREAM server wrapping one fz::Service.
+//
+// One acceptor plus `io_workers` connection handlers, all running on a
+// fz::ThreadPool (never raw threads).  Each connection speaks the framed
+// wire protocol (service/wire.hpp) serially: read one request frame, run it
+// through Service::submit, write one response frame.  Concurrency comes
+// from concurrent connections — fzd_client opens one connection per client
+// thread — while the Service's own bounded queue provides the backpressure
+// (a QueueFull response travels back like any other status).
+//
+// A connection that sends garbage gets a BadRequest/Unsupported response
+// and the connection is closed; nothing a peer sends can raise an exception
+// past the handler (the worker-pool tasks-never-throw contract).
+//
+// Lifecycle: the constructor binds and starts serving (throws fz::Error if
+// the socket path cannot be bound); stop() — idempotent, also run by the
+// destructor — closes the listener, wakes every handler, and joins.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+namespace fz {
+
+class Server {
+ public:
+  struct Options {
+    /// Filesystem path of the Unix socket.  An existing socket file at the
+    /// path is replaced (the daemon owns its path).
+    std::string socket_path;
+    /// Concurrent connection handlers.  More simultaneous connections than
+    /// this simply wait for a free handler — admission control for jobs is
+    /// the Service queue's, not the transport's.
+    size_t io_workers = 4;
+    Service::Options service;
+  };
+
+  explicit Server(Options options);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  const std::string& socket_path() const { return opts_.socket_path; }
+  Service& service() { return service_; }
+
+  /// Connections accepted since start (includes ones already closed).
+  u64 connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop accepting, wake and join every handler, unlink the socket path.
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  Options opts_;
+  Service service_;
+  std::atomic<bool> stop_{false};
+  std::atomic<u64> accepted_{0};
+  int listen_fd_ = -1;
+  ThreadPool io_pool_;  ///< last member: joins first
+};
+
+}  // namespace fz

@@ -1,0 +1,204 @@
+#include "service/wire.hpp"
+
+#include <cstring>
+
+namespace fz::wire {
+
+namespace {
+
+void append_bytes(std::vector<u8>& out, const void* data, size_t n) {
+  const u8* p = static_cast<const u8*>(data);
+  out.insert(out.end(), p, p + n);
+}
+
+/// Sequential reader over a decoded frame; all bounds checks in one place.
+struct FrameReader {
+  ByteSpan frame;
+  size_t pos = 0;
+
+  bool read(void* into, size_t n) {
+    if (n > frame.size() - pos) return false;
+    std::memcpy(into, frame.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  bool read_vector(std::vector<u8>& into, size_t n) {
+    if (n > frame.size() - pos) return false;
+    into.assign(frame.begin() + static_cast<ptrdiff_t>(pos),
+                frame.begin() + static_cast<ptrdiff_t>(pos + n));
+    pos += n;
+    return true;
+  }
+};
+
+Status bad_frame(const char* why) {
+  return {StatusCode::BadRequest, why};
+}
+
+}  // namespace
+
+void encode_request(const Request& req, std::vector<u8>& out) {
+  RequestHeader h;
+  h.kind = static_cast<u8>(req.kind);
+  h.eb_mode = static_cast<u8>(req.eb.mode);
+  h.tenant = req.tenant;
+  h.eb_value = req.eb.value;
+  h.nx = req.dims.x;
+  h.ny = req.dims.y;
+  h.nz = req.dims.z;
+  h.payload_bytes = req.payload.size();
+  const u32 frame_bytes =
+      static_cast<u32>(sizeof(RequestHeader) + req.payload.size());
+  out.reserve(out.size() + sizeof(frame_bytes) + frame_bytes);
+  append_bytes(out, &frame_bytes, sizeof(frame_bytes));
+  append_bytes(out, &h, sizeof(h));
+  append_bytes(out, req.payload.data(), req.payload.size());
+}
+
+void encode_response(const Response& resp, std::vector<u8>& out) {
+  ResponseHeader h;
+  h.status = static_cast<u8>(resp.status.code());
+  h.dtype_bytes = static_cast<u8>(resp.dtype_bytes);
+  h.nx = resp.dims.x;
+  h.ny = resp.dims.y;
+  h.nz = resp.dims.z;
+  h.message_bytes = static_cast<u32>(resp.status.message().size());
+  h.payload_bytes = resp.payload.size();
+
+  WireStreamInfo info;
+  const bool with_info = resp.info.count > 0;
+  if (with_info) {
+    h.info_bytes = sizeof(WireStreamInfo);
+    info.nx = resp.info.dims.x;
+    info.ny = resp.info.dims.y;
+    info.nz = resp.info.dims.z;
+    info.count = resp.info.count;
+    info.dtype_bytes = resp.info.dtype_bytes;
+    info.format_version = resp.info.format_version;
+    info.quant = static_cast<u8>(resp.info.quant);
+    info.log_transform = resp.info.log_transform ? 1 : 0;
+    info.radius = resp.info.radius;
+    info.abs_eb = resp.info.abs_eb;
+    info.header_bytes = resp.info.header_bytes;
+    info.bit_flag_bytes = resp.info.bit_flag_bytes;
+    info.block_bytes = resp.info.block_bytes;
+    info.outlier_bytes = resp.info.outlier_bytes;
+    info.stream_bytes = resp.info.stream_bytes;
+    info.total_blocks = resp.info.total_blocks;
+    info.nonzero_blocks = resp.info.nonzero_blocks;
+    info.saturated = resp.info.saturated;
+    info.container_version = resp.info.container_version;
+    info.chunk_count = static_cast<u32>(resp.info.chunks.size());
+  }
+
+  WireStats stats;
+  const bool with_stats = resp.stats.compressed_bytes > 0;
+  if (with_stats) {
+    h.stats_bytes = sizeof(WireStats);
+    stats.count = resp.stats.count;
+    stats.input_bytes = resp.stats.input_bytes;
+    stats.compressed_bytes = resp.stats.compressed_bytes;
+    stats.abs_eb = resp.stats.abs_eb;
+    stats.saturated = resp.stats.saturated;
+    stats.outliers = resp.stats.outliers;
+    stats.total_blocks = resp.stats.total_blocks;
+    stats.nonzero_blocks = resp.stats.nonzero_blocks;
+  }
+
+  const u32 frame_bytes =
+      static_cast<u32>(sizeof(ResponseHeader) + h.message_bytes +
+                       h.info_bytes + h.stats_bytes + resp.payload.size());
+  out.reserve(out.size() + sizeof(frame_bytes) + frame_bytes);
+  append_bytes(out, &frame_bytes, sizeof(frame_bytes));
+  append_bytes(out, &h, sizeof(h));
+  append_bytes(out, resp.status.message().data(), h.message_bytes);
+  if (with_info) append_bytes(out, &info, sizeof(info));
+  if (with_stats) append_bytes(out, &stats, sizeof(stats));
+  append_bytes(out, resp.payload.data(), resp.payload.size());
+}
+
+Status decode_request(ByteSpan frame, Request& out) {
+  FrameReader r{frame};
+  RequestHeader h;
+  if (!r.read(&h, sizeof(h))) return bad_frame("request frame too short");
+  if (h.magic != kRequestMagic) return bad_frame("bad request magic");
+  if (h.version != kWireVersion)
+    return {StatusCode::Unsupported, "unsupported wire version"};
+  if (h.payload_bytes != frame.size() - sizeof(h))
+    return bad_frame("request payload size disagrees with frame length");
+  out.kind = static_cast<JobKind>(h.kind);
+  out.tenant = h.tenant;
+  out.eb.mode = static_cast<ErrorBoundMode>(h.eb_mode);
+  out.eb.value = h.eb_value;
+  out.dims = Dims{h.nx, h.ny, h.nz};
+  if (!r.read_vector(out.payload, static_cast<size_t>(h.payload_bytes)))
+    return bad_frame("request frame truncated");
+  return {};
+}
+
+Status decode_response(ByteSpan frame, Response& out) {
+  FrameReader r{frame};
+  ResponseHeader h;
+  if (!r.read(&h, sizeof(h))) return bad_frame("response frame too short");
+  if (h.magic != kResponseMagic) return bad_frame("bad response magic");
+  if (h.version != kWireVersion)
+    return {StatusCode::Unsupported, "unsupported wire version"};
+  if (h.info_bytes != 0 && h.info_bytes != sizeof(WireStreamInfo))
+    return bad_frame("bad info section size");
+  if (h.stats_bytes != 0 && h.stats_bytes != sizeof(WireStats))
+    return bad_frame("bad stats section size");
+  const u64 sections = u64{h.message_bytes} + h.info_bytes + h.stats_bytes +
+                       h.payload_bytes;
+  if (sections != frame.size() - sizeof(h))
+    return bad_frame("response sections disagree with frame length");
+
+  out.reset();
+  std::string message(h.message_bytes, '\0');
+  if (!r.read(message.data(), message.size()))
+    return bad_frame("response frame truncated");
+  out.status = Status(static_cast<StatusCode>(h.status), std::move(message));
+  out.dims = Dims{h.nx, h.ny, h.nz};
+  out.dtype_bytes = h.dtype_bytes;
+
+  if (h.info_bytes != 0) {
+    WireStreamInfo info;
+    if (!r.read(&info, sizeof(info)))
+      return bad_frame("response frame truncated");
+    out.info.dims = Dims{info.nx, info.ny, info.nz};
+    out.info.count = info.count;
+    out.info.dtype_bytes = info.dtype_bytes;
+    out.info.format_version = info.format_version;
+    out.info.quant = static_cast<QuantVersion>(info.quant);
+    out.info.log_transform = info.log_transform != 0;
+    out.info.radius = info.radius;
+    out.info.abs_eb = info.abs_eb;
+    out.info.header_bytes = info.header_bytes;
+    out.info.bit_flag_bytes = info.bit_flag_bytes;
+    out.info.block_bytes = info.block_bytes;
+    out.info.outlier_bytes = info.outlier_bytes;
+    out.info.stream_bytes = info.stream_bytes;
+    out.info.total_blocks = info.total_blocks;
+    out.info.nonzero_blocks = info.nonzero_blocks;
+    out.info.saturated = info.saturated;
+    out.info.container_version = info.container_version;
+    // chunk_count is informational; the index itself does not travel.
+  }
+  if (h.stats_bytes != 0) {
+    WireStats stats;
+    if (!r.read(&stats, sizeof(stats)))
+      return bad_frame("response frame truncated");
+    out.stats.count = stats.count;
+    out.stats.input_bytes = stats.input_bytes;
+    out.stats.compressed_bytes = stats.compressed_bytes;
+    out.stats.abs_eb = stats.abs_eb;
+    out.stats.saturated = stats.saturated;
+    out.stats.outliers = stats.outliers;
+    out.stats.total_blocks = stats.total_blocks;
+    out.stats.nonzero_blocks = stats.nonzero_blocks;
+  }
+  if (!r.read_vector(out.payload, static_cast<size_t>(h.payload_bytes)))
+    return bad_frame("response frame truncated");
+  return {};
+}
+
+}  // namespace fz::wire

@@ -1,0 +1,192 @@
+// The fzd wire protocol: fz::Request / fz::Response over a byte stream.
+//
+// Transport-agnostic framing (the daemon runs it over an AF_UNIX
+// SOCK_STREAM socket; the tests run it over in-memory byte vectors).  Every
+// frame is
+//
+//   u32 frame_bytes  — size of everything after this prefix
+//   header           — RequestHeader or ResponseHeader (packed, below)
+//   sections         — message / info / payload bytes, sizes in the header
+//
+// so a reader can always skip a frame it does not understand.  Headers are
+// little-endian packed structs with pinned layouts (audited by fzlint's
+// layout rule, same as the stream format in core/format.hpp); the version
+// field is checked on decode and kWireVersion is bumped on any layout
+// change.  StatusCode and JobKind values travel as raw bytes — both enums
+// are append-only for exactly this reason.
+//
+// Inspect responses carry a packed WireStreamInfo as their info section
+// (chunk index entries are summarized as a count, not shipped); compress
+// responses carry a packed WireStats.  decode_* functions return a Status
+// instead of throwing — a malformed frame is a peer bug, not a server
+// crash.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace fz::wire {
+
+inline constexpr u32 kRequestMagic = 0x71645A46;   // "FZdq" little-endian
+inline constexpr u32 kResponseMagic = 0x72645A46;  // "FZdr" little-endian
+inline constexpr u16 kWireVersion = 1;
+/// Hard cap on any frame's declared size: a garbage length prefix must not
+/// make the peer allocate unboundedly.
+inline constexpr u64 kMaxFrameBytes = u64{1} << 31;
+
+#pragma pack(push, 1)
+
+/// One request on the wire, followed by `payload_bytes` of payload.
+struct RequestHeader {
+  u32 magic = kRequestMagic;
+  u16 version = kWireVersion;
+  u8 kind = 0;      ///< JobKind value
+  u8 eb_mode = 0;   ///< ErrorBoundMode value
+  u32 tenant = 0;
+  f64 eb_value = 0;
+  u64 nx = 0;
+  u64 ny = 0;
+  u64 nz = 0;
+  u64 payload_bytes = 0;
+};
+
+/// One response on the wire, followed by its sections in order:
+/// `message_bytes` of status message, `info_bytes` of WireStreamInfo (0 or
+/// sizeof(WireStreamInfo)), `stats_bytes` of WireStats (likewise), then
+/// `payload_bytes` of payload.
+struct ResponseHeader {
+  u32 magic = kResponseMagic;
+  u16 version = kWireVersion;
+  u8 status = 0;       ///< StatusCode value
+  u8 dtype_bytes = 4;
+  u64 nx = 0;
+  u64 ny = 0;
+  u64 nz = 0;
+  u32 message_bytes = 0;
+  u32 info_bytes = 0;
+  u32 stats_bytes = 0;
+  u32 pad = 0;
+  u64 payload_bytes = 0;
+};
+
+/// StreamInfo for the wire (Inspect responses).  The chunk index is
+/// summarized as `chunk_count`; a caller that needs the entries decodes the
+/// stream locally with fz::inspect.
+struct WireStreamInfo {
+  u64 nx = 0;
+  u64 ny = 0;
+  u64 nz = 0;
+  u64 count = 0;
+  u32 dtype_bytes = 4;
+  u32 format_version = 0;
+  u8 quant = 0;
+  u8 log_transform = 0;
+  u16 pad = 0;
+  u32 radius = 0;
+  f64 abs_eb = 0;
+  u64 header_bytes = 0;
+  u64 bit_flag_bytes = 0;
+  u64 block_bytes = 0;
+  u64 outlier_bytes = 0;
+  u64 stream_bytes = 0;
+  u64 total_blocks = 0;
+  u64 nonzero_blocks = 0;
+  u64 saturated = 0;
+  u32 container_version = 0;
+  u32 chunk_count = 0;
+};
+
+/// FzStats for the wire (Compress responses).
+struct WireStats {
+  u64 count = 0;
+  u64 input_bytes = 0;
+  u64 compressed_bytes = 0;
+  f64 abs_eb = 0;
+  u64 saturated = 0;
+  u64 outliers = 0;
+  u64 total_blocks = 0;
+  u64 nonzero_blocks = 0;
+};
+
+#pragma pack(pop)
+
+static_assert(std::is_trivially_copyable_v<RequestHeader>);
+static_assert(sizeof(RequestHeader) == 52);
+static_assert(offsetof(RequestHeader, magic) == 0);
+static_assert(offsetof(RequestHeader, version) == 4);
+static_assert(offsetof(RequestHeader, kind) == 6);
+static_assert(offsetof(RequestHeader, eb_mode) == 7);
+static_assert(offsetof(RequestHeader, tenant) == 8);
+static_assert(offsetof(RequestHeader, eb_value) == 12);
+static_assert(offsetof(RequestHeader, nx) == 20);
+static_assert(offsetof(RequestHeader, ny) == 28);
+static_assert(offsetof(RequestHeader, nz) == 36);
+static_assert(offsetof(RequestHeader, payload_bytes) == 44);
+
+static_assert(std::is_trivially_copyable_v<ResponseHeader>);
+static_assert(sizeof(ResponseHeader) == 56);
+static_assert(offsetof(ResponseHeader, magic) == 0);
+static_assert(offsetof(ResponseHeader, version) == 4);
+static_assert(offsetof(ResponseHeader, status) == 6);
+static_assert(offsetof(ResponseHeader, dtype_bytes) == 7);
+static_assert(offsetof(ResponseHeader, nx) == 8);
+static_assert(offsetof(ResponseHeader, ny) == 16);
+static_assert(offsetof(ResponseHeader, nz) == 24);
+static_assert(offsetof(ResponseHeader, message_bytes) == 32);
+static_assert(offsetof(ResponseHeader, info_bytes) == 36);
+static_assert(offsetof(ResponseHeader, stats_bytes) == 40);
+static_assert(offsetof(ResponseHeader, pad) == 44);
+static_assert(offsetof(ResponseHeader, payload_bytes) == 48);
+
+static_assert(std::is_trivially_copyable_v<WireStreamInfo>);
+static_assert(sizeof(WireStreamInfo) == 128);
+static_assert(offsetof(WireStreamInfo, nx) == 0);
+static_assert(offsetof(WireStreamInfo, ny) == 8);
+static_assert(offsetof(WireStreamInfo, nz) == 16);
+static_assert(offsetof(WireStreamInfo, count) == 24);
+static_assert(offsetof(WireStreamInfo, dtype_bytes) == 32);
+static_assert(offsetof(WireStreamInfo, format_version) == 36);
+static_assert(offsetof(WireStreamInfo, quant) == 40);
+static_assert(offsetof(WireStreamInfo, log_transform) == 41);
+static_assert(offsetof(WireStreamInfo, pad) == 42);
+static_assert(offsetof(WireStreamInfo, radius) == 44);
+static_assert(offsetof(WireStreamInfo, abs_eb) == 48);
+static_assert(offsetof(WireStreamInfo, header_bytes) == 56);
+static_assert(offsetof(WireStreamInfo, bit_flag_bytes) == 64);
+static_assert(offsetof(WireStreamInfo, block_bytes) == 72);
+static_assert(offsetof(WireStreamInfo, outlier_bytes) == 80);
+static_assert(offsetof(WireStreamInfo, stream_bytes) == 88);
+static_assert(offsetof(WireStreamInfo, total_blocks) == 96);
+static_assert(offsetof(WireStreamInfo, nonzero_blocks) == 104);
+static_assert(offsetof(WireStreamInfo, saturated) == 112);
+static_assert(offsetof(WireStreamInfo, container_version) == 120);
+static_assert(offsetof(WireStreamInfo, chunk_count) == 124);
+
+static_assert(std::is_trivially_copyable_v<WireStats>);
+static_assert(sizeof(WireStats) == 64);
+static_assert(offsetof(WireStats, count) == 0);
+static_assert(offsetof(WireStats, input_bytes) == 8);
+static_assert(offsetof(WireStats, compressed_bytes) == 16);
+static_assert(offsetof(WireStats, abs_eb) == 24);
+static_assert(offsetof(WireStats, saturated) == 32);
+static_assert(offsetof(WireStats, outliers) == 40);
+static_assert(offsetof(WireStats, total_blocks) == 48);
+static_assert(offsetof(WireStats, nonzero_blocks) == 56);
+
+/// Append one framed request/response to `out` (length prefix included).
+/// The buffer is appended to, not cleared — callers batch frames by
+/// encoding into the same vector.
+void encode_request(const Request& req, std::vector<u8>& out);
+void encode_response(const Response& resp, std::vector<u8>& out);
+
+/// Decode one framed message from `frame` — the bytes AFTER the u32 length
+/// prefix (the transport reads the prefix to know how much to buffer).
+/// Returns non-Ok (and leaves `out` unspecified) on bad magic, unsupported
+/// version, or section sizes that disagree with the frame length.
+Status decode_request(ByteSpan frame, Request& out);
+Status decode_response(ByteSpan frame, Response& out);
+
+}  // namespace fz::wire

@@ -274,6 +274,12 @@ void Sink::write_summary(std::ostream& os) const {
   os << "\n";
 }
 
+void write_counters_text(const Sink& sink, std::ostream& os) {
+  for (u32 c = 0; c < static_cast<u32>(Counter::kCount); ++c)
+    os << "fz_counter{name=\"" << counter_name(static_cast<Counter>(c))
+       << "\"} " << sink.counter(static_cast<Counter>(c)) << "\n";
+}
+
 namespace {
 
 /// Minimal JSON string escape (names are identifiers in practice, but a

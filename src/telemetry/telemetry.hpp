@@ -233,6 +233,13 @@ class Span {
   TraceEvent ev_{};
 };
 
+/// Every process counter of `sink`, one `fz_counter{name="..."} value` line
+/// each — the machine-readable sibling of Sink::write_summary's counter row.
+/// Both the fzd stats endpoint (fz::Service::write_stats_text) and
+/// `fz_cli slice --stats` render pool/reader counters through this one
+/// function, so the two surfaces can never drift.
+void write_counters_text(const Sink& sink, std::ostream& os);
+
 /// The FZ_TRACE process sink: created on first use when the env var is set
 /// (nullptr otherwise).  The Chrome trace is written to $FZ_TRACE at normal
 /// process exit; flush_env_sink() writes it earlier on demand.

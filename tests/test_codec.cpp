@@ -34,6 +34,11 @@ void* counted_aligned_alloc(std::size_t n, std::align_val_t al) {
   throw std::bad_alloc{};
 }
 
+void* counted_alloc_nothrow(std::size_t n) noexcept {
+  ++g_alloc_count;
+  return std::malloc(n != 0 ? n : 1);
+}
+
 }  // namespace
 
 void* operator new(std::size_t n) { return counted_alloc(n); }
@@ -43,6 +48,20 @@ void* operator new(std::size_t n, std::align_val_t al) {
 }
 void* operator new[](std::size_t n, std::align_val_t al) {
   return counted_aligned_alloc(n, al);
+}
+// The nothrow forms must be replaced too: the library pairs
+// operator new(n, nothrow) with the sized operator delete (e.g.
+// std::stable_sort's temporary buffer) — mixing the default nothrow new
+// with our free() is an alloc-dealloc mismatch under ASan.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(n);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
 }
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }

@@ -339,15 +339,39 @@ TEST(LayoutAudit, NonScalarMemberReported) {
                           "not a fixed-width scalar"));
 }
 
+TEST(LayoutAudit, DefaultMemberInitializersAreSkipped) {
+  // Wire-protocol headers initialize their magic/version members; the
+  // initializer expression must not be mistaken for a member type.
+  const Report r = lint({{"src/base/format.hpp",
+                          "#pragma pack(push, 1)\n"
+                          "struct Rec {\n"
+                          "  u32 magic = kMagic;\n"
+                          "  u16 version = 1, flags = Flag{};\n"
+                          "  u64 count = compute(1, 2);\n"
+                          "};\n"
+                          "#pragma pack(pop)\n"
+                          "static_assert(std::is_trivially_copyable_v<Rec>);\n"
+                          "static_assert(sizeof(Rec) == 16);\n"
+                          "static_assert(offsetof(Rec, magic) == 0);\n"
+                          "static_assert(offsetof(Rec, version) == 4);\n"
+                          "static_assert(offsetof(Rec, flags) == 6);\n"
+                          "static_assert(offsetof(Rec, count) == 8);\n"}},
+                        kLayers, {"src/base/format.hpp"});
+  EXPECT_TRUE(r.clean()) << (r.findings.empty() ? "errors only"
+                                                : r.findings[0].message);
+}
+
 TEST(LayoutAudit, RealFormatHeaderIsPinned) {
-  // The repo's actual on-disk header, checked with the repo's actual layer
-  // declarations: the shipped asserts must agree with the shipped structs.
+  // The repo's actual on-disk headers, checked with the repo's actual
+  // layer declarations: the shipped asserts must agree with the shipped
+  // structs — both the stream format and the fzd wire protocol.
   const std::string root = FZ_SOURCE_ROOT;
   Config config;
   config.layers_text = slurp(root + "/tools/fzlint_layers.txt");
-  config.layout_files = {"src/core/format.hpp"};
+  config.layout_files = {"src/core/format.hpp", "src/service/wire.hpp"};
   const std::vector<SourceFile> files = {
-      {"src/core/format.hpp", slurp(root + "/src/core/format.hpp")}};
+      {"src/core/format.hpp", slurp(root + "/src/core/format.hpp")},
+      {"src/service/wire.hpp", slurp(root + "/src/service/wire.hpp")}};
   const Report r = fzlint::run_lint(config, files);
   EXPECT_TRUE(r.clean()) << (r.findings.empty()
                                  ? "errors only"

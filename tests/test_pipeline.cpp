@@ -341,8 +341,8 @@ TEST(PipelineF64, DtypeIsEnforcedAcrossDecoders) {
   const FzCompressed c32 = fz_compress(d32, Dims{2048}, params);
   EXPECT_THROW(fz_decompress(c64.bytes), FormatError);
   EXPECT_THROW(fz_decompress_f64(c32.bytes), FormatError);
-  EXPECT_EQ(fz_inspect(c64.bytes).dtype_bytes, 8u);
-  EXPECT_EQ(fz_inspect(c32.bytes).dtype_bytes, 4u);
+  EXPECT_EQ(inspect(c64.bytes).dtype_bytes, 8u);
+  EXPECT_EQ(inspect(c32.bytes).dtype_bytes, 4u);
 }
 
 TEST(PipelineF64, TighterBoundsThanF32AreReachable) {
@@ -376,7 +376,7 @@ TEST(PipelineFormat, InspectReadsHeader) {
   FzParams params;
   params.eb = ErrorBound::relative(1e-3);
   const FzCompressed c = fz_compress(f.values(), f.dims, params);
-  const FzHeaderInfo info = fz_inspect(c.bytes);
+  const StreamInfo info = inspect(c.bytes);
   EXPECT_EQ(info.dims, f.dims);
   EXPECT_EQ(info.count, f.count());
   EXPECT_EQ(info.quant, QuantVersion::V2Optimized);
@@ -408,11 +408,11 @@ TEST(PipelineFormat, InspectValidatesNotJustTheMagic) {
   FzParams params;
   params.eb = ErrorBound::relative(1e-3);
   const FzCompressed c = fz_compress(f.values(), f.dims, params);
-  ASSERT_NO_THROW(fz_inspect(c.bytes));
+  ASSERT_NO_THROW(inspect(c.bytes));
 
   // Truncated to less than a header.
   std::vector<u8> tiny(c.bytes.begin(), c.bytes.begin() + 24);
-  EXPECT_THROW(fz_inspect(tiny), FormatError);
+  EXPECT_THROW(inspect(tiny), FormatError);
 
   // Valid magic but a poisoned field must still be rejected: inspect is the
   // front door for untrusted streams.
@@ -421,20 +421,27 @@ TEST(PipelineFormat, InspectValidatesNotJustTheMagic) {
     s[offset] = value;
     return s;
   };
-  EXPECT_THROW(fz_inspect(corrupt(4, 0x7f)), FormatError);   // version
-  EXPECT_THROW(fz_inspect(corrupt(6, 0x09)), FormatError);   // quant
-  EXPECT_THROW(fz_inspect(corrupt(7, 0x04)), FormatError);   // rank
-  EXPECT_THROW(fz_inspect(corrupt(8, 0x03)), FormatError);   // dtype
-  EXPECT_THROW(fz_inspect(corrupt(9, 0x02)), FormatError);   // transform
+  EXPECT_THROW(inspect(corrupt(4, 0x7f)), FormatError);   // version
+  EXPECT_THROW(inspect(corrupt(6, 0x09)), FormatError);   // quant
+  EXPECT_THROW(inspect(corrupt(7, 0x04)), FormatError);   // rank
+  EXPECT_THROW(inspect(corrupt(8, 0x03)), FormatError);   // dtype
+  EXPECT_THROW(inspect(corrupt(9, 0x02)), FormatError);   // transform
 
   // A count that disagrees with the dims (nx low byte) is rejected rather
   // than returned as a bogus allocation size.
-  EXPECT_THROW(fz_inspect(corrupt(16, 0xff)), FormatError);
+  EXPECT_THROW(inspect(corrupt(16, 0xff)), FormatError);
 
   // Dims blown up past what the stream could possibly encode.
   std::vector<u8> huge = c.bytes;
   for (size_t i = 16; i < 16 + 8; ++i) huge[i] = 0xff;  // nx = 2^64 - 1
-  EXPECT_THROW(fz_inspect(huge), FormatError);
+  EXPECT_THROW(inspect(huge), FormatError);
+
+  // The non-throwing twin maps every one of those to InvalidStream.
+  StreamInfo si;
+  EXPECT_EQ(try_inspect(tiny, si).code(), StatusCode::InvalidStream);
+  EXPECT_EQ(try_inspect(huge, si).code(), StatusCode::InvalidStream);
+  EXPECT_TRUE(try_inspect(c.bytes, si).ok());
+  EXPECT_EQ(si.count, f.count());
 }
 
 TEST(PipelineFormat, RejectsEmptyInput) {
@@ -467,8 +474,13 @@ TEST(PipelineFormat, StructuredInspectReportsSectionLayout) {
   EXPECT_EQ(info.saturated, c.stats.saturated);
   EXPECT_NEAR(info.ratio(), c.stats.ratio(), 1e-12);
 
-  // The legacy wrapper reports the same identity fields.
+  // The deprecated legacy wrapper (kept one release for out-of-tree
+  // callers; docs/SERVICE.md has the migration table) reports the same
+  // identity fields.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const FzHeaderInfo legacy = fz_inspect(c.bytes);
+#pragma GCC diagnostic pop
   EXPECT_EQ(legacy.dims, info.dims);
   EXPECT_EQ(legacy.count, info.count);
   EXPECT_EQ(legacy.quant, info.quant);

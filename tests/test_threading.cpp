@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 #include <functional>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <thread>
@@ -20,6 +21,7 @@
 #include "core/codec.hpp"
 #include "core/kernels_simd.hpp"
 #include "reader/reader.hpp"
+#include "service/service.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fz {
@@ -422,6 +424,93 @@ TEST(Threading, PoolWaitIdleFollowsTasksSubmittedByTasks) {
   pool.wait_idle();
   EXPECT_EQ(angry_hops.load(), kDepth);
   EXPECT_EQ(pool.dropped_exceptions(), static_cast<size_t>(kDepth));
+}
+
+TEST(Threading, ServiceManyClientStress) {
+  // The fz::Service under TSan: many raw client threads mixing every job
+  // kind while other threads scrape stats and churn the policy table —
+  // every cross-thread handoff (admission counters, ring slots, completion
+  // flags, latency ring, policy map, shared telemetry sink) gets exercised
+  // concurrently.
+  telemetry::Sink sink;
+  const std::vector<f32> data = smooth_field(16 * 1024, 77);
+  const Dims dims{16 * 1024};
+  const ErrorBound eb = ErrorBound::relative(1e-3);
+  FzParams params;
+  params.eb = eb;
+  params.fused_workers = 1;
+  const std::vector<u8> expected = fz_compress(data, dims, params).bytes;
+
+  Service::Options opt;
+  opt.workers = 4;
+  opt.queue_depth = 16;
+  opt.telemetry = &sink;
+  Service service(opt);
+
+  constexpr int kClients = 8;
+  constexpr int kIters = 30;
+  std::atomic<size_t> bad{0};
+  std::vector<std::thread> crew;
+  crew.reserve(kClients + 2);
+  for (int t = 0; t < kClients; ++t) {
+    crew.emplace_back([&, t] {
+      Request req;
+      Response resp;
+      for (int i = 0; i < kIters; ++i) {
+        const int kind = (t + i) % 3;
+        if (kind == 0) {
+          req.kind = JobKind::Compress;
+          req.dims = dims;
+          req.eb = eb;
+          req.tenant = static_cast<u32>(t % 4);
+          const u8* bytes = reinterpret_cast<const u8*>(data.data());
+          req.payload.assign(bytes, bytes + data.size() * sizeof(f32));
+        } else if (kind == 1) {
+          req.kind = JobKind::Decompress;
+          req.payload = expected;
+        } else {
+          req.kind = JobKind::Inspect;
+          req.payload = expected;
+        }
+        for (;;) {
+          const Status s = service.submit(req, resp);
+          if (s.code() == StatusCode::QueueFull) {
+            std::this_thread::yield();
+            continue;
+          }
+          // PolicyDenied is a legal outcome while the policy churner below
+          // has a floor installed; anything else non-Ok is a bug.
+          if (!s.ok() && s.code() != StatusCode::PolicyDenied)
+            bad.fetch_add(1, std::memory_order_relaxed);
+          if (s.ok() && req.kind == JobKind::Compress &&
+              resp.payload != expected)
+            bad.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    });
+  }
+  crew.emplace_back([&] {
+    for (int i = 0; i < 40; ++i) {
+      std::ostringstream os;
+      service.write_stats_text(os);
+      (void)service.counters();
+    }
+  });
+  crew.emplace_back([&] {
+    TenantPolicy strict;
+    strict.min_rel_eb = 1e-2;  // tighter-than-floor requests get denied
+    for (int i = 0; i < 60; ++i) {
+      service.set_policy(2, i % 2 == 0 ? strict : TenantPolicy{});
+      service.set_policy(3, TenantPolicy{});
+    }
+  });
+  for (auto& th : crew) th.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  const Service::Counters c = service.counters();
+  EXPECT_EQ(c.dropped_exceptions, 0u);
+  EXPECT_EQ(c.queue_len, 0u);
 }
 
 }  // namespace

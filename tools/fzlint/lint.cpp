@@ -455,6 +455,22 @@ std::vector<StructLayout> parse_packed_structs(const SourceFile& file,
             break;
           }
         }
+        if (text_at(j) == "=") {
+          // Default member initializer (e.g. `u32 magic = kMagic;`): skip
+          // to the ',' or ';' that ends this declarator — initializers
+          // don't affect layout.
+          ++j;
+          int depth = 0;
+          while (j < toks.size()) {
+            const std::string& t = toks[j].text;
+            if (toks[j].kind == TokKind::Punct) {
+              if (t == "(" || t == "{" || t == "[") ++depth;
+              else if (t == ")" || t == "}" || t == "]") --depth;
+              else if (depth == 0 && (t == "," || t == ";")) break;
+            }
+            ++j;
+          }
+        }
         field.size = elem * count;
         offset += field.size;
         layout.fields.push_back(field);

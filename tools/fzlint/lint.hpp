@@ -79,7 +79,8 @@ struct Config {
   /// Path the declarations came from, for messages only.
   std::string layers_path = "tools/fzlint_layers.txt";
   /// Files whose packed structs the layout-audit rule must pin.
-  std::vector<std::string> layout_files = {"src/core/format.hpp"};
+  std::vector<std::string> layout_files = {"src/core/format.hpp",
+                                           "src/service/wire.hpp"};
 };
 
 /// Run every rule over `files` and return the merged report.
