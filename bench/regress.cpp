@@ -15,9 +15,17 @@
 // on every timed run.  Those rows go to a second report (default
 // BENCH_pr8.json), gated separately by scripts/bench_smoke.sh.
 //
+// PR10 adds the decompress mirror: end-to-end fused vs classic (staged)
+// decompression per dataset with byte-identity asserted on every timed run,
+// plus a 3-D z-carry chunked-scan thread sweep on a flat volume (the shape
+// whose y-extent is too small for the row-parallel path).  Those rows go to
+// a third report (default BENCH_pr10.json), gated by scripts/bench_smoke.sh.
+//
 // Usage: regress [--scale S] [--iters N] [--out FILE] [--huff-out FILE]
+//                [--pr10-out FILE]
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -100,15 +108,17 @@ int main(int argc, char** argv) {
   int iters = 3;
   std::string out_path = "BENCH_pr5.json";
   std::string huff_out_path = "BENCH_pr8.json";
+  std::string pr10_out_path = "BENCH_pr10.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scale" && i + 1 < argc) scale = std::stod(argv[++i]);
     else if (arg == "--iters" && i + 1 < argc) iters = std::stoi(argv[++i]);
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
     else if (arg == "--huff-out" && i + 1 < argc) huff_out_path = argv[++i];
+    else if (arg == "--pr10-out" && i + 1 < argc) pr10_out_path = argv[++i];
     else {
       std::cerr << "usage: regress [--scale S] [--iters N] [--out FILE] "
-                   "[--huff-out FILE]\n";
+                   "[--huff-out FILE] [--pr10-out FILE]\n";
       return 2;
     }
   }
@@ -354,6 +364,92 @@ int main(int argc, char** argv) {
   std::cout << "decoded symbols identical across every path: "
             << (huff_identical ? "yes" : "NO — BUG") << "\n";
 
+  // ---- PR10: fused vs classic decompress + 3-D z-carry scan scaling --------
+  struct FusedDecompRow {
+    std::string dataset;
+    double fused_gbps, unfused_gbps;
+  };
+  std::vector<FusedDecompRow> fused_decomp_rows;
+  bool decomp_identical = true;
+
+  bench::Table fd_table({"dataset", "fused GB/s", "classic GB/s", "ratio"});
+  for (const Field& f : benchmark_suite(scale, 42)) {
+    FzParams cp;
+    cp.eb = ErrorBound::relative(1e-3);
+    Codec compressor(cp);
+    const FzCompressed comp = compressor.compress(f.values(), f.dims);
+
+    FzParams on = cp;
+    on.fused_decompress = true;
+    on.fused_workers = 0;
+    FzParams off = on;
+    off.fused_decompress = false;
+    Codec codec_on(on), codec_off(off);
+    std::vector<f32> a(f.count()), b(f.count());
+    const double t_on = min_seconds(
+        iters, [&] { codec_on.decompress_into(comp.bytes, a); });
+    const double t_off = min_seconds(
+        iters, [&] { codec_off.decompress_into(comp.bytes, b); });
+    if (std::memcmp(a.data(), b.data(), a.size() * sizeof(f32)) != 0)
+      decomp_identical = false;
+    fused_decomp_rows.push_back(
+        {f.dataset, gbps(f.bytes(), t_on), gbps(f.bytes(), t_off)});
+    fd_table.add_row(
+        {f.dataset, JsonWriter::num(fused_decomp_rows.back().fused_gbps),
+         JsonWriter::num(fused_decomp_rows.back().unfused_gbps),
+         JsonWriter::num(fused_decomp_rows.back().fused_gbps /
+                         fused_decomp_rows.back().unfused_gbps) +
+             "x"});
+  }
+  std::cout << "\nFused vs classic decompression (GB/s of restored f32):\n";
+  fd_table.print(std::cout);
+  std::cout << "restored fields byte-identical fused vs classic: "
+            << (decomp_identical ? "yes" : "NO — BUG") << "\n";
+
+  // Chunked z-carry sweep: a flat volume (y < workers) so scan_z takes the
+  // plane-granular chunked path at workers > 1 and the serial column scan
+  // at workers == 1.  Bytes asserted identical at every worker count.
+  struct ZScanRow {
+    size_t workers;
+    double value_gbps;
+  };
+  std::vector<ZScanRow> zscan_rows;
+  bool zscan_identical = true;
+  {
+    // Fixed-size volume (16 MB of i64), independent of --scale: the scan is
+    // a pure memory sweep, and sub-millisecond timings on small volumes are
+    // too noisy to gate on.
+    const Dims zdims{1024, 1, 2048};
+    const int ziters = std::max(iters, 5);
+    std::vector<i64> deltas(zdims.count());
+    {
+      u64 state = 0x9e3779b97f4a7c15ull;
+      for (auto& v : deltas) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        v = static_cast<i64>(state >> 40) - (1 << 23);
+      }
+    }
+    std::vector<i64> reference(deltas.size());
+    lorenzo_inverse(deltas, zdims, reference, /*workers=*/1);
+    const size_t zbytes = deltas.size() * sizeof(i64);
+    bench::Table z_table({"workers", "GB/s"});
+    for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+      std::vector<i64> out(deltas.size());
+      const double t = min_seconds(
+          ziters, [&] { lorenzo_inverse(deltas, zdims, out, workers); });
+      if (out != reference) zscan_identical = false;
+      zscan_rows.push_back(
+          {workers == 0 ? hw_threads : workers, gbps(zbytes, t)});
+      z_table.add_row({std::to_string(zscan_rows.back().workers),
+                       JsonWriter::num(zscan_rows.back().value_gbps)});
+    }
+    std::cout << "\n3-D z-carry inverse scan thread scaling ("
+              << zdims.to_string() << " flat volume):\n";
+    z_table.print(std::cout);
+    std::cout << "scan bytes identical across worker counts: "
+              << (zscan_identical ? "yes" : "NO — BUG") << "\n";
+  }
+
   // ---- JSON report ---------------------------------------------------------
   JsonWriter w;
   w.section("bench");
@@ -471,5 +567,46 @@ int main(int argc, char** argv) {
   std::ofstream huff_out(huff_out_path);
   huff_out << hw.finish();
   std::cout << "wrote " << huff_out_path << "\n";
-  return identical && huff_identical ? 0 : 1;
+
+  // ---- PR10 JSON report ----------------------------------------------------
+  JsonWriter pw;
+  pw.section("bench");
+  pw.buf += "\"pr10-fused-decompress\"";
+  pw.section("scale");
+  pw.buf += JsonWriter::num(scale);
+  pw.section("iters");
+  pw.buf += JsonWriter::num(iters);
+  pw.section("max_threads");
+  pw.buf += JsonWriter::num(static_cast<double>(hw_threads));
+  pw.section("decompress_identical");
+  pw.buf += decomp_identical ? "true" : "false";
+  pw.section("zscan_identical");
+  pw.buf += zscan_identical ? "true" : "false";
+  pw.section("fused_decompress");
+  pw.buf += "[\n";
+  for (size_t i = 0; i < fused_decomp_rows.size(); ++i) {
+    pw.buf += "    {\"dataset\": \"" + fused_decomp_rows[i].dataset +
+              "\", \"fused_gbps\": " +
+              JsonWriter::num(fused_decomp_rows[i].fused_gbps) +
+              ", \"unfused_gbps\": " +
+              JsonWriter::num(fused_decomp_rows[i].unfused_gbps) + "}" +
+              (i + 1 < fused_decomp_rows.size() ? "," : "") + "\n";
+  }
+  pw.buf += "  ]";
+  pw.section("zscan_scaling");
+  pw.buf += "[\n";
+  for (size_t i = 0; i < zscan_rows.size(); ++i) {
+    pw.buf += "    {\"workers\": " +
+              JsonWriter::num(static_cast<double>(zscan_rows[i].workers)) +
+              ", \"gbps\": " + JsonWriter::num(zscan_rows[i].value_gbps) +
+              "}" + (i + 1 < zscan_rows.size() ? "," : "") + "\n";
+  }
+  pw.buf += "  ]";
+
+  std::ofstream pr10_out(pr10_out_path);
+  pr10_out << pw.finish();
+  std::cout << "wrote " << pr10_out_path << "\n";
+  return identical && huff_identical && decomp_identical && zscan_identical
+             ? 0
+             : 1;
 }

@@ -65,6 +65,21 @@
 #   * the worker pool must complete with zero dropped exceptions and zero
 #     failed jobs.
 #
+# PR10 adds a fifth gate on the fused-decompress rows regress now emits
+# (BENCH_pr10.json):
+#
+#   * every restored field must stay byte-identical between the fused and
+#     the classic staged decompress graph, and the chunked z-carry scan
+#     must return the exact serial bytes at every worker count (both zero
+#     tolerance),
+#   * the fused decompress pass must not lose to the classic graph on any
+#     tier-1 dataset (ratio < 0.95 on multi-core; 0.85 on a single-core box
+#     where both graphs run serially and the comparison only carries clock
+#     noise — same bimodal-clock allowance as the PR8 gate),
+#   * the chunked z-carry scan at max workers must keep >= 0.95x the
+#     one-worker throughput on multi-core boxes (>= 0.85x single-core,
+#     where the two rows run the identical serial code path).
+#
 # Usage: scripts/bench_smoke.sh [path/to/regress-binary] [path/to/random_access-binary] [path/to/service_throughput-binary]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -97,12 +112,13 @@ fi
 
 fresh="$(mktemp /tmp/BENCH_smoke.XXXXXX.json)"
 huff_fresh="$(mktemp /tmp/BENCH_huff_smoke.XXXXXX.json)"
-trap 'rm -f "${fresh}" "${huff_fresh}"' EXIT
+pr10_fresh="$(mktemp /tmp/BENCH_pr10_smoke.XXXXXX.json)"
+trap 'rm -f "${fresh}" "${huff_fresh}" "${pr10_fresh}"' EXIT
 
 scale=$(python3 -c "import json; print(json.load(open('${baseline}'))['scale'])")
 iters=$(python3 -c "import json; print(int(json.load(open('${baseline}'))['iters']))")
 "${regress_bin}" --scale "${scale}" --iters "${iters}" --out "${fresh}" \
-  --huff-out "${huff_fresh}" > /dev/null
+  --huff-out "${huff_fresh}" --pr10-out "${pr10_fresh}" > /dev/null
 
 python3 - "${baseline}" "${fresh}" "${tolerance}" <<'EOF'
 import json, sys
@@ -187,9 +203,51 @@ print(f"bench_smoke[huffman]: OK (symbols identical on every path, "
       f"parallel/serial up to {max(ratios.values()):.2f}x)")
 EOF
 
+# ---- PR10: fused decompress + z-carry scan gate -----------------------------
+python3 - "${pr10_fresh}" <<'EOF'
+import json, sys
+
+new = json.load(open(sys.argv[1]))
+failures = []
+
+if not new["decompress_identical"]:
+    failures.append("fused decompress no longer restores the classic graph's bytes")
+if not new["zscan_identical"]:
+    failures.append("chunked z-carry scan no longer matches the serial scan bytes")
+
+# Single-core boxes run both decompress graphs (and both z-scan rows)
+# serially, so the ratio only carries clock noise; same allowance as the
+# PR8 gate.
+floor = 0.95 if new["max_threads"] > 1 else 0.85
+for row in new["fused_decompress"]:
+    ratio = row["fused_gbps"] / row["unfused_gbps"]
+    if ratio < floor:
+        failures.append(
+            f"fused decompress {ratio:.2f}x classic on {row['dataset']} "
+            f"(must be >= {floor})")
+
+# zscan_scaling rows are ordered: first = one worker, last = max workers.
+z = new["zscan_scaling"]
+z_ratio = z[-1]["gbps"] / z[0]["gbps"]
+if z_ratio < floor:
+    failures.append(
+        f"chunked z-carry scan at max workers {z_ratio:.2f}x one worker "
+        f"(must be >= {floor})")
+
+if failures:
+    print("bench_smoke[fused-decompress]: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+ratios = [r["fused_gbps"] / r["unfused_gbps"] for r in new["fused_decompress"]]
+print(f"bench_smoke[fused-decompress]: OK (bytes identical on both paths, "
+      f"fused/classic {min(ratios):.2f}-{max(ratios):.2f}x, "
+      f"z-scan max-workers {z_ratio:.2f}x one worker)")
+EOF
+
 # ---- PR6: random-access reader gate -----------------------------------------
 reader_fresh="$(mktemp /tmp/BENCH_reader_smoke.XXXXXX.json)"
-trap 'rm -f "${fresh}" "${huff_fresh}" "${reader_fresh}"' EXIT
+trap 'rm -f "${fresh}" "${huff_fresh}" "${pr10_fresh}" "${reader_fresh}"' EXIT
 
 reader_scale=$(python3 -c "import json; print(json.load(open('${reader_baseline}'))['scale'])")
 reader_iters=$(python3 -c "import json; print(int(json.load(open('${reader_baseline}'))['iters']))")
@@ -227,7 +285,7 @@ EOF
 
 # ---- PR9: service harness gate ----------------------------------------------
 service_fresh="$(mktemp /tmp/BENCH_service_smoke.XXXXXX.json)"
-trap 'rm -f "${fresh}" "${huff_fresh}" "${reader_fresh}" "${service_fresh}"' EXIT
+trap 'rm -f "${fresh}" "${huff_fresh}" "${pr10_fresh}" "${reader_fresh}" "${service_fresh}"' EXIT
 
 service_scale=$(python3 -c "import json; print(json.load(open('${service_baseline}'))['scale'])")
 service_iters=$(python3 -c "import json; print(int(json.load(open('${service_baseline}'))['iters']))")

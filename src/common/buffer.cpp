@@ -22,6 +22,16 @@ void AlignedBuffer::resize(size_t bytes) {
   size_ = bytes;
 }
 
+void AlignedBuffer::resize_uninitialized(size_t bytes) {
+  if (bytes == 0) {
+    data_.reset();
+    size_ = 0;
+    return;
+  }
+  data_.reset(allocate(bytes));
+  size_ = bytes;
+}
+
 void AlignedBuffer::resize_preserving(size_t bytes) {
   if (bytes == size_) return;
   if (bytes == 0) {

@@ -34,6 +34,14 @@ class AlignedBuffer {
   /// Resize, discarding contents. New bytes are zero-initialized.
   void resize(size_t bytes);
 
+  /// Resize, discarding contents, WITHOUT touching the new bytes: the pages
+  /// come straight from the allocator (for large buffers, untouched
+  /// zero-fill-on-demand mappings).  This is what makes NUMA first-touch
+  /// placement possible — the eager memset of resize() would commit every
+  /// page to the allocating thread's node.  Callers must overwrite every
+  /// byte before reading, exactly like a recycled pool buffer.
+  void resize_uninitialized(size_t bytes);
+
   /// Resize preserving the common prefix; new bytes are zero-initialized.
   void resize_preserving(size_t bytes);
 

@@ -20,6 +20,7 @@ PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
     pool_ = std::exchange(other.pool_, nullptr);
     buf_ = std::move(other.buf_);
     size_ = std::exchange(other.size_, 0);
+    fresh_ = std::exchange(other.fresh_, false);
   }
   return *this;
 }
@@ -29,6 +30,7 @@ void PooledBuffer::release() {
   pool_ = nullptr;
   buf_ = AlignedBuffer{};
   size_ = 0;
+  fresh_ = false;
 }
 
 PooledBuffer BufferPool::acquire(size_t bytes, bool zeroed) {
@@ -74,11 +76,19 @@ PooledBuffer BufferPool::acquire(size_t bytes, bool zeroed) {
     }
   }
   if (!recycled) {
-    buf.resize(bytes);  // fresh allocations are already zeroed
+    if (zeroed) {
+      buf.resize(bytes);  // fresh allocations are already zeroed
+    } else {
+      // The caller overwrites every byte, so leave the fresh pages
+      // untouched: large allocations stay zero-fill-on-demand mappings,
+      // which lets the NUMA first-touch pass (fused_first_touch_strips)
+      // place each strip's pages on the node that will work on them.
+      buf.resize_uninitialized(bytes);
+    }
   } else if (zeroed) {
     std::memset(buf.data(), 0, bytes);
   }
-  return PooledBuffer(this, std::move(buf), bytes);
+  return PooledBuffer(this, std::move(buf), bytes, /*fresh=*/!recycled);
 }
 
 void BufferPool::put_back(AlignedBuffer buf) {

@@ -1,5 +1,7 @@
 #include "core/codec.hpp"
 
+#include <cstddef>
+
 #include "common/error.hpp"
 #include "core/costs.hpp"
 #include "core/format.hpp"
@@ -49,7 +51,8 @@ Codec::Codec(FzParams params)
                                         : telemetry::active_sink()),
       compress_stages_(make_compress_stages()),
       compress_stages_fused_(make_compress_stages_fused()),
-      decompress_stages_(make_decompress_stages()) {
+      decompress_stages_(make_decompress_stages()),
+      decompress_stages_fused_(make_decompress_stages_fused()) {
   std::vector<ParamIssue> issues = params_.validate();
   if (!issues.empty()) throw ParamError(std::move(issues));
   pool_.set_telemetry(sink_);
@@ -131,6 +134,19 @@ Status Codec::try_compress(std::span<const f64> data, Dims dims,
 template <typename T>
 Dims Codec::decompress_into_impl(ByteSpan stream, std::span<T> out,
                                  std::vector<cudasim::CostSheet>* stage_costs) {
+  // The fused decode covers V2 streams only; peek the quant byte (pinned at
+  // offset 6 by a format.hpp static_assert) to route V1/legacy streams to
+  // the unfused graph.  Both graphs open with ParseHeaderStage, so a
+  // garbage peek on a truncated or corrupt stream still fails with the
+  // graph-independent format error.  Either graph writes the same bytes.
+  const bool v2_stream =
+      stream.size() >= sizeof(StreamHeader) &&
+      stream[offsetof(StreamHeader, quant)] ==
+          static_cast<u8>(QuantVersion::V2Optimized);
+  const StageGraph& graph = params_.fused_decompress && v2_stream
+                                ? decompress_stages_fused_
+                                : decompress_stages_;
+
   ctx_.begin_decompress(&pool_, params_, stream, out.size(), sizeof(T),
                         out.data());
   ctx_.sink = sink_;
@@ -138,7 +154,7 @@ Dims Codec::decompress_into_impl(ByteSpan stream, std::span<T> out,
     const PoolDelta before = pool_delta(pool_, sink_ != nullptr);
     telemetry::Span run(sink_, "decompress");
     ScratchGuard guard{ctx_};
-    for (const auto& stage : decompress_stages_) {
+    for (const auto& stage : graph) {
       telemetry::Span span(sink_, stage->name());
       stage->run(ctx_);
       span.arg("bytes_in", static_cast<double>(ctx_.stats.input_bytes));

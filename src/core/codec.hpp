@@ -120,6 +120,7 @@ class Codec {
   StageGraph compress_stages_;
   StageGraph compress_stages_fused_;
   StageGraph decompress_stages_;
+  StageGraph decompress_stages_fused_;
   PipelineContext ctx_;
 };
 

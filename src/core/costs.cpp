@@ -180,6 +180,32 @@ CostSheet fz_fused_parallel_cost(const FzStats& st, Dims dims, size_t strips) {
   return c;
 }
 
+CostSheet fz_fused_decode_cost(const FzStats& st) {
+  const double n = static_cast<double>(st.count);
+  const size_t words = round_up(st.count, kTileBytes / sizeof(u16)) / 2;
+  const double w = static_cast<double>(words);
+  const double blocks = static_cast<double>(st.total_blocks);
+  const double nz = static_cast<double>(st.nonzero_blocks);
+
+  CostSheet c;
+  c.name = "fused-decode";
+  c.kernel_launches = 1;
+  // Flags + offsets + compacted payload in; i64 residuals out.  The
+  // scattered words and u16 codes live only in the tile working set, the
+  // decode-side mirror of fz_fused_tile_cost's saved traffic.
+  c.global_bytes_read = static_cast<u64>(blocks) + static_cast<u64>(blocks) / 8 +
+                        static_cast<u64>(blocks) * sizeof(u32) +
+                        static_cast<u64>(nz) * kBlockWords * sizeof(u32);
+  c.global_bytes_written = static_cast<u64>(n) * sizeof(i64);
+  // Offset scan + scatter, the inverse shuffle's ballot rounds, and the
+  // two-op sign-magnitude decode per element.
+  c.thread_ops = static_cast<u64>(
+      blocks * (kScanOpsPerBlock + kCompactOpsPerBlock) +
+      w * kBitshuffleOpsPerWord + n * 2);
+  c.shared_transactions = static_cast<u64>(w * kBitshuffleSmemTxPerWord);
+  return c;
+}
+
 u64 fz_fusion_traffic_saved(const FzStats& st) {
   // pred-quant's code-array write (2 bytes/value) plus bitshuffle's
   // re-read of the same array (padded to a tile boundary).

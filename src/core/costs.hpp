@@ -48,6 +48,13 @@ u64 fz_halo_recompute_elems(Dims dims, size_t strips);
 cudasim::CostSheet fz_fused_parallel_cost(const FzStats& st, Dims dims,
                                           size_t strips);
 
+/// Modeled cost of the fused decompress pass (make_decompress_stages_fused
+/// / the sim_fused_decode device kernel): scatter + inverse bitshuffle +
+/// sign-magnitude decode in one launch over cache-resident tiles — the
+/// decode-side mirror of fz_fused_tile_cost.  The intermediate scattered
+/// words and u16 codes never touch DRAM.
+cudasim::CostSheet fz_fused_decode_cost(const FzStats& st);
+
 /// Modeled cost of the segment-parallel gap-array Huffman decode
 /// (substrate/huffman.cpp, sim_huffman_decode_gap) — the
 /// codebook_build_serial_ns sibling on the decode side.  `encoded_bytes`

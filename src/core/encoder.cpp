@@ -107,15 +107,14 @@ EncodeResult encode_blocks(std::span<const u32> words) {
   return r;
 }
 
-void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
-                   std::span<u32> out, std::span<u32> flags32,
-                   std::span<u32> offsets, std::span<u32> scan_scratch) {
-  FZ_REQUIRE(out.size() % kBlockWords == 0, "decoder: bad output size");
-  const size_t nblocks = out.size() / kBlockWords;
+size_t decode_block_offsets(std::span<const u8> bit_flags,
+                            std::span<const u32> blocks,
+                            std::span<u32> flags32, std::span<u32> offsets,
+                            std::span<u32> scan_scratch) {
+  const size_t nblocks = flags32.size();
   FZ_FORMAT_REQUIRE(bit_flags.size() >= div_ceil(nblocks, 8),
                     "decoder: flag array too small");
-  FZ_REQUIRE(flags32.size() == nblocks && offsets.size() == nblocks,
-             "decoder: scratch size mismatch");
+  FZ_REQUIRE(offsets.size() == nblocks, "decoder: scratch size mismatch");
   // Offsets are recovered with the same prefix sum the encoder used.
   parallel_chunks(nblocks, size_t{1} << 16, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i)
@@ -125,6 +124,16 @@ void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
   const size_t nonzero = nblocks == 0 ? 0 : offsets.back() + flags32.back();
   FZ_FORMAT_REQUIRE(blocks.size() == nonzero * kBlockWords,
                     "decoder: block payload size mismatch");
+  return nonzero;
+}
+
+void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
+                   std::span<u32> out, std::span<u32> flags32,
+                   std::span<u32> offsets, std::span<u32> scan_scratch) {
+  FZ_REQUIRE(out.size() % kBlockWords == 0, "decoder: bad output size");
+  const size_t nblocks = out.size() / kBlockWords;
+  FZ_REQUIRE(flags32.size() == nblocks, "decoder: scratch size mismatch");
+  decode_block_offsets(bit_flags, blocks, flags32, offsets, scan_scratch);
   parallel_chunks(nblocks, 4096, [&](size_t b, size_t e) {
     for (size_t blk = b; blk < e; ++blk) {
       u32* dst = out.data() + blk * kBlockWords;

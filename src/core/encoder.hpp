@@ -72,4 +72,14 @@ void decode_blocks(std::span<const u8> bit_flags, std::span<const u32> blocks,
                    std::span<u32> out, std::span<u32> flags32,
                    std::span<u32> offsets, std::span<u32> scan_scratch);
 
+/// The offset-recovery half of decode_blocks: expand the packed bit flags
+/// into `flags32` (flags32.size() == total block count) and exclusive-scan
+/// them into `offsets`, validating the payload size.  Returns the nonzero
+/// block count.  The fused decompress pass (core/kernels_decode.hpp) uses
+/// this then scatters tile-by-tile instead of materializing `out`.
+size_t decode_block_offsets(std::span<const u8> bit_flags,
+                            std::span<const u32> blocks,
+                            std::span<u32> flags32, std::span<u32> offsets,
+                            std::span<u32> scan_scratch);
+
 }  // namespace fz

@@ -1,0 +1,53 @@
+// The fused tile-parallel decompress pass — the decode-side twin of the
+// PR5 compress fusion (core/kernels_simd.hpp).
+//
+// The unfused decompress graph materializes two full intermediate arrays
+// between the stream and the i64 residuals: the scattered shuffled words
+// (u32[total_words]) and the unshuffled code words (u32[total_words]).
+// Both are written once and read once — pure DRAM traffic.  This pass
+// walks the stream tile by tile instead: scatter one tile's compacted
+// blocks into a stack-resident 4 KiB buffer, inverse-bitshuffle it into a
+// second 4 KiB buffer, and sign-magnitude-decode the 2048 codes straight
+// into the caller's i64 delta array.  Both tile buffers live in L1 for the
+// whole pass, so the only DRAM traffic is the compressed sections in and
+// the deltas out.
+//
+// Strips of whole tiles (the same fused_parallel_plan partitioning the
+// compress side uses) write disjoint delta slices, so every strip count
+// produces identical bytes; the inverse-Lorenzo scans that follow
+// (core/lorenzo.hpp) propagate their own chunk boundary offsets, keeping
+// the whole decompress byte-identical for every (workers, SIMD tier,
+// dtype, rank) combination — pinned by tests/test_fused_decompress.cpp.
+#pragma once
+
+#include <span>
+
+#include "common/simd.hpp"
+#include "common/types.hpp"
+#include "core/kernels_simd.hpp"
+
+namespace fz::telemetry {
+class Sink;
+}  // namespace fz::telemetry
+
+namespace fz {
+
+/// Fused scatter + inverse bitshuffle + sign-magnitude decode.  `flags32`
+/// and `offsets` are the expanded block flags and their exclusive prefix
+/// sum (decode_block_offsets, core/encoder.hpp), `blocks` the compacted
+/// nonzero payload, and `deltas` the caller's i64 residual array of exactly
+/// the field's element count (tile padding never leaves the tile buffer).
+/// Tiles are processed in plan.strips disjoint strips; when `sink` is
+/// non-null each strip records a "fused-decode-strip" span (strip id, tile
+/// count, decoded bytes) on its worker thread.  Output is bit-identical to
+/// decode_blocks + bitunshuffle_tiles_simd + quant_decode_v2 for every plan
+/// and SIMD tier.
+void fused_scatter_decode_parallel(std::span<const u32> flags32,
+                                   std::span<const u32> offsets,
+                                   std::span<const u32> blocks,
+                                   std::span<i64> deltas,
+                                   const FusedParallelPlan& plan,
+                                   SimdLevel level,
+                                   telemetry::Sink* sink = nullptr);
+
+}  // namespace fz

@@ -258,6 +258,112 @@ CostSheet sim_fused_quant_shuffle_mark(FloatSpan data, Dims dims,
   });
 }
 
+namespace {
+
+/// Split-plane staging for sim_fused_quant_shuffle_mark_strips: with a 3-D
+/// plane halo too large for one contiguous shared window, the stencil's
+/// reads still cluster into two bounded ranges per element e — the near
+/// cluster [e-(nx+1), e] (same-plane and previous-row neighbours) and the
+/// z-plane cluster [e-(nx*ny+nx+1), e-nx*ny] — each spanning at most
+/// kCodesPerTile + nx + 1 elements across a whole tile.  Staging one
+/// shared window per cluster keeps the cooperative scheme (one global
+/// load + quantization per staged element) instead of falling back to
+/// per-thread global recomputes.  Reads route by linear index: at or
+/// above the near window's base goes near, below goes far; while both
+/// windows fit the 200 KB budget the clusters cannot overlap (a near read
+/// is always >= e-(nx+1) >= the near base; a far read needs
+/// nx*ny <= kCodesPerTile + nx to reach the near base, impossible at the
+/// plane sizes that trigger the split).  Hazard freedom — every routed
+/// read hits a staged slot — is asserted under fzcheck.
+CostSheet sim_fused_strips_split_planes(FloatSpan data, Dims dims, double inv,
+                                        std::span<u32> out,
+                                        std::vector<u8>& byte_flags,
+                                        std::vector<u8>& bit_flags,
+                                        std::span<i64> anchor_out,
+                                        bool padded_shared, size_t halo_ext,
+                                        size_t win_elems) {
+  const size_t tiles = out.size() / kTileWords;
+  byte_flags.assign(tiles * kBlocksPerTile, 0);
+  bit_flags.assign(tiles * kBlocksPerTile / 8, 0);
+  const size_t stride = padded_shared ? 33 : 32;
+  const size_t plane = dims.x * dims.y;
+
+  LaunchConfig cfg;
+  cfg.name = "fused-quant-shuffle-mark-strips";
+  cfg.grid = Dim3{static_cast<u32>(tiles)};
+  cfg.block = Dim3{32, 32};
+
+  return cudasim::launch(cfg, [&, inv, stride, halo_ext, win_elems,
+                               plane](ThreadCtx& t) {
+    auto pq_far = t.shared_mem<i64>("pq_halo_far", win_elems);
+    auto pq_near = t.shared_mem<i64>("pq_halo_near", win_elems);
+    auto buf = t.shared_mem<u32>("buf", 32 * stride);
+    auto byte_flag_arr = t.shared_mem<u8>("ByteFlagArr", kBlocksPerTile);
+    auto bit_flag_arr = t.shared_mem<u32>("BitFlagArr", 8);
+
+    const size_t tile = t.block_idx.x;
+    const size_t e_begin = tile * kCodesPerTile;
+    const size_t h1 = std::min(data.size(), e_begin + kCodesPerTile);
+    const size_t near_lo = e_begin > dims.x + 1 ? e_begin - (dims.x + 1) : 0;
+    const size_t far_lo = e_begin > halo_ext ? e_begin - halo_ext : 0;
+    const size_t far_hi = h1 > plane ? h1 - plane : 0;
+
+    const auto stage = [&](auto& win, size_t lo, size_t hi) {
+      for (size_t i = lo + t.linear_tid(); i < hi; i += 1024) {
+        const f32 v = t.gload(data, i);
+        win.st(i - lo,
+               static_cast<i64>(std::llround(static_cast<double>(v) * inv)));
+        t.count_ops(2);
+      }
+    };
+    stage(pq_far, far_lo, far_hi);
+    stage(pq_near, near_lo, h1);
+    t.sync_threads();
+
+    const auto pq_at = [&](size_t ix, size_t iy, size_t iz) -> i64 {
+      const size_t idx = dims.linear(ix, iy, iz);
+      return idx >= near_lo ? pq_near.ld(idx - near_lo)
+                            : pq_far.ld(idx - far_lo);
+    };
+    const auto code_for = [&](size_t e) -> u16 {
+      if (e >= data.size()) return 0;  // tile padding shuffles to zero blocks
+      const size_t ix = e % dims.x;
+      const size_t iy = (e / dims.x) % dims.y;
+      const size_t iz = e / plane;
+      i64 delta = pq_at(ix, iy, iz);
+      if (ix > 0) delta -= pq_at(ix - 1, iy, iz);
+      if (iy > 0) delta -= pq_at(ix, iy - 1, iz);
+      if (iz > 0) delta -= pq_at(ix, iy, iz - 1);
+      if (ix > 0 && iy > 0) delta += pq_at(ix - 1, iy - 1, iz);
+      if (ix > 0 && iz > 0) delta += pq_at(ix - 1, iy, iz - 1);
+      if (iy > 0 && iz > 0) delta += pq_at(ix, iy - 1, iz - 1);
+      if (ix > 0 && iy > 0 && iz > 0) delta -= pq_at(ix - 1, iy - 1, iz - 1);
+      if (e == 0) {
+        t.gstore(anchor_out, 0, delta);
+        return 0;
+      }
+      const i64 clipped =
+          std::clamp<i64>(delta, -kMaxMagnitude16, kMaxMagnitude16);
+      t.count_ops(6);
+      return sign_magnitude_encode(static_cast<i32>(clipped));
+    };
+
+    const u32 x = t.thread_idx.x;
+    const u32 y = t.thread_idx.y;
+    const size_t e0 = tile * kCodesPerTile + 2 * (y * 32 + x);
+    const u16 c0 = code_for(e0);
+    const u16 c1 = code_for(e0 + 1);
+    buf.st(y * stride + x, static_cast<u32>(c0) | (static_cast<u32>(c1) << 16));
+    t.sync_threads();
+
+    tile_shuffle_mark_tail(t, buf, byte_flag_arr, bit_flag_arr, out,
+                           byte_flags, bit_flags, stride,
+                           BitshuffleFault::None, kBlocksPerTile);
+  });
+}
+
+}  // namespace
+
 CostSheet sim_fused_quant_shuffle_mark_strips(FloatSpan data, Dims dims,
                                               double abs_eb,
                                               std::span<u32> out,
@@ -279,11 +385,20 @@ CostSheet sim_fused_quant_shuffle_mark_strips(FloatSpan data, Dims dims,
   const size_t pq_elems = halo_ext + kCodesPerTile;
   // Shared-capacity gate (Hopper-class ~228 KB dynamic shared memory,
   // minus the transpose tile and flag arrays): when a 3-D plane halo does
-  // not fit, fall back to the per-thread global-recompute kernel — same
-  // output, more global traffic.
-  if (pq_elems * sizeof(i64) > (size_t{200} << 10))
-    return sim_fused_quant_shuffle_mark(data, dims, abs_eb, out, byte_flags,
-                                        bit_flags, anchor_out, padded_shared);
+  // not fit in one contiguous window, split the staging into the two
+  // bounded read clusters (near rows + the z-plane band); only when even
+  // the split windows exceed the budget (nx beyond ~10750) fall back to
+  // the per-thread global-recompute kernel — same output, more traffic.
+  constexpr size_t kSharedBudget = size_t{200} << 10;
+  if (pq_elems * sizeof(i64) > kSharedBudget) {
+    const size_t win_elems = kCodesPerTile + dims.x + 1;
+    if (2 * win_elems * sizeof(i64) > kSharedBudget)
+      return sim_fused_quant_shuffle_mark(data, dims, abs_eb, out, byte_flags,
+                                          bit_flags, anchor_out, padded_shared);
+    return sim_fused_strips_split_planes(data, dims, 1.0 / (2.0 * abs_eb), out,
+                                         byte_flags, bit_flags, anchor_out,
+                                         padded_shared, halo_ext, win_elems);
+  }
 
   const double inv = 1.0 / (2.0 * abs_eb);
   const size_t tiles = out.size() / kTileWords;
@@ -799,6 +914,89 @@ CostSheet sim_bitunshuffle(std::span<const u32> in, std::span<u32> out,
     const u32 v = buf.ld(y * stride + x);
     t.gstore(out, tile * kTileWords + y * 32 + x, v);
   });
+}
+
+CostSheet sim_fused_decode(std::span<const u8> bit_flags,
+                           std::span<const u32> blocks,
+                           std::span<i64> deltas_out, bool padded_shared) {
+  FZ_REQUIRE(!deltas_out.empty(), "sim: empty output");
+  const size_t count = deltas_out.size();
+  const size_t tiles = div_ceil(count, kCodesPerTile);
+  const size_t nblocks = tiles * kBlocksPerTile;
+  FZ_REQUIRE(bit_flags.size() >= div_ceil(nblocks, 8), "sim: flags too small");
+
+  // Offset prefix sum, exactly as sim_scatter_blocks recovers it.
+  std::vector<u32> flags32(nblocks);
+  for (size_t i = 0; i < nblocks; ++i)
+    flags32[i] = (bit_flags[i / 8] >> (i % 8)) & 1u;
+  std::vector<u32> presum(nblocks);
+  CostSheet total = scan_exclusive_device_model(flags32, presum);
+  total.name = "prefix-sum-scatter";
+  const size_t nonzero = presum.back() + flags32.back();
+  FZ_REQUIRE(blocks.size() >= nonzero * kBlockWords,
+             "sim: block payload too small");
+
+  const size_t stride = padded_shared ? 33 : 32;
+
+  LaunchConfig cfg;
+  cfg.name = "fused-decode";
+  cfg.grid = Dim3{static_cast<u32>(tiles)};
+  cfg.block = Dim3{32, 32};
+
+  CostSheet decode = cudasim::launch(cfg, [&, stride, count](ThreadCtx& t) {
+    auto buf = t.shared_mem<u32>("buf", 32 * stride);
+    const u32 x = t.thread_idx.x;
+    const u32 y = t.thread_idx.y;
+    const size_t tile = t.block_idx.x;
+    const u32 ltid = t.linear_tid();
+
+    // Scatter: 256 threads each place one 16-byte block straight into the
+    // shared tile (zero blocks zero-filled) — the scattered words never
+    // touch global memory, mirroring the host fused decode pass.
+    if (ltid < kBlocksPerTile) {
+      const size_t blk = tile * kBlocksPerTile + ltid;
+      const bool nz = flags32[blk] != 0;
+      const u32 slot = nz ? t.gload(presum, blk) : 0;
+      for (u32 k = 0; k < kBlockWords; ++k) {
+        const u32 p = ltid * 4 + k;  // plane-major position in the tile
+        const u32 v =
+            nz ? t.gload(blocks, static_cast<size_t>(slot) * kBlockWords + k)
+               : 0u;
+        buf.st((p / 32) * stride + p % 32, v);
+      }
+      t.count_ops(8);
+    }
+    t.sync_threads();
+
+    // Inverse bitshuffle, identical to sim_bitunshuffle from here: the
+    // column-wise read the padding protects, then 32 ballot rounds.
+    const u32 cur = buf.ld(x * stride + y);
+    t.sync_threads();
+    for (u32 i = 0; i < 32; ++i) {
+      const u32 word = t.ballot((cur >> i) & 1u);
+      if (x == i) buf.st(y * stride + i, word);
+      t.count_ops(3);
+    }
+    t.sync_threads();
+
+    // Sign-magnitude decode of the two u16 codes in this thread's word,
+    // straight to the i64 residual output (the u16 code array never
+    // materializes either).
+    const u32 v = buf.ld(y * stride + x);
+    const size_t e0 = tile * kCodesPerTile + 2 * (y * 32 + x);
+    if (e0 < count) {
+      t.gstore(deltas_out, e0,
+               static_cast<i64>(
+                   sign_magnitude_decode(static_cast<u16>(v & 0xffff))));
+    }
+    if (e0 + 1 < count) {
+      t.gstore(deltas_out, e0 + 1,
+               static_cast<i64>(sign_magnitude_decode(static_cast<u16>(v >> 16))));
+    }
+    t.count_ops(4);
+  });
+  total += decode;
+  return total;
 }
 
 }  // namespace fz

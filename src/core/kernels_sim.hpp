@@ -73,11 +73,14 @@ cudasim::CostSheet sim_fused_quant_shuffle_mark(
 /// Lorenzo stencils reach backwards (nx*ny + nx + 1 linear elements at
 /// most) into a shared i64 buffer — one global load + quantization per
 /// element — then computes codes from shared neighbours instead of up to
-/// eight global recomputes per element.  Falls back to
-/// sim_fused_quant_shuffle_mark when the 3-D plane halo exceeds the
-/// shared-memory budget.  Output is byte-identical to the single-pass
-/// kernel and the host fused stage; hazard-freedom (no uninitialized
-/// shared reads, barrier placement) is asserted under fzcheck.
+/// eight global recomputes per element.  When a 3-D plane halo exceeds
+/// the 200 KB shared budget, the staging splits into two bounded windows
+/// (the near rows and the z-plane band — the stencil's two read clusters)
+/// and stays cooperative; only past the split windows' own budget (nx
+/// beyond ~10750) does it fall back to sim_fused_quant_shuffle_mark.
+/// Output is byte-identical to the single-pass kernel and the host fused
+/// stage; hazard-freedom (no uninitialized shared reads, barrier
+/// placement) is asserted under fzcheck.
 cudasim::CostSheet sim_fused_quant_shuffle_mark_strips(
     FloatSpan data, Dims dims, double abs_eb, std::span<u32> out,
     std::vector<u8>& byte_flags, std::vector<u8>& bit_flags,
@@ -149,6 +152,22 @@ cudasim::CostSheet sim_scatter_blocks(std::span<const u8> bit_flags,
 /// Decompression phase 2: inverse bitshuffle (same 32-round ballot
 /// transpose, transposed addressing on the way in).
 cudasim::CostSheet sim_bitunshuffle(std::span<const u32> in, std::span<u32> out,
+                                    bool padded_shared = true);
+
+/// Device mirror of the fused decompress pass (core/kernels_decode.hpp):
+/// scatter + inverse bitshuffle + sign-magnitude decode in ONE launch.
+/// Each 32x32 block scatters its tile's 256 compacted blocks straight
+/// into the shared transpose tile, runs the ballot transpose, and decodes
+/// its word's two u16 codes directly to the i64 residual output — the
+/// scattered words and the code array never touch global memory (the
+/// traffic fz_fused_decode_cost models as saved).  deltas_out receives
+/// the raw sign-magnitude residuals (the inverse Lorenzo runs after, on
+/// the host side).  Output matches sim_scatter_blocks +
+/// sim_bitunshuffle + a scalar decode; hazard freedom of the scatter /
+/// transpose barriers is asserted under fzcheck.
+cudasim::CostSheet sim_fused_decode(std::span<const u8> bit_flags,
+                                    std::span<const u32> blocks,
+                                    std::span<i64> deltas_out,
                                     bool padded_shared = true);
 
 }  // namespace fz

@@ -1573,4 +1573,24 @@ void transpose_unit_simd(const u32* in, u32* out, size_t out_stride,
   ops_for(level).transpose(in, out, out_stride);
 }
 
+TransposeUnitFn transpose_unit_fn(SimdLevel level) {
+  return ops_for(level).transpose;
+}
+
+void fused_first_touch_strips(MutByteSpan bytes, size_t strips) {
+  if (strips <= 1 || bytes.empty() || numa_node_count() <= 1) return;
+  // One touch per page, strips aligned to page boundaries so two workers
+  // never claim the same page.  The strip split mirrors the even tile
+  // split of the fused passes; a static-schedule parallel_for pins strip s
+  // to the same worker slot the strip loop will claim in the common
+  // (uncontended) case.
+  constexpr size_t kPage = 4096;
+  const size_t per = round_up(div_ceil(bytes.size(), strips), kPage);
+  parallel_for(0, strips, [&](size_t s) {
+    const size_t b = s * per;
+    const size_t e = std::min(bytes.size(), b + per);
+    for (size_t i = b; i < e; i += kPage) bytes[i] = 0;
+  });
+}
+
 }  // namespace fz

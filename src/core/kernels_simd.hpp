@@ -87,6 +87,12 @@ void mark_blocks_simd(std::span<const u32> words, std::span<u8> byte_flags,
 void transpose_unit_simd(const u32* in, u32* out, size_t out_stride,
                          SimdLevel level);
 
+/// The unit transpose resolved to a concrete tier, for callers that loop
+/// tiles themselves (the fused decode strips, core/kernels_decode.hpp):
+/// fetching the pointer once hoists the dispatch out of the per-unit loop.
+using TransposeUnitFn = void (*)(const u32* in, u32* out, size_t out_stride);
+TransposeUnitFn transpose_unit_fn(SimdLevel level);
+
 // ---- fused tile pipeline ---------------------------------------------------
 
 struct FusedTileResult {
@@ -157,6 +163,17 @@ struct FusedParallelPlan {
 /// overhead stays a small fraction of the total work; the plan is
 /// deterministic in (dims, workers) — it never depends on thread timing.
 FusedParallelPlan fused_parallel_plan(Dims dims, size_t workers);
+
+/// NUMA-aware strip placement: first-touch one byte per page of each
+/// strip's slice of `bytes` from a parallel worker crew shaped like the
+/// strip loop, so Linux's first-touch policy places each slice on (or near)
+/// the node that will stream through it.  Only meaningful for a freshly
+/// allocated buffer (PooledBuffer::fresh()) — recycled pages already
+/// belong to a node — and a no-op on single-node machines, when there is
+/// only one strip, or when `bytes` is empty.  Purely a placement hint: the
+/// touched bytes are about-to-be-overwritten scratch, so output streams
+/// are identical with the pass on or off.
+void fused_first_touch_strips(MutByteSpan bytes, size_t strips);
 
 /// Tile-parallel fused stage kernel.  Same outputs as
 /// fused_quant_shuffle_mark, byte-for-byte, for every plan.  `scratch` must

@@ -170,7 +170,48 @@ void scan_y(std::span<i64> a, Dims dims, size_t workers) {
   });
 }
 
-void scan_z(std::span<i64> a, Dims dims) {
+/// Chunked z-scan with plane-granular boundary offsets — the 3-D analogue
+/// of scan_y_chunked_plane: chunk-local z-scans in parallel, one serial
+/// pass globalizing each chunk's final plane, then a parallel interior
+/// carry-add of that plane.
+void scan_z_chunked(std::span<i64> a, size_t nx, size_t ny, size_t nz,
+                    size_t nchunks) {
+  const size_t plane = nx * ny;
+  const size_t per = div_ceil(nz, nchunks);
+  nchunks = div_ceil(nz, per);
+  parallel_tasks(nchunks, nchunks, [&](size_t c, size_t) {
+    const size_t zb = c * per;
+    const size_t ze = std::min(nz, zb + per);
+    for (size_t z = zb + 1; z < ze; ++z)
+      for (size_t i = 0; i < plane; ++i)
+        a[i + plane * z] += a[i + plane * (z - 1)];
+  });
+  for (size_t c = 1; c < nchunks; ++c) {
+    i64* last = a.data() + (std::min(nz, c * per + per) - 1) * plane;
+    const i64* prev = a.data() + (c * per - 1) * plane;
+    for (size_t i = 0; i < plane; ++i) last[i] += prev[i];
+  }
+  parallel_tasks(nchunks - 1, nchunks - 1, [&](size_t t, size_t) {
+    const size_t c = t + 1;
+    const size_t zb = c * per;
+    const size_t ze = std::min(nz, zb + per);
+    const i64* carry = a.data() + (zb - 1) * plane;
+    for (size_t z = zb; z + 1 < ze; ++z)
+      for (size_t i = 0; i < plane; ++i) a[i + plane * z] += carry[i];
+  });
+}
+
+void scan_z(std::span<i64> a, Dims dims, size_t workers) {
+  const size_t w = workers != 0 ? workers : static_cast<size_t>(max_threads());
+  if (dims.y < w) {
+    // Too few y-rows to occupy the crew (flat or thin-slab volumes): chunk
+    // the z-chain itself and propagate plane-granular boundary offsets.
+    const size_t nchunks = scan_chunk_split(dims.z, workers, 4);
+    if (nchunks > 1) {
+      scan_z_chunked(a, dims.x, dims.y, dims.z, nchunks);
+      return;
+    }
+  }
   const size_t plane = dims.x * dims.y;
   parallel_chunks(dims.y, line_grain(dims.x * dims.z), [&](size_t yb, size_t ye) {
     for (size_t y = yb; y < ye; ++y)
@@ -206,7 +247,7 @@ void lorenzo_inverse(std::span<const i64> delta, Dims dims, std::span<i64> p,
     std::copy(delta.begin(), delta.end(), p.begin());
   scan_x(p, dims, workers);
   if (dims.rank() >= 2) scan_y(p, dims, workers);
-  if (dims.rank() >= 3) scan_z(p, dims);
+  if (dims.rank() >= 3) scan_z(p, dims, workers);
 }
 
 }  // namespace fz

@@ -22,11 +22,13 @@ namespace fz {
 void lorenzo_forward(std::span<const i64> p, Dims dims, std::span<i64> delta);
 
 /// Reconstruct p from delta (exact inverse of lorenzo_forward).  The 1-D
-/// x-scan and the single-plane 2-D y-scan chunk the prefix chain and
-/// propagate per-chunk boundary offsets in a cheap second pass (integer
-/// adds are associative, so the result is identical to the serial scan for
-/// every chunk count).  `workers` bounds the chunk parallelism (0 = one
-/// chunk per hardware thread).
+/// x-scan, the single-plane 2-D y-scan, and the 3-D z-scan over flat
+/// volumes (fewer y-rows than workers) chunk the prefix chain and
+/// propagate per-chunk boundary offsets — line-, row-, and plane-granular
+/// respectively — in a cheap second pass (integer adds are associative, so
+/// the result is identical to the serial scan for every chunk count).
+/// `workers` bounds the chunk parallelism (0 = one chunk per hardware
+/// thread).
 void lorenzo_inverse(std::span<const i64> delta, Dims dims, std::span<i64> p,
                      size_t workers = 0);
 

@@ -86,6 +86,20 @@ struct FzParams {
   /// tile-parallel halo-recompute strips.  Output bytes are identical; the
   /// bench harness uses this as the fused-serial baseline.
   bool fused_serial_tiles = false;
+  /// Host execution: decompress through the fused tile-parallel decode
+  /// graph (scatter + inverse bitshuffle + sign-magnitude decode tile by
+  /// tile per strip; the shuffled-word and u16-code arrays never
+  /// materialize).  V2 streams only — V1/legacy streams are routed to the
+  /// unfused graph automatically.  Output is byte-identical either way —
+  /// pinned by tests/test_fused_decompress.cpp.
+  bool fused_decompress = true;
+  /// Host execution: before the tile-parallel passes fill a fresh (pool
+  /// miss) output lease, touch its pages in strip shape so first-touch
+  /// policy places each strip's pages on the node of the worker that will
+  /// process it.  Best-effort placement hint: a no-op on single-node boxes
+  /// (the common case) and on recycled leases, whose pages already belong
+  /// to whichever node touched them first.
+  bool numa_first_touch = true;
   /// Host execution: SIMD tier for the vectorized kernels.  Auto resolves
   /// from the FZ_SIMD env var / CPUID; every tier is bit-identical, so this
   /// never changes the stream either.

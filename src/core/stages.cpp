@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "core/bitshuffle.hpp"
 #include "core/encoder.hpp"
+#include "core/kernels_decode.hpp"
 #include "core/kernels_simd.hpp"
 #include "core/lorenzo.hpp"
 #include "substrate/bitio.hpp"
@@ -49,6 +50,9 @@ void PipelineContext::begin_decompress(BufferPool* p,
   params.simd = run_params.simd;
   params.f32_fast_quant = run_params.f32_fast_quant;
   params.f64_fast_quant = run_params.f64_fast_quant;
+  params.fused_workers = run_params.fused_workers;
+  params.fused_decompress = run_params.fused_decompress;
+  params.numa_first_touch = run_params.numa_first_touch;
   dims = {};
   count = n;
   dtype = run_dtype;
@@ -268,6 +272,10 @@ class FusedQuantShuffleMarkStage final : public Stage {
       // sliced per strip, byte-identical to the serial pass for every plan.
       const FusedParallelPlan plan =
           fused_parallel_plan(ctx.dims, ctx.params.fused_workers);
+      // Best-effort NUMA placement: touch each strip's output slice in
+      // strip shape while the lease's pages are still uncommitted.
+      if (ctx.params.numa_first_touch && ctx.shuffled.fresh())
+        fused_first_touch_strips(ctx.shuffled.bytes(), plan.strips);
       ctx.row_scratch =
           ctx.pool->acquire(plan.scratch_elems * sizeof(i64), false);
       if (ctx.dtype == sizeof(f64)) {
@@ -477,6 +485,52 @@ class InverseQuantStage final : public Stage {
   }
 };
 
+/// The fused decompress hot path (the decode-side twin of
+/// FusedQuantShuffleMarkStage): recover block offsets once, then scatter +
+/// inverse-bitshuffle + sign-magnitude decode tile by tile per strip —
+/// the full shuffled-word and u16-code arrays never materialize.  The
+/// inverse Lorenzo runs after, with its boundary offsets propagated in the
+/// existing cheap second pass, so the output is byte-identical to the
+/// unfused graph for every plan.  V2 streams only (V1's outlier patching
+/// needs the whole code array).
+class FusedDecodeStage final : public Stage {
+ public:
+  const char* name() const override { return "fused-decode"; }
+
+  void run(PipelineContext& ctx) const override {
+    FZ_REQUIRE(ctx.params.quant == QuantVersion::V2Optimized,
+               "fused decompress supports V2 streams only");
+    const size_t nblocks = ctx.total_blocks();
+    ctx.flags32 = ctx.pool->acquire(nblocks * sizeof(u32), false);
+    ctx.offsets = ctx.pool->acquire(nblocks * sizeof(u32), false);
+    ctx.scan_scratch = ctx.pool->acquire(
+        2 * scan_chunk_count(nblocks) * sizeof(u32), false);
+    // The block section sits at an arbitrary byte offset in the stream;
+    // copy it into an aligned buffer before viewing it as u32.
+    ctx.blocks = ctx.pool->acquire(ctx.sec_blocks.size(), false);
+    if (!ctx.sec_blocks.empty())
+      std::memcpy(ctx.blocks.data(), ctx.sec_blocks.data(),
+                  ctx.sec_blocks.size());
+    decode_block_offsets(ctx.sec_bit_flags, ctx.blocks.as<u32>(),
+                         ctx.flags32.as<u32>(), ctx.offsets.as<u32>(),
+                         ctx.scan_scratch.as<u32>());
+
+    ctx.pq = ctx.pool->acquire(ctx.count * sizeof(i64), false);
+    const FusedParallelPlan plan =
+        fused_parallel_plan(ctx.dims, ctx.params.fused_workers);
+    // Best-effort NUMA placement: touch each strip's output slice in strip
+    // shape while the lease's pages are still uncommitted.
+    if (ctx.params.numa_first_touch && ctx.pq.fresh())
+      fused_first_touch_strips(ctx.pq.bytes(), plan.strips);
+    const std::span<i64> pq = ctx.pq.as<i64>();
+    fused_scatter_decode_parallel(ctx.flags32.as<u32>(), ctx.offsets.as<u32>(),
+                                  ctx.blocks.as<u32>(), pq, plan,
+                                  resolve_simd(ctx.params.simd), ctx.sink);
+    pq[0] += ctx.header.anchor;  // restore the first value's residual
+    lorenzo_inverse(pq, ctx.dims, pq, ctx.params.fused_workers);
+  }
+};
+
 /// Dequantize + inverse transform into the caller's output storage.
 class ReconstructStage final : public Stage {
  public:
@@ -537,6 +591,14 @@ StageGraph make_decompress_stages() {
   g.push_back(std::make_unique<ParseHeaderStage>());
   g.push_back(std::make_unique<ScatterUnshuffleStage>());
   g.push_back(std::make_unique<InverseQuantStage>());
+  g.push_back(std::make_unique<ReconstructStage>());
+  return g;
+}
+
+StageGraph make_decompress_stages_fused() {
+  StageGraph g;
+  g.push_back(std::make_unique<ParseHeaderStage>());
+  g.push_back(std::make_unique<FusedDecodeStage>());
   g.push_back(std::make_unique<ReconstructStage>());
   return g;
 }

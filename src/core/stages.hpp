@@ -107,8 +107,9 @@ struct PipelineContext {
                       size_t n, u8 run_dtype, const void* data,
                       std::vector<u8>* out);
   /// Prepare the context for a decompression run.  `run_params` carries
-  /// only the host execution knobs (simd, f32_fast_quant); everything
-  /// stream-related comes from the parsed header.
+  /// only the host execution knobs (simd, fast-quant, fused_workers,
+  /// fused_decompress, numa_first_touch); everything stream-related comes
+  /// from the parsed header.
   void begin_decompress(BufferPool* p, const FzParams& run_params,
                         ByteSpan run_stream, size_t n, u8 run_dtype,
                         void* out);
@@ -137,5 +138,13 @@ StageGraph make_decompress_stages();
 /// materializing the i64 pre-quant array.  V2 quantization only; the
 /// output stream is byte-identical to make_compress_stages().
 StageGraph make_compress_stages_fused();
+
+/// The fused decompress graph: ScatterUnshuffleStage + InverseQuantStage
+/// are replaced by one FusedDecodeStage that scatters, inverse-bitshuffles
+/// and decodes tile by tile per strip (core/kernels_decode.hpp) — the
+/// shuffled-word and u16-code arrays never materialize.  V2 streams only
+/// (fz::Codec peeks the header and routes V1 streams to the unfused
+/// graph); the output is byte-identical to make_decompress_stages().
+StageGraph make_decompress_stages_fused();
 
 }  // namespace fz

@@ -58,7 +58,9 @@ Reader::Reader(ByteSpan stream, ReaderOptions options)
   FzParams params;
   params.telemetry = sink_;
   // One chunk per worker is the parallelism unit here; keep each decode's
-  // internal inverse-Lorenzo scan serial so the pool never oversubscribes.
+  // internal fan-out — the fused decode strips and the inverse-Lorenzo
+  // scans — single-strip so the pool never oversubscribes.  Chunk fetches
+  // still ride the fused decompress graph (one strip per fetch).
   params.fused_workers = 1;
   codecs_.reserve(pool_.worker_count());
   for (size_t w = 0; w < pool_.worker_count(); ++w)

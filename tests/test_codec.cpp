@@ -156,6 +156,27 @@ TEST(Codec, SteadyStateDoesNotAllocate) {
 #else
   EXPECT_GE(g_alloc_count.load(), before);
 #endif
+
+  // The loop above rides the fused decompress graph (the default); the
+  // classic staged graph must stay allocation-free in steady state too.
+  FzParams unfused = params;
+  unfused.fused_decompress = false;
+  Codec classic(unfused);
+  for (int round = 0; round < 3; ++round)  // warm the classic scratch set
+    classic.decompress_into(c.bytes, out);
+  const auto classic_warm = classic.pool().stats();
+  const size_t classic_before = g_alloc_count.load();
+  for (int round = 0; round < 3; ++round) classic.decompress_into(c.bytes, out);
+  const auto classic_steady = classic.pool().stats();
+  EXPECT_EQ(classic_steady.misses, classic_warm.misses)
+      << "classic decompress steady state hit the heap";
+#if defined(FZ_HAVE_OPENMP)
+  EXPECT_EQ(g_alloc_count.load(), classic_before)
+      << "steady-state classic decompress_into allocated";
+#else
+  EXPECT_GE(g_alloc_count.load(), classic_before);
+#endif
+  EXPECT_TRUE(error_bounded(f.values(), out, c.stats.abs_eb));
 }
 
 TEST(Codec, SteadyStateHoldsForV1AndPointwiseAndF64) {

@@ -313,10 +313,12 @@ TEST(SimFusedQuant, StripsKernelCutsGlobalReadsOnHigherRanks) {
   EXPECT_LT(strips.global_bytes_read, single.global_bytes_read);
 }
 
-TEST(SimFusedQuant, StripsKernelFallsBackWhenPlaneHaloExceedsBudget) {
+TEST(SimFusedQuant, StripsKernelSplitsPlaneHaloWhenItExceedsBudget) {
   // A 3-D slab whose plane halo would blow the shared-memory budget
-  // (300*200 i64 ≈ 480 KB) must route through the single-pass kernel and
-  // still match the host stage byte for byte.
+  // (300*200 i64 ≈ 480 KB) now stages through the two bounded split
+  // windows (near rows + z-plane band) and must still match the host
+  // stage byte for byte.  (The genuine fallback — split windows too big —
+  // is pinned in tests/test_fused_decompress.cpp.)
   Field f;
   f.dims = Dims{300, 200, 2};
   f.data.resize(f.dims.count());

@@ -99,9 +99,21 @@ TEST(Telemetry, DecompressAndF64EmitOneSpanPerStage) {
 
   const auto counts = span_counts(sink);
   EXPECT_EQ(counts.at("compress"), 1u);
+  for (const char* stage :
+       {"decompress", "parse-header", "fused-decode", "reconstruct"})
+    EXPECT_EQ(counts.at(stage), 1u) << stage;
+
+  // The unfused graph (fused_decompress off) still emits its classic
+  // stage spans.
+  Sink unfused_sink;
+  params.telemetry = &unfused_sink;
+  params.fused_decompress = false;
+  Codec unfused(params);
+  unfused.decompress_into(c.bytes, out);
+  const auto unfused_counts = span_counts(unfused_sink);
   for (const char* stage : {"decompress", "parse-header", "scatter-unshuffle",
                             "inverse-quant", "reconstruct"})
-    EXPECT_EQ(counts.at(stage), 1u) << stage;
+    EXPECT_EQ(unfused_counts.at(stage), 1u) << stage;
 }
 
 TEST(Telemetry, RunSpanCarriesAttributesAndNestsStages) {
